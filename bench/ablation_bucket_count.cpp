@@ -1,0 +1,80 @@
+// How many hash buckets should the global tables have?  The paper fixes a
+// table and partitions its index range; this ablation varies the bucket
+// count for a REAL traced program (the Manners-style seater, so bucket
+// structure comes from actual rule joins).  Too few buckets ⇒ distinct
+// keys collide into the same index and serialize on one processor; beyond
+// a point, more buckets stop helping because genuine same-key collisions
+// (and precedence) remain.
+#include <iostream>
+#include <string>
+
+#include "src/common/table.hpp"
+#include "src/core/pipeline.hpp"
+
+namespace {
+
+std::string seater_source(int guests) {
+  std::string source = R"(
+    (p seat-first-guest
+      (context ^state start)
+      (guest ^name <g>)
+      -->
+      (make seated ^name <g> ^seat 1)
+      (make last ^name <g> ^seat 1)
+      (modify 1 ^state assign))
+    (p seat-next-guest
+      (context ^state assign)
+      (last ^name <n1> ^seat <s>)
+      (guest ^name <n1> ^sex <sx> ^hobby <h>)
+      (guest ^name { <n2> <> <n1> } ^sex <> <sx> ^hobby <h>)
+      -(seated ^name <n2>)
+      -->
+      (make seated ^name <n2> ^seat (compute <s> + 1))
+      (modify 2 ^name <n2> ^seat (compute <s> + 1)))
+    (p everyone-seated
+      (context ^state assign)
+      (party ^guests <n>)
+      (last ^seat <n>)
+      -->
+      (halt)))";
+  source += "\n(make context ^state start)\n";
+  source += "(make party ^guests " + std::to_string(guests) + ")\n";
+  for (int i = 0; i < guests; ++i) {
+    const char* sex = i % 2 == 0 ? "m" : "f";
+    for (int h : {0, 1 + i % 3, 1 + (i + 1) % 3}) {
+      source += "(make guest ^name g" + std::to_string(i) + " ^sex " + sex +
+                " ^hobby h" + std::to_string(h) + ")\n";
+    }
+  }
+  return source;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mpps;
+  print_banner(std::cout,
+               "Bucket-count sensitivity (Manners seater, 24 guests, 16 "
+               "processors, run 2)");
+  TextTable table({"buckets", "activations", "speedup @16 procs"});
+  for (std::uint32_t buckets : {4u, 16u, 64u, 256u, 1024u}) {
+    core::PipelineOptions options;
+    options.interpreter.engine.num_buckets = buckets;
+    const core::PipelineResult piped = core::record_trace_from_source(
+        seater_source(24), "seater", options);
+    sim::SimConfig config;
+    config.match_processors = 16;
+    config.costs = sim::CostModel::paper_run(2);
+    const double s = sim::speedup(
+        piped.trace, config,
+        sim::Assignment::round_robin(piped.trace.num_buckets, 16));
+    table.row()
+        .cell(static_cast<long>(buckets))
+        .cell(static_cast<unsigned long>(piped.trace.total_activations()))
+        .cell(s, 2);
+  }
+  table.print(std::cout);
+  std::cout << "\nFew buckets serialize unrelated keys on shared indices;\n"
+               "the curve saturates once genuine key collisions dominate.\n";
+  return 0;
+}

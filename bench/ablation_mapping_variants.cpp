@@ -1,0 +1,117 @@
+// Ablation over the paper's mapping design choices (Sections 3.1-3.2):
+//
+//  A. Processor pairs vs merged partitions at a fixed processor budget.
+//     The pair overlaps token storage with opposite-bucket search, but
+//     halves the partition count — the paper merges them on the 32-node
+//     Nectar for exactly this utilization reason.
+//  B. Broadcast-to-all vs dedicated constant-test processors.  With cheap
+//     messages the dedicated processors are harmless; with expensive ones
+//     they serialize root-token sends and become the bottleneck the paper
+//     warns about.
+//  C. Direct control-processor conflict set vs dedicated conflict-set
+//     processors.
+//  D. Termination-detection models (future work in the paper): what the
+//     "free termination" assumption hides.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "src/common/table.hpp"
+
+int main() {
+  using namespace mpps;
+  const auto sections = core::standard_sections();
+
+  print_banner(std::cout,
+               "A. Processor pairs vs merged, fixed processor budget "
+               "(zero overheads)");
+  {
+    TextTable table({"section", "procs", "merged", "pairs (procs/2 partitions)"});
+    for (const auto& section : sections) {
+      for (std::uint32_t p : {8u, 16u, 32u}) {
+        sim::SimConfig merged = bench::config_for(p, 0);
+        sim::SimConfig paired = merged;
+        paired.mapping = sim::MappingMode::ProcessorPairs;
+        table.row()
+            .cell(section.label)
+            .cell(static_cast<long>(p))
+            .cell(sim::speedup(section.trace, merged,
+                               sim::Assignment::round_robin(
+                                   section.trace.num_buckets, p)),
+                  2)
+            .cell(sim::speedup(section.trace, paired,
+                               sim::Assignment::round_robin(
+                                   section.trace.num_buckets, p / 2)),
+                  2);
+      }
+    }
+    table.print(std::cout);
+  }
+
+  print_banner(std::cout,
+               "B. Constant-test processors vs broadcast-to-all "
+               "(16 match processors)");
+  {
+    TextTable table({"section", "overhead run", "broadcast", "1 CT proc",
+                     "2 CT procs", "4 CT procs"});
+    for (const auto& section : sections) {
+      for (int run : {1, 4}) {
+        table.row().cell(section.label).cell(static_cast<long>(run));
+        for (std::uint32_t ct : {0u, 1u, 2u, 4u}) {
+          sim::SimConfig config = bench::config_for(16, run);
+          config.constant_test_processors = ct;
+          table.cell(sim::speedup(section.trace, config,
+                                  sim::Assignment::round_robin(
+                                      section.trace.num_buckets, 16)),
+                     2);
+        }
+      }
+    }
+    table.print(std::cout);
+  }
+
+  print_banner(std::cout,
+               "C. Conflict-set processors (16 match processors, run 4)");
+  {
+    TextTable table({"section", "control only", "2 CS procs", "4 CS procs"});
+    for (const auto& section : sections) {
+      table.row().cell(section.label);
+      for (std::uint32_t cs : {0u, 2u, 4u}) {
+        sim::SimConfig config = bench::config_for(16, 4);
+        config.conflict_set_processors = cs;
+        table.cell(sim::speedup(section.trace, config,
+                                sim::Assignment::round_robin(
+                                    section.trace.num_buckets, 16)),
+                   2);
+      }
+    }
+    table.print(std::cout);
+  }
+
+  print_banner(std::cout,
+               "D. Termination detection models (16 processors, run 4)");
+  {
+    TextTable table({"section", "free (paper)", "ack counting",
+                     "barrier poll", "barrier overhead (us)"});
+    for (const auto& section : sections) {
+      table.row().cell(section.label);
+      SimTime barrier_overhead{};
+      for (auto model :
+           {sim::TerminationModel::None, sim::TerminationModel::AckCounting,
+            sim::TerminationModel::BarrierPoll}) {
+        sim::SimConfig config = bench::config_for(16, 4);
+        config.termination = model;
+        const auto assignment =
+            sim::Assignment::round_robin(section.trace.num_buckets, 16);
+        table.cell(sim::speedup(section.trace, config, assignment), 2);
+        if (model == sim::TerminationModel::BarrierPoll) {
+          barrier_overhead =
+              sim::simulate(section.trace, config, assignment)
+                  .termination_overhead;
+        }
+      }
+      table.cell(barrier_overhead.micros(), 0);
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 5-2: speedups with varying message-processing overheads (the
+// Table 5-1 runs) for Rubik (top), Tourney (middle), Weaver (bottom).
+// Expected shape: overheads cost Rubik ~30% of its speedup, Tourney ~45%,
+// Weaver up to ~50% — the ordering follows each section's share of left
+// activations (28% / 99% / 81%), since only left activations travel as
+// messages.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "src/common/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mpps;
+  const auto sections = core::standard_sections();
+  for (const auto& section : sections) {
+    print_banner(std::cout, "Figure 5-2: " + section.label +
+                                " speedups vs message-processing overhead");
+    TextTable table({"processors", "0 us", "8 us", "16 us", "32 us"});
+    for (std::uint32_t p : bench::sweep_procs()) {
+      table.row().cell(static_cast<long>(p));
+      for (int run = 1; run <= 4; ++run) {
+        table.cell(bench::speedup_vs(section.trace, section.trace,
+                                     bench::config_for(p, run)),
+                   2);
+      }
+    }
+    bench::emit_table(table, argc, argv, std::cout);
+    // The headline comparison: fraction of the zero-overhead speedup lost
+    // at the highest overhead setting.
+    const double zero = bench::speedup_vs(section.trace, section.trace,
+                                          bench::config_for(32, 1));
+    const double heavy = bench::speedup_vs(section.trace, section.trace,
+                                           bench::config_for(32, 4));
+    std::cout << section.label << " @32 processors: speedup loss from 0 to "
+              << "32 us total overhead = "
+              << static_cast<int>(100.0 * (1.0 - heavy / zero) + 0.5)
+              << "%\n";
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure 5-3: the unsharing transformation.  The paper's figure is a
+// network diagram; this harness demonstrates the transformation at both
+// levels:
+//   1. Network level: compiling two productions with a common CE prefix
+//      with and without beta-node sharing.
+//   2. Trace level: splitting the Weaver bottleneck node per output.
+#include <iostream>
+
+#include "src/common/table.hpp"
+#include "src/core/xform.hpp"
+#include "src/ops5/parser.hpp"
+#include "src/rete/network.hpp"
+#include "src/trace/synth.hpp"
+
+int main() {
+  using namespace mpps;
+  print_banner(std::cout, "Figure 5-3: unsharing Rete network nodes");
+
+  // The paper's example: outputs O1 and O2 share the two-input node
+  // joining conditions I1 and I2.
+  const char* source = R"(
+    (p o1 (i1 ^v <x>) (i2 ^v <x>) (o ^kind 1) --> (halt))
+    (p o2 (i1 ^v <x>) (i2 ^v <x>) (o ^kind 2) --> (halt)))";
+  const auto program = ops5::parse_program(source);
+
+  rete::CompileOptions shared;
+  rete::CompileOptions unshared;
+  unshared.share_beta_nodes = false;
+
+  const auto net_shared = rete::Network::compile(program, shared);
+  const auto net_unshared = rete::Network::compile(program, unshared);
+
+  TextTable table({"network", "two-input nodes", "nodes with >1 output"});
+  table.row()
+      .cell("shared (Rete default)")
+      .cell(static_cast<unsigned long>(net_shared.betas().size()))
+      .cell(static_cast<unsigned long>(net_shared.shared_beta_count()));
+  table.row()
+      .cell("unshared")
+      .cell(static_cast<unsigned long>(net_unshared.betas().size()))
+      .cell(static_cast<unsigned long>(net_unshared.shared_beta_count()));
+  table.print(std::cout);
+
+  print_banner(std::cout, "Trace level: Weaver bottleneck split per output");
+  const trace::Trace before = trace::make_weaver_section();
+  const trace::Trace after =
+      core::unshare_node(before, trace::weaver_bottleneck_node());
+  auto max_succ = [](const trace::Trace& t) {
+    std::uint32_t m = 0;
+    for (const auto& cycle : t.cycles) {
+      for (const auto& act : cycle.activations) {
+        m = std::max(m, act.successors);
+      }
+    }
+    return m;
+  };
+  TextTable t2({"trace", "activations", "max successors per activation"});
+  t2.row()
+      .cell("weaver")
+      .cell(static_cast<unsigned long>(before.total_activations()))
+      .cell(static_cast<unsigned long>(max_succ(before)));
+  t2.row()
+      .cell("weaver+unshare")
+      .cell(static_cast<unsigned long>(after.total_activations()))
+      .cell(static_cast<unsigned long>(max_succ(after)));
+  t2.print(std::cout);
+  std::cout << "\nThe duplicated work (extra activations) buys parallel\n"
+               "successor generation: the 40-successor site becomes four\n"
+               "10-successor sites in different hash buckets.\n";
+  return 0;
+}

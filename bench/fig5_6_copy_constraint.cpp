@@ -1,0 +1,66 @@
+// Figure 5-6: Tourney speedups with copy-and-constraint applied to the
+// cross-product production (8 copies).  The transformation re-introduces
+// hash discrimination — tokens belong to different production copies,
+// hence different node ids, hence different buckets.  Expected shape:
+// a clear but moderate improvement (the paper notes the baseline was
+// somewhat overestimated, so its published gain looks small).
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "src/common/table.hpp"
+#include "src/core/xform.hpp"
+#include "src/trace/synth.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mpps;
+  print_banner(std::cout,
+               "Figure 5-6: Tourney speedups with copy-and-constraint");
+  const trace::Trace before = trace::make_tourney_section();
+  // The culprit production spans both non-discriminating nodes of the
+  // cross-product cycle; splitting the production splits both.
+  const trace::Trace after = core::copy_constrain_node(
+      core::copy_constrain_node(before, trace::tourney_cross_node(), 8),
+      trace::tourney_cross_local_node(), 8);
+
+  TextTable table({"processors", "tourney", "tourney+copy&constraint"});
+  for (std::uint32_t p : bench::sweep_procs()) {
+    const auto config = bench::config_for(p, 0);
+    table.row()
+        .cell(static_cast<long>(p))
+        .cell(bench::speedup_vs(before, before, config), 2)
+        .cell(bench::speedup_vs(before, after, config), 2);
+  }
+  bench::emit_table(table, argc, argv, std::cout);
+
+  // Concentration at the cross-product production's nodes: before the
+  // transformation they share ONE bucket; after it they spread over the
+  // copies' buckets.
+  auto node_bucket_max = [](const trace::Trace& t, std::uint32_t min_node) {
+    std::vector<std::uint64_t> per_bucket(t.num_buckets, 0);
+    for (const auto& act : t.cycles[2].activations) {
+      const std::uint32_t n = act.node.value();
+      const bool at_cross =
+          n == trace::tourney_cross_node().value() ||
+          n == trace::tourney_cross_local_node().value() || n >= min_node;
+      if (at_cross) ++per_bucket[act.bucket];
+    }
+    std::uint64_t max = 0;
+    for (auto a : per_bucket) max = std::max(max, a);
+    return max;
+  };
+  std::uint32_t max_node = 0;
+  for (const auto& cycle : before.cycles) {
+    for (const auto& act : cycle.activations) {
+      max_node = std::max(max_node, act.node.value());
+    }
+  }
+  std::cout << "\nCross-product production, hottest bucket in the heavy "
+               "cycle:\n  "
+            << node_bucket_max(before, 0xFFFFFFFF) << " activations -> "
+            << node_bucket_max(after, max_node + 1) << " activations ("
+            << "remaining concentration sits at downstream nodes the\n"
+               "  transformation does not target — the paper's point that\n"
+               "  even distribution cannot remove all precedence/bucket\n"
+               "  constraints).\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Micro-benchmarks for the MPC simulator and the trace machinery: how fast
+// the harness itself runs on a laptop (the paper's simulator took
+// 0.5-6 hours per run on a SUN 3/260; one run here is milliseconds).
+#include <benchmark/benchmark.h>
+
+#include "src/core/distribution.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/trace/synth.hpp"
+
+namespace {
+
+using namespace mpps;
+
+void BM_SimulateRubik32(benchmark::State& state) {
+  const trace::Trace t = trace::make_rubik_section();
+  sim::SimConfig config;
+  config.match_processors = 32;
+  config.costs = sim::CostModel::paper_run(4);
+  const auto assignment = sim::Assignment::round_robin(t.num_buckets, 32);
+  for (auto _ : state) {
+    auto result = sim::simulate(t, config, assignment);
+    benchmark::DoNotOptimize(result.makespan);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(t.total_activations()));
+}
+BENCHMARK(BM_SimulateRubik32);
+
+void BM_SimulateTourney32(benchmark::State& state) {
+  const trace::Trace t = trace::make_tourney_section();
+  sim::SimConfig config;
+  config.match_processors = 32;
+  config.costs = sim::CostModel::paper_run(4);
+  const auto assignment = sim::Assignment::round_robin(t.num_buckets, 32);
+  for (auto _ : state) {
+    auto result = sim::simulate(t, config, assignment);
+    benchmark::DoNotOptimize(result.makespan);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(t.total_activations()));
+}
+BENCHMARK(BM_SimulateTourney32);
+
+void BM_GenerateRubikSection(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    auto t = trace::make_rubik_section(256, seed++);
+    benchmark::DoNotOptimize(t.total_activations());
+  }
+}
+BENCHMARK(BM_GenerateRubikSection);
+
+void BM_GreedyAssignment32(benchmark::State& state) {
+  const trace::Trace t = trace::make_rubik_section();
+  const auto costs = sim::CostModel::zero_overhead();
+  for (auto _ : state) {
+    auto assignment = core::greedy_assignment(t, 32, costs);
+    benchmark::DoNotOptimize(assignment.num_procs());
+  }
+}
+BENCHMARK(BM_GreedyAssignment32);
+
+}  // namespace

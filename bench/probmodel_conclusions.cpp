@@ -1,0 +1,78 @@
+// Section 5.2.2 (text): the probabilistic model of active-bucket
+// distribution and its three conclusions:
+//   1. P(completely even) and P(totally uneven) are both very low (<1%).
+//   2. More active buckets (same total) → more even distributions.
+//   3. More processors → uneven distributions more likely; the speedup the
+//      distribution permits falls further below linear.
+#include <iostream>
+
+#include "src/common/table.hpp"
+#include "src/core/probmodel.hpp"
+
+int main() {
+  using namespace mpps;
+  using core::BucketPlacement;
+  constexpr std::uint32_t kTrials = 100000;
+
+  print_banner(std::cout,
+               "Conclusion 1: extreme distributions are rare "
+               "(256 buckets, 25% active, 16 processors)");
+  {
+    const auto r = core::probmodel_monte_carlo(
+        256, 0.25, 16, BucketPlacement::IndependentUniform, kTrials, 1);
+    TextTable t({"P(completely even)", "P(totally uneven)",
+                 "E[max load]", "permitted speedup"});
+    t.row().cell(r.p_even, 4).cell(r.p_totally_uneven, 4)
+        .cell(r.expected_max_load, 2).cell(r.expected_speedup, 2);
+    t.print(std::cout);
+  }
+
+  print_banner(std::cout,
+               "Conclusion 2: larger active fraction -> more even "
+               "(256 buckets, 16 processors)");
+  {
+    TextTable t({"active fraction", "P(even)", "E[max]/mean",
+                 "permitted speedup"});
+    for (double f : {0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 0.95}) {
+      const auto r = core::probmodel_monte_carlo(
+          256, f, 16, BucketPlacement::IndependentUniform, kTrials, 2);
+      const double mean = f * 256.0 / 16.0;
+      t.row().cell(f, 2).cell(r.p_even, 4)
+          .cell(r.expected_max_load / mean, 3).cell(r.expected_speedup, 2);
+    }
+    t.print(std::cout);
+    std::cout << "(right buckets: large active fraction -> distribute well;\n"
+                 " left buckets: small active fraction -> distribute badly)\n";
+  }
+
+  print_banner(std::cout,
+               "Conclusion 3: more processors -> more uneven "
+               "(256 buckets, 40% active)");
+  {
+    TextTable t({"processors", "P(even)", "permitted speedup",
+                 "efficiency (speedup/P)"});
+    for (std::uint32_t procs : {2u, 4u, 8u, 16u, 32u, 64u}) {
+      const auto r = core::probmodel_monte_carlo(
+          256, 0.4, procs, BucketPlacement::IndependentUniform, kTrials, 3);
+      t.row().cell(static_cast<long>(procs)).cell(r.p_even, 4)
+          .cell(r.expected_speedup, 2)
+          .cell(r.expected_speedup / procs, 3);
+    }
+    t.print(std::cout);
+  }
+
+  print_banner(std::cout, "Exact vs Monte-Carlo cross-check (24 active, 4 processors)");
+  {
+    const auto exact = core::probmodel_exact(24, 4);
+    const auto mc = core::probmodel_monte_carlo(
+        1024, 24.0 / 1024.0, 4, BucketPlacement::IndependentUniform, kTrials,
+        4);
+    TextTable t({"method", "P(even)", "E[max load]"});
+    t.row().cell("exact (multinomial DP)").cell(exact.p_even, 4)
+        .cell(exact.expected_max_load, 3);
+    t.row().cell("monte-carlo").cell(mc.p_even, 4)
+        .cell(mc.expected_max_load, 3);
+    t.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Section 5.2 / 6: the comparison with the paper's shared-bus (Encore
+// Multimax) implementation.  "For a number of processors, comparable to
+// our shared-bus implementation, the MPCs provide a comparable speedup in
+// the simulated sections."  The section also lays out the tradeoff: the
+// distributed mapping has no centralized task queues (the shared-memory
+// bottleneck) but suffers static hash-table partitioning; the shared
+// memory has no partitioning but serializes on the queue — and BOTH
+// serialize on a non-discriminating cross-product bucket.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "src/common/table.hpp"
+#include "src/sim/sharedbus.hpp"
+
+int main() {
+  using namespace mpps;
+  print_banner(std::cout,
+               "MPC (distributed hash table) vs shared-bus "
+               "(centralized task queues)");
+  for (const auto& section : core::standard_sections()) {
+    TextTable table({"processors", "MPC run 2 (8 us ovh)",
+                     "shared-bus (3 us queue)", "shared-bus (10 us queue)",
+                     "queue util @10 us"});
+    for (std::uint32_t p : {2u, 4u, 8u, 16u, 32u, 64u}) {
+      table.row().cell(static_cast<long>(p));
+      table.cell(bench::speedup_vs(section.trace, section.trace,
+                                   bench::config_for(p, 2)),
+                 2);
+      for (auto access : {SimTime::us(3), SimTime::us(10)}) {
+        sim::SharedBusConfig bus;
+        bus.processors = p;
+        bus.queue_access = access;
+        bus.costs = sim::CostModel::zero_overhead();
+        table.cell(sim::shared_bus_speedup(section.trace, bus), 2);
+      }
+      sim::SharedBusConfig bus;
+      bus.processors = p;
+      bus.queue_access = SimTime::us(10);
+      bus.costs = sim::CostModel::zero_overhead();
+      table.cell(
+          sim::simulate_shared_bus(section.trace, bus).queue_utilization(),
+          2);
+    }
+    std::cout << "\n" << section.label << ":\n";
+    table.print(std::cout);
+  }
+  std::cout
+      << "\nReading: at moderate scale the two designs track each other\n"
+         "(the paper's observation).  As processors grow, the shared bus\n"
+         "saturates its centralized queue (utilization -> 1) while the\n"
+         "MPC mapping is limited by bucket distribution instead; the\n"
+         "Tourney cross-product caps BOTH, since a single hash bucket\n"
+         "must be accessed exclusively in either design.\n";
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Rete vs TREAT (Miranker [30] in the paper's references) — the classic
+// match-algorithm trade the production-system community debated:
+//   * Rete stores beta tokens so additions never re-join old state, but
+//     deletions flood minus tokens through the network and the state
+//     costs memory;
+//   * TREAT stores only alpha memories — deletions are nearly free, but
+//     every addition re-joins against the alpha memories.
+// The paper builds on Rete (hashed memories); this harness quantifies what
+// that choice buys and costs on add-heavy vs delete-heavy workloads.
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/common/table.hpp"
+#include "src/ops5/parser.hpp"
+#include "src/rete/engine.hpp"
+#include "src/rete/network.hpp"
+#include "src/rete/treat.hpp"
+
+namespace {
+
+using namespace mpps;
+
+const char* kProgram = R"(
+  (p chain (a ^v <x>) (b ^v <x> ^w <y>) (c ^w <y>) --> (halt))
+  (p pair (a ^v <x>) (c ^w <x>) --> (halt)))";
+
+std::vector<ops5::WmeChange> workload(int n, bool delete_heavy) {
+  ops5::WorkingMemory wm;
+  std::vector<WmeId> live;
+  // Phase 1: build a stable base of n matching triples (distinct values,
+  // so matches stay linear).
+  for (int i = 0; i < n; ++i) {
+    const std::string v = std::to_string(i);
+    live.push_back(wm.add(ops5::parse_wme("(a ^v " + v + ")")));
+    live.push_back(
+        wm.add(ops5::parse_wme("(b ^v " + v + " ^w k" + v + ")")));
+    live.push_back(wm.add(ops5::parse_wme("(c ^w k" + v + ")")));
+  }
+  if (delete_heavy) {
+    // Phase 2: churn — delete and re-add each triple's `a` wme (the
+    // modify pattern that floods Rete with minus tokens).
+    for (int i = 0; i < n; ++i) {
+      wm.remove(live[static_cast<std::size_t>(3 * i)]);
+      wm.add(ops5::parse_wme("(a ^v " + std::to_string(i) + ")"));
+    }
+  }
+  return wm.drain_changes();
+}
+
+struct RunResult {
+  double millis = 0.0;
+  std::size_t conflict_set = 0;
+  std::size_t state = 0;  // beta tokens (Rete) / alpha refs (TREAT)
+};
+
+template <typename F>
+double timed(F&& f) {
+  const auto start = std::chrono::steady_clock::now();
+  f();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+RunResult run_rete(const std::vector<ops5::WmeChange>& changes) {
+  const auto program = ops5::parse_program(kProgram);
+  const auto net = rete::Network::compile(program);
+  rete::Engine engine(net);
+  RunResult result;
+  result.millis = timed([&] {
+    for (const auto& change : changes) engine.process_change(change);
+  });
+  result.conflict_set = engine.conflict_set().size();
+  result.state = engine.left_memory().total_tokens() +
+                 engine.right_memory().total_tokens();
+  return result;
+}
+
+RunResult run_treat(const std::vector<ops5::WmeChange>& changes) {
+  const auto program = ops5::parse_program(kProgram);
+  rete::TreatEngine engine(program);
+  RunResult result;
+  result.millis = timed([&] {
+    for (const auto& change : changes) engine.process_change(change);
+  });
+  result.conflict_set = engine.conflict_set().size();
+  result.state = engine.alpha_memory_size();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  print_banner(std::cout, "Rete (hashed memories) vs TREAT");
+  TextTable table({"workload", "algorithm", "time (ms)", "conflict set",
+                   "match state (tokens/refs)"});
+  for (bool delete_heavy : {false, true}) {
+    const auto changes = workload(150, delete_heavy);
+    const char* label = delete_heavy ? "delete-heavy (50% churn)"
+                                     : "add-only";
+    const RunResult rete = run_rete(changes);
+    const RunResult treat = run_treat(changes);
+    if (rete.conflict_set != treat.conflict_set) {
+      std::cerr << "conflict sets diverge!\n";
+      return 1;
+    }
+    table.row().cell(label).cell("rete").cell(rete.millis, 2)
+        .cell(static_cast<unsigned long>(rete.conflict_set))
+        .cell(static_cast<unsigned long>(rete.state));
+    table.row().cell(label).cell("treat (unindexed)").cell(treat.millis, 2)
+        .cell(static_cast<unsigned long>(treat.conflict_set))
+        .cell(static_cast<unsigned long>(treat.state));
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nRete carries beta state; TREAT re-joins on every add but\n"
+         "deletes without join work (its per-delete join count is zero —\n"
+         "see the unit tests).  This TREAT keeps UNINDEXED alpha memories,\n"
+         "so the wall-clock gap largely shows what the paper's hashed\n"
+         "memories buy; the state column shows what Rete pays for it.\n"
+         "The paper's mapping distributes that state through the global\n"
+         "hash tables instead of abandoning it.\n";
+  return 0;
+}

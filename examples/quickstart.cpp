@@ -1,0 +1,68 @@
+// Quickstart: the smallest possible tour of the mpps API —
+// parse an OPS5 program, run the match-resolve-act loop, inspect firings.
+//
+//   $ ./quickstart
+#include <iostream>
+
+#include "src/ops5/parser.hpp"
+#include "src/rete/interp.hpp"
+
+int main() {
+  using namespace mpps;
+
+  // A three-rule OPS5 program: classify animals by their properties.
+  const char* source = R"(
+    (make animal ^name rex   ^legs 4 ^sound bark)
+    (make animal ^name tweety ^legs 2 ^sound chirp)
+    (make animal ^name felix  ^legs 4 ^sound meow)
+
+    (p dog
+      (animal ^name <n> ^legs 4 ^sound bark)
+      -->
+      (write <n> is a dog (crlf))
+      (make classified ^name <n> ^as dog))
+
+    (p bird
+      (animal ^name <n> ^legs 2)
+      -->
+      (write <n> is a bird (crlf))
+      (make classified ^name <n> ^as bird))
+
+    (p cat
+      (animal ^name <n> ^sound meow)
+      -->
+      (write <n> is a cat (crlf))
+      (make classified ^name <n> ^as cat))
+
+    (p all-done
+      (classified ^as dog)
+      (classified ^as bird)
+      (classified ^as cat)
+      -->
+      (write everyone classified (crlf))
+      (halt)))";
+
+  rete::InterpreterOptions options;
+  options.out = &std::cout;  // where (write ...) goes
+
+  rete::Interpreter interp(ops5::parse_program(source), options);
+  interp.load_initial_wmes();
+  const rete::RunResult result = interp.run();
+
+  std::cout << "\nOutcome : "
+            << (result.outcome == rete::RunResult::Outcome::Halted
+                    ? "halted"
+                    : "quiescent")
+            << "\nCycles  : " << result.cycles
+            << "\nFirings : " << result.firings << "\n\nFired productions:\n";
+  for (const auto& firing : interp.firings()) {
+    std::cout << "  cycle " << firing.cycle << ": " << firing.production
+              << "\n";
+  }
+
+  std::cout << "\nFinal working memory:\n";
+  for (const auto* wme : interp.wm().all()) {
+    std::cout << "  " << *wme << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Tournament scheduling: a real rule program that produces genuine
+// cross-product joins — the phenomenon behind the paper's Tourney section.
+// Pairing every team with every other team joins two condition elements
+// with NO common variable, so the two-input node has no equality test, the
+// hash cannot discriminate, and all its tokens land in one bucket.
+//
+// The example then applies the paper's copy-and-constraint fix at the
+// SOURCE level and shows the hot bucket splitting.
+#include <algorithm>
+#include <iostream>
+
+#include "src/common/table.hpp"
+#include "src/core/pipeline.hpp"
+#include "src/core/xform.hpp"
+#include "src/ops5/parser.hpp"
+
+namespace {
+
+std::string program_source(int teams) {
+  std::string source = R"(
+    (p pair-teams
+      (round ^status open)
+      (team ^name <home>)
+      (team ^name <away> ^name <> <home>)
+      -(pairing ^home <home> ^away <away>)
+      -->
+      (make pairing ^home <home> ^away <away>)))";
+  source += "\n(make round ^status open)\n";
+  for (int i = 0; i < teams; ++i) {
+    source += "(make team ^name t" + std::to_string(i) + ")\n";
+  }
+  return source;
+}
+
+std::uint64_t hottest_bucket(const mpps::trace::Trace& trace) {
+  std::uint64_t max = 0;
+  auto activity = mpps::trace::bucket_activity(trace);
+  for (auto a : activity) max = std::max(max, a);
+  return max;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mpps;
+  constexpr int kTeams = 8;
+
+  std::cout << "Scheduling a tournament of " << kTeams << " teams...\n";
+  const ops5::Program original = ops5::parse_program(program_source(kTeams));
+  const core::PipelineResult base =
+      core::record_trace_from_source(program_source(kTeams), "tourney");
+
+  std::cout << "  pairings generated : " << base.firings << " (expected "
+            << kTeams * (kTeams - 1) << ")\n";
+  const trace::TraceStats stats = trace::compute_stats(base.trace);
+  std::cout << "  match activations  : " << stats.total() << " ("
+            << static_cast<int>(stats.left_pct() + 0.5)
+            << "% left — compare the paper's Tourney at 99%)\n";
+  std::cout << "  hottest hash bucket: " << hottest_bucket(base.trace)
+            << " activations (the cross-product concentration)\n\n";
+
+  // Copy-and-constraint at the source level: split pair-teams into two
+  // copies, each matching half of the home teams (condition element 2).
+  std::vector<ops5::Value> first_half;
+  std::vector<ops5::Value> second_half;
+  for (int i = 0; i < kTeams; ++i) {
+    (i < kTeams / 2 ? first_half : second_half)
+        .push_back(ops5::Value::sym("t" + std::to_string(i)));
+  }
+  const ops5::Program split = core::copy_and_constraint(
+      original, "pair-teams", 2, Symbol::intern("name"),
+      {first_half, second_half});
+
+  // Re-run: the initial wmes come from the source, so rebuild a program
+  // text-free pipeline through record_trace directly.
+  core::PipelineResult cc = core::record_trace(
+      [&] {
+        ops5::Program p = split;
+        p.initial_wmes =
+            ops5::parse_program(program_source(kTeams)).initial_wmes;
+        return p;
+      }(),
+      "tourney+cc");
+
+  std::cout << "After copy-and-constraint (2 copies of pair-teams):\n";
+  std::cout << "  pairings generated : " << cc.firings << " (unchanged)\n";
+  std::cout << "  hottest hash bucket: " << hottest_bucket(cc.trace)
+            << " activations\n\n";
+
+  TextTable table({"configuration", "speedup @8 procs (zero overhead)"});
+  for (const auto& [label, piped] :
+       {std::pair<const char*, const core::PipelineResult*>{"original",
+                                                            &base},
+        {"copy-and-constraint", &cc}}) {
+    sim::SimConfig config;
+    config.match_processors = 8;
+    config.costs = sim::CostModel::zero_overhead();
+    table.row().cell(label).cell(
+        sim::speedup(piped->trace, config,
+                     sim::Assignment::round_robin(piped->trace.num_buckets,
+                                                  8)),
+        2);
+  }
+  table.print(std::cout);
+  return base.firings == kTeams * (kTeams - 1) &&
+                 cc.firings == base.firings
+             ? 0
+             : 1;
+}

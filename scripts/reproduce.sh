@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Rebuilds everything, runs the full test suite and regenerates every
+# paper table/figure.  Outputs land in test_output.txt / bench_output.txt
+# at the repository root.
+set -uo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    if [ -f "$b" ] && [ -x "$b" ]; then
+      echo
+      echo "########## $(basename "$b") ##########"
+      "$b"
+    fi
+  done
+} 2>&1 | tee bench_output.txt
+
+echo
+echo "Done: test_output.txt, bench_output.txt"

@@ -1,0 +1,62 @@
+// Strong typedefs for the many integer identifiers that flow through the
+// system.  Mixing a node id with a bucket index is a compile error.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace mpps {
+
+/// CRTP-free strong integer id.  `Tag` makes each instantiation distinct.
+template <typename Tag, typename Rep = std::uint32_t>
+class StrongId {
+ public:
+  using rep_type = Rep;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep v) : value_(v) {}
+
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != invalid_rep; }
+
+  static constexpr StrongId invalid() { return StrongId{invalid_rep}; }
+
+  friend constexpr bool operator==(StrongId a, StrongId b) = default;
+  friend constexpr auto operator<=>(StrongId a, StrongId b) = default;
+
+ private:
+  static constexpr Rep invalid_rep = static_cast<Rep>(-1);
+  Rep value_ = invalid_rep;
+};
+
+struct WmeIdTag {};
+struct NodeIdTag {};
+struct ProductionIdTag {};
+struct BucketIdTag {};
+struct ProcIdTag {};
+struct ActivationIdTag {};
+
+/// Unique id of a working-memory element (also its creation timetag order).
+using WmeId = StrongId<WmeIdTag, std::uint64_t>;
+/// Id of a node in the Rete network.
+using NodeId = StrongId<NodeIdTag>;
+/// Id of a production (rule).
+using ProductionId = StrongId<ProductionIdTag>;
+/// Index of a hash bucket in one of the two global token hash tables.
+using BucketId = StrongId<BucketIdTag>;
+/// Index of a simulated processor.
+using ProcId = StrongId<ProcIdTag>;
+/// Id of one node activation in a trace.
+using ActivationId = StrongId<ActivationIdTag, std::uint64_t>;
+
+}  // namespace mpps
+
+namespace std {
+template <typename Tag, typename Rep>
+struct hash<mpps::StrongId<Tag, Rep>> {
+  size_t operator()(mpps::StrongId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,74 @@
+// Deterministic, seedable random number generation.  Every stochastic piece
+// of the system (random bucket distribution, synthetic trace generation,
+// Monte-Carlo runs of the probabilistic model) takes an explicit seed so all
+// experiments are exactly reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace mpps {
+
+/// splitmix64 — used to expand a user seed into xoshiro state.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** — fast, high-quality, tiny state.  Satisfies
+/// UniformRandomBitGenerator so it plugs into <random> distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Rng(std::uint64_t seed = 0x1989'0420) {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  constexpr result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n).  n must be > 0.
+  constexpr std::uint64_t below(std::uint64_t n) {
+    // Lemire's multiply-shift via 32x32 halves (portable: no __int128).
+    // Bias < 2^-64 * n — irrelevant for simulation workloads.
+    const std::uint64_t x = operator()();
+    const std::uint64_t x_hi = x >> 32;
+    const std::uint64_t x_lo = x & 0xFFFFFFFFull;
+    const std::uint64_t n_hi = n >> 32;
+    const std::uint64_t n_lo = n & 0xFFFFFFFFull;
+    const std::uint64_t mid =
+        ((x_lo * n_lo) >> 32) + (x_hi * n_lo & 0xFFFFFFFFull) +
+        (x_lo * n_hi & 0xFFFFFFFFull);
+    return x_hi * n_hi + (x_hi * n_lo >> 32) + (x_lo * n_hi >> 32) +
+           (mid >> 32);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4] = {};
+};
+
+}  // namespace mpps

@@ -1,0 +1,25 @@
+// Small string utilities shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mpps {
+
+/// Splits on any run of whitespace; no empty fields are produced.
+std::vector<std::string_view> split_ws(std::string_view s);
+
+/// Strips leading and trailing whitespace.
+std::string_view trim(std::string_view s);
+
+/// True if `s` parses completely as a signed long (base 10).
+bool parse_int(std::string_view s, long& out);
+
+/// True if `s` parses completely as a double.
+bool parse_double(std::string_view s, double& out);
+
+/// Formats a double with `prec` digits after the point (locale-independent).
+std::string format_fixed(double v, int prec);
+
+}  // namespace mpps

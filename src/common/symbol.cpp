@@ -1,0 +1,54 @@
+#include "src/common/symbol.hpp"
+
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+namespace mpps {
+namespace {
+
+// The intern table.  A deque gives stable addresses for the stored strings,
+// so Symbol::text() string_views never dangle.
+struct InternTable {
+  std::mutex mu;
+  std::deque<std::string> texts;
+  std::unordered_map<std::string_view, std::uint32_t> index;
+
+  InternTable() {
+    texts.emplace_back("");  // id 0: the empty symbol
+    index.emplace(texts.back(), 0u);
+  }
+};
+
+InternTable& table() {
+  static InternTable t;
+  return t;
+}
+
+}  // namespace
+
+Symbol Symbol::intern(std::string_view text) {
+  InternTable& t = table();
+  std::lock_guard<std::mutex> lock(t.mu);
+  if (auto it = t.index.find(text); it != t.index.end()) {
+    return Symbol{it->second};
+  }
+  t.texts.emplace_back(text);
+  auto id = static_cast<std::uint32_t>(t.texts.size() - 1);
+  t.index.emplace(t.texts.back(), id);
+  return Symbol{id};
+}
+
+std::string_view Symbol::text() const {
+  InternTable& t = table();
+  std::lock_guard<std::mutex> lock(t.mu);
+  return t.texts[id_];
+}
+
+std::size_t symbol_table_size() {
+  InternTable& t = table();
+  std::lock_guard<std::mutex> lock(t.mu);
+  return t.texts.size();
+}
+
+}  // namespace mpps

@@ -1,0 +1,51 @@
+// Interned symbols.  OPS5 programs compare symbols constantly (every
+// constant test, every variable-binding consistency check); interning makes
+// comparison a single integer compare, which is also what the 1989 OPS83
+// runtimes did.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mpps {
+
+/// An interned string.  Equality and hashing are O(1).  Symbols are never
+/// freed; the intern table lives for the process lifetime (production-system
+/// vocabularies are small and stable).
+class Symbol {
+ public:
+  constexpr Symbol() = default;
+
+  /// Interns `text` (or finds the existing entry) and returns its symbol.
+  static Symbol intern(std::string_view text);
+
+  /// The symbol's text.  Valid for the process lifetime.
+  [[nodiscard]] std::string_view text() const;
+
+  [[nodiscard]] constexpr std::uint32_t id() const { return id_; }
+  [[nodiscard]] constexpr bool empty() const { return id_ == 0; }
+
+  friend constexpr bool operator==(Symbol a, Symbol b) = default;
+  /// Orders by intern id (stable within a process, not lexicographic).
+  friend constexpr auto operator<=>(Symbol a, Symbol b) = default;
+
+ private:
+  constexpr explicit Symbol(std::uint32_t id) : id_(id) {}
+  std::uint32_t id_ = 0;  // 0 is the empty symbol ""
+};
+
+/// Number of distinct symbols interned so far (diagnostics / tests).
+std::size_t symbol_table_size();
+
+}  // namespace mpps
+
+namespace std {
+template <>
+struct hash<mpps::Symbol> {
+  size_t operator()(mpps::Symbol s) const noexcept {
+    // Fibonacci hashing spreads consecutive intern ids across buckets.
+    return static_cast<size_t>(s.id()) * 0x9E3779B97F4A7C15ull;
+  }
+};
+}  // namespace std

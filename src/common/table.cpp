@@ -1,0 +1,92 @@
+#include "src/common/table.hpp"
+
+#include <algorithm>
+
+#include "src/common/strings.hpp"
+
+namespace mpps {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+TextTable& TextTable::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TextTable& TextTable::cell(std::string_view text) {
+  rows_.back().push_back(Cell{std::string(text), false});
+  return *this;
+}
+
+TextTable& TextTable::cell(double v, int prec) {
+  rows_.back().push_back(Cell{format_fixed(v, prec), true});
+  return *this;
+}
+
+TextTable& TextTable::cell(long v) {
+  rows_.back().push_back(Cell{std::to_string(v), true});
+  return *this;
+}
+
+TextTable& TextTable::cell(unsigned long v) {
+  rows_.back().push_back(Cell{std::to_string(v), true});
+  return *this;
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], r[c].text.size());
+    }
+  }
+  auto rule = [&] {
+    os << '+';
+    for (auto w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto emit = [&](std::size_t c, const std::string& text, bool right) {
+    std::size_t pad = widths[c] - std::min(widths[c], text.size());
+    os << ' ';
+    if (right) os << std::string(pad, ' ') << text;
+    else os << text << std::string(pad, ' ');
+    os << " |";
+  };
+  rule();
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) emit(c, headers_[c], false);
+  os << '\n';
+  rule();
+  for (const auto& r : rows_) {
+    os << '|';
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      if (c < r.size()) emit(c, r[c].text, r[c].numeric);
+      else emit(c, "", false);
+    }
+    os << '\n';
+  }
+  rule();
+}
+
+void TextTable::print_csv(std::ostream& os) const {
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) os << ',';
+    os << headers_[c];
+  }
+  os << '\n';
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      if (c) os << ',';
+      os << r[c].text;
+    }
+    os << '\n';
+  }
+}
+
+void print_banner(std::ostream& os, std::string_view title) {
+  os << "\n=== " << title << " ===\n";
+}
+
+}  // namespace mpps

@@ -1,0 +1,44 @@
+// ASCII table printer used by the benchmark harnesses to emit the paper's
+// tables and figure series in a uniform, diff-friendly format.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mpps {
+
+/// Column-aligned text table.  Numeric cells are right-aligned, text cells
+/// left-aligned.  `print` writes a boxed table; `print_csv` a CSV form.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Starts a new row.  Cells are appended with `cell`.
+  TextTable& row();
+  TextTable& cell(std::string_view text);
+  TextTable& cell(double v, int prec = 2);
+  TextTable& cell(long v);
+  TextTable& cell(unsigned long v);
+  TextTable& cell(int v) { return cell(static_cast<long>(v)); }
+  TextTable& cell(unsigned v) { return cell(static_cast<unsigned long>(v)); }
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  void print(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+ private:
+  struct Cell {
+    std::string text;
+    bool numeric = false;
+  };
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+/// Prints a one-line section banner (used between experiment blocks).
+void print_banner(std::ostream& os, std::string_view title);
+
+}  // namespace mpps

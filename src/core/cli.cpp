@@ -1,0 +1,326 @@
+#include "src/core/cli.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "src/common/error.hpp"
+#include "src/common/strings.hpp"
+#include "src/common/table.hpp"
+#include "src/core/distribution.hpp"
+#include "src/core/pipeline.hpp"
+#include "src/ops5/parser.hpp"
+#include "src/rete/interp.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/trace/io.hpp"
+#include "src/trace/synth.hpp"
+
+namespace mpps::core {
+namespace {
+
+constexpr const char* kUsage = R"(usage: mpps <command> [options]
+
+commands:
+  run <file.ops>       run an OPS5 program (--strategy lex|mea,
+                       --max-cycles N, --quiet, --watch 0|1|2)
+  trace <file.ops>     record its match trace (-o out.trace, --buckets B)
+  stats <file.trace>   print activation statistics
+  simulate <f.trace>   replay on the simulated MPC (--procs P, --run 0..4,
+                       --mapping merged|pairs, --assign rr|random|greedy,
+                       --ct K, --cs M, --termination none|ack|poll)
+  sections             write the synthetic Rubik/Tourney/Weaver sections
+                       (-o directory, default '.')
+  slice <file.trace>   extract consecutive cycles (--from N, --cycles K,
+                       -o out.trace) — how the paper built its sections
+)";
+
+/// Tiny flag cursor over the argument vector.
+class Args {
+ public:
+  explicit Args(const std::vector<std::string>& args) : args_(args) {}
+
+  /// The next positional argument, or empty if none.
+  std::string positional() {
+    for (std::size_t i = next_; i < args_.size(); ++i) {
+      if (!consumed_(i) && args_[i].rfind("--", 0) != 0 && args_[i] != "-o") {
+        consumed_flags_.push_back(i);
+        return args_[i];
+      }
+      // Skip a flag and, when it takes a value, its value.
+      if (!consumed_(i) && flag_takes_value(args_[i])) ++i;
+    }
+    return {};
+  }
+
+  /// Value of `--name <value>` or `-o <value>`, or `fallback`.
+  std::string value(const std::string& name, const std::string& fallback) {
+    for (std::size_t i = 0; i + 1 < args_.size(); ++i) {
+      if (args_[i] == name) {
+        consumed_flags_.push_back(i);
+        consumed_flags_.push_back(i + 1);
+        return args_[i + 1];
+      }
+    }
+    return fallback;
+  }
+
+  bool flag(const std::string& name) {
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      if (args_[i] == name) {
+        consumed_flags_.push_back(i);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  static bool flag_takes_value(const std::string& arg) {
+    return arg == "-o" || arg == "--watch" || arg == "--strategy" ||
+           arg == "--max-cycles" ||
+           arg == "--buckets" || arg == "--procs" || arg == "--run" ||
+           arg == "--mapping" || arg == "--assign" || arg == "--ct" ||
+           arg == "--cs" || arg == "--termination" || arg == "--seed" ||
+           arg == "--from" || arg == "--cycles";
+  }
+
+ private:
+  bool consumed_(std::size_t i) const {
+    for (auto c : consumed_flags_) {
+      if (c == i) return true;
+    }
+    return false;
+  }
+  const std::vector<std::string>& args_;
+  std::size_t next_ = 0;
+  std::vector<std::size_t> consumed_flags_;
+};
+
+long parse_long_or(const std::string& s, long fallback) {
+  long v = 0;
+  return parse_int(s, v) ? v : fallback;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw RuntimeError("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int cmd_run(Args& args, std::ostream& out, std::ostream& err) {
+  const std::string path = args.positional();
+  if (path.empty()) {
+    err << "run: missing program file\n";
+    return 2;
+  }
+  rete::InterpreterOptions options;
+  options.strategy = args.value("--strategy", "lex") == "mea"
+                         ? rete::Strategy::Mea
+                         : rete::Strategy::Lex;
+  options.max_cycles = static_cast<std::size_t>(
+      parse_long_or(args.value("--max-cycles", "100000"), 100000));
+  const bool quiet = args.flag("--quiet");
+  options.out = quiet ? nullptr : &out;
+  options.watch =
+      static_cast<int>(parse_long_or(args.value("--watch", "0"), 0));
+
+  rete::Interpreter interp(ops5::parse_program(read_file(path)), options);
+  interp.load_initial_wmes();
+  const rete::RunResult result = interp.run();
+  out << "outcome: "
+      << (result.outcome == rete::RunResult::Outcome::Halted ? "halted"
+          : result.outcome == rete::RunResult::Outcome::Quiescent
+              ? "quiescent"
+              : "cycle-limit")
+      << "\ncycles: " << result.cycles << "\nfirings: " << result.firings
+      << "\n";
+  if (!quiet) {
+    for (const auto& firing : interp.firings()) {
+      out << "  cycle " << firing.cycle << ": " << firing.production << "\n";
+    }
+  }
+  return 0;
+}
+
+int cmd_trace(Args& args, std::ostream& out, std::ostream& err) {
+  const std::string path = args.positional();
+  if (path.empty()) {
+    err << "trace: missing program file\n";
+    return 2;
+  }
+  PipelineOptions options;
+  options.interpreter.engine.num_buckets = static_cast<std::uint32_t>(
+      parse_long_or(args.value("--buckets", "256"), 256));
+  const PipelineResult result =
+      record_trace_from_source(read_file(path), path, options);
+  const std::string out_path = args.value("-o", "");
+  if (out_path.empty()) {
+    trace::write_trace(out, result.trace);
+  } else {
+    std::ofstream file(out_path);
+    if (!file) throw RuntimeError("cannot write '" + out_path + "'");
+    trace::write_trace(file, result.trace);
+    out << "wrote " << result.trace.total_activations() << " activations ("
+        << result.trace.cycles.size() << " cycles) to " << out_path << "\n";
+  }
+  return 0;
+}
+
+int cmd_stats(Args& args, std::ostream& out, std::ostream& err) {
+  const std::string path = args.positional();
+  if (path.empty()) {
+    err << "stats: missing trace file\n";
+    return 2;
+  }
+  std::ifstream file(path);
+  if (!file) throw RuntimeError("cannot open '" + path + "'");
+  const trace::Trace t = trace::read_trace(file);
+  const trace::TraceStats stats = trace::compute_stats(t);
+  TextTable table({"trace", "cycles", "left", "right", "total",
+                   "instantiations", "left %"});
+  table.row()
+      .cell(t.name)
+      .cell(static_cast<unsigned long>(t.cycles.size()))
+      .cell(static_cast<unsigned long>(stats.left))
+      .cell(static_cast<unsigned long>(stats.right))
+      .cell(static_cast<unsigned long>(stats.total()))
+      .cell(static_cast<unsigned long>(stats.instantiations))
+      .cell(stats.left_pct(), 1);
+  table.print(out);
+  return 0;
+}
+
+int cmd_simulate(Args& args, std::ostream& out, std::ostream& err) {
+  const std::string path = args.positional();
+  if (path.empty()) {
+    err << "simulate: missing trace file\n";
+    return 2;
+  }
+  std::ifstream file(path);
+  if (!file) throw RuntimeError("cannot open '" + path + "'");
+  const trace::Trace t = trace::read_trace(file);
+
+  sim::SimConfig config;
+  config.match_processors = static_cast<std::uint32_t>(
+      parse_long_or(args.value("--procs", "8"), 8));
+  const int run = static_cast<int>(parse_long_or(args.value("--run", "1"), 1));
+  config.costs = run == 0 ? sim::CostModel::zero_overhead()
+                          : sim::CostModel::paper_run(run);
+  if (args.value("--mapping", "merged") == "pairs") {
+    config.mapping = sim::MappingMode::ProcessorPairs;
+  }
+  config.constant_test_processors =
+      static_cast<std::uint32_t>(parse_long_or(args.value("--ct", "0"), 0));
+  config.conflict_set_processors =
+      static_cast<std::uint32_t>(parse_long_or(args.value("--cs", "0"), 0));
+  const std::string termination = args.value("--termination", "none");
+  if (termination == "ack") {
+    config.termination = sim::TerminationModel::AckCounting;
+  } else if (termination == "poll") {
+    config.termination = sim::TerminationModel::BarrierPoll;
+  }
+
+  const std::string assign = args.value("--assign", "rr");
+  sim::Assignment assignment =
+      assign == "random"
+          ? sim::Assignment::random(
+                t.num_buckets, config.partitions(),
+                static_cast<std::uint64_t>(
+                    parse_long_or(args.value("--seed", "1"), 1)))
+      : assign == "greedy"
+          ? greedy_assignment(t, config.partitions(), config.costs)
+          : sim::Assignment::round_robin(t.num_buckets, config.partitions());
+
+  const sim::SimResult result = sim::simulate(t, config, assignment);
+  const SimTime base = sim::baseline_time(t);
+  TextTable table({"makespan (us)", "speedup", "messages", "local",
+                   "network idle %", "avg proc util %"});
+  table.row()
+      .cell(result.makespan.micros(), 1)
+      .cell(static_cast<double>(base.nanos()) /
+                static_cast<double>(result.makespan.nanos()),
+            2)
+      .cell(static_cast<unsigned long>(result.messages))
+      .cell(static_cast<unsigned long>(result.local_deliveries))
+      .cell(100.0 * (1.0 - result.network_utilization()), 1)
+      .cell(100.0 * result.avg_processor_utilization(), 1);
+  table.print(out);
+  return 0;
+}
+
+int cmd_slice(Args& args, std::ostream& out, std::ostream& err) {
+  const std::string path = args.positional();
+  if (path.empty()) {
+    err << "slice: missing trace file\n";
+    return 2;
+  }
+  std::ifstream file(path);
+  if (!file) throw RuntimeError("cannot open '" + path + "'");
+  const trace::Trace t = trace::read_trace(file);
+  const auto first = static_cast<std::size_t>(
+      parse_long_or(args.value("--from", "0"), 0));
+  const auto count = static_cast<std::size_t>(
+      parse_long_or(args.value("--cycles", "4"), 4));
+  const trace::Trace section = trace::slice(t, first, count);
+  const std::string out_path = args.value("-o", "");
+  if (out_path.empty()) {
+    trace::write_trace(out, section);
+  } else {
+    std::ofstream sink(out_path);
+    if (!sink) throw RuntimeError("cannot write '" + out_path + "'");
+    trace::write_trace(sink, section);
+    out << "wrote " << section.total_activations() << " activations ("
+        << count << " cycles) to " << out_path << "\n";
+  }
+  return 0;
+}
+
+int cmd_sections(Args& args, std::ostream& out, std::ostream&) {
+  const std::string dir = args.value("-o", ".");
+  for (const auto& [name, section] :
+       {std::pair<const char*, trace::Trace>{"rubik",
+                                             trace::make_rubik_section()},
+        {"tourney", trace::make_tourney_section()},
+        {"weaver", trace::make_weaver_section()}}) {
+    const std::string path = dir + "/" + name + ".trace";
+    std::ofstream file(path);
+    if (!file) throw RuntimeError("cannot write '" + path + "'");
+    trace::write_trace(file, section);
+    out << "wrote " << path << " (" << section.total_activations()
+        << " activations)\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  if (args.empty()) {
+    err << kUsage;
+    return 2;
+  }
+  const std::vector<std::string> tail(args.begin() + 1, args.end());
+  Args cursor(tail);
+  try {
+    const std::string& command = args[0];
+    if (command == "run") return cmd_run(cursor, out, err);
+    if (command == "trace") return cmd_trace(cursor, out, err);
+    if (command == "stats") return cmd_stats(cursor, out, err);
+    if (command == "simulate") return cmd_simulate(cursor, out, err);
+    if (command == "sections") return cmd_sections(cursor, out, err);
+    if (command == "slice") return cmd_slice(cursor, out, err);
+    if (command == "help" || command == "--help") {
+      out << kUsage;
+      return 0;
+    }
+    err << "unknown command '" << command << "'\n" << kUsage;
+    return 2;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace mpps::core

@@ -1,0 +1,29 @@
+// The `mpps` command-line tool's engine, kept in the library so it can be
+// unit tested.  Subcommands:
+//
+//   mpps run <file.ops> [--strategy lex|mea] [--max-cycles N] [--quiet]
+//       Run an OPS5 program to halt/quiescence; print firings.
+//   mpps trace <file.ops> [-o <file.trace>] [--buckets B]
+//       Record the match-phase activation trace of a program.
+//   mpps stats <file.trace>
+//       Print Table 5-2-style statistics for a trace.
+//   mpps simulate <file.trace> [--procs P] [--run 0..4] [--mapping merged|pairs]
+//       [--assign rr|random|greedy] [--ct K] [--cs M]
+//       [--termination none|ack|poll]
+//       Replay a trace on the simulated message-passing machine.
+//   mpps sections [-o <dir>]
+//       Write the three synthetic paper sections as trace files.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mpps::core {
+
+/// Runs one CLI invocation.  `args` excludes the program name.  Returns
+/// the process exit code; all output goes to the provided streams.
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err);
+
+}  // namespace mpps::core

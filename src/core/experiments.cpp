@@ -1,0 +1,36 @@
+#include "src/core/experiments.hpp"
+
+#include "src/trace/synth.hpp"
+
+namespace mpps::core {
+
+std::vector<Section> standard_sections(std::uint32_t num_buckets,
+                                       std::uint64_t seed) {
+  std::vector<Section> out;
+  out.push_back({"Rubik", trace::make_rubik_section(num_buckets, seed)});
+  out.push_back({"Tourney", trace::make_tourney_section(num_buckets, seed)});
+  out.push_back({"Weaver", trace::make_weaver_section(num_buckets, seed)});
+  return out;
+}
+
+std::vector<std::uint32_t> standard_proc_counts() {
+  return {1, 2, 4, 8, 16, 32, 64};
+}
+
+double zero_overhead_speedup(const trace::Trace& trace, std::uint32_t procs) {
+  sim::SimConfig config;
+  config.match_processors = procs;
+  config.costs = sim::CostModel::zero_overhead();
+  return sim::speedup(trace, config,
+                      sim::Assignment::round_robin(trace.num_buckets, procs));
+}
+
+double run_speedup(const trace::Trace& trace, int run, std::uint32_t procs) {
+  sim::SimConfig config;
+  config.match_processors = procs;
+  config.costs = sim::CostModel::paper_run(run);
+  return sim::speedup(trace, config,
+                      sim::Assignment::round_robin(trace.num_buckets, procs));
+}
+
+}  // namespace mpps::core

@@ -1,0 +1,31 @@
+// Shared harness for the paper-reproduction benchmarks: the three
+// characteristic sections and the standard sweeps.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/sim/simulator.hpp"
+#include "src/trace/record.hpp"
+
+namespace mpps::core {
+
+struct Section {
+  std::string label;
+  trace::Trace trace;
+};
+
+/// Rubik, Tourney, Weaver — in the paper's presentation order.
+std::vector<Section> standard_sections(std::uint32_t num_buckets = 256,
+                                       std::uint64_t seed = 1);
+
+/// The processor counts swept in the figures.
+std::vector<std::uint32_t> standard_proc_counts();
+
+/// Round-robin speedup at `procs` with zero latency & overhead (Fig 5-1).
+double zero_overhead_speedup(const trace::Trace& trace, std::uint32_t procs);
+
+/// Round-robin speedup under Table 5-1 `run` (1..4), 0.5 us latency.
+double run_speedup(const trace::Trace& trace, int run, std::uint32_t procs);
+
+}  // namespace mpps::core

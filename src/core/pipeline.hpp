@@ -1,0 +1,49 @@
+// End-to-end pipeline: OPS5 source → Rete compile → traced execution →
+// MPC simulation.  This is the path a user takes to answer "how would MY
+// rule program behave on a message-passing machine?"
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "src/ops5/ast.hpp"
+#include "src/rete/interp.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/trace/record.hpp"
+
+namespace mpps::core {
+
+struct PipelineOptions {
+  rete::InterpreterOptions interpreter;
+  /// Stop recording after this many MRA cycles (0 = run to completion).
+  std::size_t max_trace_cycles = 0;
+};
+
+struct PipelineResult {
+  trace::Trace trace;
+  rete::RunResult run;
+  std::size_t firings = 0;
+};
+
+/// Runs `program` under the Rete interpreter, recording the hash-table
+/// activity trace.
+PipelineResult record_trace(const ops5::Program& program, std::string name,
+                            const PipelineOptions& options = {});
+
+/// Parses OPS5 source and records its trace.
+PipelineResult record_trace_from_source(std::string_view source,
+                                        std::string name,
+                                        const PipelineOptions& options = {});
+
+/// A full speedup curve for a trace: processors × overhead runs.
+struct SpeedupPoint {
+  std::uint32_t procs = 1;
+  int run = 1;  // Table 5-1 run number; 0 = zero latency & overhead
+  double speedup = 1.0;
+};
+
+std::vector<SpeedupPoint> speedup_curve(const trace::Trace& trace,
+                                        const std::vector<std::uint32_t>& procs,
+                                        const std::vector<int>& runs);
+
+}  // namespace mpps::core

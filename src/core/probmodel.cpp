@@ -1,0 +1,110 @@
+#include "src/core/probmodel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "src/common/rng.hpp"
+
+namespace mpps::core {
+
+ProbModelResult probmodel_monte_carlo(std::uint32_t buckets,
+                                      double active_fraction,
+                                      std::uint32_t procs,
+                                      BucketPlacement placement,
+                                      std::uint32_t trials,
+                                      std::uint64_t seed) {
+  const auto active = static_cast<std::uint32_t>(
+      std::lround(active_fraction * static_cast<double>(buckets)));
+  ProbModelResult out;
+  if (active == 0 || trials == 0 || procs == 0) return out;
+  const std::uint32_t even_max = (active + procs - 1) / procs;
+
+  Rng rng(seed);
+  std::vector<std::uint32_t> bucket_ids(buckets);
+  std::iota(bucket_ids.begin(), bucket_ids.end(), 0u);
+  std::vector<std::uint32_t> load(procs);
+  std::uint64_t even_hits = 0;
+  std::uint64_t uneven_hits = 0;
+  double max_sum = 0.0;
+
+  for (std::uint32_t t = 0; t < trials; ++t) {
+    std::fill(load.begin(), load.end(), 0u);
+    if (placement == BucketPlacement::IndependentUniform) {
+      for (std::uint32_t a = 0; a < active; ++a) {
+        ++load[rng.below(procs)];
+      }
+    } else {
+      // Partial Fisher-Yates: draw the active subset, map through the
+      // round-robin deal (bucket b lives on processor b % procs).
+      for (std::uint32_t a = 0; a < active; ++a) {
+        const auto j =
+            a + static_cast<std::uint32_t>(rng.below(buckets - a));
+        std::swap(bucket_ids[a], bucket_ids[j]);
+        ++load[bucket_ids[a] % procs];
+      }
+    }
+    const std::uint32_t max = *std::max_element(load.begin(), load.end());
+    if (max == even_max) ++even_hits;
+    if (max == active) ++uneven_hits;
+    max_sum += max;
+  }
+  out.p_even = static_cast<double>(even_hits) / trials;
+  out.p_totally_uneven = static_cast<double>(uneven_hits) / trials;
+  out.expected_max_load = max_sum / trials;
+  out.expected_speedup = static_cast<double>(active) / out.expected_max_load;
+  return out;
+}
+
+ProbModelResult probmodel_exact(std::uint32_t active, std::uint32_t procs) {
+  ProbModelResult out;
+  if (active == 0 || procs == 0) return out;
+  // P(max <= m) via the truncated-multinomial DP: distribute `active`
+  // distinguishable activations over `procs` processors with every load
+  // <= m.  DP over processors on remaining activations, weights 1/k!,
+  // multiplied by active! at the end; probabilities divide by procs^active.
+  std::vector<double> log_fact(active + 1, 0.0);
+  for (std::uint32_t i = 1; i <= active; ++i) {
+    log_fact[i] = log_fact[i - 1] + std::log(static_cast<double>(i));
+  }
+  auto p_max_le = [&](std::uint32_t m) -> double {
+    // dp[r]: sum over ways to fill processors so far leaving r activations,
+    // of prod 1/k_i!.  Work in ordinary space; values stay moderate.
+    std::vector<double> dp(active + 1, 0.0);
+    dp[active] = 1.0;
+    for (std::uint32_t p = 0; p < procs; ++p) {
+      std::vector<double> next(active + 1, 0.0);
+      for (std::uint32_t r = 0; r <= active; ++r) {
+        if (dp[r] == 0.0) continue;
+        const std::uint32_t limit = std::min(m, r);
+        for (std::uint32_t k = 0; k <= limit; ++k) {
+          next[r - k] += dp[r] * std::exp(-log_fact[k]);
+        }
+      }
+      dp = std::move(next);
+    }
+    const double log_total =
+        log_fact[active] -
+        static_cast<double>(active) * std::log(static_cast<double>(procs));
+    return dp[0] * std::exp(log_total);
+  };
+
+  const std::uint32_t even_max = (active + procs - 1) / procs;
+  std::vector<double> cdf(active + 1, 0.0);
+  for (std::uint32_t m = even_max; m <= active; ++m) cdf[m] = p_max_le(m);
+  out.p_even = cdf[even_max];
+  out.p_totally_uneven =
+      cdf[active] - (active >= 1 ? cdf[active - 1] : 0.0);
+  double expect = 0.0;
+  for (std::uint32_t m = even_max; m <= active; ++m) {
+    const double pm = cdf[m] - (m == even_max ? 0.0 : cdf[m - 1]);
+    expect += pm * static_cast<double>(m);
+  }
+  out.expected_max_load = expect;
+  out.expected_speedup =
+      expect > 0.0 ? static_cast<double>(active) / expect : 0.0;
+  return out;
+}
+
+}  // namespace mpps::core

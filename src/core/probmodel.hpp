@@ -1,0 +1,46 @@
+// The Section 5.2.2 probabilistic model of active-bucket distribution:
+// only a fraction of buckets are active, each active bucket processes one
+// activation, and buckets are distributed to processors.  The model backs
+// the paper's three conclusions:
+//   1. P(completely even) and P(totally uneven) are both very low (< 1%).
+//   2. A larger active fraction makes even distributions more likely
+//      (right buckets, mostly active, distribute well).
+//   3. More processors make uneven distributions more likely, so the
+//      achievable speedup scales sublinearly.
+#pragma once
+
+#include <cstdint>
+
+namespace mpps::core {
+
+struct ProbModelResult {
+  double p_even = 0.0;            // max load == ceil(active / procs)
+  double p_totally_uneven = 0.0;  // all activations on one processor
+  double expected_max_load = 0.0;
+  /// active / E[max load]: the speedup the distribution permits.
+  double expected_speedup = 0.0;
+};
+
+enum class BucketPlacement : std::uint8_t {
+  /// Each bucket assigned to a uniformly random processor (the paper's
+  /// "random distribution" alternative).
+  IndependentUniform,
+  /// Buckets dealt round-robin, the active subset drawn at random (the
+  /// paper's default placement with random activity).
+  FixedPartition,
+};
+
+/// Monte-Carlo evaluation of the model: `buckets` total, an active subset
+/// of size round(buckets * active_fraction), `procs` processors.
+ProbModelResult probmodel_monte_carlo(std::uint32_t buckets,
+                                      double active_fraction,
+                                      std::uint32_t procs,
+                                      BucketPlacement placement,
+                                      std::uint32_t trials,
+                                      std::uint64_t seed);
+
+/// Exact evaluation for IndependentUniform placement (multinomial max-load
+/// distribution).  Feasible for active <= ~200.
+ProbModelResult probmodel_exact(std::uint32_t active, std::uint32_t procs);
+
+}  // namespace mpps::core

@@ -1,0 +1,286 @@
+#include "src/core/xform.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "src/common/error.hpp"
+#include "src/trace/synth.hpp"
+
+namespace mpps::core {
+namespace {
+
+using trace::Side;
+using trace::Trace;
+using trace::TraceActivation;
+
+std::uint64_t max_activation_id(const Trace& t) {
+  std::uint64_t m = 0;
+  for (const auto& cycle : t.cycles) {
+    for (const auto& act : cycle.activations) {
+      m = std::max(m, act.id.value());
+    }
+  }
+  return m;
+}
+
+std::uint32_t max_node_id(const Trace& t) {
+  std::uint32_t m = 0;
+  for (const auto& cycle : t.cycles) {
+    for (const auto& act : cycle.activations) {
+      m = std::max(m, act.node.value());
+    }
+  }
+  return m;
+}
+
+/// Recomputes every activation's successor count from its actual children.
+void recount_successors(Trace& t) {
+  for (auto& cycle : t.cycles) {
+    std::unordered_map<std::uint64_t, std::uint32_t> counts;
+    for (const auto& act : cycle.activations) {
+      if (act.parent.valid()) ++counts[act.parent.value()];
+    }
+    for (auto& act : cycle.activations) {
+      const auto it = counts.find(act.id.value());
+      act.successors = it == counts.end() ? 0 : it->second;
+    }
+  }
+}
+
+}  // namespace
+
+Trace unshare_node(const Trace& input, NodeId node) {
+  // The unshared copies: one per distinct successor node observed below
+  // the target node, anywhere in the trace (the node's static output set).
+  std::map<std::uint32_t, std::uint32_t> output_index;  // child node -> copy
+  for (const auto& cycle : input.cycles) {
+    std::unordered_map<std::uint64_t, bool> at_target;
+    for (const auto& act : cycle.activations) {
+      at_target.emplace(act.id.value(), act.node == node);
+      if (act.parent.valid()) {
+        const auto it = at_target.find(act.parent.value());
+        if (it != at_target.end() && it->second) {
+          output_index.emplace(act.node.value(),
+                               static_cast<std::uint32_t>(output_index.size()));
+        }
+      }
+    }
+  }
+  // Re-number: emplace order in a std::map is sorted, so fix indices.
+  {
+    std::uint32_t i = 0;
+    for (auto& [child_node, index] : output_index) index = i++;
+  }
+  if (output_index.empty()) return input;  // nothing generated: no-op
+
+  const std::uint32_t fanout =
+      static_cast<std::uint32_t>(output_index.size());
+  const std::uint32_t node_base = max_node_id(input) + 1;
+  std::uint64_t next_id = max_activation_id(input) + 1;
+
+  Trace out;
+  out.name = input.name + "+unshare";
+  out.num_buckets = input.num_buckets;
+  for (const auto& cycle : input.cycles) {
+    trace::TraceCycle new_cycle;
+    new_cycle.wme_changes = cycle.wme_changes;
+    // For each split activation: copy index -> replacement id.
+    std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> replacement;
+    for (const auto& act : cycle.activations) {
+      TraceActivation a = act;
+      if (a.parent.valid()) {
+        const auto it = replacement.find(a.parent.value());
+        if (it != replacement.end()) {
+          // Parent was split: attach to the copy owning this output node.
+          a.parent = ActivationId{it->second[output_index.at(a.node.value())]};
+        }
+      }
+      if (a.node != node) {
+        new_cycle.activations.push_back(a);
+        continue;
+      }
+      // Split: the token now arrives at every unshared copy; each copy
+      // stores it (duplicated work) and generates one output's successors.
+      std::vector<std::uint64_t> ids;
+      ids.reserve(fanout);
+      for (std::uint32_t i = 0; i < fanout; ++i) {
+        TraceActivation copy = a;
+        copy.id = ActivationId{next_id++};
+        copy.node = NodeId{node_base + i};
+        copy.bucket =
+            trace::bucket_for(copy.node, copy.key_class, out.num_buckets);
+        copy.successors = 0;  // recounted below
+        copy.instantiations = i == 0 ? a.instantiations : 0;
+        ids.push_back(copy.id.value());
+        new_cycle.activations.push_back(copy);
+      }
+      replacement.emplace(a.id.value(), std::move(ids));
+    }
+    out.cycles.push_back(std::move(new_cycle));
+  }
+  recount_successors(out);
+  trace::validate(out);
+  return out;
+}
+
+Trace copy_constrain_node(const Trace& input, NodeId node,
+                          std::uint32_t copies) {
+  if (copies == 0) {
+    throw TraceFormatError("copy_constrain_node: copies must be >= 1");
+  }
+  const std::uint32_t node_base = max_node_id(input) + 1;
+  std::uint64_t next_id = max_activation_id(input) + 1;
+
+  Trace out;
+  out.name = input.name + "+cc";
+  out.num_buckets = input.num_buckets;
+  for (const auto& cycle : input.cycles) {
+    trace::TraceCycle new_cycle;
+    new_cycle.wme_changes = cycle.wme_changes;
+    // Right activations at the node are replicated; children re-parent to
+    // the replica matching their key class.
+    std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> replicas;
+    for (const auto& act : cycle.activations) {
+      TraceActivation a = act;
+      if (a.parent.valid()) {
+        const auto it = replicas.find(a.parent.value());
+        if (it != replicas.end()) {
+          a.parent = ActivationId{it->second[a.key_class % copies]};
+        }
+      }
+      if (a.node != node) {
+        new_cycle.activations.push_back(a);
+        continue;
+      }
+      if (a.side == Side::Left) {
+        // The token belongs to exactly one copy — the production copy whose
+        // added constraint its values satisfy.
+        a.node = NodeId{node_base + a.key_class % copies};
+        a.bucket = trace::bucket_for(a.node, 0, out.num_buckets);
+        new_cycle.activations.push_back(a);
+        continue;
+      }
+      // Right activation: the opposite memory must exist in every copy.
+      std::vector<std::uint64_t> ids;
+      ids.reserve(copies);
+      for (std::uint32_t i = 0; i < copies; ++i) {
+        TraceActivation copy = a;
+        copy.id = ActivationId{next_id++};
+        copy.node = NodeId{node_base + i};
+        copy.bucket = trace::bucket_for(copy.node, 0, out.num_buckets);
+        copy.successors = 0;  // recounted
+        copy.instantiations = i == 0 ? a.instantiations : 0;
+        ids.push_back(copy.id.value());
+        new_cycle.activations.push_back(copy);
+      }
+      replicas.emplace(a.id.value(), std::move(ids));
+    }
+    out.cycles.push_back(std::move(new_cycle));
+  }
+  recount_successors(out);
+  trace::validate(out);
+  return out;
+}
+
+Trace insert_dummy_nodes(const Trace& input, NodeId node, std::uint32_t parts,
+                         std::uint32_t min_successors) {
+  if (parts == 0) {
+    throw TraceFormatError("insert_dummy_nodes: parts must be >= 1");
+  }
+  const std::uint32_t node_base = max_node_id(input) + 1;
+  std::uint64_t next_id = max_activation_id(input) + 1;
+
+  Trace out;
+  out.name = input.name + "+dummy";
+  out.num_buckets = input.num_buckets;
+  for (const auto& cycle : input.cycles) {
+    // First pass: which activations get dummies (child count threshold).
+    std::unordered_map<std::uint64_t, std::uint32_t> child_count;
+    for (const auto& act : cycle.activations) {
+      if (act.parent.valid()) ++child_count[act.parent.value()];
+    }
+    trace::TraceCycle new_cycle;
+    new_cycle.wme_changes = cycle.wme_changes;
+    // split id -> dummy ids; and a running child counter for distribution.
+    std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> dummies;
+    std::unordered_map<std::uint64_t, std::uint32_t> next_child;
+    for (const auto& act : cycle.activations) {
+      TraceActivation a = act;
+      if (a.parent.valid()) {
+        const auto it = dummies.find(a.parent.value());
+        if (it != dummies.end()) {
+          const std::uint32_t slot = next_child[a.parent.value()]++ % parts;
+          a.parent = ActivationId{it->second[slot]};
+        }
+      }
+      const auto count_it = child_count.find(a.id.value());
+      const bool split = a.node == node && count_it != child_count.end() &&
+                         count_it->second >= min_successors;
+      new_cycle.activations.push_back(a);
+      if (!split) continue;
+      std::vector<std::uint64_t> ids;
+      ids.reserve(parts);
+      for (std::uint32_t i = 0; i < parts; ++i) {
+        TraceActivation dummy;
+        dummy.id = ActivationId{next_id++};
+        dummy.parent = a.id;
+        dummy.node = NodeId{node_base + i};
+        dummy.side = Side::Left;
+        dummy.tag = a.tag;
+        dummy.key_class = a.key_class;
+        dummy.bucket =
+            trace::bucket_for(dummy.node, dummy.key_class, out.num_buckets);
+        ids.push_back(dummy.id.value());
+        new_cycle.activations.push_back(dummy);
+      }
+      dummies.emplace(a.id.value(), std::move(ids));
+    }
+    out.cycles.push_back(std::move(new_cycle));
+  }
+  recount_successors(out);
+  trace::validate(out);
+  return out;
+}
+
+ops5::Program copy_and_constraint(
+    const ops5::Program& program, std::string_view name, int ce_number,
+    Symbol attr, const std::vector<std::vector<ops5::Value>>& partitions) {
+  const ops5::Production* target = program.find(name);
+  if (target == nullptr) {
+    throw RuntimeError("copy_and_constraint: unknown production '" +
+                       std::string(name) + "'");
+  }
+  if (ce_number < 1 ||
+      static_cast<std::size_t>(ce_number) > target->lhs.size()) {
+    throw RuntimeError("copy_and_constraint: condition element " +
+                       std::to_string(ce_number) + " out of range");
+  }
+  if (partitions.empty()) {
+    throw RuntimeError("copy_and_constraint: need at least one partition");
+  }
+  ops5::Program out;
+  out.initial_wmes = program.initial_wmes;
+  for (const auto& p : program.productions) {
+    if (p.name != name) {
+      out.productions.push_back(p);
+      continue;
+    }
+    for (std::size_t i = 0; i < partitions.size(); ++i) {
+      ops5::Production copy = p;
+      copy.name = p.name + "&&" + std::to_string(i);
+      ops5::AtomicTest constraint;
+      constraint.pred = ops5::Predicate::Eq;
+      constraint.disjunction = partitions[i];
+      ops5::AttrTest attr_test;
+      attr_test.attr = attr;
+      attr_test.tests.push_back(std::move(constraint));
+      copy.lhs[static_cast<std::size_t>(ce_number) - 1].attr_tests.push_back(
+          std::move(attr_test));
+      out.productions.push_back(std::move(copy));
+    }
+  }
+  return out;
+}
+
+}  // namespace mpps::core

@@ -1,0 +1,65 @@
+// The paper's transformations for increasing speedups (Section 5.2):
+//
+//  * Unsharing (Fig 5-3): split a two-input node shared by several outputs
+//    so each output's successors are generated at a private node — and so
+//    hash to different buckets/processors.
+//  * Dummy nodes (Gupta's thesis, Ch. 4): interpose 2-4 dummy nodes that
+//    split a large successor batch into parts generated in parallel.
+//  * Copy-and-constraint (Stolfo): split the culprit production into k
+//    copies each matching a partition of the data, giving the hash extra
+//    discrimination (different node-ids ⇒ different buckets).
+//
+// Each exists at two levels: on the *network/source* (semantics-preserving
+// program transformations, testable against the match oracle) and on the
+// *trace* (re-mapping recorded activations, used for the paper's
+// simulation experiments on the reconstructed sections).
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/symbol.hpp"
+#include "src/ops5/ast.hpp"
+#include "src/trace/record.hpp"
+
+namespace mpps::core {
+
+// ---- trace-level --------------------------------------------------------
+
+/// Unshares `node`: each of its activations is split into one activation
+/// per distinct successor node, placed at fresh node ids (hence fresh
+/// buckets).  Each split activation pays its own token add/delete — the
+/// duplicated work the paper accepts.  Activations with no successors are
+/// kept whole.
+trace::Trace unshare_node(const trace::Trace& input, NodeId node);
+
+/// Copy-and-constraint on `node`: its activations are re-mapped to one of
+/// `copies` fresh node ids chosen by the token's key equivalence class, so
+/// tokens that the original hash could not discriminate spread over
+/// `copies` buckets.  Right activations at the node are replicated into
+/// every copy (the opposite memory must exist in each), with successors
+/// partitioned by their key class.
+trace::Trace copy_constrain_node(const trace::Trace& input, NodeId node,
+                                 std::uint32_t copies);
+
+/// Inserts dummy nodes below `node`: any of its activations generating at
+/// least `min_successors` tokens instead generates `parts` dummy
+/// activations (fresh nodes/buckets), each producing an equal share of the
+/// original successors.
+trace::Trace insert_dummy_nodes(const trace::Trace& input, NodeId node,
+                                std::uint32_t parts,
+                                std::uint32_t min_successors = 8);
+
+// ---- source-level -------------------------------------------------------
+
+/// Splits production `name` into one copy per partition; copy `i` adds the
+/// constraint `^attr << partitions[i]... >>` to condition element
+/// `ce_number` (1-based).  The union of the copies' instantiations equals
+/// the original's on any working memory whose `attr` values all appear in
+/// some partition.  Throws RuntimeError on an unknown production or CE.
+ops5::Program copy_and_constraint(const ops5::Program& program,
+                                  std::string_view name, int ce_number,
+                                  Symbol attr,
+                                  const std::vector<std::vector<ops5::Value>>&
+                                      partitions);
+
+}  // namespace mpps::core

@@ -1,0 +1,85 @@
+#include "src/ops5/ast.hpp"
+
+#include "src/common/error.hpp"
+
+namespace mpps::ops5 {
+
+Value eval_compute(const std::vector<Value>& operands,
+                   const std::vector<ArithOp>& ops) {
+  if (operands.empty() || operands.size() != ops.size() + 1) {
+    throw RuntimeError("compute: malformed expression");
+  }
+  for (const Value& v : operands) {
+    if (!v.numeric()) {
+      throw RuntimeError("compute: non-numeric operand " + v.to_string());
+    }
+  }
+  // Right-to-left, no precedence (as in OPS5): fold from the rightmost
+  // operand backwards.
+  Value acc = operands.back();
+  for (std::size_t i = ops.size(); i-- > 0;) {
+    const Value& lhs = operands[i];
+    const bool ints = lhs.kind() == Value::Kind::Int &&
+                      acc.kind() == Value::Kind::Int;
+    switch (ops[i]) {
+      case ArithOp::Add:
+        acc = ints ? Value(lhs.as_int() + acc.as_int())
+                   : Value(lhs.as_double() + acc.as_double());
+        break;
+      case ArithOp::Sub:
+        acc = ints ? Value(lhs.as_int() - acc.as_int())
+                   : Value(lhs.as_double() - acc.as_double());
+        break;
+      case ArithOp::Mul:
+        acc = ints ? Value(lhs.as_int() * acc.as_int())
+                   : Value(lhs.as_double() * acc.as_double());
+        break;
+      case ArithOp::Div:
+        if (ints) {
+          if (acc.as_int() == 0) throw RuntimeError("compute: division by zero");
+          acc = Value(lhs.as_int() / acc.as_int());
+        } else {
+          if (acc.as_double() == 0.0) {
+            throw RuntimeError("compute: division by zero");
+          }
+          acc = Value(lhs.as_double() / acc.as_double());
+        }
+        break;
+      case ArithOp::Mod:
+        if (!ints) throw RuntimeError("compute: modulo requires integers");
+        if (acc.as_int() == 0) throw RuntimeError("compute: modulo by zero");
+        acc = Value(lhs.as_int() % acc.as_int());
+        break;
+    }
+  }
+  return acc;
+}
+
+std::size_t ConditionElement::test_count() const {
+  std::size_t n = 1;  // the class test
+  for (const auto& at : attr_tests) n += at.tests.size();
+  return n;
+}
+
+std::size_t Production::specificity() const {
+  std::size_t n = 0;
+  for (const auto& ce : lhs) n += ce.test_count();
+  return n;
+}
+
+std::vector<std::size_t> Production::positive_ce_indices() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < lhs.size(); ++i) {
+    if (!lhs[i].negated) out.push_back(i);
+  }
+  return out;
+}
+
+const Production* Program::find(std::string_view name) const {
+  for (const auto& p : productions) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+}  // namespace mpps::ops5

@@ -1,0 +1,151 @@
+// Abstract syntax of the OPS5 subset: productions, condition elements,
+// attribute tests and RHS actions.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/common/ids.hpp"
+#include "src/common/symbol.hpp"
+#include "src/ops5/value.hpp"
+
+namespace mpps::ops5 {
+
+/// Arithmetic operators usable inside `(compute ...)`.  `Div` is OPS5's
+/// `//`, `Mod` is `\\`.
+enum class ArithOp : std::uint8_t { Add, Sub, Mul, Div, Mod };
+
+/// A term appearing as a test operand or in an RHS slot: a constant value,
+/// a variable reference (`<x>`), or — on the RHS only — a `(compute ...)`
+/// arithmetic expression.  As in OPS5, compute has no operator precedence
+/// and evaluates right to left: `(compute 2 * 3 + 1)` is 2*(3+1) = 8.
+struct Term {
+  enum class Kind : std::uint8_t { Constant, Variable, Compute };
+  Kind kind = Kind::Constant;
+  Value constant;   // valid when kind == Constant
+  Symbol variable;  // valid when kind == Variable
+  // valid when kind == Compute: operands.size() == ops.size() + 1
+  std::vector<Term> compute_operands;
+  std::vector<ArithOp> compute_ops;
+
+  static Term make_const(Value v) { return {Kind::Constant, v, {}, {}, {}}; }
+  static Term make_var(Symbol v) { return {Kind::Variable, {}, v, {}, {}}; }
+  static Term make_compute(std::vector<Term> operands,
+                           std::vector<ArithOp> ops) {
+    Term t;
+    t.kind = Kind::Compute;
+    t.compute_operands = std::move(operands);
+    t.compute_ops = std::move(ops);
+    return t;
+  }
+  [[nodiscard]] bool is_var() const { return kind == Kind::Variable; }
+  [[nodiscard]] bool is_compute() const { return kind == Kind::Compute; }
+};
+
+/// Evaluates a compute expression over already-resolved operand values
+/// (same order as `compute_operands`).  Integer arithmetic stays integral
+/// (Div truncates); any float operand promotes the expression to float.
+/// Throws mpps::RuntimeError on non-numeric operands, division by zero, or
+/// Mod with float operands.
+Value eval_compute(const std::vector<Value>& operands,
+                   const std::vector<ArithOp>& ops);
+
+/// One atomic test against an attribute: `<pred> <term>` or a disjunction
+/// `<< a b c >>` (which is satisfied when the attribute equals any listed
+/// constant).  A bare term means predicate `Eq`.
+struct AtomicTest {
+  Predicate pred = Predicate::Eq;
+  Term operand;
+  std::vector<Value> disjunction;  // non-empty ⇒ this is a << >> test
+
+  [[nodiscard]] bool is_disjunction() const { return !disjunction.empty(); }
+};
+
+/// All tests on one attribute of a condition element.  `{ ... }` conjunctive
+/// groups simply contribute several AtomicTests.
+struct AttrTest {
+  Symbol attr;
+  std::vector<AtomicTest> tests;
+};
+
+/// One condition element: `(class ^a1 t1 ^a2 t2 ...)`, optionally negated.
+/// `{ <w> (class ...) }` binds the matched wme to the element variable
+/// `<w>`, usable in `(remove <w>)` / `(modify <w> ...)`.
+struct ConditionElement {
+  Symbol ce_class;
+  bool negated = false;
+  Symbol elem_var;  // empty symbol = no element variable
+  std::vector<AttrTest> attr_tests;
+
+  /// Number of tests in the CE (class test counts as one) — the OPS5
+  /// "specificity" contribution used by conflict resolution.
+  [[nodiscard]] std::size_t test_count() const;
+};
+
+/// RHS actions ---------------------------------------------------------
+
+/// `(make class ^attr term ...)`
+struct MakeAction {
+  Symbol wme_class;
+  std::vector<std::pair<Symbol, Term>> slots;
+};
+
+/// `(remove k)` or `(remove <w>)` — removes the wme matching the k-th
+/// (1-based) condition element, or the one bound to element variable `<w>`.
+struct RemoveAction {
+  int ce_index = 0;   // used when elem_var is empty
+  Symbol elem_var;    // non-empty ⇒ remove by element variable
+};
+
+/// `(modify k ^attr term ...)` / `(modify <w> ...)` — delete + re-add with
+/// changed slots.
+struct ModifyAction {
+  int ce_index = 0;
+  Symbol elem_var;
+  std::vector<std::pair<Symbol, Term>> slots;
+};
+
+/// `(write term ... )` — prints terms; `(crlf)` inside is a newline constant.
+struct WriteAction {
+  std::vector<Term> terms;
+};
+
+/// `(halt)`
+struct HaltAction {};
+
+/// `(bind <x> term)` — binds a RHS-local variable.
+struct BindAction {
+  Symbol variable;
+  Term term;
+};
+
+using Action = std::variant<MakeAction, RemoveAction, ModifyAction,
+                            WriteAction, HaltAction, BindAction>;
+
+/// A production: name, LHS condition elements, RHS actions.
+struct Production {
+  std::string name;
+  std::vector<ConditionElement> lhs;
+  std::vector<Action> rhs;
+
+  /// Total number of tests on the LHS (conflict-resolution specificity).
+  [[nodiscard]] std::size_t specificity() const;
+
+  /// Indices into `lhs` of the non-negated CEs, in order.  `(remove k)`
+  /// refers to the k-th entry of this list.
+  [[nodiscard]] std::vector<std::size_t> positive_ce_indices() const;
+};
+
+/// A parsed program: the production memory plus optional initial wmes
+/// given through top-level `(make ...)` forms.
+struct Program {
+  std::vector<Production> productions;
+  std::vector<MakeAction> initial_wmes;
+
+  [[nodiscard]] const Production* find(std::string_view name) const;
+};
+
+}  // namespace mpps::ops5

@@ -1,0 +1,154 @@
+#include "src/ops5/lexer.hpp"
+
+#include <cctype>
+
+#include "src/common/error.hpp"
+#include "src/common/strings.hpp"
+
+namespace mpps::ops5 {
+namespace {
+
+bool is_atom_char(char c) {
+  // Anything that is not whitespace or structural punctuation continues an
+  // atom.  '^' is structural (attribute marker) and handled by the parser
+  // as part of the Atom text when leading (see below).
+  switch (c) {
+    case '(':
+    case ')':
+    case '{':
+    case '}':
+    case ';':
+      return false;
+    default:
+      return !std::isspace(static_cast<unsigned char>(c));
+  }
+}
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view s) : s_(s) {}
+
+  [[nodiscard]] bool done() const { return i_ >= s_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const {
+    return i_ + ahead < s_.size() ? s_[i_ + ahead] : '\0';
+  }
+  char advance() {
+    char c = s_[i_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+  [[nodiscard]] int line() const { return line_; }
+  [[nodiscard]] int col() const { return col_; }
+
+ private:
+  std::string_view s_;
+  std::size_t i_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+/// Classifies a raw word into Atom / Integer / Float / Pred / Arrow / etc.
+Token classify_word(std::string word, int line, int col) {
+  Token t;
+  t.line = line;
+  t.column = col;
+  if (word == "-->") {
+    t.kind = TokenKind::Arrow;
+    return t;
+  }
+  if (word == "=" || word == "<>" || word == "<=" || word == ">=" ||
+      word == "<" || word == ">") {
+    t.kind = TokenKind::Pred;
+    t.text = std::move(word);
+    return t;
+  }
+  if (word == "<<") {
+    t.kind = TokenKind::DoubleLt;
+    return t;
+  }
+  if (word == ">>") {
+    t.kind = TokenKind::DoubleGt;
+    return t;
+  }
+  if (word == "-") {
+    t.kind = TokenKind::Minus;
+    return t;
+  }
+  if (word.size() >= 3 && word.front() == '<' && word.back() == '>') {
+    t.kind = TokenKind::Variable;
+    t.text = word.substr(1, word.size() - 2);
+    return t;
+  }
+  long iv = 0;
+  if (parse_int(word, iv)) {
+    t.kind = TokenKind::Integer;
+    t.int_value = iv;
+    return t;
+  }
+  double fv = 0.0;
+  if (parse_double(word, fv)) {
+    t.kind = TokenKind::Float;
+    t.float_value = fv;
+    return t;
+  }
+  t.kind = TokenKind::Atom;
+  t.text = std::move(word);
+  return t;
+}
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view source) {
+  std::vector<Token> out;
+  Cursor cur(source);
+  while (!cur.done()) {
+    char c = cur.peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      cur.advance();
+      continue;
+    }
+    if (c == ';') {  // comment to end of line
+      while (!cur.done() && cur.peek() != '\n') cur.advance();
+      continue;
+    }
+    const int line = cur.line();
+    const int col = cur.col();
+    auto push = [&](TokenKind k) {
+      cur.advance();
+      out.push_back({k, {}, 0, 0.0, line, col});
+    };
+    switch (c) {
+      case '(': push(TokenKind::LParen); continue;
+      case ')': push(TokenKind::RParen); continue;
+      case '{': push(TokenKind::LBrace); continue;
+      case '}': push(TokenKind::RBrace); continue;
+      default: break;
+    }
+    if (c == '|') {  // quoted atom: |any text until next bar|
+      cur.advance();
+      std::string text;
+      while (!cur.done() && cur.peek() != '|') text.push_back(cur.advance());
+      if (cur.done()) throw ParseError("unterminated |...| atom", line, col);
+      cur.advance();  // closing bar
+      out.push_back({TokenKind::Atom, std::move(text), 0, 0.0, line, col});
+      continue;
+    }
+    // General word: read a maximal run of atom characters, then classify.
+    std::string word;
+    while (!cur.done() && is_atom_char(cur.peek())) word.push_back(cur.advance());
+    if (word.empty()) {
+      throw ParseError(std::string("unexpected character '") + c + "'", line,
+                       col);
+    }
+    out.push_back(classify_word(std::move(word), line, col));
+  }
+  out.push_back({TokenKind::End, {}, 0, 0.0, cur.line(), cur.col()});
+  return out;
+}
+
+}  // namespace mpps::ops5

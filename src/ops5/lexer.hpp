@@ -1,0 +1,41 @@
+// Tokenizer for OPS5 source text.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mpps::ops5 {
+
+enum class TokenKind : std::uint8_t {
+  LParen,    // (
+  RParen,    // )
+  LBrace,    // {
+  RBrace,    // }
+  DoubleLt,  // <<
+  DoubleGt,  // >>
+  Arrow,     // -->
+  Minus,     // -  (CE negation; "-5" lexes as an Integer)
+  Pred,      // = <> < <= > >=
+  Variable,  // <x>
+  Atom,      // symbol or |quoted symbol|
+  Integer,
+  Float,
+  End,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::End;
+  std::string text;  // atom/variable name (without <>), predicate spelling
+  long int_value = 0;
+  double float_value = 0.0;
+  int line = 1;
+  int column = 1;
+};
+
+/// Tokenizes the whole input.  Comments run from ';' to end of line.
+/// Throws ParseError on malformed input (unterminated |...|, bad number).
+std::vector<Token> lex(std::string_view source);
+
+}  // namespace mpps::ops5

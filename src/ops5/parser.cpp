@@ -1,0 +1,350 @@
+#include "src/ops5/parser.hpp"
+
+#include <string>
+#include <utility>
+
+#include "src/common/error.hpp"
+#include "src/ops5/lexer.hpp"
+#include "src/ops5/wme.hpp"
+
+namespace mpps::ops5 {
+namespace {
+
+Predicate parse_predicate(const std::string& spelling) {
+  if (spelling == "=") return Predicate::Eq;
+  if (spelling == "<>") return Predicate::Ne;
+  if (spelling == "<") return Predicate::Lt;
+  if (spelling == "<=") return Predicate::Le;
+  if (spelling == ">") return Predicate::Gt;
+  return Predicate::Ge;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view source) : tokens_(lex(source)) {}
+
+  Program parse() {
+    Program prog;
+    while (!at(TokenKind::End)) {
+      expect(TokenKind::LParen, "expected '(' at top level");
+      const Token& head = peek();
+      if (head.kind != TokenKind::Atom) {
+        fail("expected 'p', 'make' or 'literalize' after '('");
+      }
+      if (head.text == "p") {
+        advance();
+        prog.productions.push_back(parse_production_body());
+      } else if (head.text == "make") {
+        advance();
+        prog.initial_wmes.push_back(parse_make_body());
+      } else if (head.text == "literalize" || head.text == "literal") {
+        // Attribute declarations — we are schema-less, so skip to ')'.
+        advance();
+        while (!at(TokenKind::RParen)) advance();
+        expect(TokenKind::RParen, "expected ')'");
+      } else {
+        fail("unknown top-level form '" + head.text + "'");
+      }
+    }
+    return prog;
+  }
+
+  Wme parse_single_wme() {
+    expect(TokenKind::LParen, "expected '('");
+    MakeAction m = parse_make_class_and_slots();
+    std::vector<std::pair<Symbol, Value>> attrs;
+    for (const auto& [attr, term] : m.slots) {
+      if (term.kind != Term::Kind::Constant) {
+        fail("wme literal must contain constant values only");
+      }
+      attrs.emplace_back(attr, term.constant);
+    }
+    if (!at(TokenKind::End)) fail("trailing input after wme literal");
+    return Wme(m.wme_class, std::move(attrs));
+  }
+
+ private:
+  // -- token plumbing -----------------------------------------------------
+  [[nodiscard]] const Token& peek(std::size_t ahead = 0) const {
+    std::size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  [[nodiscard]] bool at(TokenKind k) const { return peek().kind == k; }
+  const Token& advance() { return tokens_[pos_++]; }
+  void expect(TokenKind k, const char* message) {
+    if (!at(k)) fail(message);
+    advance();
+  }
+  [[noreturn]] void fail(const std::string& message) const {
+    const Token& t = peek();
+    throw ParseError(message, t.line, t.column);
+  }
+
+  // -- grammar ------------------------------------------------------------
+  Production parse_production_body() {
+    Production p;
+    if (!at(TokenKind::Atom)) fail("expected production name");
+    p.name = advance().text;
+    while (!at(TokenKind::Arrow)) {
+      p.lhs.push_back(parse_ce());
+      if (at(TokenKind::End)) fail("unexpected end of input in production");
+    }
+    advance();  // -->
+    while (!at(TokenKind::RParen)) {
+      parse_action_into(p.rhs);
+      if (at(TokenKind::End)) fail("unexpected end of input in RHS");
+    }
+    advance();  // )
+    if (p.lhs.empty()) fail("production '" + p.name + "' has no LHS");
+    if (p.lhs[0].negated) {
+      fail("first condition element of '" + p.name + "' must not be negated");
+    }
+    return p;
+  }
+
+  ConditionElement parse_ce() {
+    ConditionElement ce;
+    if (at(TokenKind::Minus)) {
+      advance();
+      ce.negated = true;
+    }
+    // Element variable: { <w> (class ...) }
+    bool has_elem_var = false;
+    if (at(TokenKind::LBrace)) {
+      advance();
+      if (!at(TokenKind::Variable)) {
+        fail("expected element variable after '{'");
+      }
+      ce.elem_var = Symbol::intern(advance().text);
+      has_elem_var = true;
+      if (ce.negated) {
+        fail("a negated condition element cannot bind an element variable");
+      }
+    }
+    expect(TokenKind::LParen, "expected '(' to open condition element");
+    if (!at(TokenKind::Atom)) fail("expected class name in condition element");
+    ce.ce_class = Symbol::intern(advance().text);
+    while (!at(TokenKind::RParen)) {
+      ce.attr_tests.push_back(parse_attr_test());
+    }
+    advance();  // )
+    if (has_elem_var) {
+      expect(TokenKind::RBrace, "expected '}' after element-variable CE");
+    }
+    return ce;
+  }
+
+  /// Parses `^attr value-spec`.  The lexer delivers "^attr" as one Atom.
+  AttrTest parse_attr_test() {
+    if (!at(TokenKind::Atom) || peek().text.empty() || peek().text[0] != '^') {
+      fail("expected ^attribute");
+    }
+    AttrTest at_test;
+    at_test.attr = Symbol::intern(advance().text.substr(1));
+    if (at(TokenKind::LBrace)) {
+      advance();
+      while (!at(TokenKind::RBrace)) {
+        at_test.tests.push_back(parse_atomic_test());
+        if (at(TokenKind::End)) fail("unterminated '{' test group");
+      }
+      advance();  // }
+      if (at_test.tests.empty()) fail("empty '{}' test group");
+    } else {
+      at_test.tests.push_back(parse_atomic_test());
+    }
+    return at_test;
+  }
+
+  AtomicTest parse_atomic_test() {
+    AtomicTest t;
+    if (at(TokenKind::Pred)) {
+      t.pred = parse_predicate(advance().text);
+      t.operand = parse_term("expected operand after predicate");
+      return t;
+    }
+    if (at(TokenKind::DoubleLt)) {
+      advance();
+      t.pred = Predicate::Eq;
+      while (!at(TokenKind::DoubleGt)) {
+        Term term = parse_term("expected constant in << >> disjunction");
+        if (term.is_var()) fail("variables are not allowed inside << >>");
+        t.disjunction.push_back(term.constant);
+        if (at(TokenKind::End)) fail("unterminated '<<' disjunction");
+      }
+      advance();  // >>
+      if (t.disjunction.empty()) fail("empty '<< >>' disjunction");
+      return t;
+    }
+    t.pred = Predicate::Eq;
+    t.operand = parse_term("expected test value");
+    return t;
+  }
+
+  Term parse_term(const char* what, bool allow_compute = false) {
+    const Token& t = peek();
+    switch (t.kind) {
+      case TokenKind::Atom:
+        if (!t.text.empty() && t.text[0] == '^') {
+          fail("unexpected ^attribute where a value was expected");
+        }
+        advance();
+        return Term::make_const(Value::sym(t.text));
+      case TokenKind::Integer:
+        advance();
+        return Term::make_const(Value(t.int_value));
+      case TokenKind::Float:
+        advance();
+        return Term::make_const(Value(t.float_value));
+      case TokenKind::Variable:
+        advance();
+        return Term::make_var(Symbol::intern(t.text));
+      case TokenKind::LParen:
+        if (allow_compute) return parse_compute();
+        fail(what);
+      default:
+        fail(what);
+    }
+  }
+
+  /// `(compute term op term op term ...)` — RHS arithmetic.  Operators are
+  /// + - * // (divide) \\ (modulo); evaluation is right-to-left with no
+  /// precedence, as in OPS5.
+  Term parse_compute() {
+    expect(TokenKind::LParen, "expected '('");
+    if (!at(TokenKind::Atom) || peek().text != "compute") {
+      fail("expected 'compute'");
+    }
+    advance();
+    std::vector<Term> operands;
+    std::vector<ArithOp> ops;
+    operands.push_back(parse_term("expected compute operand", true));
+    while (!at(TokenKind::RParen)) {
+      ops.push_back(parse_arith_op());
+      operands.push_back(parse_term("expected compute operand", true));
+      if (at(TokenKind::End)) fail("unterminated compute");
+    }
+    advance();  // )
+    return Term::make_compute(std::move(operands), std::move(ops));
+  }
+
+  ArithOp parse_arith_op() {
+    if (at(TokenKind::Minus)) {
+      advance();
+      return ArithOp::Sub;
+    }
+    if (!at(TokenKind::Atom)) fail("expected compute operator");
+    const std::string& op = advance().text;
+    if (op == "+") return ArithOp::Add;
+    if (op == "*") return ArithOp::Mul;
+    if (op == "//") return ArithOp::Div;
+    if (op == "\\\\" || op == "\\") return ArithOp::Mod;
+    fail("unknown compute operator '" + op + "'");
+  }
+
+  MakeAction parse_make_class_and_slots() {
+    MakeAction m;
+    if (!at(TokenKind::Atom)) fail("expected class name in make");
+    m.wme_class = Symbol::intern(advance().text);
+    while (!at(TokenKind::RParen)) {
+      if (!at(TokenKind::Atom) || peek().text.empty() ||
+          peek().text[0] != '^') {
+        fail("expected ^attribute in make");
+      }
+      Symbol attr = Symbol::intern(advance().text.substr(1));
+      Term term = parse_term("expected value in make", /*allow_compute=*/true);
+      m.slots.emplace_back(attr, term);
+    }
+    advance();  // )
+    return m;
+  }
+
+  MakeAction parse_make_body() { return parse_make_class_and_slots(); }
+
+  void parse_action_into(std::vector<Action>& out) {
+    expect(TokenKind::LParen, "expected '(' to open RHS action");
+    if (!at(TokenKind::Atom)) fail("expected action name");
+    std::string name = advance().text;
+    if (name == "make") {
+      out.emplace_back(parse_make_body());
+    } else if (name == "remove") {
+      bool any = false;
+      while (at(TokenKind::Integer) || at(TokenKind::Variable)) {
+        RemoveAction r;
+        if (at(TokenKind::Integer)) {
+          r.ce_index = static_cast<int>(advance().int_value);
+        } else {
+          r.elem_var = Symbol::intern(advance().text);
+        }
+        out.emplace_back(std::move(r));
+        any = true;
+      }
+      if (!any) fail("remove requires a CE number or element variable");
+      expect(TokenKind::RParen, "expected ')' after remove");
+    } else if (name == "modify") {
+      ModifyAction m;
+      if (at(TokenKind::Integer)) {
+        m.ce_index = static_cast<int>(advance().int_value);
+      } else if (at(TokenKind::Variable)) {
+        m.elem_var = Symbol::intern(advance().text);
+      } else {
+        fail("modify requires a CE number or element variable");
+      }
+      while (!at(TokenKind::RParen)) {
+        if (!at(TokenKind::Atom) || peek().text.empty() ||
+            peek().text[0] != '^') {
+          fail("expected ^attribute in modify");
+        }
+        Symbol attr = Symbol::intern(advance().text.substr(1));
+        m.slots.emplace_back(
+            attr, parse_term("expected value in modify", /*allow_compute=*/true));
+      }
+      advance();  // )
+      out.emplace_back(std::move(m));
+    } else if (name == "write") {
+      WriteAction w;
+      while (!at(TokenKind::RParen)) {
+        if (at(TokenKind::LParen) &&
+            !(peek(1).kind == TokenKind::Atom && peek(1).text == "compute")) {
+          // (crlf) / (tabto n): emit a newline.
+          advance();
+          if (at(TokenKind::Atom)) advance();
+          while (!at(TokenKind::RParen)) advance();
+          advance();
+          w.terms.push_back(Term::make_const(Value::sym("\n")));
+          continue;
+        }
+        w.terms.push_back(
+            parse_term("expected term in write", /*allow_compute=*/true));
+      }
+      advance();  // )
+      out.emplace_back(std::move(w));
+    } else if (name == "halt") {
+      expect(TokenKind::RParen, "expected ')' after halt");
+      out.emplace_back(HaltAction{});
+    } else if (name == "bind") {
+      BindAction b;
+      if (!at(TokenKind::Variable)) fail("bind requires a variable");
+      b.variable = Symbol::intern(advance().text);
+      b.term = parse_term("expected term in bind", /*allow_compute=*/true);
+      expect(TokenKind::RParen, "expected ')' after bind");
+      out.emplace_back(std::move(b));
+    } else {
+      fail("unknown RHS action '" + name + "'");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Program parse_program(std::string_view source) {
+  return Parser(source).parse();
+}
+
+Wme parse_wme(std::string_view source) {
+  return Parser(source).parse_single_wme();
+}
+
+}  // namespace mpps::ops5

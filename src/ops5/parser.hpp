@@ -1,0 +1,33 @@
+// Recursive-descent parser for the OPS5 subset.
+//
+// Supported grammar (attribute-form only; positional CE fields are not
+// supported — write `^attr value` explicitly):
+//
+//   program   := { form }
+//   form      := production | top-make | literalize
+//   production:= '(' 'p' name ce+ '-->' action* ')'
+//   ce        := ['-'] '(' class attr-test* ')'
+//   attr-test := ^attr value-spec
+//   value-spec:= term | pred term | '{' (pred? term)* '}' | '<<' const* '>>'
+//   term      := atom | number | <variable>
+//   action    := make | remove | modify | write | halt | bind
+//   top-make  := '(' 'make' class slot* ')'       ; initial wme
+//   literalize:= '(' 'literalize' ... ')'          ; accepted and ignored
+#pragma once
+
+#include <string_view>
+
+#include "src/ops5/ast.hpp"
+#include "src/ops5/wme.hpp"
+
+namespace mpps::ops5 {
+
+/// Parses a full program.  Throws ParseError with source position on any
+/// syntax error.
+Program parse_program(std::string_view source);
+
+/// Parses a single wme literal `(class ^attr value ...)` with constant
+/// values only (useful in tests and examples).
+Wme parse_wme(std::string_view source);
+
+}  // namespace mpps::ops5

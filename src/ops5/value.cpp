@@ -1,0 +1,92 @@
+#include "src/ops5/value.hpp"
+
+#include <cmath>
+#include <functional>
+#include <ostream>
+
+#include "src/common/strings.hpp"
+
+namespace mpps::ops5 {
+
+std::string_view to_string(Predicate p) {
+  switch (p) {
+    case Predicate::Eq: return "=";
+    case Predicate::Ne: return "<>";
+    case Predicate::Lt: return "<";
+    case Predicate::Le: return "<=";
+    case Predicate::Gt: return ">";
+    case Predicate::Ge: return ">=";
+  }
+  return "?";
+}
+
+bool Value::equals(const Value& o) const {
+  if (kind_ == Kind::Absent || o.kind_ == Kind::Absent) return false;
+  if (kind_ == Kind::Sym || o.kind_ == Kind::Sym) {
+    return kind_ == Kind::Sym && o.kind_ == Kind::Sym && sym_ == o.sym_;
+  }
+  if (kind_ == Kind::Int && o.kind_ == Kind::Int) return int_ == o.int_;
+  return as_double() == o.as_double();
+}
+
+bool Value::test(Predicate p, const Value& o) const {
+  switch (p) {
+    case Predicate::Eq: return equals(o);
+    case Predicate::Ne:
+      return kind_ != Kind::Absent && o.kind_ != Kind::Absent && !equals(o);
+    default: break;
+  }
+  if (!numeric() || !o.numeric()) return false;
+  if (kind_ == Kind::Int && o.kind_ == Kind::Int) {
+    switch (p) {
+      case Predicate::Lt: return int_ < o.int_;
+      case Predicate::Le: return int_ <= o.int_;
+      case Predicate::Gt: return int_ > o.int_;
+      case Predicate::Ge: return int_ >= o.int_;
+      default: return false;
+    }
+  }
+  const double a = as_double();
+  const double b = o.as_double();
+  switch (p) {
+    case Predicate::Lt: return a < b;
+    case Predicate::Le: return a <= b;
+    case Predicate::Gt: return a > b;
+    case Predicate::Ge: return a >= b;
+    default: return false;
+  }
+}
+
+std::size_t Value::hash() const {
+  switch (kind_) {
+    case Kind::Absent: return 0x5151'5151u;
+    case Kind::Sym: return std::hash<Symbol>{}(sym_);
+    case Kind::Int:
+      // Ints hash like the equal-valued double so equals() ⇒ equal hashes.
+      return std::hash<double>{}(static_cast<double>(int_));
+    case Kind::Float: return std::hash<double>{}(float_);
+  }
+  return 0;
+}
+
+std::string Value::to_string() const {
+  switch (kind_) {
+    case Kind::Absent: return "<absent>";
+    case Kind::Sym: return std::string(sym_.text());
+    case Kind::Int: return std::to_string(int_);
+    case Kind::Float: {
+      // Print floats so they survive a parse round-trip.
+      std::string s = format_fixed(float_, 6);
+      while (s.size() > 1 && s.back() == '0') s.pop_back();
+      if (!s.empty() && s.back() == '.') s.push_back('0');
+      return s;
+    }
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.to_string();
+}
+
+}  // namespace mpps::ops5

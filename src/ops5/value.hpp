@@ -1,0 +1,79 @@
+// OPS5 attribute values: symbols, integers or floats.  Numbers compare
+// across int/float as in OPS5 ("2" matches "2.0"); symbols compare by
+// identity only.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "src/common/symbol.hpp"
+
+namespace mpps::ops5 {
+
+/// The six OPS5 predicate operators usable in attribute tests.
+enum class Predicate : std::uint8_t { Eq, Ne, Lt, Le, Gt, Ge };
+
+[[nodiscard]] std::string_view to_string(Predicate p);
+
+/// A single OPS5 value.  Default-constructed value is "absent" and matches
+/// nothing (an attribute not present in a wme).
+class Value {
+ public:
+  enum class Kind : std::uint8_t { Absent, Sym, Int, Float };
+
+  constexpr Value() = default;
+  constexpr explicit Value(Symbol s) : kind_(Kind::Sym), sym_(s) {}
+  constexpr explicit Value(long i) : kind_(Kind::Int), int_(i) {}
+  constexpr explicit Value(double f) : kind_(Kind::Float), float_(f) {}
+
+  static Value sym(std::string_view text) {
+    return Value(Symbol::intern(text));
+  }
+
+  [[nodiscard]] constexpr Kind kind() const { return kind_; }
+  [[nodiscard]] constexpr bool absent() const { return kind_ == Kind::Absent; }
+  [[nodiscard]] constexpr bool numeric() const {
+    return kind_ == Kind::Int || kind_ == Kind::Float;
+  }
+  [[nodiscard]] constexpr Symbol as_symbol() const { return sym_; }
+  [[nodiscard]] constexpr long as_int() const { return int_; }
+  [[nodiscard]] constexpr double as_double() const {
+    return kind_ == Kind::Int ? static_cast<double>(int_) : float_;
+  }
+
+  /// OPS5 equality: symbols by identity, numbers by numeric value
+  /// (int 2 == float 2.0).  Absent equals nothing, including absent.
+  [[nodiscard]] bool equals(const Value& o) const;
+
+  /// Applies an OPS5 predicate.  Ordering predicates (< <= > >=) are only
+  /// satisfiable between two numbers; on anything else they fail.
+  /// `Ne` is true whenever both are present and `equals` is false.
+  [[nodiscard]] bool test(Predicate p, const Value& o) const;
+
+  /// Hash consistent with `equals` (ints and equal-valued floats collide).
+  [[nodiscard]] std::size_t hash() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Value& a, const Value& b) { return a.equals(b); }
+
+ private:
+  Kind kind_ = Kind::Absent;
+  Symbol sym_;
+  long int_ = 0;
+  double float_ = 0.0;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+}  // namespace mpps::ops5
+
+namespace std {
+template <>
+struct hash<mpps::ops5::Value> {
+  size_t operator()(const mpps::ops5::Value& v) const noexcept {
+    return v.hash();
+  }
+};
+}  // namespace std

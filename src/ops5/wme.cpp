@@ -1,0 +1,93 @@
+#include "src/ops5/wme.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace mpps::ops5 {
+
+namespace {
+const Value kAbsent{};
+}
+
+Wme::Wme(Symbol wme_class, std::vector<std::pair<Symbol, Value>> attrs)
+    : class_(wme_class), attrs_(std::move(attrs)) {
+  std::sort(attrs_.begin(), attrs_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+}
+
+const Value& Wme::get(Symbol attr) const {
+  auto it = std::lower_bound(
+      attrs_.begin(), attrs_.end(), attr,
+      [](const auto& pair, Symbol key) { return pair.first < key; });
+  if (it != attrs_.end() && it->first == attr) return it->second;
+  return kAbsent;
+}
+
+void Wme::set(Symbol attr, Value v) {
+  auto it = std::lower_bound(
+      attrs_.begin(), attrs_.end(), attr,
+      [](const auto& pair, Symbol key) { return pair.first < key; });
+  if (it != attrs_.end() && it->first == attr) {
+    it->second = v;
+  } else {
+    attrs_.insert(it, {attr, v});
+  }
+}
+
+std::string Wme::to_string() const {
+  std::ostringstream os;
+  os << '(' << class_.text();
+  for (const auto& [attr, value] : attrs_) {
+    os << " ^" << attr.text() << ' ' << value;
+  }
+  os << ')';
+  return os.str();
+}
+
+bool Wme::same_content(const Wme& o) const {
+  if (class_ != o.class_ || attrs_.size() != o.attrs_.size()) return false;
+  for (std::size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i].first != o.attrs_[i].first) return false;
+    if (!attrs_[i].second.equals(o.attrs_[i].second)) return false;
+  }
+  return true;
+}
+
+std::ostream& operator<<(std::ostream& os, const Wme& w) {
+  return os << w.to_string();
+}
+
+WmeId WorkingMemory::add(Wme w) {
+  w.id_ = WmeId{next_tag_++};
+  WmeId id = w.id_;
+  pending_.push_back({WmeChange::Kind::Add, w});
+  live_.emplace(id, std::move(w));
+  return id;
+}
+
+bool WorkingMemory::remove(WmeId id) {
+  auto it = live_.find(id);
+  if (it == live_.end()) return false;
+  pending_.push_back({WmeChange::Kind::Delete, it->second});
+  live_.erase(it);
+  return true;
+}
+
+const Wme* WorkingMemory::find(WmeId id) const {
+  auto it = live_.find(id);
+  return it == live_.end() ? nullptr : &it->second;
+}
+
+std::vector<const Wme*> WorkingMemory::all() const {
+  std::vector<const Wme*> out;
+  out.reserve(live_.size());
+  for (const auto& [id, wme] : live_) out.push_back(&wme);
+  return out;
+}
+
+std::vector<WmeChange> WorkingMemory::drain_changes() {
+  return std::exchange(pending_, {});
+}
+
+}  // namespace mpps::ops5

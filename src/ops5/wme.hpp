@@ -1,0 +1,85 @@
+// Working-memory elements and the working memory itself.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/ids.hpp"
+#include "src/common/symbol.hpp"
+#include "src/ops5/value.hpp"
+
+namespace mpps::ops5 {
+
+/// One working-memory element: a class name plus attribute/value pairs.
+/// The id doubles as the OPS5 "timetag" used by conflict resolution: larger
+/// id == more recently created.
+class Wme {
+ public:
+  Wme() = default;
+  Wme(Symbol wme_class, std::vector<std::pair<Symbol, Value>> attrs);
+
+  [[nodiscard]] Symbol wme_class() const { return class_; }
+  [[nodiscard]] WmeId id() const { return id_; }
+
+  /// Value of `attr`, or an absent Value if the wme does not carry it.
+  [[nodiscard]] const Value& get(Symbol attr) const;
+
+  /// Sets (or replaces) one attribute.
+  void set(Symbol attr, Value v);
+
+  [[nodiscard]] const std::vector<std::pair<Symbol, Value>>& attrs() const {
+    return attrs_;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// Structural equality ignoring the timetag (used by `remove`-by-value
+  /// tests and by the naive matcher).
+  [[nodiscard]] bool same_content(const Wme& o) const;
+
+ private:
+  friend class WorkingMemory;
+  Symbol class_;
+  std::vector<std::pair<Symbol, Value>> attrs_;  // sorted by attr symbol id
+  WmeId id_ = WmeId::invalid();
+};
+
+std::ostream& operator<<(std::ostream& os, const Wme& w);
+
+/// One change to working memory, as recorded per MRA cycle and fed to the
+/// match network.
+struct WmeChange {
+  enum class Kind : std::uint8_t { Add, Delete };
+  Kind kind = Kind::Add;
+  Wme wme;  // for Delete, the full wme content at the time of deletion
+};
+
+/// The working memory: the set of live wmes, keyed by timetag.
+class WorkingMemory {
+ public:
+  /// Adds a wme, assigning it the next timetag.  Returns its id.
+  WmeId add(Wme w);
+
+  /// Removes the wme with `id`.  Returns false if no such wme is live.
+  bool remove(WmeId id);
+
+  [[nodiscard]] const Wme* find(WmeId id) const;
+  [[nodiscard]] std::size_t size() const { return live_.size(); }
+
+  /// All live wmes in timetag order.
+  [[nodiscard]] std::vector<const Wme*> all() const;
+
+  /// Changes recorded since the last `drain_changes` call, in order.
+  std::vector<WmeChange> drain_changes();
+
+ private:
+  std::map<WmeId, Wme> live_;
+  std::vector<WmeChange> pending_;
+  std::uint64_t next_tag_ = 1;
+};
+
+}  // namespace mpps::ops5

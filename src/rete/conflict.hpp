@@ -1,0 +1,66 @@
+// The conflict set and OPS5 conflict-resolution strategies (LEX and MEA),
+// including refraction (an instantiation fires at most once while it stays
+// in the conflict set).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "src/common/ids.hpp"
+#include "src/rete/token.hpp"
+
+namespace mpps::rete {
+
+enum class Strategy : std::uint8_t { Lex, Mea };
+
+/// A complete match of one production.
+struct Instantiation {
+  ProductionId production;
+  Token token;  // wmes matching the positive CEs, in CE order
+
+  friend bool operator==(const Instantiation&, const Instantiation&) = default;
+};
+
+/// The set of active instantiations, with LEX/MEA selection.
+class ConflictSet {
+ public:
+  /// `specificity_of` returns the LHS test count of a production (the LEX
+  /// tiebreaker).  Captured by reference semantics — keep it alive.
+  explicit ConflictSet(
+      std::function<std::size_t(ProductionId)> specificity_of);
+
+  void add(Instantiation inst);
+  /// Removes an instantiation (and forgets its refraction mark).
+  /// Returns true if it was present.
+  bool remove(const Instantiation& inst);
+
+  /// Picks the dominant unfired instantiation per `strategy`, or nullopt if
+  /// every instantiation has already fired (or the set is empty).
+  [[nodiscard]] std::optional<Instantiation> select(Strategy strategy) const;
+
+  /// Marks an instantiation as fired (refraction).
+  void mark_fired(const Instantiation& inst);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::vector<Instantiation> all() const;
+
+ private:
+  struct Entry {
+    Instantiation inst;
+    std::vector<WmeId> recency;  // timetags sorted descending
+    std::size_t specificity = 0;
+    bool fired = false;
+  };
+
+  /// True when `a` dominates `b` (should be preferred).
+  static bool dominates(const Entry& a, const Entry& b, Strategy strategy);
+
+  std::function<std::size_t(ProductionId)> specificity_of_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace mpps::rete

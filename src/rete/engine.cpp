@@ -1,0 +1,248 @@
+#include "src/rete/engine.hpp"
+
+#include <utility>
+
+namespace mpps::rete {
+
+Engine::Engine(const Network& net, EngineOptions options)
+    : net_(net),
+      options_(options),
+      left_(options.num_buckets),
+      right_(options.num_buckets),
+      conflict_([&net](ProductionId pid) {
+        return net.production(pid).specificity();
+      }) {}
+
+void Engine::process_change(const ops5::WmeChange& change) {
+  if (listener_ != nullptr) listener_->on_wme_change(change);
+  const Tag tag =
+      change.kind == ops5::WmeChange::Kind::Add ? Tag::Plus : Tag::Minus;
+  const WmeId id = change.wme.id();
+  if (tag == Tag::Plus) {
+    wmes_.emplace(id, change.wme);
+  }
+  // Constant-test (alpha) phase: find every alpha node the wme satisfies
+  // and seed activations at the attached two-input nodes.
+  for (const AlphaNode& alpha : net_.alphas()) {
+    if (!alpha.matches(change.wme)) continue;
+    for (const AlphaSuccessor& succ : alpha.successors) {
+      Pending p;
+      p.parent = ActivationId::invalid();
+      p.node = succ.beta;
+      p.side = succ.side;
+      p.tag = tag;
+      if (succ.side == Side::Left) {
+        p.token = Token{{id}};
+      } else {
+        p.wme = id;
+      }
+      queue_.push_back(std::move(p));
+    }
+    // Single-positive-CE productions: the wme itself is an instantiation.
+    for (ProductionId pid : alpha.direct_productions) {
+      update_conflict_set(pid, Token{{id}}, tag);
+    }
+  }
+  drain();
+  if (tag == Tag::Minus) {
+    wmes_.erase(id);
+  }
+}
+
+void Engine::drain() {
+  while (!queue_.empty()) {
+    Pending p = std::move(queue_.front());
+    queue_.pop_front();
+    if (p.side == Side::Left) {
+      process_left(p);
+    } else {
+      process_right(p);
+    }
+  }
+}
+
+std::vector<Value> Engine::left_key(const BetaNode& node,
+                                    const Token& t) const {
+  std::vector<Value> key;
+  key.reserve(node.n_eq_tests);
+  for (std::uint32_t i = 0; i < node.n_eq_tests; ++i) {
+    const JoinTest& test = node.tests[i];
+    key.push_back(wmes_.at(t.wmes[test.left_pos]).get(test.left_attr));
+  }
+  return key;
+}
+
+std::vector<Value> Engine::right_key(const BetaNode& node,
+                                     const ops5::Wme& w) const {
+  std::vector<Value> key;
+  key.reserve(node.n_eq_tests);
+  for (std::uint32_t i = 0; i < node.n_eq_tests; ++i) {
+    key.push_back(w.get(node.tests[i].right_attr));
+  }
+  return key;
+}
+
+bool Engine::non_eq_tests_pass(const BetaNode& node, const Token& t,
+                               const ops5::Wme& w) const {
+  for (std::uint32_t i = node.n_eq_tests; i < node.tests.size(); ++i) {
+    const JoinTest& test = node.tests[i];
+    // The CE reads `^right_attr <pred> <var>`: the right wme's value is the
+    // left operand of the predicate, the token's binding the right operand.
+    const Value& lv = wmes_.at(t.wmes[test.left_pos]).get(test.left_attr);
+    if (!w.get(test.right_attr).test(test.pred, lv)) return false;
+  }
+  return true;
+}
+
+void Engine::emit(const BetaNode& node, Token token, Tag tag,
+                  ActivationId parent, std::uint32_t& successors,
+                  std::uint32_t& instantiations) {
+  for (const BetaSuccessor& succ : node.successors) {
+    ++stats_.tokens_generated;
+    if (succ.kind == BetaSuccessor::Kind::Production) {
+      ++instantiations;
+      update_conflict_set(succ.production, token, tag);
+    } else {
+      ++successors;
+      Pending p;
+      p.parent = parent;
+      p.node = succ.beta;
+      p.side = Side::Left;  // two-input node outputs feed left inputs only
+      p.tag = tag;
+      p.token = token;
+      queue_.push_back(std::move(p));
+    }
+  }
+}
+
+void Engine::process_left(const Pending& p) {
+  const BetaNode& node = net_.beta(p.node);
+  ++stats_.left_activations;
+  std::vector<Value> key = left_key(node, p.token);
+  const std::uint32_t bucket = left_.bucket_of(node.id, key);
+
+  ActivationRecord rec;
+  rec.id = ActivationId{next_activation_++};
+  rec.parent = p.parent;
+  rec.node = node.id;
+  rec.side = Side::Left;
+  rec.tag = p.tag;
+  rec.bucket = bucket;
+
+  if (node.kind == BetaNode::Kind::Join) {
+    if (p.tag == Tag::Plus) {
+      left_.insert(node.id, p.token, key);
+    } else if (!left_.erase(node.id, p.token, key)) {
+      ++stats_.stale_deletes;
+    }
+    for (HashedMemory::Entry* e : right_.find(node.id, key)) {
+      ++stats_.comparisons;
+      const ops5::Wme& w = wmes_.at(e->token.wmes[0]);
+      if (!non_eq_tests_pass(node, p.token, w)) continue;
+      Token child = p.token;
+      child.wmes.push_back(e->token.wmes[0]);
+      emit(node, std::move(child), p.tag, rec.id, rec.successors,
+           rec.instantiations);
+    }
+  } else {  // Negative node
+    if (p.tag == Tag::Plus) {
+      int count = 0;
+      for (HashedMemory::Entry* e : right_.find(node.id, key)) {
+        ++stats_.comparisons;
+        if (non_eq_tests_pass(node, p.token, wmes_.at(e->token.wmes[0]))) {
+          ++count;
+        }
+      }
+      left_.insert(node.id, p.token, key);
+      left_.find_token(node.id, p.token, key)->neg_count = count;
+      if (count == 0) {
+        emit(node, p.token, Tag::Plus, rec.id, rec.successors,
+             rec.instantiations);
+      }
+    } else {
+      HashedMemory::Entry* e = left_.find_token(node.id, p.token, key);
+      if (e == nullptr) {
+        ++stats_.stale_deletes;
+      } else {
+        const bool was_propagated = e->neg_count == 0;
+        left_.erase(node.id, p.token, key);
+        if (was_propagated) {
+          emit(node, p.token, Tag::Minus, rec.id, rec.successors,
+               rec.instantiations);
+        }
+      }
+    }
+  }
+  if (listener_ != nullptr) listener_->on_activation(rec);
+}
+
+void Engine::process_right(const Pending& p) {
+  const BetaNode& node = net_.beta(p.node);
+  ++stats_.right_activations;
+  const ops5::Wme& w = wmes_.at(p.wme);
+  std::vector<Value> key = right_key(node, w);
+  const std::uint32_t bucket = right_.bucket_of(node.id, key);
+  const Token wme_token{{p.wme}};
+
+  ActivationRecord rec;
+  rec.id = ActivationId{next_activation_++};
+  rec.parent = p.parent;
+  rec.node = node.id;
+  rec.side = Side::Right;
+  rec.tag = p.tag;
+  rec.bucket = bucket;
+
+  if (node.kind == BetaNode::Kind::Join) {
+    if (p.tag == Tag::Plus) {
+      right_.insert(node.id, wme_token, key);
+    } else if (!right_.erase(node.id, wme_token, key)) {
+      ++stats_.stale_deletes;
+    }
+    for (HashedMemory::Entry* e : left_.find(node.id, key)) {
+      ++stats_.comparisons;
+      if (!non_eq_tests_pass(node, e->token, w)) continue;
+      Token child = e->token;
+      child.wmes.push_back(p.wme);
+      emit(node, std::move(child), p.tag, rec.id, rec.successors,
+           rec.instantiations);
+    }
+  } else {  // Negative node
+    if (p.tag == Tag::Plus) {
+      right_.insert(node.id, wme_token, key);
+      for (HashedMemory::Entry* e : left_.find(node.id, key)) {
+        ++stats_.comparisons;
+        if (!non_eq_tests_pass(node, e->token, w)) continue;
+        if (e->neg_count++ == 0) {
+          emit(node, e->token, Tag::Minus, rec.id, rec.successors,
+               rec.instantiations);
+        }
+      }
+    } else {
+      if (!right_.erase(node.id, wme_token, key)) {
+        ++stats_.stale_deletes;
+      } else {
+        for (HashedMemory::Entry* e : left_.find(node.id, key)) {
+          ++stats_.comparisons;
+          if (!non_eq_tests_pass(node, e->token, w)) continue;
+          if (--e->neg_count == 0) {
+            emit(node, e->token, Tag::Plus, rec.id, rec.successors,
+                 rec.instantiations);
+          }
+        }
+      }
+    }
+  }
+  if (listener_ != nullptr) listener_->on_activation(rec);
+}
+
+void Engine::update_conflict_set(ProductionId pid, const Token& token,
+                                 Tag tag) {
+  Instantiation inst{pid, token};
+  if (tag == Tag::Plus) {
+    conflict_.add(std::move(inst));
+  } else {
+    conflict_.remove(inst);
+  }
+}
+
+}  // namespace mpps::rete

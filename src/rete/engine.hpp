@@ -1,0 +1,116 @@
+// The serial Rete match engine over hashed memories.  It propagates +/-
+// tokens through the compiled network, maintains the conflict set, and
+// reports every two-input node activation to an optional listener — that
+// listener is how the trace module records the hash-table activity the MPC
+// simulator replays (the paper's Figure 4-1 input).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/ids.hpp"
+#include "src/ops5/wme.hpp"
+#include "src/rete/conflict.hpp"
+#include "src/rete/memory.hpp"
+#include "src/rete/network.hpp"
+#include "src/rete/token.hpp"
+
+namespace mpps::rete {
+
+/// One two-input node activation, as the paper defines it: a token stored
+/// into a memory plus the match against the opposite bucket.
+struct ActivationRecord {
+  ActivationId id;
+  /// The activation whose match generated this token; invalid when the
+  /// token came straight from the constant-test phase (a WM change).
+  ActivationId parent;
+  NodeId node;
+  Side side = Side::Left;
+  Tag tag = Tag::Plus;
+  std::uint32_t bucket = 0;      // global hash bucket index
+  std::uint32_t successors = 0;  // tokens generated toward beta successors
+  std::uint32_t instantiations = 0;  // tokens sent to production nodes
+};
+
+/// Observer of engine activity; implemented by the trace collector.
+class ActivationListener {
+ public:
+  virtual ~ActivationListener() = default;
+  /// A WM change is about to be pushed through the constant-test layer.
+  virtual void on_wme_change(const ops5::WmeChange& change) { (void)change; }
+  /// A two-input node activation completed (successor counts are final).
+  virtual void on_activation(const ActivationRecord& record) { (void)record; }
+};
+
+struct EngineOptions {
+  /// Buckets per side of the global hash table — the unit the MPC mapping
+  /// distributes across match processors.
+  std::uint32_t num_buckets = 256;
+};
+
+struct EngineStats {
+  std::uint64_t left_activations = 0;
+  std::uint64_t right_activations = 0;
+  std::uint64_t tokens_generated = 0;
+  std::uint64_t comparisons = 0;  // opposite-bucket entries examined
+  std::uint64_t stale_deletes = 0;
+};
+
+class Engine {
+ public:
+  /// The network must outlive the engine.
+  explicit Engine(const Network& net, EngineOptions options = {});
+
+  void set_listener(ActivationListener* listener) { listener_ = listener; }
+
+  /// Pushes one WM change (add or delete) fully through the network.
+  void process_change(const ops5::WmeChange& change);
+
+  [[nodiscard]] ConflictSet& conflict_set() { return conflict_; }
+  [[nodiscard]] const ConflictSet& conflict_set() const { return conflict_; }
+
+  [[nodiscard]] const EngineStats& stats() const { return stats_; }
+  [[nodiscard]] const HashedMemory& left_memory() const { return left_; }
+  [[nodiscard]] const HashedMemory& right_memory() const { return right_; }
+
+  /// The wme with `id`, which must be live inside the network.
+  [[nodiscard]] const ops5::Wme& wme(WmeId id) const { return wmes_.at(id); }
+
+ private:
+  struct Pending {
+    ActivationId parent;
+    NodeId node;
+    Side side;
+    Tag tag;
+    Token token;  // left activations; right activations use `wme`
+    WmeId wme;    // right activations
+  };
+
+  void drain();
+  void process_left(const Pending& p);
+  void process_right(const Pending& p);
+  std::vector<Value> left_key(const BetaNode& node, const Token& t) const;
+  std::vector<Value> right_key(const BetaNode& node,
+                               const ops5::Wme& w) const;
+  bool non_eq_tests_pass(const BetaNode& node, const Token& t,
+                         const ops5::Wme& w) const;
+  /// Routes a generated token to `node`'s successors; returns counts.
+  void emit(const BetaNode& node, Token token, Tag tag, ActivationId parent,
+            std::uint32_t& successors, std::uint32_t& instantiations);
+  void update_conflict_set(ProductionId pid, const Token& token, Tag tag);
+
+  const Network& net_;
+  EngineOptions options_;
+  ActivationListener* listener_ = nullptr;
+  HashedMemory left_;
+  HashedMemory right_;
+  ConflictSet conflict_;
+  std::unordered_map<WmeId, ops5::Wme> wmes_;
+  std::deque<Pending> queue_;
+  std::uint64_t next_activation_ = 1;
+  EngineStats stats_;
+};
+
+}  // namespace mpps::rete

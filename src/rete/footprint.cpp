@@ -1,0 +1,129 @@
+#include "src/rete/footprint.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/common/error.hpp"
+
+namespace mpps::rete {
+namespace {
+
+// Size constants.  The in-line numbers are calibrated to the paper's
+// report that ~1000-production systems need 1-2 MB under OPS83-style
+// expansion; the packed two-input record is the paper's 14 bytes.
+constexpr std::size_t kInlineBetaBytes = 350;
+constexpr std::size_t kInlineAlphaTestBytes = 60;
+constexpr std::size_t kInlineProductionBytes = 400;  // RHS code
+constexpr std::size_t kPackedBetaBytes = 14;
+constexpr std::size_t kPackedAlphaTestBytes = 8;
+constexpr std::size_t kPackedProductionBytes = 64;  // RHS action records
+constexpr std::size_t kSharedRuntimeBytes = 6 * 1024;  // interpreter + hash
+
+/// Walks each production's beta chain from its terminal node upward.
+std::vector<std::vector<NodeId>> production_chains(const Network& network) {
+  // Build a reverse map: which beta feeds which (left_source edges).
+  std::vector<std::vector<NodeId>> chains;
+  for (const auto& pnode : network.production_nodes()) {
+    // Find the terminal beta: the one whose successors include pnode.
+    NodeId terminal = NodeId::invalid();
+    for (const auto& beta : network.betas()) {
+      for (const auto& succ : beta.successors) {
+        if (succ.kind == BetaSuccessor::Kind::Production &&
+            succ.production == pnode.id) {
+          terminal = beta.id;
+        }
+      }
+    }
+    std::vector<NodeId> chain;
+    NodeId cursor = terminal;
+    while (cursor.valid()) {
+      chain.push_back(cursor);
+      cursor = network.beta(cursor).left_source;
+    }
+    std::reverse(chain.begin(), chain.end());  // top-down
+    chains.push_back(std::move(chain));
+  }
+  return chains;
+}
+
+}  // namespace
+
+FootprintEstimate estimate_footprint(const Network& network,
+                                     NodeEncoding encoding) {
+  FootprintEstimate out;
+  std::size_t alpha_tests = 0;
+  for (const auto& alpha : network.alphas()) {
+    alpha_tests += 1 + alpha.tests.size();  // class test + attribute tests
+  }
+  const bool packed = encoding == NodeEncoding::Packed14Byte;
+  out.alpha_bytes = alpha_tests * (packed ? kPackedAlphaTestBytes
+                                          : kInlineAlphaTestBytes);
+  out.beta_bytes = network.betas().size() *
+                   (packed ? kPackedBetaBytes : kInlineBetaBytes);
+  out.production_bytes =
+      network.production_nodes().size() *
+      (packed ? kPackedProductionBytes : kInlineProductionBytes);
+  out.shared_runtime_bytes = packed ? kSharedRuntimeBytes : 0;
+  return out;
+}
+
+NodePartition partition_nodes(const Network& network, std::uint32_t k) {
+  if (k == 0) {
+    throw RuntimeError("partition_nodes: need at least one partition");
+  }
+  NodePartition out;
+  out.beta_nodes.resize(k);
+  out.partition_of.assign(network.betas().size(), 0);
+  std::vector<bool> placed(network.betas().size(), false);
+
+  // Deal each production's chain round-robin, rotating the starting
+  // partition per production so partitions fill evenly.  Shared nodes keep
+  // their first placement.
+  std::uint32_t rotation = 0;
+  for (const auto& chain : production_chains(network)) {
+    std::uint32_t slot = rotation++;
+    for (NodeId node : chain) {
+      if (placed[node.value()]) {
+        ++slot;  // keep advancing so later nodes still spread
+        continue;
+      }
+      const std::uint32_t partition = slot++ % k;
+      placed[node.value()] = true;
+      out.partition_of[node.value()] = partition;
+      out.beta_nodes[partition].push_back(node);
+    }
+  }
+  // Betas not reachable through any production chain (possible only for
+  // malformed networks) go to partition 0 — keep the invariant total.
+  for (std::size_t i = 0; i < placed.size(); ++i) {
+    if (!placed[i]) {
+      out.beta_nodes[0].push_back(NodeId{static_cast<std::uint32_t>(i)});
+    }
+  }
+  return out;
+}
+
+std::size_t max_production_collisions(const Network& network,
+                                      const NodePartition& partition) {
+  std::size_t worst = 0;
+  for (const auto& chain : production_chains(network)) {
+    std::unordered_map<std::uint32_t, std::size_t> counts;
+    for (NodeId node : chain) {
+      worst = std::max(worst, ++counts[partition.partition_of[node.value()]]);
+    }
+  }
+  return worst;
+}
+
+std::vector<std::size_t> partition_footprints(const Network& network,
+                                              const NodePartition& partition) {
+  (void)network;
+  std::vector<std::size_t> out(partition.beta_nodes.size(),
+                               kSharedRuntimeBytes);
+  for (std::size_t p = 0; p < partition.beta_nodes.size(); ++p) {
+    out[p] += partition.beta_nodes[p].size() * kPackedBetaBytes;
+  }
+  return out;
+}
+
+}  // namespace mpps::rete

@@ -1,0 +1,75 @@
+// Section 3.1's memory problem: OPS83-style in-line code expansion needs
+// 1-2 MB for ~1000-production systems, while a message-passing node may
+// have only 10-20 KB of local memory.  The paper proposes two remedies,
+// both implemented here:
+//
+//  1. Encode each two-input node as a compact 14-byte record indexed by
+//     node id (instead of in-line expanded procedures), paying a small
+//     register-load cost at activation start.
+//  2. Partition the Rete nodes so each processor stores only one
+//     partition — placing nodes of the same production in different
+//     partitions to avoid contention.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/rete/network.hpp"
+
+namespace mpps::rete {
+
+/// How node code/data is represented on a processing node.
+enum class NodeEncoding : std::uint8_t {
+  /// In-line expanded match procedures (OPS83 software technology):
+  /// fast, but hundreds of bytes of code per node.
+  InlineExpanded,
+  /// The paper's 14-byte packed two-input-node records plus shared
+  /// interpreter code; a small fixed decode cost per activation.
+  Packed14Byte,
+};
+
+struct FootprintEstimate {
+  std::size_t alpha_bytes = 0;
+  std::size_t beta_bytes = 0;
+  std::size_t production_bytes = 0;
+  std::size_t shared_runtime_bytes = 0;  // interpreter loop, hash code
+
+  [[nodiscard]] std::size_t total() const {
+    return alpha_bytes + beta_bytes + production_bytes +
+           shared_runtime_bytes;
+  }
+};
+
+/// Estimates the static memory footprint of a compiled network under the
+/// chosen encoding.  The constants follow the paper's arithmetic: in-line
+/// expansion averages ~1-2 KB per production (≈350 bytes per two-input
+/// node plus constant-test code); the packed encoding stores 14 bytes per
+/// two-input node plus one shared interpreter.
+FootprintEstimate estimate_footprint(const Network& network,
+                                     NodeEncoding encoding);
+
+/// A partition of the network's node ids across `k` stores.
+struct NodePartition {
+  std::vector<std::vector<NodeId>> beta_nodes;  // per partition
+  /// partition index per beta node id (index == NodeId value).
+  std::vector<std::uint32_t> partition_of;
+};
+
+/// Partitions the two-input nodes across `k` stores such that nodes
+/// belonging to a single production land in different partitions wherever
+/// possible (the paper's contention-avoidance rule): each production's
+/// chain is dealt round-robin starting at a rotating offset.  Throws
+/// mpps::RuntimeError when k == 0.
+NodePartition partition_nodes(const Network& network, std::uint32_t k);
+
+/// Largest number of same-production nodes sharing one partition (1 is
+/// ideal; only chains longer than `k` force collisions).
+std::size_t max_production_collisions(const Network& network,
+                                      const NodePartition& partition);
+
+/// Per-partition packed footprint: 14 bytes per resident two-input node
+/// plus the shared runtime.
+std::vector<std::size_t> partition_footprints(const Network& network,
+                                              const NodePartition& partition);
+
+}  // namespace mpps::rete

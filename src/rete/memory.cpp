@@ -1,0 +1,78 @@
+#include "src/rete/memory.hpp"
+
+namespace mpps::rete {
+
+std::uint32_t bucket_index(NodeId node, std::span<const Value> key,
+                           std::uint32_t num_buckets) {
+  std::uint64_t h = 0x9E3779B97F4A7C15ull ^ node.value();
+  h *= 0xFF51AFD7ED558CCDull;
+  for (const Value& v : key) {
+    h ^= v.hash() + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  }
+  // Final avalanche so low bits are well mixed before the modulo.
+  h ^= h >> 33;
+  h *= 0xC4CEB9FE1A85EC53ull;
+  h ^= h >> 33;
+  return static_cast<std::uint32_t>(h % num_buckets);
+}
+
+bool HashedMemory::key_equals(std::span<const Value> a,
+                              std::span<const Value> b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!a[i].equals(b[i])) return false;
+  }
+  return true;
+}
+
+std::uint32_t HashedMemory::insert(NodeId node, Token token,
+                                   std::vector<Value> key) {
+  const std::uint32_t bucket = bucket_of(node, key);
+  cells_[cell_key(node, bucket)].push_back(
+      Entry{std::move(token), std::move(key), 0});
+  ++total_;
+  return bucket;
+}
+
+bool HashedMemory::erase(NodeId node, const Token& token,
+                         std::span<const Value> key) {
+  const std::uint32_t bucket = bucket_of(node, key);
+  auto it = cells_.find(cell_key(node, bucket));
+  if (it == cells_.end()) return false;
+  auto& entries = it->second;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    ++scanned_;
+    if (entries[i].token == token) {
+      entries.erase(entries.begin() + static_cast<std::ptrdiff_t>(i));
+      --total_;
+      if (entries.empty()) cells_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<HashedMemory::Entry*> HashedMemory::find(
+    NodeId node, std::span<const Value> key) {
+  std::vector<Entry*> out;
+  auto it = cells_.find(cell_key(node, bucket_of(node, key)));
+  if (it == cells_.end()) return out;
+  for (auto& e : it->second) {
+    ++scanned_;
+    if (key_equals(e.key, key)) out.push_back(&e);
+  }
+  return out;
+}
+
+HashedMemory::Entry* HashedMemory::find_token(NodeId node, const Token& token,
+                                              std::span<const Value> key) {
+  auto it = cells_.find(cell_key(node, bucket_of(node, key)));
+  if (it == cells_.end()) return nullptr;
+  for (auto& e : it->second) {
+    ++scanned_;
+    if (e.token == token) return &e;
+  }
+  return nullptr;
+}
+
+}  // namespace mpps::rete

@@ -1,0 +1,97 @@
+#include "src/rete/naive.hpp"
+
+#include <optional>
+#include <unordered_map>
+
+namespace mpps::rete {
+
+using ops5::Predicate;
+using ops5::Value;
+using Env = MatchEnv;
+
+std::optional<Env> match_ce(const ops5::ConditionElement& ce,
+                            const ops5::Wme& w, const Env& env) {
+  if (w.wme_class() != ce.ce_class) return std::nullopt;
+  Env out = env;
+  for (const auto& attr_test : ce.attr_tests) {
+    const Value& actual = w.get(attr_test.attr);
+    for (const auto& atomic : attr_test.tests) {
+      if (atomic.is_disjunction()) {
+        bool any = false;
+        for (const Value& v : atomic.disjunction) {
+          if (actual.equals(v)) {
+            any = true;
+            break;
+          }
+        }
+        if (!any) return std::nullopt;
+        continue;
+      }
+      if (!atomic.operand.is_var()) {
+        if (!actual.test(atomic.pred, atomic.operand.constant)) {
+          return std::nullopt;
+        }
+        continue;
+      }
+      const Symbol var = atomic.operand.variable;
+      if (auto it = out.find(var); it != out.end()) {
+        if (!actual.test(atomic.pred, it->second)) return std::nullopt;
+      } else if (atomic.pred == Predicate::Eq) {
+        out.emplace(var, actual);
+      } else {
+        return std::nullopt;  // predicate on an unbound variable
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+struct Searcher {
+  const ops5::Production& prod;
+  const std::vector<const ops5::Wme*>& wmes;
+  ProductionId pid;
+  std::vector<Instantiation>& out;
+
+  void search(std::size_t ce_index, const Env& env,
+              std::vector<WmeId>& token) {
+    if (ce_index == prod.lhs.size()) {
+      out.push_back(Instantiation{pid, Token{token}});
+      return;
+    }
+    const auto& ce = prod.lhs[ce_index];
+    if (ce.negated) {
+      for (const ops5::Wme* w : wmes) {
+        // Bindings inside a negated CE are local to it (existential).
+        if (match_ce(ce, *w, env).has_value()) return;
+      }
+      search(ce_index + 1, env, token);
+      return;
+    }
+    for (const ops5::Wme* w : wmes) {
+      if (auto extended = match_ce(ce, *w, env)) {
+        token.push_back(w->id());
+        search(ce_index + 1, *extended, token);
+        token.pop_back();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<Instantiation> naive_match(
+    const ops5::Program& program, const std::vector<const ops5::Wme*>& wmes) {
+  std::vector<Instantiation> out;
+  for (std::size_t i = 0; i < program.productions.size(); ++i) {
+    std::vector<WmeId> token;
+    Searcher searcher{program.productions[i], wmes,
+                      ProductionId{static_cast<std::uint32_t>(i)}, out};
+    Env env;
+    searcher.search(0, env, token);
+  }
+  return out;
+}
+
+}  // namespace mpps::rete

@@ -1,0 +1,31 @@
+// A brute-force matcher, independent of the Rete code paths, used as the
+// test oracle: after any sequence of WM changes, Rete's conflict set must
+// equal the naive matcher's output on the same working memory.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/ops5/ast.hpp"
+#include "src/ops5/wme.hpp"
+#include "src/rete/conflict.hpp"
+
+namespace mpps::rete {
+
+/// A variable environment during matching.
+using MatchEnv = std::unordered_map<Symbol, ops5::Value>;
+
+/// Matches one condition element against one wme under `env`: first
+/// variable occurrences bind, later occurrences test.  On success returns
+/// the extended environment.  Shared by the naive matcher and TREAT.
+std::optional<MatchEnv> match_ce(const ops5::ConditionElement& ce,
+                                 const ops5::Wme& wme, const MatchEnv& env);
+
+/// Computes all instantiations of `program` against `wmes` by exhaustive
+/// search.  Production ids are assigned by position in
+/// `program.productions`, matching Network::compile's assignment.
+std::vector<Instantiation> naive_match(
+    const ops5::Program& program, const std::vector<const ops5::Wme*>& wmes);
+
+}  // namespace mpps::rete

@@ -1,0 +1,37 @@
+// Tokens: partial instantiations of productions flowing through the Rete
+// network.  A token lists the wmes matching the positive condition elements
+// matched so far (the paper's "list of wme IDs"); variable bindings are
+// recovered from the wmes on demand, which is equivalent to carrying them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/common/ids.hpp"
+
+namespace mpps::rete {
+
+/// Addition or deletion — the paper's +/- token tag.
+enum class Tag : std::uint8_t { Plus, Minus };
+
+/// Which input of a two-input node an activation arrives on.
+enum class Side : std::uint8_t { Left, Right };
+
+struct Token {
+  std::vector<WmeId> wmes;  // one id per positive CE matched, in CE order
+
+  friend bool operator==(const Token& a, const Token& b) = default;
+};
+
+struct TokenHash {
+  std::size_t operator()(const Token& t) const noexcept {
+    std::size_t h = 0x9E3779B97F4A7C15ull;
+    for (WmeId w : t.wmes) {
+      h ^= std::hash<WmeId>{}(w) + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+}  // namespace mpps::rete

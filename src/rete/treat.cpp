@@ -1,0 +1,212 @@
+#include "src/rete/treat.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "src/rete/naive.hpp"
+
+namespace mpps::rete {
+
+TreatEngine::TreatEngine(const ops5::Program& program)
+    : conflict_([specs = [&] {
+        std::vector<std::size_t> out;
+        for (const auto& p : program.productions) {
+          out.push_back(p.specificity());
+        }
+        return out;
+      }()](ProductionId pid) { return specs[pid.value()]; }) {
+  for (std::size_t i = 0; i < program.productions.size(); ++i) {
+    ProductionState state;
+    state.production = &program.productions[i];
+    state.id = ProductionId{static_cast<std::uint32_t>(i)};
+    state.alpha.resize(program.productions[i].lhs.size());
+    productions_.push_back(std::move(state));
+  }
+}
+
+std::size_t TreatEngine::alpha_memory_size() const {
+  std::size_t total = 0;
+  for (const auto& prod : productions_) {
+    for (const auto& memory : prod.alpha) total += memory.size();
+  }
+  return total;
+}
+
+void TreatEngine::process_change(const ops5::WmeChange& change) {
+  if (change.kind == ops5::WmeChange::Kind::Add) {
+    wmes_.emplace(change.wme.id(), change.wme);
+    add_wme(change.wme);
+  } else {
+    remove_wme(change.wme);
+    wmes_.erase(change.wme.id());
+  }
+}
+
+void TreatEngine::add_wme(const ops5::Wme& wme) {
+  for (auto& prod : productions_) {
+    bool recheck_instantiations = false;
+    std::vector<std::size_t> positive_hits;
+    // Pass 1: insert into every matching alpha memory (a wme may match
+    // several CEs of one production — including the seed's own twin).
+    for (std::size_t k = 0; k < prod.production->lhs.size(); ++k) {
+      const auto& ce = prod.production->lhs[k];
+      if (!match_ce(ce, wme, MatchEnv{}).has_value()) continue;
+      prod.alpha[k].push_back(wme.id());
+      ++stats_.alpha_insertions;
+      if (ce.negated) {
+        recheck_instantiations = true;  // a new blocker appeared
+      } else {
+        positive_hits.push_back(k);
+      }
+    }
+    // Pass 2: seed the joins.
+    std::vector<Instantiation> found;
+    for (std::size_t k : positive_hits) {
+      seeded_join(prod, k, wme.id(), found);
+    }
+    for (auto& inst : found) {
+      conflict_.add(std::move(inst));
+    }
+    if (recheck_instantiations) {
+      // Retract instantiations the new wme now blocks: rebuild each
+      // instantiation's environment and test the negated CEs against it.
+      ++stats_.negated_rechecks;
+      for (const auto& inst : conflict_.all()) {
+        if (inst.production != prod.id) continue;
+        MatchEnv env;
+        std::size_t pos = 0;
+        for (const auto& ce : prod.production->lhs) {
+          if (ce.negated) continue;
+          env = *match_ce(ce, wmes_.at(inst.token.wmes[pos]), env);
+          ++pos;
+        }
+        bool blocked = false;
+        for (const auto& ce : prod.production->lhs) {
+          if (ce.negated && match_ce(ce, wme, env).has_value()) {
+            blocked = true;
+            break;
+          }
+        }
+        if (blocked) conflict_.remove(inst);
+      }
+    }
+  }
+}
+
+void TreatEngine::remove_wme(const ops5::Wme& wme) {
+  // Drop conflict-set entries that use the wme positively — this is
+  // TREAT's cheap delete (no token flood).
+  for (const auto& inst : conflict_.all()) {
+    if (std::find(inst.token.wmes.begin(), inst.token.wmes.end(),
+                  wme.id()) != inst.token.wmes.end()) {
+      conflict_.remove(inst);
+    }
+  }
+  for (auto& prod : productions_) {
+    bool unblocked = false;
+    for (std::size_t k = 0; k < prod.production->lhs.size(); ++k) {
+      auto& memory = prod.alpha[k];
+      const auto it = std::find(memory.begin(), memory.end(), wme.id());
+      if (it == memory.end()) continue;
+      memory.erase(it);
+      if (prod.production->lhs[k].negated) unblocked = true;
+    }
+    if (unblocked) {
+      ++stats_.negated_rechecks;
+      recompute_production(prod);
+    }
+  }
+}
+
+void TreatEngine::seeded_join(ProductionState& prod, std::size_t seed_ce,
+                              WmeId seed, std::vector<Instantiation>& out) {
+  const ops5::Production& p = *prod.production;
+  std::vector<WmeId> token;
+
+  // Recursive descent over CEs; the seed occupies `seed_ce`, and earlier
+  // CEs must not use the seed wme (instantiations whose FIRST seed
+  // occurrence is earlier are found when seeding that position), which
+  // dedups multi-position uses exactly.
+  auto search = [&](auto&& self, std::size_t k, const MatchEnv& env) -> void {
+    if (k == p.lhs.size()) {
+      out.push_back(Instantiation{prod.id, Token{token}});
+      return;
+    }
+    const auto& ce = p.lhs[k];
+    if (ce.negated) {
+      for (WmeId candidate : prod.alpha[k]) {
+        ++stats_.join_attempts;
+        if (match_ce(ce, wmes_.at(candidate), env).has_value()) return;
+      }
+      self(self, k + 1, env);
+      return;
+    }
+    if (k == seed_ce) {
+      if (auto extended = match_ce(ce, wmes_.at(seed), env)) {
+        token.push_back(seed);
+        self(self, k + 1, *extended);
+        token.pop_back();
+      }
+      return;
+    }
+    for (WmeId candidate : prod.alpha[k]) {
+      if (k < seed_ce && candidate == seed) continue;
+      ++stats_.join_attempts;
+      if (auto extended = match_ce(ce, wmes_.at(candidate), env)) {
+        token.push_back(candidate);
+        self(self, k + 1, *extended);
+        token.pop_back();
+      }
+    }
+  };
+  search(search, 0, MatchEnv{});
+}
+
+void TreatEngine::recompute_production(ProductionState& prod) {
+  const ops5::Production& p = *prod.production;
+  std::vector<Instantiation> found;
+  std::vector<WmeId> token;
+  auto search = [&](auto&& self, std::size_t k, const MatchEnv& env) -> void {
+    if (k == p.lhs.size()) {
+      found.push_back(Instantiation{prod.id, Token{token}});
+      return;
+    }
+    const auto& ce = p.lhs[k];
+    if (ce.negated) {
+      for (WmeId candidate : prod.alpha[k]) {
+        ++stats_.join_attempts;
+        if (match_ce(ce, wmes_.at(candidate), env).has_value()) return;
+      }
+      self(self, k + 1, env);
+      return;
+    }
+    for (WmeId candidate : prod.alpha[k]) {
+      ++stats_.join_attempts;
+      if (auto extended = match_ce(ce, wmes_.at(candidate), env)) {
+        token.push_back(candidate);
+        self(self, k + 1, *extended);
+        token.pop_back();
+      }
+    }
+  };
+  search(search, 0, MatchEnv{});
+
+  // Add anything newly unblocked; existing entries stay (their refraction
+  // marks survive, as in a real TREAT conflict set).
+  std::set<std::vector<std::uint64_t>> existing;
+  for (const auto& inst : conflict_.all()) {
+    if (inst.production != prod.id) continue;
+    std::vector<std::uint64_t> key;
+    for (WmeId w : inst.token.wmes) key.push_back(w.value());
+    existing.insert(std::move(key));
+  }
+  for (auto& inst : found) {
+    std::vector<std::uint64_t> key;
+    for (WmeId w : inst.token.wmes) key.push_back(w.value());
+    if (!existing.contains(key)) {
+      conflict_.add(std::move(inst));
+    }
+  }
+}
+
+}  // namespace mpps::rete

@@ -1,0 +1,68 @@
+// TREAT (Miranker 1987) — the paper's cited rival of Rete [30].  TREAT
+// keeps only the alpha memories (per condition element) and the conflict
+// set; it stores NO beta-level partial matches.  On a wme addition it runs
+// a seeded join of the new wme against the other condition elements' alpha
+// memories; on a deletion it drops the conflict-set entries containing the
+// wme (no minus-token flood).  The classic trade: Rete pays memory and
+// delete-propagation for never re-joining; TREAT re-joins on every add but
+// deletes are nearly free.
+//
+// Used here as a differential-testing target (Rete, TREAT and the naive
+// matcher must always agree) and for the Rete-vs-TREAT micro-benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/ops5/ast.hpp"
+#include "src/ops5/wme.hpp"
+#include "src/rete/conflict.hpp"
+
+namespace mpps::rete {
+
+struct TreatStats {
+  std::uint64_t alpha_insertions = 0;
+  std::uint64_t join_attempts = 0;  // candidate wmes examined during seeds
+  std::uint64_t negated_rechecks = 0;
+};
+
+class TreatEngine {
+ public:
+  explicit TreatEngine(const ops5::Program& program);
+
+  /// Pushes one WM change (add or delete) through the matcher.
+  void process_change(const ops5::WmeChange& change);
+
+  [[nodiscard]] ConflictSet& conflict_set() { return conflict_; }
+  [[nodiscard]] const ConflictSet& conflict_set() const { return conflict_; }
+  [[nodiscard]] const TreatStats& stats() const { return stats_; }
+
+  /// Total wme references held in alpha memories (TREAT's entire match
+  /// state; compare Rete's beta-token count).
+  [[nodiscard]] std::size_t alpha_memory_size() const;
+
+ private:
+  struct ProductionState {
+    const ops5::Production* production = nullptr;
+    ProductionId id;
+    // Alpha memory per CE: live wme ids passing the CE's single-wme tests.
+    std::vector<std::vector<WmeId>> alpha;
+  };
+
+  void add_wme(const ops5::Wme& wme);
+  void remove_wme(const ops5::Wme& wme);
+  /// All instantiations of `prod` with CE `seed_ce` bound to `seed`.
+  void seeded_join(ProductionState& prod, std::size_t seed_ce, WmeId seed,
+                   std::vector<Instantiation>& out);
+  /// Recomputes the full instantiation set of one production and
+  /// reconciles the conflict set with it (negated-CE deletions).
+  void recompute_production(ProductionState& prod);
+
+  std::vector<ProductionState> productions_;
+  ConflictSet conflict_;
+  std::unordered_map<WmeId, ops5::Wme> wmes_;
+  TreatStats stats_;
+};
+
+}  // namespace mpps::rete

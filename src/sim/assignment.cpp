@@ -1,0 +1,40 @@
+#include "src/sim/assignment.hpp"
+
+#include "src/common/rng.hpp"
+
+namespace mpps::sim {
+
+Assignment Assignment::round_robin(std::uint32_t num_buckets,
+                                   std::uint32_t num_procs) {
+  std::vector<std::uint32_t> map(num_buckets);
+  for (std::uint32_t b = 0; b < num_buckets; ++b) map[b] = b % num_procs;
+  return fixed(std::move(map), num_procs);
+}
+
+Assignment Assignment::random(std::uint32_t num_buckets,
+                              std::uint32_t num_procs, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint32_t> map(num_buckets);
+  for (std::uint32_t b = 0; b < num_buckets; ++b) {
+    map[b] = static_cast<std::uint32_t>(rng.below(num_procs));
+  }
+  return fixed(std::move(map), num_procs);
+}
+
+Assignment Assignment::per_cycle(std::vector<std::vector<std::uint32_t>> maps,
+                                 std::uint32_t num_procs) {
+  Assignment a;
+  a.maps_ = std::move(maps);
+  a.num_procs_ = num_procs;
+  return a;
+}
+
+Assignment Assignment::fixed(std::vector<std::uint32_t> map,
+                             std::uint32_t num_procs) {
+  Assignment a;
+  a.maps_.push_back(std::move(map));
+  a.num_procs_ = num_procs;
+  return a;
+}
+
+}  // namespace mpps::sim

@@ -1,0 +1,49 @@
+// Bucket-to-processor assignment: the static partitioning of the global
+// hash tables across match processors.  Left and right buckets with the
+// same index are co-located (the simulated variation of Section 3.2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mpps::sim {
+
+class Assignment {
+ public:
+  /// Buckets dealt to processors in round-robin order (the paper's default).
+  static Assignment round_robin(std::uint32_t num_buckets,
+                                std::uint32_t num_procs);
+
+  /// Uniform random assignment (the alternative the paper tried; it "failed
+  /// to provide a significant improvement").
+  static Assignment random(std::uint32_t num_buckets, std::uint32_t num_procs,
+                           std::uint64_t seed);
+
+  /// One map per cycle (used by the offline greedy redistribution, which
+  /// produced "a series of distributions, one per cycle").  Each map has
+  /// one processor index per bucket.
+  static Assignment per_cycle(std::vector<std::vector<std::uint32_t>> maps,
+                              std::uint32_t num_procs);
+
+  /// A single static map.
+  static Assignment fixed(std::vector<std::uint32_t> map,
+                          std::uint32_t num_procs);
+
+  [[nodiscard]] std::uint32_t proc_of(std::size_t cycle,
+                                      std::uint32_t bucket) const {
+    const auto& map = maps_.size() == 1 ? maps_[0]
+                                        : maps_[cycle % maps_.size()];
+    return map[bucket];
+  }
+
+  [[nodiscard]] std::uint32_t num_procs() const { return num_procs_; }
+  [[nodiscard]] std::uint32_t num_buckets() const {
+    return static_cast<std::uint32_t>(maps_.empty() ? 0 : maps_[0].size());
+  }
+
+ private:
+  std::vector<std::vector<std::uint32_t>> maps_;
+  std::uint32_t num_procs_ = 1;
+};
+
+}  // namespace mpps::sim

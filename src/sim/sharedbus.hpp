@@ -1,0 +1,63 @@
+// The shared-memory ("shared-bus") baseline the paper compares against:
+// its own parallel OPS5 on the Encore Multimax (Gupta et al., ICPP'88 /
+// IJPP'89).  Match processors share centralized task queues and the global
+// hash tables live in shared memory:
+//
+//  * there is no message passing — a generated token is pushed onto the
+//    shared task queue and any processor may pick it up;
+//  * popping/pushing the centralized queue requires exclusive access (the
+//    lock/bus overhead), the "potential bottleneck" of Section 5.2.2;
+//  * a hash bucket must be accessed exclusively, so tokens hashing to the
+//    same bucket serialize exactly as in the distributed mapping — the
+//    paper's point that the Tourney cross-product hurts both designs.
+//
+// The same activation-trace input and node-activation cost model are used,
+// so MPC and shared-bus runs are directly comparable (both speedups are
+// computed against the identical serial baseline).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/simtime.hpp"
+#include "src/sim/costs.hpp"
+#include "src/trace/record.hpp"
+
+namespace mpps::sim {
+
+struct SharedBusConfig {
+  std::uint32_t processors = 8;
+  /// Exclusive task-queue access per pop (lock acquire + bus transaction).
+  /// Pushes are charged to the producing processor at the same rate.
+  SimTime queue_access = SimTime::us(3);
+  /// Node-activation costs (constant tests / left / right / successor);
+  /// the message-passing fields are ignored.
+  CostModel costs;
+};
+
+struct SharedBusResult {
+  SimTime makespan{};
+  std::uint64_t tasks = 0;
+  /// Total exclusive queue-pop time — when this approaches the makespan,
+  /// the centralized queue is the bottleneck.
+  SimTime queue_busy{};
+  /// Total time tasks spent waiting on a busy hash bucket.
+  SimTime bucket_wait{};
+  std::vector<SimTime> cycle_spans;
+
+  [[nodiscard]] double queue_utilization() const {
+    if (makespan.nanos() == 0) return 0.0;
+    return static_cast<double>(queue_busy.nanos()) /
+           static_cast<double>(makespan.nanos());
+  }
+};
+
+/// Replays the trace on the simulated shared-bus machine.  Deterministic.
+SharedBusResult simulate_shared_bus(const trace::Trace& trace,
+                                    const SharedBusConfig& config);
+
+/// Speedup against the same serial baseline as the MPC simulator.
+double shared_bus_speedup(const trace::Trace& trace,
+                          const SharedBusConfig& config);
+
+}  // namespace mpps::sim

@@ -1,0 +1,143 @@
+// Discrete-event simulator of the paper's mappings: a control processor
+// plus match processors jointly owning the distributed hash table.
+//
+// The default configuration is the Section 3.2 variation used for the
+// paper's simulations:
+//   1. The control processor broadcasts the cycle's WM changes to ALL
+//      match processors.
+//   2. Every match processor pays receive overhead + constant-test time,
+//      then processes the root activations (tokens generated directly from
+//      the WM changes) whose buckets it owns, as one coarse-grained unit —
+//      no messages are exchanged for these.
+//   3. Tokens generated at two-input nodes are left activations; each is
+//      sent (send overhead on the producer, wire latency, receive overhead
+//      on the consumer) to the processor owning its bucket — unless that
+//      bucket is local, in which case it is enqueued for free.
+//   4. Completed instantiations are sent to the control processor.
+//   5. The cycle ends when all activations and messages have drained
+//      (termination detection is not charged by default; see
+//      TerminationModel).
+//
+// Three variations of the base mapping (Sections 3.1/3.2) are selectable:
+//   * MappingMode::ProcessorPairs — each hash partition is owned by a
+//     processor PAIR: the storing side adds the token while the opposite
+//     side searches its bucket and generates successors, in parallel
+//     (the paper's micro-tasks).  Message traffic is restricted to the
+//     left processor of each pair, which forwards tokens to its partner.
+//   * constant_test_processors > 0 — instead of broadcasting WM changes to
+//     everyone, a small set of dedicated processors evaluates the
+//     partitioned constant tests and ships each root token to its bucket
+//     owner as a message (the bottleneck the paper warns about under high
+//     communication overheads).
+//   * conflict_set_processors > 0 — instantiations go to dedicated
+//     conflict-set processors that pre-select their best instantiation and
+//     forward only that to the control processor.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/simtime.hpp"
+#include "src/sim/assignment.hpp"
+#include "src/sim/costs.hpp"
+#include "src/trace/record.hpp"
+
+namespace mpps::sim {
+
+enum class MappingMode : std::uint8_t {
+  /// Both hash tables of a partition on one processor (the simulated
+  /// variation of Section 3.2; the paper's default for 32-node Nectar).
+  Merged,
+  /// A processor pair per partition (Section 3.1 base mapping): with P
+  /// match processors there are P/2 partitions; partition i is served by
+  /// processors 2i (left) and 2i+1 (right).
+  ProcessorPairs,
+};
+
+/// What the simulator charges for detecting the end of the match phase.
+/// The paper does not simulate termination detection (Section 4) and
+/// names it future work; these models bound the design space.
+enum class TerminationModel : std::uint8_t {
+  /// Free and instantaneous (the paper's assumption).
+  None,
+  /// Message-acknowledgement counting (Dijkstra-Scholten style): every
+  /// message eventually carries an ack back toward the control processor;
+  /// modelled as one extra message cost per message sent, charged to the
+  /// cycle tail, plus a final control round.
+  AckCounting,
+  /// A barrier poll: the control processor polls every match processor
+  /// (one request + one reply per processor) after the last activation.
+  BarrierPoll,
+};
+
+struct SimConfig {
+  std::uint32_t match_processors = 8;
+  MappingMode mapping = MappingMode::Merged;
+  /// 0 ⇒ broadcast to all match processors (step 2 above).  Otherwise the
+  /// number of dedicated constant-test processors.
+  std::uint32_t constant_test_processors = 0;
+  /// 0 ⇒ instantiations go straight to the control processor.
+  std::uint32_t conflict_set_processors = 0;
+  /// Per-instantiation selection cost on a conflict-set processor.
+  SimTime conflict_select_cost{};
+  TerminationModel termination = TerminationModel::None;
+  CostModel costs;
+  /// Charge send overhead + latency + receive overhead for instantiation
+  /// messages.
+  bool charge_instantiation_messages = true;
+
+  /// Hash partitions implied by mapping/match_processors.  The bucket
+  /// assignment must target [0, partitions()).
+  [[nodiscard]] std::uint32_t partitions() const {
+    return mapping == MappingMode::ProcessorPairs ? match_processors / 2
+                                                  : match_processors;
+  }
+};
+
+/// Per-processor, per-cycle observations (Fig 5-5 and idle-time analysis).
+struct ProcCycleMetrics {
+  SimTime busy{};
+  std::uint64_t activations = 0;
+  std::uint64_t left_activations = 0;
+};
+
+struct CycleMetrics {
+  SimTime start{};
+  SimTime end{};
+  std::uint64_t messages = 0;
+  std::vector<ProcCycleMetrics> procs;  // match processors only
+
+  [[nodiscard]] SimTime span() const { return end - start; }
+};
+
+struct SimResult {
+  SimTime makespan{};
+  std::uint64_t messages = 0;          // inter-processor + to-control
+  std::uint64_t local_deliveries = 0;  // tokens that stayed on-processor
+  SimTime network_busy{};              // sum of per-message wire latencies
+  SimTime termination_overhead{};      // total charged by TerminationModel
+  std::vector<CycleMetrics> cycles;
+  std::uint32_t match_processors = 1;
+
+  /// Fraction of aggregate link capacity (P links × makespan) in use.
+  [[nodiscard]] double network_utilization() const;
+  /// Mean over match processors of busy / makespan.
+  [[nodiscard]] double avg_processor_utilization() const;
+};
+
+/// Runs the trace through the simulated machine.  Deterministic: identical
+/// inputs produce identical results.  Throws mpps::RuntimeError when the
+/// configuration is inconsistent (odd processor count in pair mode, or an
+/// assignment whose processor range differs from config.partitions()).
+SimResult simulate(const trace::Trace& trace, const SimConfig& config,
+                   const Assignment& assignment);
+
+/// Convenience: simulated time on one match processor with zero
+/// message-passing overheads — the paper's speedup baseline.
+SimTime baseline_time(const trace::Trace& trace);
+
+/// Speedup of `config`/`assignment` relative to `baseline_time`.
+double speedup(const trace::Trace& trace, const SimConfig& config,
+               const Assignment& assignment);
+
+}  // namespace mpps::sim

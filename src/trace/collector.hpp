@@ -1,0 +1,58 @@
+// Hooks the Rete engine and records an activation trace from a real
+// production-system run.  Drive the interpreter cycle by cycle, calling
+// `begin_cycle` before each match phase.
+#pragma once
+
+#include <string>
+
+#include "src/rete/engine.hpp"
+#include "src/trace/record.hpp"
+
+namespace mpps::trace {
+
+class Collector : public rete::ActivationListener {
+ public:
+  explicit Collector(std::uint32_t num_buckets) {
+    trace_.num_buckets = num_buckets;
+  }
+
+  /// Marks the start of an MRA cycle; subsequent activations are recorded
+  /// into it.  Cycles with no activity are kept (they cost constant-test
+  /// time in the simulator, like the paper's small cycles).
+  void begin_cycle() { trace_.cycles.emplace_back(); }
+
+  void on_wme_change(const ops5::WmeChange& change) override {
+    (void)change;
+    if (trace_.cycles.empty()) begin_cycle();
+    ++trace_.cycles.back().wme_changes;
+  }
+
+  void on_activation(const rete::ActivationRecord& record) override {
+    if (trace_.cycles.empty()) begin_cycle();
+    TraceActivation act;
+    act.id = record.id;
+    act.parent = record.parent;
+    act.node = record.node;
+    act.side = record.side;
+    act.tag = record.tag;
+    act.bucket = record.bucket;
+    act.successors = record.successors;
+    act.instantiations = record.instantiations;
+    act.key_class = record.bucket;  // the hash's discrimination, as observed
+    trace_.cycles.back().activations.push_back(act);
+  }
+
+  /// Finalizes and returns the trace.  The collector is left empty.
+  Trace take(std::string name) {
+    Trace out = std::move(trace_);
+    out.name = std::move(name);
+    trace_ = Trace{};
+    trace_.num_buckets = out.num_buckets;
+    return out;
+  }
+
+ private:
+  Trace trace_;
+};
+
+}  // namespace mpps::trace

@@ -1,0 +1,148 @@
+#include "src/trace/io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "src/common/error.hpp"
+#include "src/common/strings.hpp"
+
+namespace mpps::trace {
+
+void write_trace(std::ostream& os, const Trace& trace) {
+  os << "# mpps-trace v1\n";
+  os << "trace " << (trace.name.empty() ? "unnamed" : trace.name)
+     << " buckets " << trace.num_buckets << "\n";
+  std::size_t cycle_no = 1;
+  for (const auto& cycle : trace.cycles) {
+    os << "cycle " << cycle_no++ << "\n";
+    os << "wmechange " << cycle.wme_changes << "\n";
+    for (const auto& a : cycle.activations) {
+      os << "act " << a.id.value() << ' '
+         << (a.side == Side::Left ? 'L' : 'R') << " node " << a.node.value()
+         << " bucket " << a.bucket << " parent ";
+      if (a.parent.valid()) {
+        os << a.parent.value();
+      } else {
+        os << '-';
+      }
+      os << " succ " << a.successors << " inst " << a.instantiations
+         << " key " << a.key_class << " tag "
+         << (a.tag == Tag::Plus ? '+' : '-') << "\n";
+    }
+    os << "endcycle\n";
+  }
+}
+
+namespace {
+
+[[noreturn]] void bad(std::size_t line_no, const std::string& message) {
+  throw TraceFormatError("trace line " + std::to_string(line_no) + ": " +
+                         message);
+}
+
+std::uint64_t parse_u64(std::string_view s, std::size_t line_no) {
+  long v = 0;
+  if (!parse_int(s, v) || v < 0) {
+    bad(line_no, "expected non-negative integer, got '" + std::string(s) + "'");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
+Trace read_trace(std::istream& is) {
+  Trace trace;
+  std::string line;
+  std::size_t line_no = 0;
+  bool saw_header = false;
+  bool in_cycle = false;
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::string_view sv = trim(line);
+    if (sv.empty() || sv.front() == '#') continue;
+    const auto fields = split_ws(sv);
+    if (fields[0] == "trace") {
+      if (fields.size() != 4 || fields[2] != "buckets") {
+        bad(line_no, "malformed trace header");
+      }
+      trace.name = std::string(fields[1]);
+      trace.num_buckets =
+          static_cast<std::uint32_t>(parse_u64(fields[3], line_no));
+      if (trace.num_buckets == 0) bad(line_no, "bucket count must be > 0");
+      saw_header = true;
+    } else if (fields[0] == "cycle") {
+      if (!saw_header) bad(line_no, "cycle before trace header");
+      if (in_cycle) bad(line_no, "nested cycle");
+      trace.cycles.emplace_back();
+      in_cycle = true;
+    } else if (fields[0] == "wmechange") {
+      if (!in_cycle || fields.size() != 2) bad(line_no, "malformed wmechange");
+      trace.cycles.back().wme_changes =
+          static_cast<std::uint32_t>(parse_u64(fields[1], line_no));
+    } else if (fields[0] == "act") {
+      if (!in_cycle) bad(line_no, "act outside cycle");
+      // act <id> <L|R> node <n> bucket <b> parent <p|-> succ <s> inst <i>
+      //     key <k> tag <+|->
+      if (fields.size() != 17) bad(line_no, "malformed act record");
+      TraceActivation a;
+      a.id = ActivationId{parse_u64(fields[1], line_no)};
+      if (fields[2] == "L") {
+        a.side = Side::Left;
+      } else if (fields[2] == "R") {
+        a.side = Side::Right;
+      } else {
+        bad(line_no, "side must be L or R");
+      }
+      if (fields[3] != "node") bad(line_no, "expected 'node'");
+      a.node = NodeId{static_cast<std::uint32_t>(parse_u64(fields[4], line_no))};
+      if (fields[5] != "bucket") bad(line_no, "expected 'bucket'");
+      a.bucket = static_cast<std::uint32_t>(parse_u64(fields[6], line_no));
+      if (fields[7] != "parent") bad(line_no, "expected 'parent'");
+      if (fields[8] == "-") {
+        a.parent = ActivationId::invalid();
+      } else {
+        a.parent = ActivationId{parse_u64(fields[8], line_no)};
+      }
+      if (fields[9] != "succ") bad(line_no, "expected 'succ'");
+      a.successors = static_cast<std::uint32_t>(parse_u64(fields[10], line_no));
+      if (fields[11] != "inst") bad(line_no, "expected 'inst'");
+      a.instantiations =
+          static_cast<std::uint32_t>(parse_u64(fields[12], line_no));
+      if (fields[13] != "key") bad(line_no, "expected 'key'");
+      a.key_class = static_cast<std::uint32_t>(parse_u64(fields[14], line_no));
+      if (fields[15] != "tag") bad(line_no, "expected 'tag'");
+      if (fields[16] == "+") {
+        a.tag = Tag::Plus;
+      } else if (fields[16] == "-") {
+        a.tag = Tag::Minus;
+      } else {
+        bad(line_no, "expected tag + or -");
+      }
+      trace.cycles.back().activations.push_back(a);
+    } else if (fields[0] == "endcycle") {
+      if (!in_cycle) bad(line_no, "endcycle outside cycle");
+      in_cycle = false;
+    } else {
+      bad(line_no, "unknown directive '" + std::string(fields[0]) + "'");
+    }
+  }
+  if (in_cycle) bad(line_no, "missing endcycle at end of input");
+  if (!saw_header) bad(line_no, "missing trace header");
+  validate(trace);
+  return trace;
+}
+
+std::string to_string(const Trace& trace) {
+  std::ostringstream os;
+  write_trace(os, trace);
+  return os.str();
+}
+
+Trace from_string(std::string_view text) {
+  std::istringstream is{std::string(text)};
+  return read_trace(is);
+}
+
+}  // namespace mpps::trace

@@ -1,0 +1,22 @@
+// Text serialization of traces (the `mpps-trace v1` format documented in
+// DESIGN.md §4).
+#pragma once
+
+#include <iosfwd>
+#include <string_view>
+
+#include "src/trace/record.hpp"
+
+namespace mpps::trace {
+
+void write_trace(std::ostream& os, const Trace& trace);
+
+/// Parses a trace.  Throws TraceFormatError on malformed input; the
+/// returned trace has been `validate`d.
+Trace read_trace(std::istream& is);
+
+/// Convenience: round-trips through a string (tests).
+std::string to_string(const Trace& trace);
+Trace from_string(std::string_view text);
+
+}  // namespace mpps::trace

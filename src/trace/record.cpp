@@ -1,0 +1,113 @@
+#include "src/trace/record.hpp"
+
+#include <unordered_map>
+
+#include "src/common/error.hpp"
+
+namespace mpps::trace {
+
+std::size_t Trace::total_activations() const {
+  std::size_t n = 0;
+  for (const auto& c : cycles) n += c.activations.size();
+  return n;
+}
+
+void validate(const Trace& trace) {
+  std::size_t cycle_index = 0;
+  for (const auto& cycle : trace.cycles) {
+    std::unordered_map<ActivationId, std::uint32_t> children_of;
+    std::unordered_map<ActivationId, const TraceActivation*> seen;
+    for (const auto& act : cycle.activations) {
+      if (act.bucket >= trace.num_buckets) {
+        throw TraceFormatError("cycle " + std::to_string(cycle_index) +
+                               ": bucket " + std::to_string(act.bucket) +
+                               " out of range");
+      }
+      if (seen.contains(act.id)) {
+        throw TraceFormatError("cycle " + std::to_string(cycle_index) +
+                               ": duplicate activation id " +
+                               std::to_string(act.id.value()));
+      }
+      if (act.parent.valid()) {
+        if (!seen.contains(act.parent)) {
+          throw TraceFormatError(
+              "cycle " + std::to_string(cycle_index) + ": activation " +
+              std::to_string(act.id.value()) +
+              " has a parent that does not precede it in the cycle");
+        }
+        if (act.side != Side::Left) {
+          throw TraceFormatError(
+              "cycle " + std::to_string(cycle_index) + ": activation " +
+              std::to_string(act.id.value()) +
+              " is join-generated but not a left activation");
+        }
+        ++children_of[act.parent];
+      }
+      seen.emplace(act.id, &act);
+    }
+    for (const auto& act : cycle.activations) {
+      const auto it = children_of.find(act.id);
+      const std::uint32_t actual = it == children_of.end() ? 0 : it->second;
+      if (actual != act.successors) {
+        throw TraceFormatError(
+            "cycle " + std::to_string(cycle_index) + ": activation " +
+            std::to_string(act.id.value()) + " declares " +
+            std::to_string(act.successors) + " successors but has " +
+            std::to_string(actual) + " children");
+      }
+    }
+    ++cycle_index;
+  }
+}
+
+TraceStats compute_stats(const Trace& trace) {
+  TraceStats s;
+  for (const auto& cycle : trace.cycles) {
+    for (const auto& act : cycle.activations) {
+      if (act.side == Side::Left) {
+        ++s.left;
+      } else {
+        ++s.right;
+      }
+      s.instantiations += act.instantiations;
+      if (!act.parent.valid()) ++s.root_activations;
+    }
+  }
+  return s;
+}
+
+std::vector<std::uint64_t> bucket_activity(const Trace& trace) {
+  std::vector<std::uint64_t> out(trace.num_buckets, 0);
+  for (const auto& cycle : trace.cycles) {
+    for (const auto& act : cycle.activations) ++out[act.bucket];
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> bucket_activity(const Trace& trace,
+                                           std::size_t cycle) {
+  std::vector<std::uint64_t> out(trace.num_buckets, 0);
+  for (const auto& act : trace.cycles[cycle].activations) ++out[act.bucket];
+  return out;
+}
+
+Trace slice(const Trace& trace, std::size_t first, std::size_t count) {
+  if (count == 0 || first >= trace.cycles.size() ||
+      count > trace.cycles.size() - first) {
+    throw TraceFormatError(
+        "slice: cycles [" + std::to_string(first) + ", " +
+        std::to_string(first + count) + ") out of range (trace has " +
+        std::to_string(trace.cycles.size()) + ")");
+  }
+  Trace out;
+  out.name = trace.name + "[" + std::to_string(first) + ".." +
+             std::to_string(first + count) + ")";
+  out.num_buckets = trace.num_buckets;
+  out.cycles.assign(trace.cycles.begin() + static_cast<std::ptrdiff_t>(first),
+                    trace.cycles.begin() +
+                        static_cast<std::ptrdiff_t>(first + count));
+  validate(out);
+  return out;
+}
+
+}  // namespace mpps::trace

@@ -1,0 +1,94 @@
+// The activation-trace schema: the input to the MPC simulator (our
+// reconstruction of the paper's Figure 4-1 trace format).  A trace records,
+// per MRA cycle, the DAG of two-input node activations: which node, which
+// side, which global hash bucket, which activation generated it, and how
+// many successor tokens it generated.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/ids.hpp"
+#include "src/rete/token.hpp"
+
+namespace mpps::trace {
+
+using rete::Side;
+using rete::Tag;
+
+struct TraceActivation {
+  ActivationId id;
+  /// Generating activation; invalid ⇒ the token came from the constant-test
+  /// phase (a broadcast WM change) and is processed locally at coarse
+  /// granularity — no message is ever sent for it.
+  ActivationId parent;
+  NodeId node;
+  Side side = Side::Right;
+  Tag tag = Tag::Plus;
+  /// Global hash bucket index in [0, Trace::num_buckets).  Left and right
+  /// buckets with the same index live on the same processor.
+  std::uint32_t bucket = 0;
+  /// Tokens generated toward successor two-input nodes.  Must equal the
+  /// number of trace activations whose parent is this activation.
+  std::uint32_t successors = 0;
+  /// Tokens sent to production nodes (instantiation messages to the
+  /// control processor).
+  std::uint32_t instantiations = 0;
+  /// Equivalence class of the token's hash key.  Activations with equal
+  /// (node, key_class) genuinely interact and must stay co-located; the
+  /// copy-and-constraint transformation partitions a node by key_class.
+  std::uint32_t key_class = 0;
+};
+
+struct TraceCycle {
+  std::uint32_t wme_changes = 0;
+  std::vector<TraceActivation> activations;  // in generation order
+};
+
+struct Trace {
+  std::string name;
+  std::uint32_t num_buckets = 256;
+  std::vector<TraceCycle> cycles;
+
+  [[nodiscard]] std::size_t total_activations() const;
+};
+
+/// Checks structural invariants: parents precede children within a cycle,
+/// successor counts equal child counts, buckets are in range.  Throws
+/// TraceFormatError with a description of the first violation.
+void validate(const Trace& trace);
+
+/// Aggregate statistics in the shape of the paper's Table 5-2.
+struct TraceStats {
+  std::uint64_t left = 0;
+  std::uint64_t right = 0;
+  std::uint64_t instantiations = 0;
+  std::uint64_t root_activations = 0;  // parent == invalid
+
+  [[nodiscard]] std::uint64_t total() const { return left + right; }
+  [[nodiscard]] double left_pct() const {
+    return total() == 0 ? 0.0
+                        : 100.0 * static_cast<double>(left) /
+                              static_cast<double>(total());
+  }
+};
+
+TraceStats compute_stats(const Trace& trace);
+
+/// Total activations per bucket (left+right), for distribution analysis
+/// and the offline greedy assignment.  Indexed by bucket.
+std::vector<std::uint64_t> bucket_activity(const Trace& trace);
+
+/// Same, restricted to one cycle.
+std::vector<std::uint64_t> bucket_activity(const Trace& trace,
+                                           std::size_t cycle);
+
+/// Extracts a section: `count` consecutive cycles starting at `first`
+/// (0-based) — exactly how the paper built its characteristic sections
+/// ("the section represents four consecutive cycles").  Cycle-internal
+/// structure is self-contained, so the slice is a valid trace.  Throws
+/// TraceFormatError when the range is out of bounds or empty.
+Trace slice(const Trace& trace, std::size_t first, std::size_t count);
+
+}  // namespace mpps::trace

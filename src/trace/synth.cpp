@@ -1,0 +1,427 @@
+#include "src/trace/synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+
+namespace mpps::trace {
+
+std::uint32_t bucket_for(NodeId node, std::uint32_t key_class,
+                         std::uint32_t num_buckets) {
+  std::uint64_t h = (static_cast<std::uint64_t>(node.value()) << 32) |
+                    key_class;
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDull;
+  h ^= h >> 33;
+  h *= 0xC4CEB9FE1A85EC53ull;
+  h ^= h >> 33;
+  return static_cast<std::uint32_t>(h % num_buckets);
+}
+
+SectionBuilder::SectionBuilder(std::string name, std::uint32_t num_buckets) {
+  trace_.name = std::move(name);
+  trace_.num_buckets = num_buckets;
+}
+
+void SectionBuilder::begin_cycle(std::uint32_t wme_changes) {
+  trace_.cycles.emplace_back();
+  trace_.cycles.back().wme_changes = wme_changes;
+  current_index_.clear();
+}
+
+TraceActivation& SectionBuilder::lookup(ActivationId id) {
+  // Reverse scan: parents are almost always recent, and cross-product
+  // cycles have 10k+ activations.
+  for (auto it = current_index_.rbegin(); it != current_index_.rend(); ++it) {
+    if (it->first == id.value()) {
+      return trace_.cycles.back().activations[it->second];
+    }
+  }
+  throw TraceFormatError("SectionBuilder: unknown activation id " +
+                         std::to_string(id.value()) + " in current cycle");
+}
+
+ActivationId SectionBuilder::push(TraceActivation act) {
+  act.id = ActivationId{next_id_++};
+  auto& cycle = trace_.cycles.back();
+  current_index_.emplace_back(act.id.value(), cycle.activations.size());
+  cycle.activations.push_back(act);
+  return cycle.activations.back().id;
+}
+
+ActivationId SectionBuilder::root(Side side, NodeId node,
+                                  std::uint32_t key_class) {
+  return root_at(side, node, bucket_for(node, key_class, trace_.num_buckets),
+                 key_class);
+}
+
+ActivationId SectionBuilder::root_at(Side side, NodeId node,
+                                     std::uint32_t bucket,
+                                     std::uint32_t key_class) {
+  TraceActivation act;
+  act.parent = ActivationId::invalid();
+  act.node = node;
+  act.side = side;
+  act.bucket = bucket;
+  act.key_class = key_class;
+  return push(act);
+}
+
+ActivationId SectionBuilder::child(ActivationId parent, NodeId node,
+                                   std::uint32_t key_class) {
+  return child_at(parent, node, bucket_for(node, key_class, trace_.num_buckets),
+                  key_class);
+}
+
+ActivationId SectionBuilder::child_at(ActivationId parent, NodeId node,
+                                      std::uint32_t bucket,
+                                      std::uint32_t key_class) {
+  ++lookup(parent).successors;
+  TraceActivation act;
+  act.parent = parent;
+  act.node = node;
+  act.side = Side::Left;
+  act.bucket = bucket;
+  act.key_class = key_class;
+  return push(act);
+}
+
+void SectionBuilder::add_instantiations(ActivationId act, std::uint32_t count) {
+  lookup(act).instantiations += count;
+}
+
+Trace SectionBuilder::take() {
+  validate(trace_);
+  Trace out = std::move(trace_);
+  trace_ = Trace{};
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Rubik: the "good speedups" section.  4 cycles; per cycle ~1528 right
+// activations spread evenly (right tokens hash well) and 597 left
+// activations concentrated on a cycle-specific window of hash keys — the
+// per-cycle complementary busy/idle pattern of Figure 5-5.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::uint32_t kRubikRightNodes = 48;   // nodes 0..47
+constexpr std::uint32_t kRubikLeftRootNodes = 8;  // nodes 48..55
+constexpr std::uint32_t kRubikLeftNodes = 24;     // nodes 56..79
+
+/// A key inside cycle `c`'s private window, skewed toward the window head
+/// so a handful of (node, key) combinations carry most left activations.
+std::uint32_t rubik_window_key(int cycle, Rng& rng) {
+  const double u = rng.uniform();
+  const auto offset = static_cast<std::uint32_t>(64.0 * u * u * u);
+  return static_cast<std::uint32_t>(cycle) * 64 + std::min(offset, 63u);
+}
+
+/// A deterministic pseudo-permutation of the bucket space: sorting buckets
+/// by a hash scatters each cycle's active quarter across the whole range,
+/// so a round-robin deal of buckets to processors clumps the ACTIVE ones —
+/// the poor active-bucket distribution the paper analyzes in §5.2.2.
+std::vector<std::uint32_t> scattered_buckets(std::uint32_t num_buckets) {
+  std::vector<std::uint32_t> perm(num_buckets);
+  for (std::uint32_t b = 0; b < num_buckets; ++b) perm[b] = b;
+  std::sort(perm.begin(), perm.end(), [](std::uint32_t a, std::uint32_t b) {
+    auto mix = [](std::uint32_t v) {
+      std::uint64_t h = 0x2545F4914F6CDD1Dull * (v + 1);
+      h ^= h >> 29;
+      return h;
+    };
+    return mix(a) < mix(b);
+  });
+  return perm;
+}
+
+/// The bucket for a Rubik left token: confined to cycle `c`'s quarter of
+/// the (scattered) bucket space.  Each cycle works on a different part of
+/// the cube, so its tokens touch a different set of memories — this is
+/// what produces the complementary busy/idle pattern of Figure 5-5.
+std::uint32_t rubik_left_bucket(int cycle, NodeId node, std::uint32_t key,
+                                std::span<const std::uint32_t> perm) {
+  const auto num_buckets = static_cast<std::uint32_t>(perm.size());
+  const std::uint32_t window = std::max(1u, num_buckets / 4);
+  const std::uint32_t start =
+      (static_cast<std::uint32_t>(cycle) * window) % num_buckets;
+  return perm[(start + bucket_for(node, key, window)) % num_buckets];
+}
+
+}  // namespace
+
+Trace make_rubik_section(std::uint32_t num_buckets, std::uint64_t seed) {
+  SectionBuilder builder("rubik", num_buckets);
+  Rng rng(seed);
+  const std::vector<std::uint32_t> perm = scattered_buckets(num_buckets);
+  const std::uint32_t right_quota[4] = {1529, 1529, 1528, 1528};  // Σ = 6114
+  constexpr std::uint32_t kLeftRoots = 60;
+  constexpr std::uint32_t kLeftChildren = 537;  // per-cycle left = 597
+
+  for (int c = 0; c < 4; ++c) {
+    builder.begin_cycle(4);
+    std::vector<ActivationId> rights;
+    std::vector<ActivationId> lefts;
+    rights.reserve(right_quota[c]);
+    for (std::uint32_t i = 0; i < right_quota[c]; ++i) {
+      const NodeId node{static_cast<std::uint32_t>(rng.below(kRubikRightNodes))};
+      rights.push_back(builder.root(
+          Side::Right, node, static_cast<std::uint32_t>(rng.below(4096))));
+    }
+    for (std::uint32_t i = 0; i < kLeftRoots; ++i) {
+      const NodeId node{static_cast<std::uint32_t>(
+          kRubikRightNodes + rng.below(kRubikLeftRootNodes))};
+      const std::uint32_t key = rubik_window_key(c, rng);
+      lefts.push_back(builder.root_at(
+          Side::Left, node, rubik_left_bucket(c, node, key, perm), key));
+    }
+    for (std::uint32_t i = 0; i < kLeftChildren; ++i) {
+      const bool from_right = lefts.empty() || rng.uniform() < 0.85;
+      const ActivationId parent =
+          from_right ? rights[rng.below(rights.size())]
+                     : lefts[rng.below(lefts.size())];
+      const NodeId node{static_cast<std::uint32_t>(
+          kRubikRightNodes + kRubikLeftRootNodes + rng.below(kRubikLeftNodes))};
+      const std::uint32_t key = rubik_window_key(c, rng);
+      lefts.push_back(builder.child_at(
+          parent, node, rubik_left_bucket(c, node, key, perm), key));
+    }
+    for (int i = 0; i < 5; ++i) {
+      builder.add_instantiations(lefts[rng.below(lefts.size())]);
+    }
+  }
+  return builder.take();
+}
+
+// ---------------------------------------------------------------------------
+// Weaver: the "small cycles" section.  4 small cycles; the last one holds
+// the paper's bottleneck: three left activations at one *shared* two-input
+// node (four successor outputs) generate 120 of the cycle's ~150
+// activations.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::uint32_t kWeaverBottleneck = 100;
+constexpr std::uint32_t kWeaverFanout = 4;  // shared successor outputs
+
+/// One plain small cycle: `n_right` right roots, `n_left` left activations
+/// forming short chains (the sequential structure that limits small-cycle
+/// speedups even before communication costs).
+void weaver_plain_cycle(SectionBuilder& builder, Rng& rng,
+                        std::uint32_t n_right, std::uint32_t n_left) {
+  builder.begin_cycle(2);
+  std::vector<ActivationId> rights;
+  std::vector<ActivationId> lefts;
+  for (std::uint32_t i = 0; i < n_right; ++i) {
+    rights.push_back(builder.root(
+        Side::Right, NodeId{static_cast<std::uint32_t>(rng.below(12))},
+        static_cast<std::uint32_t>(rng.below(64))));
+  }
+  const std::uint32_t n_left_roots = std::min(n_left, 12u);
+  for (std::uint32_t i = 0; i < n_left_roots; ++i) {
+    lefts.push_back(builder.root(
+        Side::Left, NodeId{12 + static_cast<std::uint32_t>(rng.below(6))},
+        static_cast<std::uint32_t>(rng.below(32))));
+  }
+  for (std::uint32_t i = n_left_roots; i < n_left; ++i) {
+    const bool chain = !lefts.empty() && rng.uniform() < 0.5;
+    const ActivationId parent = chain ? lefts[rng.below(lefts.size())]
+                                      : rights[rng.below(rights.size())];
+    lefts.push_back(builder.child(
+        parent, NodeId{20 + static_cast<std::uint32_t>(rng.below(10))},
+        static_cast<std::uint32_t>(rng.below(32))));
+  }
+  builder.add_instantiations(lefts[rng.below(lefts.size())]);
+}
+
+}  // namespace
+
+Trace make_random_trace(const RandomTraceSpec& spec, std::uint64_t seed) {
+  SectionBuilder builder("random", spec.num_buckets);
+  Rng rng(seed);
+  for (std::uint32_t c = 0; c < spec.cycles; ++c) {
+    builder.begin_cycle(1 + static_cast<std::uint32_t>(rng.below(4)));
+    std::vector<ActivationId> roots;
+    std::vector<ActivationId> lefts;
+    for (std::uint32_t i = 0; i < spec.roots_per_cycle; ++i) {
+      const Side side =
+          rng.uniform() < spec.right_fraction ? Side::Right : Side::Left;
+      const ActivationId id = builder.root(
+          side, NodeId{static_cast<std::uint32_t>(rng.below(spec.nodes))},
+          static_cast<std::uint32_t>(rng.below(spec.key_classes)));
+      roots.push_back(id);
+      if (rng.uniform() < spec.instantiation_prob) {
+        builder.add_instantiations(id);
+      }
+    }
+    const auto n_children = static_cast<std::uint32_t>(
+        spec.fanout * static_cast<double>(spec.roots_per_cycle));
+    for (std::uint32_t i = 0; i < n_children; ++i) {
+      const bool chain = !lefts.empty() && rng.uniform() < spec.chain_prob;
+      const ActivationId parent = chain ? lefts[rng.below(lefts.size())]
+                                        : roots[rng.below(roots.size())];
+      const ActivationId id = builder.child(
+          parent, NodeId{static_cast<std::uint32_t>(rng.below(spec.nodes))},
+          static_cast<std::uint32_t>(rng.below(spec.key_classes)));
+      lefts.push_back(id);
+      if (rng.uniform() < spec.instantiation_prob) {
+        builder.add_instantiations(id);
+      }
+    }
+  }
+  return builder.take();
+}
+
+NodeId weaver_bottleneck_node() { return NodeId{kWeaverBottleneck}; }
+
+Trace make_weaver_section(std::uint32_t num_buckets, std::uint64_t seed) {
+  SectionBuilder builder("weaver", num_buckets);
+  Rng rng(seed);
+  // Cycles 1-3: plain small cycles; right quotas 20/20/19, left 69 each.
+  weaver_plain_cycle(builder, rng, 20, 69);
+  weaver_plain_cycle(builder, rng, 20, 69);
+  weaver_plain_cycle(builder, rng, 19, 69);
+
+  // Cycle 4: the bottleneck cycle — 150 activations total (19 right, 131
+  // left), 120 of them generated by three activations at the shared node.
+  builder.begin_cycle(2);
+  std::vector<ActivationId> lefts;
+  std::vector<ActivationId> rights;
+  for (std::uint32_t i = 0; i < 19; ++i) {
+    rights.push_back(builder.root(
+        Side::Right, NodeId{static_cast<std::uint32_t>(rng.below(12))},
+        static_cast<std::uint32_t>(rng.below(64))));
+  }
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    // A left token reaching the shared bottleneck node; it finds 10
+    // matches in the opposite memory, and the node's 4 shared outputs
+    // replicate each match: 40 successor tokens per activation.
+    const ActivationId hot =
+        builder.root(Side::Left, NodeId{kWeaverBottleneck}, i);
+    lefts.push_back(hot);
+    for (std::uint32_t out = 0; out < kWeaverFanout; ++out) {
+      for (std::uint32_t j = 0; j < 10; ++j) {
+        lefts.push_back(builder.child(
+            hot, NodeId{kWeaverBottleneck + 1 + out}, i * 16 + j));
+      }
+    }
+  }
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    lefts.push_back(builder.root(
+        Side::Left, NodeId{50 + static_cast<std::uint32_t>(rng.below(4))},
+        static_cast<std::uint32_t>(rng.below(16))));
+  }
+  builder.add_instantiations(lefts[rng.below(lefts.size())], 2);
+  return builder.take();
+}
+
+// ---------------------------------------------------------------------------
+// Tourney: the "cross-product" section.  Four small cycles around one heavy
+// cycle in which 120 tokens arrive at a two-input node with no equality
+// test — the hash cannot discriminate, so all of them land in ONE bucket —
+// and each generates ~86 successors (the cross-product).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::uint32_t kTourneyCross = 300;
+constexpr std::uint32_t kTourneyDownstream = 310;  // 8 downstream nodes
+
+void tourney_small_cycle(SectionBuilder& builder, Rng& rng) {
+  builder.begin_cycle(2);
+  std::vector<ActivationId> rights;
+  std::vector<ActivationId> lefts;
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    rights.push_back(builder.root(
+        Side::Right, NodeId{200 + static_cast<std::uint32_t>(rng.below(10))},
+        static_cast<std::uint32_t>(rng.below(64))));
+  }
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    lefts.push_back(builder.root(
+        Side::Left, NodeId{210 + static_cast<std::uint32_t>(rng.below(6))},
+        static_cast<std::uint32_t>(rng.below(32))));
+  }
+  for (std::uint32_t i = 0; i < 55; ++i) {
+    const bool chain = rng.uniform() < 0.4;
+    const ActivationId parent = chain ? lefts[rng.below(lefts.size())]
+                                      : rights[rng.below(rights.size())];
+    lefts.push_back(builder.child(
+        parent, NodeId{216 + static_cast<std::uint32_t>(rng.below(8))},
+        static_cast<std::uint32_t>(rng.below(32))));
+  }
+  builder.add_instantiations(lefts[rng.below(lefts.size())]);
+}
+
+}  // namespace
+
+NodeId tourney_cross_node() { return NodeId{kTourneyCross}; }
+NodeId tourney_cross_local_node() { return NodeId{kTourneyCross + 1}; }
+
+Trace make_tourney_section(std::uint32_t num_buckets, std::uint64_t seed) {
+  SectionBuilder builder("tourney", num_buckets);
+  Rng rng(seed);
+  tourney_small_cycle(builder, rng);
+  tourney_small_cycle(builder, rng);
+
+  // The cross-product cycle: 19 right roots and 10407 left activations —
+  // 150 feeders arriving at the cross-product node (no equality test, so
+  // every one lands in the SAME bucket), each generating 50 successors.
+  // 20% of those successors are themselves non-randomized (they hash to
+  // the same bucket and are processed locally, exchanging no messages);
+  // the rest spread downstream, half of them carrying a hot value two
+  // downstream nodes cannot discriminate.  A sparse grandchild cascade
+  // (2757 activations) carries the spread work deeper.
+  builder.begin_cycle(3);
+  std::vector<ActivationId> rights;
+  for (std::uint32_t i = 0; i < 19; ++i) {
+    rights.push_back(builder.root(
+        Side::Right, NodeId{200 + static_cast<std::uint32_t>(rng.below(10))},
+        static_cast<std::uint32_t>(rng.below(64))));
+  }
+  const std::uint32_t cross_bucket =
+      bucket_for(NodeId{kTourneyCross}, 0, num_buckets);
+  std::vector<ActivationId> children;
+  children.reserve(7500);
+  for (std::uint32_t i = 0; i < 150; ++i) {
+    const ActivationId parent = rights[rng.below(rights.size())];
+    // The node has no equality test: whatever values the token carries
+    // (key_class), the bucket is the same for everyone.
+    const ActivationId feeder = builder.child_at(
+        parent, NodeId{kTourneyCross}, cross_bucket, i % 8);
+    for (std::uint32_t j = 0; j < 50; ++j) {
+      if (j % 5 == 0) {
+        // Non-randomized successor: same bucket, local processing.
+        children.push_back(builder.child_at(
+            feeder, NodeId{kTourneyCross + 1}, cross_bucket, i % 8));
+        continue;
+      }
+      const bool hot = rng.uniform() < 0.7;
+      const NodeId node{kTourneyDownstream +
+                        static_cast<std::uint32_t>(
+                            hot ? rng.below(2) : 2 + rng.below(6))};
+      const std::uint32_t key =
+          hot ? 0 : static_cast<std::uint32_t>(1 + rng.below(63));
+      children.push_back(builder.child(feeder, node, key));
+    }
+  }
+  for (std::uint32_t g = 0; g < 2757; ++g) {
+    const ActivationId parent =
+        children[(static_cast<std::uint64_t>(g) * 2654435761ull) %
+                 children.size()];
+    const ActivationId c = builder.child(
+        parent, NodeId{320 + static_cast<std::uint32_t>(rng.below(8))},
+        static_cast<std::uint32_t>(rng.below(64)));
+    if (rng.uniform() < 0.01) builder.add_instantiations(c);
+  }
+
+  tourney_small_cycle(builder, rng);
+  tourney_small_cycle(builder, rng);
+  return builder.take();
+}
+
+}  // namespace mpps::trace

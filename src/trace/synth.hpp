@@ -1,0 +1,113 @@
+// Synthetic reconstructions of the paper's three characteristic execution
+// sections (the original Rubik / Weaver / Tourney traces are lost).  Each
+// generator reproduces the published per-section statistics exactly:
+//
+//   Table 5-2:  Rubik   2388 left / 6114 right / 8502 total, 4 cycles
+//               Tourney 10667 / 83 / 10750, one heavy cross-product cycle
+//                       surrounded by four small cycles
+//               Weaver  338 / 78 / 416, 4 small cycles; in one cycle three
+//                       left activations generate 120 of ~150 activations
+//
+// plus the structural phenomena the analysis depends on: Rubik's per-cycle
+// complementary active-bucket sets (Fig 5-5), Weaver's shared bottleneck
+// node (Fig 5-3/5-4), and Tourney's non-discriminating cross-product node
+// (Fig 5-6).
+#pragma once
+
+#include <cstdint>
+
+#include "src/trace/record.hpp"
+
+namespace mpps::trace {
+
+/// The deterministic bucket function shared by the generators and the
+/// network transformations: recomputes an activation's bucket after a
+/// transformation moves it to a new node.
+std::uint32_t bucket_for(NodeId node, std::uint32_t key_class,
+                         std::uint32_t num_buckets);
+
+/// Helper for building structurally consistent traces (parents precede
+/// children, successor counts maintained).  Used by the generators and by
+/// tests that need bespoke workloads.
+class SectionBuilder {
+ public:
+  SectionBuilder(std::string name, std::uint32_t num_buckets);
+
+  void begin_cycle(std::uint32_t wme_changes);
+
+  /// Adds a constant-test-phase activation (no parent, no message).
+  /// The bucket is derived from (node, key_class) via `bucket_for`.
+  ActivationId root(Side side, NodeId node, std::uint32_t key_class);
+  /// Same, with an explicit bucket (cross-product nodes ignore the key).
+  ActivationId root_at(Side side, NodeId node, std::uint32_t bucket,
+                       std::uint32_t key_class);
+
+  /// Adds a join-generated left activation; increments the parent's
+  /// successor count.  The parent must belong to the current cycle.
+  ActivationId child(ActivationId parent, NodeId node,
+                     std::uint32_t key_class);
+  ActivationId child_at(ActivationId parent, NodeId node, std::uint32_t bucket,
+                        std::uint32_t key_class);
+
+  /// Marks `act` as producing `count` instantiation messages.
+  void add_instantiations(ActivationId act, std::uint32_t count = 1);
+
+  /// Finalizes: validates and returns the trace.
+  Trace take();
+
+ private:
+  TraceActivation& lookup(ActivationId id);
+  ActivationId push(TraceActivation act);
+
+  Trace trace_;
+  std::uint64_t next_id_ = 1;
+  // id -> index in the current cycle (children reference same-cycle parents)
+  std::vector<std::pair<std::uint64_t, std::size_t>> current_index_;
+};
+
+/// "Good speedups" section: four consecutive Rubik cycles.
+Trace make_rubik_section(std::uint32_t num_buckets = 256,
+                         std::uint64_t seed = 1);
+
+/// "Small cycles" section: four consecutive small Weaver cycles, the last
+/// containing the three-left-activation bottleneck at a shared node.
+/// The bottleneck node id is reported via `bottleneck_node` (for the
+/// unsharing experiment).
+Trace make_weaver_section(std::uint32_t num_buckets = 256,
+                          std::uint64_t seed = 1);
+
+/// "Cross-product" section: one heavy Tourney cycle surrounded by four
+/// small cycles.  The cross-product node id is `tourney_cross_node()`.
+Trace make_tourney_section(std::uint32_t num_buckets = 256,
+                           std::uint64_t seed = 1);
+
+/// Parameterized random trace generation — used by property tests to sweep
+/// the simulator and the transformations over arbitrary workload shapes.
+struct RandomTraceSpec {
+  std::uint32_t cycles = 4;
+  std::uint32_t num_buckets = 64;
+  std::uint32_t nodes = 24;
+  std::uint32_t roots_per_cycle = 40;
+  /// Fraction of root activations that are right activations.
+  double right_fraction = 0.7;
+  /// Expected children per root (geometric-ish cascade).
+  double fanout = 1.5;
+  /// Probability that a child attaches to another child (chain depth).
+  double chain_prob = 0.3;
+  /// Probability that an activation produces an instantiation.
+  double instantiation_prob = 0.02;
+  /// Number of distinct key classes (small ⇒ hot buckets).
+  std::uint32_t key_classes = 64;
+};
+
+Trace make_random_trace(const RandomTraceSpec& spec, std::uint64_t seed);
+
+/// The node ids the transformations target in the synthetic sections.
+NodeId weaver_bottleneck_node();
+NodeId tourney_cross_node();
+/// The second non-discriminating node of the Tourney cross-product cycle
+/// (its tokens share the cross node's bucket).  Copy-and-constraint on the
+/// culprit production splits both.
+NodeId tourney_cross_local_node();
+
+}  // namespace mpps::trace

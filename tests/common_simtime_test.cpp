@@ -1,0 +1,54 @@
+#include "src/common/simtime.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mpps {
+namespace {
+
+TEST(SimTime, MicrosecondConstruction) {
+  EXPECT_EQ(SimTime::us(32).nanos(), 32000);
+  EXPECT_DOUBLE_EQ(SimTime::us(32).micros(), 32.0);
+}
+
+TEST(SimTime, HalfMicrosecondIsExact) {
+  EXPECT_EQ(SimTime::half_us(1).nanos(), 500);
+  EXPECT_DOUBLE_EQ(SimTime::half_us(1).micros(), 0.5);
+  EXPECT_EQ(SimTime::half_us(2), SimTime::us(1));
+}
+
+TEST(SimTime, Arithmetic) {
+  const SimTime a = SimTime::us(30);
+  const SimTime b = SimTime::us(16);
+  EXPECT_EQ((a + b).nanos(), 46000);
+  EXPECT_EQ((a - b).nanos(), 14000);
+  EXPECT_EQ((b * 3).nanos(), 48000);
+  EXPECT_EQ((3 * b), b * 3);
+}
+
+TEST(SimTime, CompoundAdd) {
+  SimTime t;
+  t += SimTime::us(5);
+  t += SimTime::half_us(1);
+  EXPECT_EQ(t.nanos(), 5500);
+}
+
+TEST(SimTime, Ordering) {
+  EXPECT_LT(SimTime::us(1), SimTime::us(2));
+  EXPECT_LE(SimTime::us(2), SimTime::us(2));
+  EXPECT_GT(SimTime::us(3), SimTime::half_us(5));
+}
+
+TEST(SimTime, DefaultIsZero) {
+  SimTime t;
+  EXPECT_EQ(t, kZeroTime);
+  EXPECT_EQ(t.nanos(), 0);
+}
+
+TEST(SimTime, PaperCostModelSumsExactly) {
+  // One left activation generating 3 successors: 32 + 3*16 = 80 us.
+  const SimTime t = SimTime::us(32) + 3 * SimTime::us(16);
+  EXPECT_EQ(t, SimTime::us(80));
+}
+
+}  // namespace
+}  // namespace mpps

@@ -1,0 +1,75 @@
+#include "src/common/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mpps {
+namespace {
+
+TEST(SplitWs, BasicSplit) {
+  const auto fields = split_ws("act 12 L node 3");
+  ASSERT_EQ(fields.size(), 5u);
+  EXPECT_EQ(fields[0], "act");
+  EXPECT_EQ(fields[4], "3");
+}
+
+TEST(SplitWs, CollapsesRuns) {
+  const auto fields = split_ws("  a \t b\n  c  ");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[1], "b");
+}
+
+TEST(SplitWs, EmptyInput) {
+  EXPECT_TRUE(split_ws("").empty());
+  EXPECT_TRUE(split_ws("   \t\n ").empty());
+}
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  hello  "), "hello");
+  EXPECT_EQ(trim("hello"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+}
+
+TEST(ParseInt, Valid) {
+  long v = 0;
+  EXPECT_TRUE(parse_int("42", v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(parse_int("-7", v));
+  EXPECT_EQ(v, -7);
+  EXPECT_TRUE(parse_int("0", v));
+  EXPECT_EQ(v, 0);
+}
+
+TEST(ParseInt, RejectsPartialAndJunk) {
+  long v = 0;
+  EXPECT_FALSE(parse_int("42x", v));
+  EXPECT_FALSE(parse_int("", v));
+  EXPECT_FALSE(parse_int("4.2", v));
+  EXPECT_FALSE(parse_int("abc", v));
+}
+
+TEST(ParseDouble, Valid) {
+  double v = 0.0;
+  EXPECT_TRUE(parse_double("3.25", v));
+  EXPECT_DOUBLE_EQ(v, 3.25);
+  EXPECT_TRUE(parse_double("-0.5", v));
+  EXPECT_DOUBLE_EQ(v, -0.5);
+  EXPECT_TRUE(parse_double("12", v));
+  EXPECT_DOUBLE_EQ(v, 12.0);
+}
+
+TEST(ParseDouble, RejectsJunk) {
+  double v = 0.0;
+  EXPECT_FALSE(parse_double("1.2.3", v));
+  EXPECT_FALSE(parse_double("", v));
+  EXPECT_FALSE(parse_double("x", v));
+}
+
+TEST(FormatFixed, Precision) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(2.0, 1), "2.0");
+  EXPECT_EQ(format_fixed(-1.005, 0), "-1");
+}
+
+}  // namespace
+}  // namespace mpps

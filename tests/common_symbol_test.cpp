@@ -1,0 +1,81 @@
+#include "src/common/symbol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace mpps {
+namespace {
+
+TEST(Symbol, InterningIsIdempotent) {
+  Symbol a = Symbol::intern("block");
+  Symbol b = Symbol::intern("block");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.id(), b.id());
+}
+
+TEST(Symbol, DistinctTextsGetDistinctSymbols) {
+  EXPECT_NE(Symbol::intern("color"), Symbol::intern("colour"));
+}
+
+TEST(Symbol, TextRoundTrips) {
+  Symbol s = Symbol::intern("goal-achieved");
+  EXPECT_EQ(s.text(), "goal-achieved");
+}
+
+TEST(Symbol, DefaultIsEmpty) {
+  Symbol s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.text(), "");
+  EXPECT_EQ(s, Symbol::intern(""));
+}
+
+TEST(Symbol, CaseSensitive) {
+  EXPECT_NE(Symbol::intern("Block"), Symbol::intern("block"));
+}
+
+TEST(Symbol, TextViewSurvivesFurtherInterning) {
+  Symbol s = Symbol::intern("stable-text");
+  std::string_view view = s.text();
+  // Force rehash/growth of the intern table.
+  for (int i = 0; i < 2000; ++i) {
+    Symbol::intern("filler-" + std::to_string(i));
+  }
+  EXPECT_EQ(view, "stable-text");
+  EXPECT_EQ(s.text(), "stable-text");
+}
+
+TEST(Symbol, HashableInUnorderedSet) {
+  std::unordered_set<Symbol> set;
+  set.insert(Symbol::intern("a"));
+  set.insert(Symbol::intern("b"));
+  set.insert(Symbol::intern("a"));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(Symbol::intern("b")));
+}
+
+TEST(Symbol, OrderingIsStableWithinProcess) {
+  Symbol first = Symbol::intern("zzz-made-first");
+  Symbol second = Symbol::intern("aaa-made-second");
+  // Intern order, not lexicographic.
+  EXPECT_LT(first, second);
+}
+
+TEST(Symbol, TableSizeGrowsMonotonically) {
+  const std::size_t before = symbol_table_size();
+  Symbol::intern("definitely-a-new-symbol-for-this-test");
+  EXPECT_GT(symbol_table_size(), before);
+  const std::size_t after = symbol_table_size();
+  Symbol::intern("definitely-a-new-symbol-for-this-test");
+  EXPECT_EQ(symbol_table_size(), after);
+}
+
+TEST(Symbol, EmbeddedWhitespaceAllowed) {
+  Symbol s = Symbol::intern("hello world");
+  EXPECT_EQ(s.text(), "hello world");
+}
+
+}  // namespace
+}  // namespace mpps

@@ -1,0 +1,64 @@
+#include "src/common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mpps {
+namespace {
+
+TEST(TextTable, AlignsAndBoxes) {
+  TextTable t({"name", "count"});
+  t.row().cell("rubik").cell(8502L);
+  t.row().cell("weaver").cell(416L);
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("| name   |"), std::string::npos);
+  EXPECT_NE(s.find("|  8502 |"), std::string::npos);   // right-aligned number
+  EXPECT_NE(s.find("| rubik  |"), std::string::npos);  // left-aligned text
+  EXPECT_NE(s.find("+--------+"), std::string::npos);
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable t({"p", "speedup"});
+  t.row().cell(8L).cell(5.25, 2);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "p,speedup\n8,5.25\n");
+}
+
+TEST(TextTable, ShortRowsPadded) {
+  TextTable t({"a", "b", "c"});
+  t.row().cell("only");
+  std::ostringstream os;
+  t.print(os);
+  // No crash and three separators per data row.
+  const std::string s = os.str();
+  EXPECT_NE(s.find("only"), std::string::npos);
+}
+
+TEST(TextTable, DoubleFormatting) {
+  TextTable t({"x"});
+  t.row().cell(1.0 / 3.0, 3);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x\n0.333\n");
+}
+
+TEST(TextTable, RowCount) {
+  TextTable t({"x"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.row().cell(1L);
+  t.row().cell(2L);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Banner, ContainsTitle) {
+  std::ostringstream os;
+  print_banner(os, "Figure 5-1");
+  EXPECT_NE(os.str().find("Figure 5-1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mpps

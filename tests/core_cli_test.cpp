@@ -1,0 +1,179 @@
+#include "src/core/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace mpps::core {
+namespace {
+
+struct CliRun {
+  int code = 0;
+  std::string out;
+  std::string err;
+};
+
+CliRun cli(std::vector<std::string> args) {
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = run_cli(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+class TempFile {
+ public:
+  TempFile(const std::string& name, const std::string& contents)
+      : path_(std::string(::testing::TempDir()) + name) {
+    std::ofstream f(path_);
+    f << contents;
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+constexpr const char* kProgram = R"(
+  (make machine ^state s1)
+  (p step1 (machine ^state s1) --> (modify 1 ^state s2))
+  (p step2 (machine ^state s2) --> (halt)))";
+
+TEST(Cli, NoArgsPrintsUsage) {
+  const CliRun r = cli({});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, HelpSucceeds) {
+  const CliRun r = cli({"help"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("simulate"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandFails) {
+  const CliRun r = cli({"frobnicate"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, RunExecutesProgram) {
+  TempFile prog("cli_run.ops", kProgram);
+  const CliRun r = cli({"run", prog.path()});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("outcome: halted"), std::string::npos);
+  EXPECT_NE(r.out.find("firings: 2"), std::string::npos);
+  EXPECT_NE(r.out.find("step1"), std::string::npos);
+}
+
+TEST(Cli, RunWatchTracesWmeChanges) {
+  TempFile prog("cli_watch.ops", kProgram);
+  const CliRun r = cli({"run", prog.path(), "--watch", "2"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("=>WM: 1: (machine ^state s1)"), std::string::npos);
+  EXPECT_NE(r.out.find("1. step1"), std::string::npos);
+}
+
+TEST(Cli, RunQuietSuppressesFirings) {
+  TempFile prog("cli_quiet.ops", kProgram);
+  const CliRun r = cli({"run", prog.path(), "--quiet"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_EQ(r.out.find("step1"), std::string::npos);
+}
+
+TEST(Cli, RunMissingFileFails) {
+  const CliRun r = cli({"run", "/nonexistent/file.ops"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("cannot open"), std::string::npos);
+}
+
+TEST(Cli, RunParseErrorReported) {
+  TempFile prog("cli_bad.ops", "(p broken");
+  const CliRun r = cli({"run", prog.path()});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("error:"), std::string::npos);
+}
+
+TEST(Cli, TraceToStdout) {
+  TempFile prog("cli_trace.ops", kProgram);
+  const CliRun r = cli({"trace", prog.path()});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("# mpps-trace v1"), std::string::npos);
+}
+
+TEST(Cli, TraceStatsSimulatePipeline) {
+  TempFile prog("cli_pipe.ops", kProgram);
+  const std::string trace_path =
+      std::string(::testing::TempDir()) + "cli_pipe.trace";
+  const CliRun t = cli({"trace", prog.path(), "-o", trace_path});
+  EXPECT_EQ(t.code, 0);
+  EXPECT_NE(t.out.find("wrote"), std::string::npos);
+
+  const CliRun s = cli({"stats", trace_path});
+  EXPECT_EQ(s.code, 0);
+  EXPECT_NE(s.out.find("total"), std::string::npos);
+
+  const CliRun m = cli({"simulate", trace_path, "--procs", "4", "--run", "2"});
+  EXPECT_EQ(m.code, 0);
+  EXPECT_NE(m.out.find("speedup"), std::string::npos);
+  std::remove(trace_path.c_str());
+}
+
+TEST(Cli, SimulateGreedyAndPairs) {
+  TempFile prog("cli_pairs.ops", kProgram);
+  const std::string trace_path =
+      std::string(::testing::TempDir()) + "cli_pairs.trace";
+  cli({"trace", prog.path(), "-o", trace_path});
+  const CliRun greedy =
+      cli({"simulate", trace_path, "--procs", "4", "--assign", "greedy"});
+  EXPECT_EQ(greedy.code, 0);
+  const CliRun pairs = cli({"simulate", trace_path, "--procs", "4",
+                            "--mapping", "pairs", "--termination", "poll"});
+  EXPECT_EQ(pairs.code, 0);
+  const CliRun odd_pairs =
+      cli({"simulate", trace_path, "--procs", "3", "--mapping", "pairs"});
+  EXPECT_EQ(odd_pairs.code, 1);  // invalid configuration is an error
+  std::remove(trace_path.c_str());
+}
+
+TEST(Cli, SectionsWritesThreeTraces) {
+  const std::string dir = ::testing::TempDir();
+  const CliRun r = cli({"sections", "-o", dir});
+  EXPECT_EQ(r.code, 0);
+  for (const char* name : {"rubik", "tourney", "weaver"}) {
+    const std::string path = dir + "/" + name + ".trace";
+    std::ifstream f(path);
+    EXPECT_TRUE(f.good()) << path;
+    std::remove(path.c_str());
+  }
+}
+
+TEST(Cli, SliceExtractsCycles) {
+  const std::string dir = ::testing::TempDir();
+  cli({"sections", "-o", dir});
+  const std::string src = dir + "/weaver.trace";
+  const std::string dst = dir + "/weaver_slice.trace";
+  const CliRun r =
+      cli({"slice", src, "--from", "1", "--cycles", "2", "-o", dst});
+  EXPECT_EQ(r.code, 0);
+  const CliRun s = cli({"stats", dst});
+  EXPECT_EQ(s.code, 0);
+  const CliRun bad = cli({"slice", src, "--from", "9", "--cycles", "2"});
+  EXPECT_EQ(bad.code, 1);
+  for (const char* name : {"rubik.trace", "tourney.trace", "weaver.trace",
+                           "weaver_slice.trace"}) {
+    std::remove((dir + "/" + name).c_str());
+  }
+}
+
+TEST(Cli, StatsOnMalformedTraceFails) {
+  TempFile bad("cli_bad.trace", "not a trace\n");
+  const CliRun r = cli({"stats", bad.path()});
+  EXPECT_EQ(r.code, 1);
+}
+
+}  // namespace
+}  // namespace mpps::core

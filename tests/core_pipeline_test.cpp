@@ -1,0 +1,101 @@
+#include "src/core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/core/experiments.hpp"
+#include "src/trace/io.hpp"
+
+namespace mpps::core {
+namespace {
+
+constexpr const char* kProgram = R"(
+  (make machine ^state s1)
+  (make widget ^owner m ^stage raw)
+  (p advance1 (machine ^state s1) (widget ^stage raw)
+    --> (modify 2 ^stage cut) (modify 1 ^state s2))
+  (p advance2 (machine ^state s2) (widget ^stage cut)
+    --> (modify 2 ^stage done) (modify 1 ^state s3))
+  (p finish (machine ^state s3) (widget ^stage done) --> (halt)))";
+
+TEST(Pipeline, RecordsOneCyclePerStep) {
+  const PipelineResult result = record_trace_from_source(kProgram, "factory");
+  EXPECT_EQ(result.run.outcome, rete::RunResult::Outcome::Halted);
+  EXPECT_EQ(result.firings, 3u);
+  // Cycles: one per interpreter step (the last one fires halt).
+  EXPECT_EQ(result.trace.cycles.size(), 3u);
+  EXPECT_GT(result.trace.total_activations(), 0u);
+}
+
+TEST(Pipeline, TraceIsValidAndSerializable) {
+  const PipelineResult result = record_trace_from_source(kProgram, "factory");
+  EXPECT_NO_THROW(trace::validate(result.trace));
+  const trace::Trace round = trace::from_string(trace::to_string(result.trace));
+  EXPECT_EQ(round.total_activations(), result.trace.total_activations());
+}
+
+TEST(Pipeline, WmeChangesRecordedPerCycle) {
+  const PipelineResult result = record_trace_from_source(kProgram, "factory");
+  // Cycle 1 matches the two initial wmes.
+  EXPECT_EQ(result.trace.cycles[0].wme_changes, 2u);
+  // Cycle 2 matches the two modifies (= 2 deletes + 2 adds).
+  EXPECT_EQ(result.trace.cycles[1].wme_changes, 4u);
+}
+
+TEST(Pipeline, RecordedTraceSimulates) {
+  const PipelineResult result = record_trace_from_source(kProgram, "factory");
+  const auto points = speedup_curve(result.trace, {1, 2, 4}, {0, 4});
+  ASSERT_EQ(points.size(), 6u);
+  for (const auto& p : points) {
+    EXPECT_GT(p.speedup, 0.0);
+    EXPECT_LE(p.speedup, static_cast<double>(p.procs) + 1e-9);
+  }
+  // One processor with zero overheads IS the baseline.
+  EXPECT_DOUBLE_EQ(points[0].speedup, 1.0);
+}
+
+TEST(Pipeline, MaxTraceCyclesTruncates) {
+  PipelineOptions opts;
+  opts.max_trace_cycles = 1;
+  const PipelineResult result =
+      record_trace_from_source(kProgram, "factory", opts);
+  EXPECT_EQ(result.trace.cycles.size(), 1u);
+}
+
+TEST(Experiments, StandardSectionsInPaperOrder) {
+  const auto sections = standard_sections(64, 5);
+  ASSERT_EQ(sections.size(), 3u);
+  EXPECT_EQ(sections[0].label, "Rubik");
+  EXPECT_EQ(sections[1].label, "Tourney");
+  EXPECT_EQ(sections[2].label, "Weaver");
+  EXPECT_EQ(sections[0].trace.num_buckets, 64u);
+}
+
+TEST(Experiments, RubikHasBestZeroOverheadSpeedup) {
+  // Figure 5-1's headline: Rubik has the largest overall speedup.
+  const auto sections = standard_sections();
+  const double rubik = zero_overhead_speedup(sections[0].trace, 32);
+  const double tourney = zero_overhead_speedup(sections[1].trace, 32);
+  const double weaver = zero_overhead_speedup(sections[2].trace, 32);
+  EXPECT_GT(rubik, tourney);
+  EXPECT_GT(rubik, weaver);
+  EXPECT_GT(rubik, 5.0);  // "good speedups"
+}
+
+TEST(Experiments, OverheadLossOrderingFollowsLeftShare) {
+  // Figure 5-2: Rubik (28% left) loses least; Tourney and Weaver
+  // (99%/81% left) lose much more.
+  const auto sections = standard_sections();
+  auto loss = [&](const trace::Trace& t) {
+    const double zero = run_speedup(t, 1, 16);
+    const double heavy = run_speedup(t, 4, 16);
+    return 1.0 - heavy / zero;
+  };
+  const double rubik_loss = loss(sections[0].trace);
+  const double tourney_loss = loss(sections[1].trace);
+  const double weaver_loss = loss(sections[2].trace);
+  EXPECT_LT(rubik_loss, tourney_loss);
+  EXPECT_LT(rubik_loss, weaver_loss);
+}
+
+}  // namespace
+}  // namespace mpps::core

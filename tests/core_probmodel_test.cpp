@@ -1,0 +1,100 @@
+// The Section 5.2.2 probabilistic model: verify its three published
+// conclusions, and check Monte Carlo against the exact computation.
+#include "src/core/probmodel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mpps::core {
+namespace {
+
+constexpr std::uint32_t kTrials = 20000;
+
+TEST(ProbModel, Conclusion1_ExtremesAreRare) {
+  // 256 buckets, 25% active, 16 processors.
+  const auto r = probmodel_monte_carlo(256, 0.25, 16,
+                                       BucketPlacement::IndependentUniform,
+                                       kTrials, 1);
+  EXPECT_LT(r.p_even, 0.01);
+  EXPECT_LT(r.p_totally_uneven, 0.01);
+}
+
+TEST(ProbModel, Conclusion2_MoreActiveBucketsMoreEven) {
+  // With a bigger active fraction the relative imbalance shrinks — the
+  // paper's explanation for why right buckets distribute well.
+  double prev_ratio = 1e9;
+  for (double f : {0.1, 0.3, 0.6, 0.9}) {
+    const auto r = probmodel_monte_carlo(
+        256, f, 16, BucketPlacement::IndependentUniform, kTrials, 2);
+    const double mean = f * 256.0 / 16.0;
+    const double ratio = r.expected_max_load / mean;
+    EXPECT_LT(ratio, prev_ratio) << "fraction " << f;
+    prev_ratio = ratio;
+  }
+}
+
+TEST(ProbModel, Conclusion3_MoreProcessorsMoreUneven) {
+  // With more processors the permitted speedup falls further below linear.
+  double prev_efficiency = 1.1;
+  for (std::uint32_t procs : {2u, 8u, 32u, 64u}) {
+    const auto r = probmodel_monte_carlo(
+        256, 0.4, procs, BucketPlacement::IndependentUniform, kTrials, 3);
+    const double efficiency =
+        r.expected_speedup / static_cast<double>(procs);
+    EXPECT_LT(efficiency, prev_efficiency) << "procs " << procs;
+    prev_efficiency = efficiency;
+  }
+}
+
+TEST(ProbModel, ExactMatchesMonteCarlo) {
+  const auto exact = probmodel_exact(24, 4);
+  const auto mc = probmodel_monte_carlo(
+      1024, 24.0 / 1024.0, 4, BucketPlacement::IndependentUniform, 200000, 4);
+  EXPECT_NEAR(exact.p_even, mc.p_even, 0.01);
+  EXPECT_NEAR(exact.expected_max_load, mc.expected_max_load, 0.05);
+}
+
+TEST(ProbModel, ExactSingleProcessorDegenerate) {
+  const auto r = probmodel_exact(10, 1);
+  EXPECT_DOUBLE_EQ(r.p_even, 1.0);
+  EXPECT_DOUBLE_EQ(r.p_totally_uneven, 1.0);  // both are "all on one proc"
+  EXPECT_DOUBLE_EQ(r.expected_max_load, 10.0);
+  EXPECT_DOUBLE_EQ(r.expected_speedup, 1.0);
+}
+
+TEST(ProbModel, ExactTwoBallsTwoProcs) {
+  // Max load: P(1)=1/2 (split), P(2)=1/2 (together).
+  const auto r = probmodel_exact(2, 2);
+  EXPECT_NEAR(r.p_even, 0.5, 1e-9);
+  EXPECT_NEAR(r.p_totally_uneven, 0.5, 1e-9);
+  EXPECT_NEAR(r.expected_max_load, 1.5, 1e-9);
+}
+
+TEST(ProbModel, FixedPartitionIsMoreEvenThanIndependent) {
+  // Dealing buckets round-robin caps each processor at B/P buckets, which
+  // can only reduce the tail versus fully independent placement.
+  const auto fixed = probmodel_monte_carlo(
+      128, 0.5, 8, BucketPlacement::FixedPartition, kTrials, 5);
+  const auto indep = probmodel_monte_carlo(
+      128, 0.5, 8, BucketPlacement::IndependentUniform, kTrials, 5);
+  EXPECT_LE(fixed.expected_max_load, indep.expected_max_load + 0.05);
+}
+
+TEST(ProbModel, DegenerateInputs) {
+  const auto zero = probmodel_monte_carlo(
+      64, 0.0, 8, BucketPlacement::IndependentUniform, 100, 6);
+  EXPECT_DOUBLE_EQ(zero.expected_max_load, 0.0);
+  const auto no_trials = probmodel_monte_carlo(
+      64, 0.5, 8, BucketPlacement::IndependentUniform, 0, 7);
+  EXPECT_DOUBLE_EQ(no_trials.p_even, 0.0);
+}
+
+TEST(ProbModel, MonteCarloDeterministicPerSeed) {
+  const auto a = probmodel_monte_carlo(
+      128, 0.3, 8, BucketPlacement::IndependentUniform, 1000, 42);
+  const auto b = probmodel_monte_carlo(
+      128, 0.3, 8, BucketPlacement::IndependentUniform, 1000, 42);
+  EXPECT_DOUBLE_EQ(a.expected_max_load, b.expected_max_load);
+}
+
+}  // namespace
+}  // namespace mpps::core

@@ -1,0 +1,264 @@
+#include "src/core/xform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/error.hpp"
+#include "src/ops5/parser.hpp"
+#include "src/rete/interp.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/trace/synth.hpp"
+
+namespace mpps::core {
+namespace {
+
+using trace::Side;
+using trace::Trace;
+
+// ---- trace-level unsharing ----------------------------------------------
+
+TEST(UnshareTrace, SplitsBottleneckByOutput) {
+  const Trace before = trace::make_weaver_section();
+  const Trace after = unshare_node(before, trace::weaver_bottleneck_node());
+  // 3 bottleneck activations × 4 outputs replace the 3 originals.
+  EXPECT_EQ(after.total_activations(), before.total_activations() + 9);
+  // No activation remains at the original node.
+  for (const auto& cycle : after.cycles) {
+    for (const auto& act : cycle.activations) {
+      EXPECT_NE(act.node, trace::weaver_bottleneck_node());
+    }
+  }
+}
+
+TEST(UnshareTrace, MaxSuccessorsDrops) {
+  const Trace before = trace::make_weaver_section();
+  const Trace after = unshare_node(before, trace::weaver_bottleneck_node());
+  auto max_succ = [](const Trace& t) {
+    std::uint32_t m = 0;
+    for (const auto& cycle : t.cycles) {
+      for (const auto& act : cycle.activations) {
+        m = std::max(m, act.successors);
+      }
+    }
+    return m;
+  };
+  EXPECT_EQ(max_succ(before), 40u);
+  EXPECT_EQ(max_succ(after), 10u);
+}
+
+TEST(UnshareTrace, CopiesLandInDistinctBuckets) {
+  const Trace after =
+      unshare_node(trace::make_weaver_section(), trace::weaver_bottleneck_node());
+  // The three split activations with key_class 0 produce 4 copies each, at
+  // fresh node ids (above the section's maximum, 104); at 256 buckets the 4
+  // copy nodes almost surely hash apart.
+  std::set<std::uint32_t> buckets;
+  for (const auto& act : after.cycles.back().activations) {
+    if (act.key_class == 0 && act.parent == ActivationId::invalid() &&
+        act.side == Side::Left && act.node.value() >= 105) {
+      buckets.insert(act.bucket);
+    }
+  }
+  EXPECT_GE(buckets.size(), 3u);
+}
+
+TEST(UnshareTrace, NoOpWhenNodeGeneratesNothing) {
+  const Trace t = trace::make_weaver_section();
+  const Trace same = unshare_node(t, NodeId{9999});
+  EXPECT_EQ(same.total_activations(), t.total_activations());
+}
+
+TEST(UnshareTrace, ImprovesWeaverSpeedup) {
+  // Figure 5-4's effect: substantial improvement on the small-cycle trace.
+  const Trace before = trace::make_weaver_section();
+  const Trace after = unshare_node(before, trace::weaver_bottleneck_node());
+  sim::SimConfig config;
+  config.match_processors = 16;
+  config.costs = sim::CostModel::zero_overhead();
+  const double base = sim::speedup(
+      before, config, sim::Assignment::round_robin(before.num_buckets, 16));
+  // NOTE: speedups are computed against each trace's own serial baseline;
+  // unsharing adds duplicated work, so compare absolute simulated times.
+  const auto t_before =
+      simulate(before, config, sim::Assignment::round_robin(256, 16)).makespan;
+  const auto t_after =
+      simulate(after, config, sim::Assignment::round_robin(256, 16)).makespan;
+  EXPECT_LT(t_after, t_before);
+  EXPECT_GT(base, 1.0);
+}
+
+// ---- trace-level copy-and-constraint -------------------------------------
+
+TEST(CopyConstrainTrace, SpreadsCrossProductBuckets) {
+  const Trace before = trace::make_tourney_section();
+  const Trace after = copy_constrain_node(before, trace::tourney_cross_node(), 8);
+  std::set<std::uint32_t> before_buckets;
+  std::set<std::uint32_t> after_buckets;
+  for (const auto& act : before.cycles[2].activations) {
+    if (act.node == trace::tourney_cross_node()) {
+      before_buckets.insert(act.bucket);
+    }
+  }
+  std::uint32_t max_node = 0;
+  for (const auto& cycle : before.cycles) {
+    for (const auto& act : cycle.activations) {
+      max_node = std::max(max_node, act.node.value());
+    }
+  }
+  for (const auto& act : after.cycles[2].activations) {
+    if (act.node.value() > max_node) after_buckets.insert(act.bucket);
+  }
+  EXPECT_EQ(before_buckets.size(), 1u);
+  EXPECT_GE(after_buckets.size(), 6u);  // 8 copies, possible collisions
+}
+
+TEST(CopyConstrainTrace, PreservesLeftActivationCount) {
+  const Trace before = trace::make_tourney_section();
+  const Trace after = copy_constrain_node(before, trace::tourney_cross_node(), 8);
+  // No right activations exist at the cross node in this section, so the
+  // totals are unchanged.
+  EXPECT_EQ(trace::compute_stats(after).left,
+            trace::compute_stats(before).left);
+  EXPECT_EQ(trace::compute_stats(after).right,
+            trace::compute_stats(before).right);
+}
+
+TEST(CopyConstrainTrace, ReplicatesRightActivations) {
+  trace::SectionBuilder b("rights", 64);
+  b.begin_cycle(1);
+  const auto r = b.root_at(Side::Right, NodeId{5}, 3, 0);
+  b.child_at(r, NodeId{6}, 4, 0);
+  b.child_at(r, NodeId{6}, 4, 1);
+  const Trace before = b.take();
+  const Trace after = copy_constrain_node(before, NodeId{5}, 2);
+  // The right root is replicated into both copies; each keeps the children
+  // whose key class belongs to it.
+  const auto stats = trace::compute_stats(after);
+  EXPECT_EQ(stats.right, 2u);
+  EXPECT_EQ(stats.left, 2u);
+  for (const auto& act : after.cycles[0].activations) {
+    if (act.side == Side::Right) {
+      EXPECT_EQ(act.successors, 1u);
+    }
+  }
+}
+
+TEST(CopyConstrainTrace, ImprovesTourneySpeedup) {
+  const Trace before = trace::make_tourney_section();
+  const Trace after = copy_constrain_node(before, trace::tourney_cross_node(), 8);
+  sim::SimConfig config;
+  config.match_processors = 32;
+  config.costs = sim::CostModel::zero_overhead();
+  const auto t_before =
+      simulate(before, config, sim::Assignment::round_robin(256, 32)).makespan;
+  const auto t_after =
+      simulate(after, config, sim::Assignment::round_robin(256, 32)).makespan;
+  EXPECT_LT(t_after, t_before);
+}
+
+TEST(CopyConstrainTrace, ZeroCopiesRejected) {
+  EXPECT_THROW(
+      copy_constrain_node(trace::make_tourney_section(), NodeId{300}, 0),
+      TraceFormatError);
+}
+
+// ---- dummy nodes ----------------------------------------------------------
+
+TEST(DummyNodes, SplitsLargeGenerators) {
+  const Trace before = trace::make_weaver_section();
+  const Trace after =
+      insert_dummy_nodes(before, trace::weaver_bottleneck_node(), 4, 8);
+  // 3 bottleneck activations gain 4 dummies each.
+  EXPECT_EQ(after.total_activations(), before.total_activations() + 12);
+  std::uint32_t max_succ_at_bottleneck = 0;
+  for (const auto& act : after.cycles.back().activations) {
+    if (act.node == trace::weaver_bottleneck_node()) {
+      max_succ_at_bottleneck = std::max(max_succ_at_bottleneck, act.successors);
+    }
+  }
+  EXPECT_EQ(max_succ_at_bottleneck, 4u);  // only the dummies
+}
+
+TEST(DummyNodes, LeavesSmallGeneratorsAlone) {
+  const Trace before = trace::make_weaver_section();
+  const Trace after =
+      insert_dummy_nodes(before, trace::weaver_bottleneck_node(), 4, 1000);
+  EXPECT_EQ(after.total_activations(), before.total_activations());
+}
+
+// ---- source-level copy-and-constraint -------------------------------------
+
+constexpr const char* kCcProgram = R"(
+  (make item ^cat a ^v 1)
+  (make item ^cat b ^v 2)
+  (make item ^cat c ^v 3)
+  (make probe ^on yes)
+  (p hit (probe ^on yes) (item ^cat <c> ^v <v>) --> (make out ^cat <c>)))";
+
+std::multiset<std::string> out_cats(const ops5::Program& prog) {
+  rete::Interpreter interp(prog, {});
+  interp.load_initial_wmes();
+  interp.run();
+  std::multiset<std::string> cats;
+  for (const auto* w : interp.wm().all()) {
+    if (w->wme_class() == Symbol::intern("out")) {
+      cats.insert(std::string(
+          w->get(Symbol::intern("cat")).as_symbol().text()));
+    }
+  }
+  return cats;
+}
+
+TEST(CopyAndConstraintSource, PreservesFirings) {
+  const ops5::Program original = ops5::parse_program(kCcProgram);
+  const ops5::Program split = copy_and_constraint(
+      original, "hit", 2, Symbol::intern("cat"),
+      {{ops5::Value::sym("a")},
+       {ops5::Value::sym("b"), ops5::Value::sym("c")}});
+  ASSERT_EQ(split.productions.size(), 2u);
+  EXPECT_EQ(out_cats(original), out_cats(split));
+}
+
+TEST(CopyAndConstraintSource, CopiesGetDistinctNames) {
+  const ops5::Program split = copy_and_constraint(
+      ops5::parse_program(kCcProgram), "hit", 2, Symbol::intern("cat"),
+      {{ops5::Value::sym("a")}, {ops5::Value::sym("b")}});
+  EXPECT_NE(split.productions[0].name, split.productions[1].name);
+}
+
+TEST(CopyAndConstraintSource, UnknownProductionThrows) {
+  EXPECT_THROW(copy_and_constraint(ops5::parse_program(kCcProgram), "nope", 1,
+                                   Symbol::intern("cat"), {{}}),
+               RuntimeError);
+}
+
+TEST(CopyAndConstraintSource, CeOutOfRangeThrows) {
+  EXPECT_THROW(copy_and_constraint(ops5::parse_program(kCcProgram), "hit", 9,
+                                   Symbol::intern("cat"), {{}}),
+               RuntimeError);
+}
+
+// ---- network-level unsharing (compile option) -----------------------------
+
+TEST(UnshareNetwork, SameConflictSetWithAndWithoutSharing) {
+  const char* src = R"(
+    (make a ^v 1)
+    (make b ^v 1)
+    (make c ^k 1)
+    (make d ^k 2)
+    (p p1 (a ^v <x>) (b ^v <x>) (c ^k 1) --> (write one))
+    (p p2 (a ^v <x>) (b ^v <x>) (d ^k 2) --> (write two)))";
+  rete::InterpreterOptions shared;
+  rete::InterpreterOptions unshared;
+  unshared.compile.share_beta_nodes = false;
+  for (auto* opts : {&shared, &unshared}) {
+    rete::Interpreter interp(ops5::parse_program(src), *opts);
+    interp.load_initial_wmes();
+    const auto result = interp.run();
+    EXPECT_EQ(result.firings, 2u);
+  }
+}
+
+}  // namespace
+}  // namespace mpps::core

@@ -1,0 +1,138 @@
+// Robustness: arbitrary and mutated inputs must produce structured errors
+// (ParseError / TraceFormatError), never crashes or hangs.  Deterministic
+// pseudo-random fuzzing, one seed per parameterized case.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+#include "src/ops5/lexer.hpp"
+#include "src/ops5/parser.hpp"
+#include "src/trace/io.hpp"
+
+namespace mpps {
+namespace {
+
+/// Characters the OPS5 grammar cares about, plus noise.
+constexpr char kAlphabet[] =
+    "()+-<>{}^=| \n\tabcxyz0123456789.;\\/*pmw";
+
+std::string random_text(Rng& rng, std::size_t length) {
+  std::string out;
+  out.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    out.push_back(kAlphabet[rng.below(sizeof(kAlphabet) - 1)]);
+  }
+  return out;
+}
+
+constexpr const char* kValidProgram = R"(
+  (make counter ^value 0)
+  (p count
+    (counter ^value <v> ^value < 5)
+    -(stop ^flag << yes maybe >>)
+    -->
+    (modify 1 ^value (compute <v> + 1))
+    (write <v> (crlf))))";
+
+constexpr const char* kValidTrace =
+    "# mpps-trace v1\n"
+    "trace fuzz buckets 16\n"
+    "cycle 1\n"
+    "wmechange 2\n"
+    "act 1 R node 3 bucket 5 parent - succ 1 inst 0 key 2 tag +\n"
+    "act 2 L node 4 bucket 7 parent 1 succ 0 inst 1 key 0 tag +\n"
+    "endcycle\n";
+
+class FuzzCase : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzCase, LexerNeverCrashes) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    const std::string text = random_text(rng, 1 + rng.below(120));
+    try {
+      (void)ops5::lex(text);
+    } catch (const ParseError&) {
+      // structured failure is fine
+    }
+  }
+}
+
+TEST_P(FuzzCase, ParserNeverCrashesOnRandomText) {
+  Rng rng(GetParam() * 31 + 7);
+  for (int i = 0; i < 50; ++i) {
+    const std::string text = random_text(rng, 1 + rng.below(200));
+    try {
+      (void)ops5::parse_program(text);
+    } catch (const ParseError&) {
+    } catch (const RuntimeError&) {
+      // semantic validation of an accidentally-parseable program
+    }
+  }
+}
+
+TEST_P(FuzzCase, ParserNeverCrashesOnMutatedPrograms) {
+  Rng rng(GetParam() * 131 + 13);
+  for (int i = 0; i < 50; ++i) {
+    std::string text = kValidProgram;
+    const std::uint64_t mutations = 1 + rng.below(6);
+    for (std::uint64_t m = 0; m < mutations; ++m) {
+      const std::size_t pos = rng.below(text.size());
+      switch (rng.below(3)) {
+        case 0:  // replace
+          text[pos] = kAlphabet[rng.below(sizeof(kAlphabet) - 1)];
+          break;
+        case 1:  // delete
+          text.erase(pos, 1);
+          break;
+        default:  // insert
+          text.insert(pos, 1, kAlphabet[rng.below(sizeof(kAlphabet) - 1)]);
+          break;
+      }
+    }
+    try {
+      (void)ops5::parse_program(text);
+    } catch (const ParseError&) {
+    } catch (const RuntimeError&) {
+    }
+  }
+}
+
+TEST_P(FuzzCase, TraceReaderNeverCrashesOnMutatedTraces) {
+  Rng rng(GetParam() * 733 + 3);
+  for (int i = 0; i < 50; ++i) {
+    std::string text = kValidTrace;
+    const std::uint64_t mutations = 1 + rng.below(5);
+    for (std::uint64_t m = 0; m < mutations; ++m) {
+      const std::size_t pos = rng.below(text.size());
+      switch (rng.below(3)) {
+        case 0:
+          text[pos] = kAlphabet[rng.below(sizeof(kAlphabet) - 1)];
+          break;
+        case 1:
+          text.erase(pos, 1);
+          break;
+        default:
+          text.insert(pos, 1, kAlphabet[rng.below(sizeof(kAlphabet) - 1)]);
+          break;
+      }
+    }
+    try {
+      (void)trace::from_string(text);
+    } catch (const TraceFormatError&) {
+    }
+  }
+}
+
+TEST_P(FuzzCase, ValidInputsStillAccepted) {
+  // Anchors the fuzzers: unmutated inputs parse.
+  EXPECT_NO_THROW((void)ops5::parse_program(kValidProgram));
+  EXPECT_NO_THROW((void)trace::from_string(kValidTrace));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzCase,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace mpps

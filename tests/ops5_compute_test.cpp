@@ -1,0 +1,168 @@
+// The `(compute ...)` RHS arithmetic: OPS5 semantics — right-to-left
+// evaluation, no operator precedence; integer arithmetic stays integral.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/common/error.hpp"
+#include "src/ops5/ast.hpp"
+#include "src/ops5/parser.hpp"
+#include "src/rete/interp.hpp"
+
+namespace mpps::ops5 {
+namespace {
+
+Value compute(std::vector<Value> operands, std::vector<ArithOp> ops) {
+  return eval_compute(operands, ops);
+}
+
+TEST(EvalCompute, BasicIntegerOps) {
+  EXPECT_TRUE(compute({Value(2L), Value(3L)}, {ArithOp::Add}).equals(Value(5L)));
+  EXPECT_TRUE(compute({Value(7L), Value(3L)}, {ArithOp::Sub}).equals(Value(4L)));
+  EXPECT_TRUE(compute({Value(6L), Value(3L)}, {ArithOp::Mul}).equals(Value(18L)));
+  EXPECT_TRUE(compute({Value(7L), Value(2L)}, {ArithOp::Div}).equals(Value(3L)));
+  EXPECT_TRUE(compute({Value(7L), Value(3L)}, {ArithOp::Mod}).equals(Value(1L)));
+}
+
+TEST(EvalCompute, RightToLeftNoPrecedence) {
+  // 2 * 3 + 1 evaluates as 2 * (3 + 1) = 8, not 7.
+  EXPECT_TRUE(compute({Value(2L), Value(3L), Value(1L)},
+                      {ArithOp::Mul, ArithOp::Add})
+                  .equals(Value(8L)));
+  // 10 - 2 - 3 = 10 - (2 - 3) = 11.
+  EXPECT_TRUE(compute({Value(10L), Value(2L), Value(3L)},
+                      {ArithOp::Sub, ArithOp::Sub})
+                  .equals(Value(11L)));
+}
+
+TEST(EvalCompute, FloatPromotion) {
+  const Value result = compute({Value(3L), Value(0.5)}, {ArithOp::Mul});
+  EXPECT_TRUE(result.equals(Value(1.5)));
+  EXPECT_TRUE(compute({Value(7.0), Value(2L)}, {ArithOp::Div})
+                  .equals(Value(3.5)));
+}
+
+TEST(EvalCompute, Errors) {
+  EXPECT_THROW(compute({Value::sym("x"), Value(1L)}, {ArithOp::Add}),
+               RuntimeError);
+  EXPECT_THROW(compute({Value(1L), Value(0L)}, {ArithOp::Div}), RuntimeError);
+  EXPECT_THROW(compute({Value(1L), Value(0L)}, {ArithOp::Mod}), RuntimeError);
+  EXPECT_THROW(compute({Value(1.5), Value(2L)}, {ArithOp::Mod}), RuntimeError);
+  EXPECT_THROW(compute({}, {}), RuntimeError);
+  EXPECT_THROW(compute({Value(1L), Value(2L)}, {}), RuntimeError);
+}
+
+TEST(ComputeParser, ParsesExpression) {
+  const Program prog = parse_program(R"(
+    (p inc (counter ^value <v>) --> (modify 1 ^value (compute <v> + 1))))");
+  const auto& mo = std::get<ModifyAction>(prog.productions[0].rhs[0]);
+  const Term& term = mo.slots[0].second;
+  ASSERT_TRUE(term.is_compute());
+  ASSERT_EQ(term.compute_operands.size(), 2u);
+  EXPECT_TRUE(term.compute_operands[0].is_var());
+  ASSERT_EQ(term.compute_ops.size(), 1u);
+  EXPECT_EQ(term.compute_ops[0], ArithOp::Add);
+}
+
+TEST(ComputeParser, AllOperatorsAndNesting) {
+  const Program prog = parse_program(R"(
+    (p x (n ^v <v>)
+      -->
+      (bind <a> (compute <v> * 2))
+      (bind <b> (compute <v> - 1))
+      (bind <c> (compute <v> // 2))
+      (bind <d> (compute <v> \ 3))
+      (bind <e> (compute 1 + (compute <v> * <v>)))))");
+  EXPECT_EQ(prog.productions[0].rhs.size(), 5u);
+}
+
+TEST(ComputeParser, RejectedInLhs) {
+  EXPECT_THROW(parse_program("(p x (a ^v (compute 1 + 1)) --> (halt))"),
+               ParseError);
+}
+
+TEST(ComputeParser, UnknownOperatorFails) {
+  EXPECT_THROW(parse_program(R"(
+    (p x (a ^v <v>) --> (make b ^v (compute <v> ** 2))))"),
+               ParseError);
+}
+
+TEST(ComputeParser, UnterminatedFails) {
+  EXPECT_THROW(parse_program(R"(
+    (p x (a ^v <v>) --> (make b ^v (compute <v> + ))"),
+               ParseError);
+}
+
+TEST(ComputeNetwork, UnboundVariableInsideComputeRejected) {
+  EXPECT_THROW(rete::Network::compile(parse_program(R"(
+    (p x (a ^v 1) --> (make b ^v (compute <nope> + 1))))")),
+               mpps::RuntimeError);
+}
+
+TEST(ComputeInterpreter, CounterCountsToFive) {
+  rete::Interpreter interp(parse_program(R"(
+    (make counter ^value 0)
+    (p count
+      (counter ^value <v> ^value < 5)
+      -->
+      (modify 1 ^value (compute <v> + 1)))
+    (p done
+      (counter ^value 5)
+      -->
+      (halt)))"),
+                           {});
+  interp.load_initial_wmes();
+  const auto result = interp.run();
+  EXPECT_EQ(result.outcome, rete::RunResult::Outcome::Halted);
+  EXPECT_EQ(result.firings, 6u);  // five increments + done
+  const auto all = interp.wm().all();
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_TRUE(all[0]->get(Symbol::intern("value")).equals(Value(5L)));
+}
+
+TEST(ComputeInterpreter, FibonacciViaBind) {
+  rete::Interpreter interp(parse_program(R"(
+    (make fib ^a 0 ^b 1 ^n 10)
+    (p step
+      (fib ^a <a> ^b <b> ^n <n> ^n > 0)
+      -->
+      (bind <next> (compute <a> + <b>))
+      (modify 1 ^a <b> ^b <next> ^n (compute <n> - 1)))
+    (p done
+      (fib ^n 0)
+      -->
+      (halt)))"),
+                           {});
+  interp.load_initial_wmes();
+  const auto result = interp.run();
+  EXPECT_EQ(result.outcome, rete::RunResult::Outcome::Halted);
+  const auto all = interp.wm().all();
+  ASSERT_EQ(all.size(), 1u);
+  // After 10 steps: a = fib(10) = 55.
+  EXPECT_TRUE(all[0]->get(Symbol::intern("a")).equals(Value(55L)));
+}
+
+TEST(ComputeInterpreter, TopLevelMakeWithConstantCompute) {
+  rete::Interpreter interp(parse_program(R"(
+    (make settings ^threshold (compute 8 * 8))
+    (p check (settings ^threshold 64) --> (halt)))"),
+                           {});
+  interp.load_initial_wmes();
+  EXPECT_EQ(interp.run().outcome, rete::RunResult::Outcome::Halted);
+}
+
+TEST(ComputeInterpreter, WriteWithCompute) {
+  std::ostringstream out;
+  rete::InterpreterOptions opts;
+  opts.out = &out;
+  rete::Interpreter interp(parse_program(R"(
+    (make n ^v 6)
+    (p show (n ^v <v>) --> (write (compute <v> * 7) (crlf)) (halt)))"),
+                           opts);
+  interp.load_initial_wmes();
+  interp.run();
+  EXPECT_NE(out.str().find("42"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mpps::ops5

@@ -1,0 +1,118 @@
+#include "src/ops5/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+
+namespace mpps::ops5 {
+namespace {
+
+std::vector<TokenKind> kinds(std::string_view src) {
+  std::vector<TokenKind> out;
+  for (const Token& t : lex(src)) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, Parens) {
+  EXPECT_EQ(kinds("()"),
+            (std::vector<TokenKind>{TokenKind::LParen, TokenKind::RParen,
+                                    TokenKind::End}));
+}
+
+TEST(Lexer, AtomsAndNumbers) {
+  const auto toks = lex("block 42 -7 3.5 b1");
+  ASSERT_EQ(toks.size(), 6u);
+  EXPECT_EQ(toks[0].kind, TokenKind::Atom);
+  EXPECT_EQ(toks[0].text, "block");
+  EXPECT_EQ(toks[1].kind, TokenKind::Integer);
+  EXPECT_EQ(toks[1].int_value, 42);
+  EXPECT_EQ(toks[2].kind, TokenKind::Integer);
+  EXPECT_EQ(toks[2].int_value, -7);
+  EXPECT_EQ(toks[3].kind, TokenKind::Float);
+  EXPECT_DOUBLE_EQ(toks[3].float_value, 3.5);
+  EXPECT_EQ(toks[4].kind, TokenKind::Atom);
+}
+
+TEST(Lexer, Variables) {
+  const auto toks = lex("<x> <block2>");
+  EXPECT_EQ(toks[0].kind, TokenKind::Variable);
+  EXPECT_EQ(toks[0].text, "x");
+  EXPECT_EQ(toks[1].kind, TokenKind::Variable);
+  EXPECT_EQ(toks[1].text, "block2");
+}
+
+TEST(Lexer, AttributeMarkersStayInAtom) {
+  const auto toks = lex("^color blue");
+  EXPECT_EQ(toks[0].kind, TokenKind::Atom);
+  EXPECT_EQ(toks[0].text, "^color");
+}
+
+TEST(Lexer, Predicates) {
+  const auto toks = lex("= <> < <= > >=");
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(toks[static_cast<std::size_t>(i)].kind, TokenKind::Pred)
+        << "token " << i;
+  }
+  EXPECT_EQ(toks[1].text, "<>");
+  EXPECT_EQ(toks[3].text, "<=");
+}
+
+TEST(Lexer, ArrowAndMinus) {
+  const auto toks = lex("--> -");
+  EXPECT_EQ(toks[0].kind, TokenKind::Arrow);
+  EXPECT_EQ(toks[1].kind, TokenKind::Minus);
+}
+
+TEST(Lexer, MinusBeforeParenIsNegation) {
+  const auto toks = lex("-(block)");
+  EXPECT_EQ(toks[0].kind, TokenKind::Minus);
+  EXPECT_EQ(toks[1].kind, TokenKind::LParen);
+  EXPECT_EQ(toks[2].kind, TokenKind::Atom);
+}
+
+TEST(Lexer, DisjunctionMarkers) {
+  const auto toks = lex("<< red blue >>");
+  EXPECT_EQ(toks[0].kind, TokenKind::DoubleLt);
+  EXPECT_EQ(toks[3].kind, TokenKind::DoubleGt);
+}
+
+TEST(Lexer, BracesForConjunctiveTests) {
+  const auto toks = lex("{ > 2 < 10 }");
+  EXPECT_EQ(toks[0].kind, TokenKind::LBrace);
+  EXPECT_EQ(toks.back().kind, TokenKind::End);
+  EXPECT_EQ(toks[toks.size() - 2].kind, TokenKind::RBrace);
+}
+
+TEST(Lexer, CommentsIgnored) {
+  const auto toks = lex("a ; this is a comment\nb");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+}
+
+TEST(Lexer, QuotedAtoms) {
+  const auto toks = lex("|hello world| x");
+  EXPECT_EQ(toks[0].kind, TokenKind::Atom);
+  EXPECT_EQ(toks[0].text, "hello world");
+}
+
+TEST(Lexer, UnterminatedQuoteThrows) {
+  EXPECT_THROW(lex("|oops"), ParseError);
+}
+
+TEST(Lexer, LineAndColumnTracking) {
+  const auto toks = lex("a\n  b");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[0].column, 1);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[1].column, 3);
+}
+
+TEST(Lexer, HyphenatedAtoms) {
+  const auto toks = lex("clear-the-blue-block");
+  EXPECT_EQ(toks[0].kind, TokenKind::Atom);
+  EXPECT_EQ(toks[0].text, "clear-the-blue-block");
+}
+
+}  // namespace
+}  // namespace mpps::ops5

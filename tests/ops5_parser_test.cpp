@@ -1,0 +1,255 @@
+#include "src/ops5/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+
+namespace mpps::ops5 {
+namespace {
+
+// The paper's Figure 2-1 production.
+constexpr const char* kClearBlueBlock = R"(
+(p clear-the-blue-block
+  (block ^name <block1> ^color blue)
+  (block ^name <block2> ^on <block1>)
+  (hand ^state free)
+  -->
+  (remove 2))
+)";
+
+TEST(Parser, PaperFigure21Production) {
+  const Program prog = parse_program(kClearBlueBlock);
+  ASSERT_EQ(prog.productions.size(), 1u);
+  const Production& p = prog.productions[0];
+  EXPECT_EQ(p.name, "clear-the-blue-block");
+  ASSERT_EQ(p.lhs.size(), 3u);
+  EXPECT_EQ(p.lhs[0].ce_class, Symbol::intern("block"));
+  EXPECT_EQ(p.lhs[2].ce_class, Symbol::intern("hand"));
+  ASSERT_EQ(p.rhs.size(), 1u);
+  const auto* rm = std::get_if<RemoveAction>(&p.rhs[0]);
+  ASSERT_NE(rm, nullptr);
+  EXPECT_EQ(rm->ce_index, 2);
+}
+
+TEST(Parser, VariableBindingAndConstants) {
+  const Program prog = parse_program(kClearBlueBlock);
+  const auto& ce0 = prog.productions[0].lhs[0];
+  ASSERT_EQ(ce0.attr_tests.size(), 2u);
+  EXPECT_EQ(ce0.attr_tests[0].attr, Symbol::intern("name"));
+  EXPECT_TRUE(ce0.attr_tests[0].tests[0].operand.is_var());
+  EXPECT_EQ(ce0.attr_tests[1].attr, Symbol::intern("color"));
+  EXPECT_TRUE(
+      ce0.attr_tests[1].tests[0].operand.constant.equals(Value::sym("blue")));
+}
+
+TEST(Parser, NegatedConditionElement) {
+  const Program prog = parse_program(R"(
+    (p has-no-goal
+      (state ^name s1)
+      -(goal ^status active)
+      -->
+      (halt)))");
+  ASSERT_EQ(prog.productions[0].lhs.size(), 2u);
+  EXPECT_FALSE(prog.productions[0].lhs[0].negated);
+  EXPECT_TRUE(prog.productions[0].lhs[1].negated);
+}
+
+TEST(Parser, PredicateTests) {
+  const Program prog = parse_program(R"(
+    (p big (item ^size > 10 ^weight <= 5 ^kind <> junk) --> (halt)))");
+  const auto& tests = prog.productions[0].lhs[0].attr_tests;
+  ASSERT_EQ(tests.size(), 3u);
+  EXPECT_EQ(tests[0].tests[0].pred, Predicate::Gt);
+  EXPECT_EQ(tests[1].tests[0].pred, Predicate::Le);
+  EXPECT_EQ(tests[2].tests[0].pred, Predicate::Ne);
+}
+
+TEST(Parser, ConjunctiveBraceTests) {
+  const Program prog = parse_program(R"(
+    (p mid (item ^size { > 2 < 10 }) --> (halt)))");
+  const auto& at = prog.productions[0].lhs[0].attr_tests[0];
+  ASSERT_EQ(at.tests.size(), 2u);
+  EXPECT_EQ(at.tests[0].pred, Predicate::Gt);
+  EXPECT_EQ(at.tests[1].pred, Predicate::Lt);
+}
+
+TEST(Parser, Disjunction) {
+  const Program prog = parse_program(R"(
+    (p primary (item ^color << red green blue >>) --> (halt)))");
+  const auto& test = prog.productions[0].lhs[0].attr_tests[0].tests[0];
+  ASSERT_EQ(test.disjunction.size(), 3u);
+  EXPECT_TRUE(test.disjunction[1].equals(Value::sym("green")));
+}
+
+TEST(Parser, MakeModifyWriteBind) {
+  const Program prog = parse_program(R"(
+    (p act (a ^v <x>)
+      -->
+      (make b ^v <x> ^w 2)
+      (modify 1 ^v done)
+      (bind <y> 7)
+      (write <x> <y> (crlf))))");
+  const auto& rhs = prog.productions[0].rhs;
+  ASSERT_EQ(rhs.size(), 4u);
+  EXPECT_NE(std::get_if<MakeAction>(&rhs[0]), nullptr);
+  const auto* mo = std::get_if<ModifyAction>(&rhs[1]);
+  ASSERT_NE(mo, nullptr);
+  EXPECT_EQ(mo->ce_index, 1);
+  EXPECT_NE(std::get_if<BindAction>(&rhs[2]), nullptr);
+  const auto* w = std::get_if<WriteAction>(&rhs[3]);
+  ASSERT_NE(w, nullptr);
+  EXPECT_EQ(w->terms.size(), 3u);  // <x>, <y>, newline
+}
+
+TEST(Parser, RemoveWithMultipleIndices) {
+  const Program prog = parse_program(R"(
+    (p r2 (a ^v 1) (b ^v 2) --> (remove 1 2)))");
+  const auto& rhs = prog.productions[0].rhs;
+  ASSERT_EQ(rhs.size(), 2u);
+  EXPECT_EQ(std::get<RemoveAction>(rhs[0]).ce_index, 1);
+  EXPECT_EQ(std::get<RemoveAction>(rhs[1]).ce_index, 2);
+}
+
+TEST(Parser, TopLevelMakeBecomesInitialWme) {
+  const Program prog = parse_program(R"(
+    (make counter ^value 0)
+    (p done (counter ^value 10) --> (halt)))");
+  ASSERT_EQ(prog.initial_wmes.size(), 1u);
+  EXPECT_EQ(prog.initial_wmes[0].wme_class, Symbol::intern("counter"));
+  ASSERT_EQ(prog.productions.size(), 1u);
+}
+
+TEST(Parser, LiteralizeIgnored) {
+  const Program prog = parse_program(R"(
+    (literalize block name color on)
+    (p x (block ^name b) --> (halt)))");
+  EXPECT_EQ(prog.productions.size(), 1u);
+}
+
+TEST(Parser, SpecificityCountsTests) {
+  const Program prog = parse_program(kClearBlueBlock);
+  // class tests: 3, attr tests: name, color, name, on, state = 5 → 8.
+  EXPECT_EQ(prog.productions[0].specificity(), 8u);
+}
+
+TEST(Parser, PositiveCeIndices) {
+  const Program prog = parse_program(R"(
+    (p x (a ^v 1) -(b ^v 2) (c ^v 3) --> (halt)))");
+  const auto idx = prog.productions[0].positive_ce_indices();
+  ASSERT_EQ(idx.size(), 2u);
+  EXPECT_EQ(idx[0], 0u);
+  EXPECT_EQ(idx[1], 2u);
+}
+
+TEST(Parser, FindProduction) {
+  const Program prog = parse_program(kClearBlueBlock);
+  EXPECT_NE(prog.find("clear-the-blue-block"), nullptr);
+  EXPECT_EQ(prog.find("nonexistent"), nullptr);
+}
+
+TEST(Parser, ElementVariableOnCe) {
+  const Program prog = parse_program(R"(
+    (p clean
+      (goal ^kind tidy)
+      { <junk> (item ^state trash) }
+      -->
+      (remove <junk>)))");
+  const auto& ce = prog.productions[0].lhs[1];
+  EXPECT_EQ(ce.elem_var, Symbol::intern("junk"));
+  const auto* r = std::get_if<RemoveAction>(&prog.productions[0].rhs[0]);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->elem_var, Symbol::intern("junk"));
+}
+
+TEST(Parser, ModifyByElementVariable) {
+  const Program prog = parse_program(R"(
+    (p touch { <it> (item ^state raw) } --> (modify <it> ^state done)))");
+  const auto* m = std::get_if<ModifyAction>(&prog.productions[0].rhs[0]);
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->elem_var, Symbol::intern("it"));
+}
+
+TEST(ParserErrors, ElementVariableOnNegatedCe) {
+  EXPECT_THROW(parse_program(R"(
+    (p x (a ^v 1) -{ <w> (b ^v 1) } --> (halt)))"),
+               ParseError);
+}
+
+TEST(ParserErrors, ElementVariableMissingBrace) {
+  EXPECT_THROW(parse_program(R"(
+    (p x { <w> (a ^v 1) --> (halt)))"),
+               ParseError);
+}
+
+TEST(Parser, WmeLiteral) {
+  const Wme w = parse_wme("(block ^name b1 ^color blue ^size 3)");
+  EXPECT_EQ(w.wme_class(), Symbol::intern("block"));
+  EXPECT_TRUE(w.get(Symbol::intern("size")).equals(Value(3L)));
+}
+
+// ---- error cases --------------------------------------------------------
+
+TEST(ParserErrors, MissingArrow) {
+  EXPECT_THROW(parse_program("(p x (a ^v 1) (halt))"), ParseError);
+}
+
+TEST(ParserErrors, EmptyLhs) {
+  EXPECT_THROW(parse_program("(p x --> (halt))"), ParseError);
+}
+
+TEST(ParserErrors, NegatedFirstCe) {
+  EXPECT_THROW(parse_program("(p x -(a ^v 1) --> (halt))"), ParseError);
+}
+
+TEST(ParserErrors, UnknownAction) {
+  EXPECT_THROW(parse_program("(p x (a ^v 1) --> (explode))"), ParseError);
+}
+
+TEST(ParserErrors, UnknownTopLevelForm) {
+  EXPECT_THROW(parse_program("(q x)"), ParseError);
+}
+
+TEST(ParserErrors, VariablesInWmeLiteral) {
+  EXPECT_THROW(parse_wme("(block ^name <x>)"), ParseError);
+}
+
+TEST(ParserErrors, EmptyDisjunction) {
+  EXPECT_THROW(parse_program("(p x (a ^v << >>) --> (halt))"), ParseError);
+}
+
+TEST(ParserErrors, VariableInsideDisjunction) {
+  EXPECT_THROW(parse_program("(p x (a ^v << <y> >>) --> (halt))"), ParseError);
+}
+
+TEST(ParserErrors, EmptyBraceGroup) {
+  EXPECT_THROW(parse_program("(p x (a ^v { }) --> (halt))"), ParseError);
+}
+
+TEST(ParserErrors, RemoveWithoutIndex) {
+  EXPECT_THROW(parse_program("(p x (a ^v 1) --> (remove))"), ParseError);
+}
+
+TEST(ParserErrors, BindWithoutVariable) {
+  EXPECT_THROW(parse_program("(p x (a ^v 1) --> (bind 7 7))"), ParseError);
+}
+
+TEST(ParserErrors, PositionalValuesRejected) {
+  // We require attribute form; a bare value where ^attr is expected fails.
+  EXPECT_THROW(parse_program("(p x (a blue) --> (halt))"), ParseError);
+}
+
+TEST(ParserErrors, ReportsLineNumbers) {
+  try {
+    parse_program("(p x\n  (a ^v 1)\n  (halt))");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_GE(e.line(), 2);
+  }
+}
+
+TEST(ParserErrors, UnterminatedProduction) {
+  EXPECT_THROW(parse_program("(p x (a ^v 1) --> (halt)"), ParseError);
+}
+
+}  // namespace
+}  // namespace mpps::ops5

@@ -1,0 +1,108 @@
+#include "src/ops5/wme.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mpps::ops5 {
+namespace {
+
+Wme block(std::string_view name, std::string_view color) {
+  return Wme(Symbol::intern("block"),
+             {{Symbol::intern("name"), Value::sym(name)},
+              {Symbol::intern("color"), Value::sym(color)}});
+}
+
+TEST(Wme, GetByAttribute) {
+  Wme w = block("b1", "blue");
+  EXPECT_TRUE(w.get(Symbol::intern("color")).equals(Value::sym("blue")));
+  EXPECT_TRUE(w.get(Symbol::intern("missing")).absent());
+}
+
+TEST(Wme, SetReplacesAndInserts) {
+  Wme w = block("b1", "blue");
+  w.set(Symbol::intern("color"), Value::sym("red"));
+  EXPECT_TRUE(w.get(Symbol::intern("color")).equals(Value::sym("red")));
+  w.set(Symbol::intern("size"), Value(3L));
+  EXPECT_TRUE(w.get(Symbol::intern("size")).equals(Value(3L)));
+  EXPECT_EQ(w.attrs().size(), 3u);
+}
+
+TEST(Wme, SameContentIgnoresTimetag) {
+  WorkingMemory wm;
+  const WmeId a = wm.add(block("b1", "blue"));
+  const WmeId b = wm.add(block("b1", "blue"));
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(wm.find(a)->same_content(*wm.find(b)));
+}
+
+TEST(Wme, SameContentDetectsDifferences) {
+  EXPECT_FALSE(block("b1", "blue").same_content(block("b1", "red")));
+  EXPECT_FALSE(block("b1", "blue")
+                   .same_content(Wme(Symbol::intern("hand"),
+                                     {{Symbol::intern("name"),
+                                       Value::sym("b1")}})));
+}
+
+TEST(Wme, ToStringShowsClassAndAttrs) {
+  const std::string s = block("b1", "blue").to_string();
+  EXPECT_NE(s.find("(block"), std::string::npos);
+  EXPECT_NE(s.find("^color blue"), std::string::npos);
+}
+
+TEST(WorkingMemory, TimetagsIncrease) {
+  WorkingMemory wm;
+  const WmeId a = wm.add(block("b1", "blue"));
+  const WmeId b = wm.add(block("b2", "red"));
+  EXPECT_LT(a, b);
+}
+
+TEST(WorkingMemory, RemoveLiveWme) {
+  WorkingMemory wm;
+  const WmeId a = wm.add(block("b1", "blue"));
+  EXPECT_EQ(wm.size(), 1u);
+  EXPECT_TRUE(wm.remove(a));
+  EXPECT_EQ(wm.size(), 0u);
+  EXPECT_EQ(wm.find(a), nullptr);
+  EXPECT_FALSE(wm.remove(a));  // already gone
+}
+
+TEST(WorkingMemory, DrainChangesInOrder) {
+  WorkingMemory wm;
+  const WmeId a = wm.add(block("b1", "blue"));
+  wm.add(block("b2", "red"));
+  wm.remove(a);
+  const auto changes = wm.drain_changes();
+  ASSERT_EQ(changes.size(), 3u);
+  EXPECT_EQ(changes[0].kind, WmeChange::Kind::Add);
+  EXPECT_EQ(changes[1].kind, WmeChange::Kind::Add);
+  EXPECT_EQ(changes[2].kind, WmeChange::Kind::Delete);
+  EXPECT_EQ(changes[2].wme.id(), a);
+  EXPECT_TRUE(wm.drain_changes().empty());  // drained
+}
+
+TEST(WorkingMemory, DeleteChangeCarriesContent) {
+  WorkingMemory wm;
+  const WmeId a = wm.add(block("b1", "blue"));
+  (void)wm.drain_changes();
+  wm.remove(a);
+  const auto changes = wm.drain_changes();
+  ASSERT_EQ(changes.size(), 1u);
+  EXPECT_TRUE(
+      changes[0].wme.get(Symbol::intern("color")).equals(Value::sym("blue")));
+}
+
+TEST(WorkingMemory, AllReturnsLiveInOrder) {
+  WorkingMemory wm;
+  wm.add(block("b1", "blue"));
+  const WmeId b = wm.add(block("b2", "red"));
+  wm.add(block("b3", "green"));
+  wm.remove(b);
+  const auto all = wm.all();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_TRUE(
+      all[0]->get(Symbol::intern("name")).equals(Value::sym("b1")));
+  EXPECT_TRUE(
+      all[1]->get(Symbol::intern("name")).equals(Value::sym("b3")));
+}
+
+}  // namespace
+}  // namespace mpps::ops5

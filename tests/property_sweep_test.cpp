@@ -1,0 +1,186 @@
+// Parameterized property sweeps: simulator laws and transformation
+// invariants checked across randomly generated workloads.  Each seed is a
+// distinct trace shape.
+#include <gtest/gtest.h>
+
+#include "src/core/distribution.hpp"
+#include "src/core/xform.hpp"
+#include "src/sim/sharedbus.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/trace/io.hpp"
+#include "src/trace/synth.hpp"
+
+namespace mpps {
+namespace {
+
+using sim::Assignment;
+using sim::CostModel;
+using sim::SimConfig;
+using trace::RandomTraceSpec;
+using trace::Trace;
+
+RandomTraceSpec spec_for(std::uint64_t seed) {
+  RandomTraceSpec spec;
+  // Vary the shape with the seed: hot keys, deep chains, left-heavy mixes.
+  spec.cycles = static_cast<std::uint32_t>(2 + seed % 4);
+  spec.roots_per_cycle = static_cast<std::uint32_t>(20 + (seed * 7) % 60);
+  spec.right_fraction = 0.2 + 0.1 * static_cast<double>(seed % 7);
+  spec.fanout = 0.5 + 0.35 * static_cast<double>(seed % 5);
+  spec.chain_prob = 0.1 * static_cast<double>(seed % 8);
+  spec.key_classes = static_cast<std::uint32_t>(1 + (seed * 13) % 96);
+  spec.instantiation_prob = 0.05;
+  return spec;
+}
+
+class TraceProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  Trace trace_ = trace::make_random_trace(spec_for(GetParam()), GetParam());
+};
+
+TEST_P(TraceProperty, GeneratorProducesValidTraces) {
+  EXPECT_NO_THROW(trace::validate(trace_));
+  EXPECT_GT(trace_.total_activations(), 0u);
+}
+
+TEST_P(TraceProperty, IoRoundTripIsExact) {
+  const Trace round = trace::from_string(trace::to_string(trace_));
+  EXPECT_EQ(trace::to_string(round), trace::to_string(trace_));
+}
+
+TEST_P(TraceProperty, BaselineEqualsCostSum) {
+  std::int64_t expected_us = 0;
+  for (const auto& cycle : trace_.cycles) {
+    expected_us += 30;
+    for (const auto& act : cycle.activations) {
+      expected_us += act.side == trace::Side::Left ? 32 : 16;
+      expected_us += 16 * (act.successors + act.instantiations);
+    }
+  }
+  EXPECT_EQ(sim::baseline_time(trace_), SimTime::us(expected_us));
+}
+
+TEST_P(TraceProperty, SpeedupLawsHold) {
+  for (std::uint32_t procs : {2u, 8u, 32u}) {
+    SimConfig config;
+    config.match_processors = procs;
+    config.costs = CostModel::zero_overhead();
+    const auto assignment =
+        Assignment::round_robin(trace_.num_buckets, procs);
+    const double s = sim::speedup(trace_, config, assignment);
+    EXPECT_GT(s, 0.99);
+    EXPECT_LE(s, static_cast<double>(procs) + 1e-9);
+    // Overheads are monotone.
+    SimTime prev{};
+    for (int run = 1; run <= 4; ++run) {
+      config.costs = CostModel::paper_run(run);
+      const SimTime t = sim::simulate(trace_, config, assignment).makespan;
+      EXPECT_GE(t, prev) << "procs " << procs << " run " << run;
+      prev = t;
+    }
+  }
+}
+
+TEST_P(TraceProperty, TokenConservation) {
+  // Every join-generated token is either delivered locally or messaged;
+  // with instantiation charging off, messages + local == child count.
+  std::uint64_t children = 0;
+  for (const auto& cycle : trace_.cycles) {
+    for (const auto& act : cycle.activations) {
+      if (act.parent.valid()) ++children;
+    }
+  }
+  SimConfig config;
+  config.match_processors = 8;
+  config.costs = CostModel::paper_run(3);
+  config.charge_instantiation_messages = false;
+  const auto result = sim::simulate(
+      trace_, config, Assignment::round_robin(trace_.num_buckets, 8));
+  EXPECT_EQ(result.messages + result.local_deliveries, children);
+}
+
+TEST_P(TraceProperty, MetricsAccountEveryActivation) {
+  SimConfig config;
+  config.match_processors = 16;
+  config.costs = CostModel::paper_run(2);
+  const auto result = sim::simulate(
+      trace_, config, Assignment::round_robin(trace_.num_buckets, 16));
+  std::uint64_t counted = 0;
+  for (const auto& cycle : result.cycles) {
+    for (const auto& proc : cycle.procs) counted += proc.activations;
+  }
+  EXPECT_EQ(counted, trace_.total_activations());
+}
+
+TEST_P(TraceProperty, PairMappingCountsEachActivationOnce) {
+  // An activation splits into a store half and a generate half, but it is
+  // attributed once — to the processor that stores the token.
+  SimConfig config;
+  config.match_processors = 8;
+  config.mapping = sim::MappingMode::ProcessorPairs;
+  config.costs = CostModel::paper_run(2);
+  const auto result = sim::simulate(
+      trace_, config, Assignment::round_robin(trace_.num_buckets, 4));
+  std::uint64_t counted = 0;
+  for (const auto& cycle : result.cycles) {
+    for (const auto& proc : cycle.procs) counted += proc.activations;
+  }
+  EXPECT_EQ(counted, trace_.total_activations());
+}
+
+TEST_P(TraceProperty, GreedyNeverWorseThanRoundRobinImbalance) {
+  const auto costs = CostModel::zero_overhead();
+  const auto greedy = core::greedy_assignment(trace_, 8, costs);
+  const auto rr = Assignment::round_robin(trace_.num_buckets, 8);
+  for (std::size_t c = 0; c < trace_.cycles.size(); ++c) {
+    EXPECT_LE(core::load_imbalance(trace_, c, greedy, costs),
+              core::load_imbalance(trace_, c, rr, costs) + 1e-9);
+  }
+}
+
+TEST_P(TraceProperty, SharedBusOneProcMatchesBaseline) {
+  sim::SharedBusConfig bus;
+  bus.processors = 1;
+  bus.queue_access = SimTime::us(0);
+  bus.costs = CostModel::zero_overhead();
+  EXPECT_EQ(sim::simulate_shared_bus(trace_, bus).makespan,
+            sim::baseline_time(trace_));
+}
+
+TEST_P(TraceProperty, TransformsPreserveStructureAndSemanticWork) {
+  // Apply each transformation to the busiest node and check invariants.
+  std::uint64_t best_count = 0;
+  NodeId busiest;
+  std::unordered_map<std::uint32_t, std::uint64_t> per_node;
+  for (const auto& cycle : trace_.cycles) {
+    for (const auto& act : cycle.activations) {
+      if (++per_node[act.node.value()] > best_count) {
+        best_count = per_node[act.node.value()];
+        busiest = act.node;
+      }
+    }
+  }
+  const trace::TraceStats before = trace::compute_stats(trace_);
+
+  const Trace unshared = core::unshare_node(trace_, busiest);
+  EXPECT_NO_THROW(trace::validate(unshared));
+  EXPECT_GE(unshared.total_activations(), trace_.total_activations());
+  EXPECT_EQ(trace::compute_stats(unshared).instantiations,
+            before.instantiations);
+
+  const Trace constrained = core::copy_constrain_node(trace_, busiest, 4);
+  EXPECT_NO_THROW(trace::validate(constrained));
+  EXPECT_EQ(trace::compute_stats(constrained).instantiations,
+            before.instantiations);
+
+  const Trace dummies = core::insert_dummy_nodes(trace_, busiest, 3, 2);
+  EXPECT_NO_THROW(trace::validate(dummies));
+  EXPECT_GE(dummies.total_activations(), trace_.total_activations());
+  EXPECT_EQ(trace::compute_stats(dummies).instantiations,
+            before.instantiations);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomShapes, TraceProperty,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+}  // namespace
+}  // namespace mpps

@@ -1,0 +1,119 @@
+#include "src/rete/footprint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "src/common/error.hpp"
+#include "src/ops5/parser.hpp"
+
+namespace mpps::rete {
+namespace {
+
+/// A synthetic rule base: `n` productions, each a private 4-CE chain.
+Network big_network(int n) {
+  std::string source;
+  for (int i = 0; i < n; ++i) {
+    const std::string id = std::to_string(i);
+    source += "(p rule" + id + " (a" + id + " ^v <x>) (b" + id +
+              " ^v <x> ^w <y>) (c" + id + " ^w <y>) (d" + id +
+              " ^v <x>) --> (halt))\n";
+  }
+  return Network::compile(ops5::parse_program(source));
+}
+
+TEST(Footprint, PackedIsMuchSmallerThanInline) {
+  const Network net = big_network(100);
+  const auto inline_fp = estimate_footprint(net, NodeEncoding::InlineExpanded);
+  const auto packed_fp = estimate_footprint(net, NodeEncoding::Packed14Byte);
+  EXPECT_GT(inline_fp.total(), 5 * packed_fp.total());
+}
+
+TEST(Footprint, ThousandProductionsLandInThePapersRange) {
+  // "large OPS5 programs (with ~1000 productions) require about 1-2
+  // Mbytes of memory" under in-line expansion.
+  const Network net = big_network(1000);
+  const auto fp = estimate_footprint(net, NodeEncoding::InlineExpanded);
+  EXPECT_GE(fp.total(), 1u * 1024 * 1024);
+  EXPECT_LE(fp.total(), 3u * 1024 * 1024);
+}
+
+TEST(Footprint, PackedBetaCostIs14BytesPerNode) {
+  const Network net = big_network(10);
+  const auto fp = estimate_footprint(net, NodeEncoding::Packed14Byte);
+  EXPECT_EQ(fp.beta_bytes, net.betas().size() * 14);
+}
+
+TEST(Partition, EveryBetaPlacedExactlyOnce) {
+  const Network net = big_network(20);
+  const NodePartition partition = partition_nodes(net, 8);
+  std::set<std::uint32_t> seen;
+  std::size_t total = 0;
+  for (const auto& bucket : partition.beta_nodes) {
+    for (NodeId node : bucket) {
+      EXPECT_TRUE(seen.insert(node.value()).second)
+          << "node placed twice: " << node.value();
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, net.betas().size());
+}
+
+TEST(Partition, SameProductionNodesSpreadAcrossPartitions) {
+  // 4-CE productions have 3-node chains; with k >= 3 partitions no two
+  // nodes of one production may share a partition.
+  const Network net = big_network(30);
+  for (std::uint32_t k : {3u, 4u, 8u}) {
+    const NodePartition partition = partition_nodes(net, k);
+    EXPECT_EQ(max_production_collisions(net, partition), 1u) << "k=" << k;
+  }
+}
+
+TEST(Partition, CollisionsOnlyWhenChainsExceedPartitions) {
+  const Network net = big_network(30);
+  const NodePartition partition = partition_nodes(net, 2);
+  // 3-node chains over 2 partitions: at most ceil(3/2) = 2 per partition.
+  EXPECT_EQ(max_production_collisions(net, partition), 2u);
+}
+
+TEST(Partition, FootprintsFitSmallLocalMemories) {
+  // The paper's point: partitioned, packed nodes fit 10-20 KB local
+  // memories even for large systems.
+  const Network net = big_network(1000);
+  const NodePartition partition = partition_nodes(net, 256);
+  for (std::size_t bytes : partition_footprints(net, partition)) {
+    EXPECT_LE(bytes, 20u * 1024);
+  }
+}
+
+TEST(Partition, BalancedSizes) {
+  const Network net = big_network(64);
+  const NodePartition partition = partition_nodes(net, 8);
+  std::size_t min = SIZE_MAX;
+  std::size_t max = 0;
+  for (const auto& bucket : partition.beta_nodes) {
+    min = std::min(min, bucket.size());
+    max = std::max(max, bucket.size());
+  }
+  EXPECT_LE(max - min, 4u);
+}
+
+TEST(Partition, ZeroPartitionsRejected) {
+  const Network net = big_network(2);
+  EXPECT_THROW(partition_nodes(net, 0), RuntimeError);
+}
+
+TEST(Partition, SharedChainsHandled) {
+  // Productions sharing a prefix: the shared node is placed once.
+  const Network net = Network::compile(ops5::parse_program(R"(
+    (p p1 (a ^v <x>) (b ^v <x>) (c ^k 1) --> (halt))
+    (p p2 (a ^v <x>) (b ^v <x>) (d ^k 2) --> (halt)))"));
+  const NodePartition partition = partition_nodes(net, 4);
+  std::size_t total = 0;
+  for (const auto& bucket : partition.beta_nodes) total += bucket.size();
+  EXPECT_EQ(total, net.betas().size());
+}
+
+}  // namespace
+}  // namespace mpps::rete

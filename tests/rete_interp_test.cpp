@@ -1,0 +1,306 @@
+#include "src/rete/interp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/common/error.hpp"
+#include "src/ops5/parser.hpp"
+
+namespace mpps::rete {
+namespace {
+
+Interpreter make(std::string_view src, InterpreterOptions opts = {}) {
+  return Interpreter(ops5::parse_program(src), opts);
+}
+
+TEST(Interpreter, StateMachineRunsToHalt) {
+  auto interp = make(R"(
+    (make machine ^state s1)
+    (p step1 (machine ^state s1) --> (modify 1 ^state s2))
+    (p step2 (machine ^state s2) --> (modify 1 ^state s3))
+    (p step3 (machine ^state s3) --> (halt)))");
+  interp.load_initial_wmes();
+  const RunResult result = interp.run();
+  EXPECT_EQ(result.outcome, RunResult::Outcome::Halted);
+  EXPECT_EQ(result.firings, 3u);
+}
+
+TEST(Interpreter, QuiescenceWhenNothingMatches) {
+  auto interp = make(R"(
+    (p never (ghost ^v 1) --> (halt)))");
+  interp.load_initial_wmes();
+  const RunResult result = interp.run();
+  EXPECT_EQ(result.outcome, RunResult::Outcome::Quiescent);
+  EXPECT_EQ(result.firings, 0u);
+}
+
+TEST(Interpreter, CycleLimitStopsRunaway) {
+  InterpreterOptions opts;
+  opts.max_cycles = 10;
+  auto interp = make(R"(
+    (make tick)
+    (p forever (tick) --> (make tick)))",
+                     opts);
+  interp.load_initial_wmes();
+  const RunResult result = interp.run();
+  EXPECT_EQ(result.outcome, RunResult::Outcome::CycleLimit);
+  EXPECT_EQ(result.cycles, 10u);
+}
+
+TEST(Interpreter, MakeAddsWmeWithBindings) {
+  auto interp = make(R"(
+    (make src ^v 42)
+    (p copy (src ^v <x>) --> (make dst ^v <x>) (halt)))");
+  interp.load_initial_wmes();
+  interp.run();
+  bool found = false;
+  for (const auto* w : interp.wm().all()) {
+    if (w->wme_class() == Symbol::intern("dst")) {
+      EXPECT_TRUE(w->get(Symbol::intern("v")).equals(ops5::Value(42L)));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Interpreter, RemoveDeletesMatchedWme) {
+  auto interp = make(R"(
+    (make junk ^v 1)
+    (p clean (junk ^v <x>) --> (remove 1)))");
+  interp.load_initial_wmes();
+  const RunResult result = interp.run();
+  EXPECT_EQ(result.outcome, RunResult::Outcome::Quiescent);
+  EXPECT_EQ(result.firings, 1u);
+  EXPECT_EQ(interp.wm().size(), 0u);
+}
+
+TEST(Interpreter, ModifyPreservesOtherAttributes) {
+  auto interp = make(R"(
+    (make item ^name widget ^state raw)
+    (p process (item ^state raw) --> (modify 1 ^state done) (halt)))");
+  interp.load_initial_wmes();
+  interp.run();
+  const auto all = interp.wm().all();
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_TRUE(
+      all[0]->get(Symbol::intern("name")).equals(ops5::Value::sym("widget")));
+  EXPECT_TRUE(
+      all[0]->get(Symbol::intern("state")).equals(ops5::Value::sym("done")));
+}
+
+TEST(Interpreter, ModifyCountsAsDeleteThenAdd) {
+  // The modified wme must get a NEW timetag (the multiple-modify effect
+  // depends on this delete+add behavior).
+  auto interp = make(R"(
+    (make item ^state raw)
+    (p process (item ^state raw) --> (modify 1 ^state done) (halt)))");
+  interp.load_initial_wmes();
+  interp.run();
+  const auto all = interp.wm().all();
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_GT(all[0]->id().value(), 1u);
+}
+
+TEST(Interpreter, WriteGoesToConfiguredStream) {
+  std::ostringstream out;
+  InterpreterOptions opts;
+  opts.out = &out;
+  auto interp = make(R"(
+    (make greeting ^text hello)
+    (p greet (greeting ^text <t>) --> (write <t> world) (halt)))",
+                     opts);
+  interp.load_initial_wmes();
+  interp.run();
+  EXPECT_NE(out.str().find("hello world"), std::string::npos);
+}
+
+TEST(Interpreter, BindThenUse) {
+  auto interp = make(R"(
+    (make n ^v 1)
+    (p go (n ^v <x>) --> (bind <y> fixed) (make out ^a <x> ^b <y>) (halt)))");
+  interp.load_initial_wmes();
+  interp.run();
+  bool found = false;
+  for (const auto* w : interp.wm().all()) {
+    if (w->wme_class() == Symbol::intern("out")) {
+      EXPECT_TRUE(w->get(Symbol::intern("b")).equals(ops5::Value::sym("fixed")));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Interpreter, RefractionPreventsInfiniteRefire) {
+  // `keep` matches but never changes WM: it must fire once, then the
+  // system is quiescent (OPS5 refraction).
+  auto interp = make(R"(
+    (make thing ^v 1)
+    (p keep (thing ^v 1) --> (write seen)))");
+  interp.load_initial_wmes();
+  const RunResult result = interp.run();
+  EXPECT_EQ(result.outcome, RunResult::Outcome::Quiescent);
+  EXPECT_EQ(result.firings, 1u);
+}
+
+TEST(Interpreter, FiringsRecorded) {
+  auto interp = make(R"(
+    (make step ^n 1)
+    (p one (step ^n 1) --> (modify 1 ^n 2))
+    (p two (step ^n 2) --> (halt)))");
+  interp.load_initial_wmes();
+  interp.run();
+  ASSERT_EQ(interp.firings().size(), 2u);
+  EXPECT_EQ(interp.firings()[0].production, "one");
+  EXPECT_EQ(interp.firings()[1].production, "two");
+}
+
+TEST(Interpreter, RemoveNumbersCountNegatedCes) {
+  // (remove 3) refers to the third CE counting negated ones too.
+  auto interp = make(R"(
+    (make a ^v 1)
+    (make c ^v 1)
+    (p x (a ^v <n>) -(b ^v <n>) (c ^v <n>) --> (remove 3) (halt)))");
+  interp.load_initial_wmes();
+  interp.run();
+  for (const auto* w : interp.wm().all()) {
+    EXPECT_NE(w->wme_class(), Symbol::intern("c"));
+  }
+  EXPECT_EQ(interp.wm().size(), 1u);
+}
+
+TEST(Interpreter, RemoveByElementVariable) {
+  auto interp = make(R"(
+    (make goal ^kind tidy)
+    (make item ^state trash ^name cup)
+    (make item ^state ok ^name plate)
+    (p clean
+      (goal ^kind tidy)
+      { <junk> (item ^state trash) }
+      -->
+      (remove <junk>)))");
+  interp.load_initial_wmes();
+  interp.run();
+  for (const auto* w : interp.wm().all()) {
+    if (w->wme_class() == Symbol::intern("item")) {
+      EXPECT_TRUE(
+          w->get(Symbol::intern("state")).equals(ops5::Value::sym("ok")));
+    }
+  }
+  EXPECT_EQ(interp.wm().size(), 2u);  // goal + the ok item
+}
+
+TEST(Interpreter, ModifyByElementVariable) {
+  auto interp = make(R"(
+    (make item ^state raw)
+    (p touch
+      { <it> (item ^state raw) }
+      -->
+      (modify <it> ^state done)
+      (halt)))");
+  interp.load_initial_wmes();
+  interp.run();
+  const auto all = interp.wm().all();
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_TRUE(
+      all[0]->get(Symbol::intern("state")).equals(ops5::Value::sym("done")));
+}
+
+TEST(Interpreter, ElementVariableWithNegatedCesBetween) {
+  // The element variable must track the POSITIVE-CE token position even
+  // when negated CEs sit between positive ones.
+  auto interp = make(R"(
+    (make a ^v 1)
+    (make c ^v 1 ^name target)
+    (p x
+      (a ^v <n>)
+      -(b ^v <n>)
+      { <hit> (c ^v <n>) }
+      -->
+      (remove <hit>)
+      (halt)))");
+  interp.load_initial_wmes();
+  interp.run();
+  for (const auto* w : interp.wm().all()) {
+    EXPECT_NE(w->wme_class(), Symbol::intern("c"));
+  }
+}
+
+TEST(InterpreterErrors, UnknownElementVariableRejectedAtCompile) {
+  EXPECT_THROW(make("(p x (a ^v 1) --> (remove <nope>))"),
+               mpps::RuntimeError);
+}
+
+TEST(Interpreter, WatchLevelOnePrintsFirings) {
+  std::ostringstream out;
+  InterpreterOptions opts;
+  opts.out = &out;
+  opts.watch = 1;
+  auto interp = make(R"(
+    (make machine ^state s1)
+    (p step1 (machine ^state s1) --> (modify 1 ^state s2))
+    (p step2 (machine ^state s2) --> (halt)))",
+                     opts);
+  interp.load_initial_wmes();
+  interp.run();
+  EXPECT_NE(out.str().find("1. step1"), std::string::npos);
+  EXPECT_NE(out.str().find("2. step2"), std::string::npos);
+  EXPECT_EQ(out.str().find("=>WM"), std::string::npos);  // level 2 only
+}
+
+TEST(Interpreter, WatchLevelTwoPrintsWmeChanges) {
+  std::ostringstream out;
+  InterpreterOptions opts;
+  opts.out = &out;
+  opts.watch = 2;
+  // No halt: the delete must flow through a subsequent match phase to be
+  // traced before the run reaches quiescence.
+  auto interp = make(R"(
+    (make machine ^state s1)
+    (p step1 (machine ^state s1) --> (remove 1)))",
+                     opts);
+  interp.load_initial_wmes();
+  interp.run();
+  EXPECT_NE(out.str().find("=>WM: 1: (machine ^state s1)"), std::string::npos);
+  EXPECT_NE(out.str().find("<=WM: 1: (machine ^state s1)"), std::string::npos);
+}
+
+TEST(Interpreter, MeaStrategySelectable) {
+  InterpreterOptions opts;
+  opts.strategy = Strategy::Mea;
+  auto interp = make(R"(
+    (make goal ^id g1)
+    (make goal ^id g2)
+    (p pick (goal ^id <g>) --> (remove 1)))",
+                     opts);
+  interp.load_initial_wmes();
+  interp.run();
+  ASSERT_GE(interp.firings().size(), 1u);
+  // MEA fires on the most recent first-CE wme first: g2 (timetag 2).
+  EXPECT_EQ(interp.firings()[0].wmes[0], WmeId{2});
+}
+
+TEST(Interpreter, NegationDrivenLoop) {
+  // Generate items until the guard wme appears.
+  auto interp = make(R"(
+    (make gen ^count 0)
+    (p generate
+      (gen ^count <c> ^count < 3)
+      -(stop)
+      -->
+      (bind <n> 1)
+      (make item ^n <c>)
+      (modify 1 ^count 3))
+    (p finish
+      (gen ^count 3)
+      -->
+      (make stop)
+      (halt)))");
+  interp.load_initial_wmes();
+  const RunResult result = interp.run();
+  EXPECT_EQ(result.outcome, RunResult::Outcome::Halted);
+  EXPECT_EQ(result.firings, 2u);
+}
+
+}  // namespace
+}  // namespace mpps::rete

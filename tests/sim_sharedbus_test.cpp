@@ -1,0 +1,129 @@
+// The shared-bus baseline: centralized task queues + shared hash tables.
+#include "src/sim/sharedbus.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/simulator.hpp"
+#include "src/trace/synth.hpp"
+
+namespace mpps::sim {
+namespace {
+
+using trace::SectionBuilder;
+using trace::Side;
+using trace::Trace;
+
+Trace chain_trace() {
+  SectionBuilder b("chain", 4);
+  b.begin_cycle(1);
+  const auto root = b.root_at(Side::Right, NodeId{1}, 0, 0);
+  const auto child = b.child_at(root, NodeId{2}, 1, 0);
+  b.add_instantiations(child);
+  return b.take();
+}
+
+SharedBusConfig config_of(std::uint32_t procs, SimTime queue_access) {
+  SharedBusConfig config;
+  config.processors = procs;
+  config.queue_access = queue_access;
+  config.costs = CostModel::zero_overhead();
+  return config;
+}
+
+TEST(SharedBus, OneProcZeroQueueEqualsBaseline) {
+  for (const Trace& t :
+       {chain_trace(), trace::make_weaver_section(64, 51)}) {
+    const auto result =
+        simulate_shared_bus(t, config_of(1, SimTime::us(0)));
+    EXPECT_EQ(result.makespan, baseline_time(t));
+  }
+}
+
+TEST(SharedBus, ChainMatchesHandComputation) {
+  // t0 = 30; pop (3 us) -> root starts 33; right 16 -> 49; successor 16 +
+  // push 3 -> 68; pop 3 -> child at 71; left 32 -> 103; instantiation
+  // 16 + CS lock 3 -> 122.
+  SharedBusConfig config = config_of(2, SimTime::us(3));
+  const auto result = simulate_shared_bus(chain_trace(), config);
+  EXPECT_EQ(result.makespan, SimTime::us(122));
+  EXPECT_EQ(result.tasks, 2u);
+  EXPECT_EQ(result.queue_busy, SimTime::us(6));
+}
+
+TEST(SharedBus, SpeedupBounded) {
+  const Trace t = trace::make_rubik_section(128, 53);
+  for (std::uint32_t procs : {2u, 8u, 32u}) {
+    const double s = shared_bus_speedup(t, config_of(procs, SimTime::us(3)));
+    EXPECT_GT(s, 1.0);
+    EXPECT_LE(s, static_cast<double>(procs) + 1e-9);
+  }
+}
+
+TEST(SharedBus, QueueOverheadSlowsThingsDown) {
+  const Trace t = trace::make_rubik_section(128, 55);
+  const auto cheap =
+      simulate_shared_bus(t, config_of(16, SimTime::us(0)));
+  const auto pricey =
+      simulate_shared_bus(t, config_of(16, SimTime::us(10)));
+  EXPECT_LT(cheap.makespan, pricey.makespan);
+  EXPECT_GT(pricey.queue_utilization(), cheap.queue_utilization());
+}
+
+TEST(SharedBus, CentralQueueBecomesBottleneck) {
+  // Section 5.2.2: the centralized task queue is the shared-memory
+  // design's potential bottleneck.  With many processors and expensive
+  // queue access, queue utilization approaches 1.
+  const Trace t = trace::make_rubik_section(256, 57);
+  const auto result =
+      simulate_shared_bus(t, config_of(64, SimTime::us(10)));
+  EXPECT_GT(result.queue_utilization(), 0.8);
+}
+
+TEST(SharedBus, BucketExclusivitySerializesCrossProduct) {
+  // The Tourney cross-product hurts the shared-memory design too: tokens
+  // hashed to one bucket execute sequentially (the bucket is accessed
+  // exclusively), regardless of processor count.
+  const Trace t = trace::make_tourney_section();
+  const double s8 = shared_bus_speedup(t, config_of(8, SimTime::us(1)));
+  const double s64 = shared_bus_speedup(t, config_of(64, SimTime::us(1)));
+  EXPECT_LT(s64, 1.6 * s8);  // adding processors barely helps
+  const auto result = simulate_shared_bus(t, config_of(64, SimTime::us(1)));
+  EXPECT_GT(result.bucket_wait, SimTime::us(0));
+}
+
+TEST(SharedBus, ComparableSpeedupsToMpcAtModerateScale) {
+  // The paper: "For a number of processors comparable to our shared-bus
+  // implementation, the MPCs provide a comparable speedup in the
+  // simulated sections."  Compare at 16 processors.
+  const auto sections = std::vector<Trace>{
+      trace::make_rubik_section(), trace::make_weaver_section()};
+  for (const Trace& t : sections) {
+    SimConfig mpc;
+    mpc.match_processors = 16;
+    mpc.costs = CostModel::paper_run(2);
+    const double s_mpc = speedup(
+        t, mpc, Assignment::round_robin(t.num_buckets, 16));
+    const double s_bus = shared_bus_speedup(t, config_of(16, SimTime::us(3)));
+    EXPECT_GT(s_bus, 0.5 * s_mpc);
+    EXPECT_LT(s_bus, 2.0 * s_mpc);
+  }
+}
+
+TEST(SharedBus, Deterministic) {
+  const Trace t = trace::make_weaver_section(64, 59);
+  const auto a = simulate_shared_bus(t, config_of(8, SimTime::us(3)));
+  const auto b = simulate_shared_bus(t, config_of(8, SimTime::us(3)));
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.queue_busy, b.queue_busy);
+}
+
+TEST(SharedBus, CycleSpansSumToMakespan) {
+  const Trace t = trace::make_weaver_section(64, 61);
+  const auto result = simulate_shared_bus(t, config_of(8, SimTime::us(3)));
+  SimTime total{};
+  for (SimTime span : result.cycle_spans) total += span;
+  EXPECT_EQ(total, result.makespan);
+}
+
+}  // namespace
+}  // namespace mpps::sim

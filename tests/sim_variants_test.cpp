@@ -1,0 +1,275 @@
+// The Section 3.1/3.2 mapping variations: processor pairs, dedicated
+// constant-test processors, conflict-set processors — plus the termination
+// detection models the paper leaves as future work.
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/trace/synth.hpp"
+
+namespace mpps::sim {
+namespace {
+
+using trace::SectionBuilder;
+using trace::Side;
+using trace::Trace;
+
+Trace chain_trace() {
+  SectionBuilder b("chain", 4);
+  b.begin_cycle(1);
+  const auto root = b.root_at(Side::Right, NodeId{1}, 0, 0);
+  const auto child = b.child_at(root, NodeId{2}, 1, 0);
+  b.add_instantiations(child);
+  return b.take();
+}
+
+// ---- processor pairs -----------------------------------------------------
+
+TEST(ProcessorPairs, OverlapBeatsMergedOnTheChain) {
+  // Pair mapping, zero overheads, 2 partitions (4 processors):
+  //   t=30  constant tests done everywhere
+  //   part0: left proc generates the child (16) while right proc stores the
+  //          right token (16) — in parallel.
+  //   t=46  child arrives at part1's left proc; forward + store-left (32)
+  //          ends at 78; partner generates the instantiation (16) by 62.
+  SimConfig config;
+  config.match_processors = 4;
+  config.mapping = MappingMode::ProcessorPairs;
+  config.costs = CostModel::zero_overhead();
+  const auto result =
+      simulate(chain_trace(), config, Assignment::round_robin(4, 2));
+  EXPECT_EQ(result.makespan, SimTime::us(78));
+  // Merged mapping needs 110 us for the same chain (store and generate
+  // serialize); the pair overlaps them.
+  EXPECT_LT(result.makespan, SimTime::us(110));
+}
+
+TEST(ProcessorPairs, RequiresEvenProcessorCount) {
+  SimConfig config;
+  config.match_processors = 3;
+  config.mapping = MappingMode::ProcessorPairs;
+  EXPECT_THROW(
+      simulate(chain_trace(), config, Assignment::round_robin(4, 1)),
+      RuntimeError);
+}
+
+TEST(ProcessorPairs, AssignmentMustTargetPartitions) {
+  SimConfig config;
+  config.match_processors = 4;
+  config.mapping = MappingMode::ProcessorPairs;
+  EXPECT_EQ(config.partitions(), 2u);
+  EXPECT_THROW(
+      simulate(chain_trace(), config, Assignment::round_robin(4, 4)),
+      RuntimeError);
+}
+
+TEST(ProcessorPairs, IntraPairForwardingCountsAsMessage) {
+  SimConfig config;
+  config.match_processors = 2;  // one partition pair
+  config.mapping = MappingMode::ProcessorPairs;
+  config.costs = CostModel::zero_overhead();
+  config.charge_instantiation_messages = false;
+  const auto result =
+      simulate(chain_trace(), config, Assignment::round_robin(4, 1));
+  // The child token is local to the single partition, but the pair still
+  // exchanges one forward message for it.
+  EXPECT_EQ(result.messages, 1u);
+  EXPECT_EQ(result.local_deliveries, 1u);
+}
+
+TEST(ProcessorPairs, SameSectionsStillBounded) {
+  const Trace t = trace::make_rubik_section(128, 41);
+  SimConfig config;
+  config.match_processors = 16;
+  config.mapping = MappingMode::ProcessorPairs;
+  config.costs = CostModel::zero_overhead();
+  const double s = speedup(t, config, Assignment::round_robin(128, 8));
+  EXPECT_GT(s, 1.0);
+  EXPECT_LE(s, 16.0 + 1e-9);
+}
+
+TEST(ProcessorPairs, PairUtilizationLowerThanMergedAtSameProcCount) {
+  // The paper's rationale for merging on small machines: a pair burns two
+  // processors per partition, so at a fixed processor budget the merged
+  // mapping usually wins on utilization-bound workloads.
+  const Trace t = trace::make_rubik_section(128, 43);
+  SimConfig merged;
+  merged.match_processors = 16;
+  merged.costs = CostModel::zero_overhead();
+  SimConfig paired = merged;
+  paired.mapping = MappingMode::ProcessorPairs;
+  const double s_merged =
+      speedup(t, merged, Assignment::round_robin(128, 16));
+  const double s_paired =
+      speedup(t, paired, Assignment::round_robin(128, 8));
+  EXPECT_GT(s_merged, s_paired);
+}
+
+// ---- dedicated constant-test processors -----------------------------------
+
+TEST(ConstantTestProcs, ZeroOverheadChainUnchanged) {
+  // With free messages the CT detour costs nothing on this chain: CT proc
+  // finishes constant tests at 30, ships the root; processing proceeds as
+  // in the merged broadcast case (110 us total).
+  SimConfig config;
+  config.match_processors = 2;
+  config.constant_test_processors = 1;
+  config.costs = CostModel::zero_overhead();
+  const auto result =
+      simulate(chain_trace(), config, Assignment::round_robin(4, 2));
+  EXPECT_EQ(result.makespan, SimTime::us(110));
+  // The root travelled as a message.
+  EXPECT_EQ(result.messages, 3u);  // root + child + instantiation
+}
+
+TEST(ConstantTestProcs, MatchProcsSkipConstantTests) {
+  // Many match processors, no roots owned by most of them: without the
+  // broadcast they stay idle instead of paying 30 us each.
+  SectionBuilder b("lone", 16);
+  b.begin_cycle(1);
+  b.root_at(Side::Right, NodeId{1}, 0, 0);
+  const Trace t = b.take();
+  SimConfig config;
+  config.match_processors = 8;
+  config.constant_test_processors = 1;
+  config.costs = CostModel::zero_overhead();
+  const auto result = simulate(t, config, Assignment::round_robin(16, 8));
+  for (std::uint32_t p = 1; p < 8; ++p) {
+    EXPECT_EQ(result.cycles[0].procs[p].busy, SimTime::us(0));
+  }
+}
+
+TEST(ConstantTestProcs, SerializedSendsBottleneckUnderHighOverheads) {
+  // The paper's warning: with comparatively high communication overheads
+  // the constant-test processors become bottlenecks.  400 roots behind one
+  // CT processor serialize 400 sends.
+  SectionBuilder b("many-roots", 64);
+  b.begin_cycle(4);
+  for (std::uint32_t i = 0; i < 400; ++i) {
+    b.root_at(Side::Right, NodeId{i % 8}, i % 64, i);
+  }
+  const Trace t = b.take();
+  SimConfig broadcast;
+  broadcast.match_processors = 16;
+  broadcast.costs = CostModel::paper_run(4);
+  SimConfig ct = broadcast;
+  ct.constant_test_processors = 1;
+  const auto a = simulate(t, broadcast, Assignment::round_robin(64, 16));
+  const auto c = simulate(t, ct, Assignment::round_robin(64, 16));
+  EXPECT_GT(c.makespan, a.makespan);
+  // But with more CT processors the bottleneck splits.
+  SimConfig ct4 = ct;
+  ct4.constant_test_processors = 4;
+  const auto c4 = simulate(t, ct4, Assignment::round_robin(64, 16));
+  EXPECT_LT(c4.makespan, c.makespan);
+}
+
+TEST(ConstantTestProcs, ShareOfConstantTestsSplit) {
+  // 2 CT processors each pay half the 30 us constant-test time.
+  SectionBuilder b("empty", 4);
+  b.begin_cycle(1);
+  const Trace t = b.take();
+  SimConfig config;
+  config.match_processors = 2;
+  config.constant_test_processors = 2;
+  config.costs = CostModel::zero_overhead();
+  const auto result = simulate(t, config, Assignment::round_robin(4, 2));
+  EXPECT_EQ(result.makespan, SimTime::us(15));
+}
+
+// ---- conflict-set processors ----------------------------------------------
+
+TEST(ConflictSetProcs, OffloadControlSerialization) {
+  // 64 instantiations through the control processor serialize 64 receive
+  // overheads; 4 CS processors absorb them and send control 4 messages.
+  SectionBuilder b("insts", 64);
+  b.begin_cycle(1);
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    const auto r = b.root_at(Side::Right, NodeId{1}, i, i);
+    b.add_instantiations(r);
+  }
+  const Trace t = b.take();
+  SimConfig direct;
+  direct.match_processors = 16;
+  direct.costs = CostModel::paper_run(4);
+  SimConfig offload = direct;
+  offload.conflict_set_processors = 4;
+  const auto a = simulate(t, direct, Assignment::round_robin(64, 16));
+  const auto c = simulate(t, offload, Assignment::round_robin(64, 16));
+  EXPECT_LT(c.makespan, a.makespan);
+}
+
+TEST(ConflictSetProcs, SelectCostCharged) {
+  SectionBuilder b("one-inst", 4);
+  b.begin_cycle(1);
+  const auto r = b.root_at(Side::Right, NodeId{1}, 0, 0);
+  b.add_instantiations(r);
+  const Trace t = b.take();
+  SimConfig config;
+  config.match_processors = 1;
+  config.conflict_set_processors = 1;
+  config.costs = CostModel::zero_overhead();
+  const auto base = simulate(t, config, Assignment::round_robin(4, 1));
+  config.conflict_select_cost = SimTime::us(50);
+  const auto charged = simulate(t, config, Assignment::round_robin(4, 1));
+  EXPECT_EQ(charged.makespan - base.makespan, SimTime::us(50));
+}
+
+// ---- termination detection --------------------------------------------------
+
+TEST(Termination, NoneIsFree) {
+  const Trace t = trace::make_weaver_section(64, 47);
+  SimConfig config;
+  config.match_processors = 8;
+  config.costs = CostModel::paper_run(2);
+  const auto result = simulate(t, config, Assignment::round_robin(64, 8));
+  EXPECT_EQ(result.termination_overhead, SimTime::us(0));
+}
+
+TEST(Termination, ModelsChargeEveryCycle) {
+  const Trace t = trace::make_weaver_section(64, 47);
+  SimConfig config;
+  config.match_processors = 8;
+  config.costs = CostModel::paper_run(2);
+  const auto none = simulate(t, config, Assignment::round_robin(64, 8));
+  config.termination = TerminationModel::BarrierPoll;
+  const auto poll = simulate(t, config, Assignment::round_robin(64, 8));
+  config.termination = TerminationModel::AckCounting;
+  const auto ack = simulate(t, config, Assignment::round_robin(64, 8));
+  EXPECT_GT(poll.makespan, none.makespan);
+  EXPECT_GT(ack.makespan, none.makespan);
+  EXPECT_EQ(poll.makespan - none.makespan, poll.termination_overhead);
+  EXPECT_EQ(ack.makespan - none.makespan, ack.termination_overhead);
+  // BarrierPoll under run 2: per cycle 8*(5+3) + 2*0.5 = 65 us, 4 cycles.
+  EXPECT_EQ(poll.termination_overhead, SimTime::us(260));
+}
+
+TEST(Termination, BarrierCostGrowsWithProcessors) {
+  const Trace t = trace::make_weaver_section(64, 47);
+  SimConfig small;
+  small.match_processors = 4;
+  small.costs = CostModel::paper_run(4);
+  small.termination = TerminationModel::BarrierPoll;
+  SimConfig big = small;
+  big.match_processors = 32;
+  const auto a = simulate(t, small, Assignment::round_robin(64, 4));
+  const auto b = simulate(t, big, Assignment::round_robin(64, 32));
+  EXPECT_GT(b.termination_overhead, a.termination_overhead);
+}
+
+TEST(Termination, AckCostScalesWithMessages) {
+  const Trace rubik = trace::make_rubik_section(128, 49);
+  const Trace weaver = trace::make_weaver_section(128, 49);
+  SimConfig config;
+  config.match_processors = 8;
+  config.costs = CostModel::paper_run(4);
+  config.termination = TerminationModel::AckCounting;
+  const auto a = simulate(rubik, config, Assignment::round_robin(128, 8));
+  const auto b = simulate(weaver, config, Assignment::round_robin(128, 8));
+  // Rubik exchanges far more messages than Weaver.
+  EXPECT_GT(a.messages, b.messages);
+  EXPECT_GT(a.termination_overhead, b.termination_overhead);
+}
+
+}  // namespace
+}  // namespace mpps::sim

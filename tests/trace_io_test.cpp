@@ -1,0 +1,137 @@
+#include "src/trace/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+#include "src/trace/synth.hpp"
+
+namespace mpps::trace {
+namespace {
+
+Trace sample() {
+  SectionBuilder b("sample", 32);
+  b.begin_cycle(2);
+  const auto r1 = b.root(Side::Right, NodeId{1}, 5);
+  const auto l1 = b.child(r1, NodeId{2}, 7);
+  b.add_instantiations(l1, 2);
+  b.begin_cycle(1);
+  b.root(Side::Left, NodeId{3}, 0);
+  return b.take();
+}
+
+TEST(TraceIo, RoundTripPreservesEverything) {
+  const Trace original = sample();
+  const Trace parsed = from_string(to_string(original));
+  EXPECT_EQ(parsed.name, original.name);
+  EXPECT_EQ(parsed.num_buckets, original.num_buckets);
+  ASSERT_EQ(parsed.cycles.size(), original.cycles.size());
+  for (std::size_t c = 0; c < original.cycles.size(); ++c) {
+    const auto& oc = original.cycles[c];
+    const auto& pc = parsed.cycles[c];
+    EXPECT_EQ(pc.wme_changes, oc.wme_changes);
+    ASSERT_EQ(pc.activations.size(), oc.activations.size());
+    for (std::size_t i = 0; i < oc.activations.size(); ++i) {
+      const auto& oa = oc.activations[i];
+      const auto& pa = pc.activations[i];
+      EXPECT_EQ(pa.id, oa.id);
+      EXPECT_EQ(pa.parent, oa.parent);
+      EXPECT_EQ(pa.node, oa.node);
+      EXPECT_EQ(pa.side, oa.side);
+      EXPECT_EQ(pa.tag, oa.tag);
+      EXPECT_EQ(pa.bucket, oa.bucket);
+      EXPECT_EQ(pa.successors, oa.successors);
+      EXPECT_EQ(pa.instantiations, oa.instantiations);
+      EXPECT_EQ(pa.key_class, oa.key_class);
+    }
+  }
+}
+
+TEST(TraceIo, RoundTripOfSyntheticSections) {
+  for (const Trace& t :
+       {make_weaver_section(64, 3), make_rubik_section(64, 3)}) {
+    const Trace parsed = from_string(to_string(t));
+    EXPECT_EQ(parsed.total_activations(), t.total_activations());
+    const TraceStats a = compute_stats(parsed);
+    const TraceStats b = compute_stats(t);
+    EXPECT_EQ(a.left, b.left);
+    EXPECT_EQ(a.right, b.right);
+    EXPECT_EQ(a.instantiations, b.instantiations);
+  }
+}
+
+TEST(TraceIo, CommentsAndBlankLinesIgnored) {
+  const Trace t = from_string(R"(
+# a comment
+trace demo buckets 8
+
+cycle 1
+wmechange 1
+# another comment
+act 1 R node 0 bucket 2 parent - succ 0 inst 0 key 0 tag +
+endcycle
+)");
+  EXPECT_EQ(t.name, "demo");
+  EXPECT_EQ(t.cycles.size(), 1u);
+}
+
+TEST(TraceIoErrors, MissingHeader) {
+  EXPECT_THROW(from_string("cycle 1\nendcycle\n"), TraceFormatError);
+}
+
+TEST(TraceIoErrors, MissingEndcycle) {
+  EXPECT_THROW(from_string("trace t buckets 4\ncycle 1\n"), TraceFormatError);
+}
+
+TEST(TraceIoErrors, MalformedAct) {
+  EXPECT_THROW(from_string("trace t buckets 4\ncycle 1\nact 1 R\nendcycle\n"),
+               TraceFormatError);
+}
+
+TEST(TraceIoErrors, BadSide) {
+  EXPECT_THROW(
+      from_string("trace t buckets 4\ncycle 1\n"
+                  "act 1 X node 0 bucket 0 parent - succ 0 inst 0 key 0 tag +\n"
+                  "endcycle\n"),
+      TraceFormatError);
+}
+
+TEST(TraceIoErrors, NegativeNumbersRejected) {
+  EXPECT_THROW(
+      from_string("trace t buckets 4\ncycle 1\n"
+                  "act -1 R node 0 bucket 0 parent - succ 0 inst 0 key 0 tag +\n"
+                  "endcycle\n"),
+      TraceFormatError);
+}
+
+TEST(TraceIoErrors, ZeroBuckets) {
+  EXPECT_THROW(from_string("trace t buckets 0\n"), TraceFormatError);
+}
+
+TEST(TraceIoErrors, ActOutsideCycle) {
+  EXPECT_THROW(
+      from_string("trace t buckets 4\n"
+                  "act 1 R node 0 bucket 0 parent - succ 0 inst 0 key 0 tag +\n"),
+      TraceFormatError);
+}
+
+TEST(TraceIoErrors, ValidationRunsOnParse) {
+  // Structurally parseable but semantically invalid (bucket out of range).
+  EXPECT_THROW(
+      from_string("trace t buckets 4\ncycle 1\n"
+                  "act 1 R node 0 bucket 9 parent - succ 0 inst 0 key 0 tag +\n"
+                  "endcycle\n"),
+      TraceFormatError);
+}
+
+TEST(TraceIo, MinusTagRoundTrips) {
+  const Trace t = from_string(
+      "trace t buckets 4\ncycle 1\n"
+      "act 1 L node 0 bucket 0 parent - succ 0 inst 0 key 0 tag -\n"
+      "endcycle\n");
+  EXPECT_EQ(t.cycles[0].activations[0].tag, Tag::Minus);
+  const Trace again = from_string(to_string(t));
+  EXPECT_EQ(again.cycles[0].activations[0].tag, Tag::Minus);
+}
+
+}  // namespace
+}  // namespace mpps::trace

@@ -1,0 +1,128 @@
+#include "src/trace/record.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+#include "src/trace/synth.hpp"
+
+namespace mpps::trace {
+namespace {
+
+Trace tiny_trace() {
+  SectionBuilder b("tiny", 16);
+  b.begin_cycle(1);
+  const auto root = b.root(Side::Right, NodeId{1}, 0);
+  const auto child = b.child(root, NodeId{2}, 3);
+  b.add_instantiations(child);
+  return b.take();
+}
+
+TEST(TraceValidate, AcceptsWellFormed) {
+  EXPECT_NO_THROW(validate(tiny_trace()));
+}
+
+TEST(TraceValidate, RejectsDanglingParent) {
+  Trace t = tiny_trace();
+  t.cycles[0].activations[1].parent = ActivationId{999};
+  EXPECT_THROW(validate(t), TraceFormatError);
+}
+
+TEST(TraceValidate, RejectsWrongSuccessorCount) {
+  Trace t = tiny_trace();
+  t.cycles[0].activations[0].successors = 5;
+  EXPECT_THROW(validate(t), TraceFormatError);
+}
+
+TEST(TraceValidate, RejectsOutOfRangeBucket) {
+  Trace t = tiny_trace();
+  t.cycles[0].activations[0].bucket = 16;
+  EXPECT_THROW(validate(t), TraceFormatError);
+}
+
+TEST(TraceValidate, RejectsDuplicateIds) {
+  Trace t = tiny_trace();
+  t.cycles[0].activations[1].id = t.cycles[0].activations[0].id;
+  EXPECT_THROW(validate(t), TraceFormatError);
+}
+
+TEST(TraceValidate, RejectsRightChild) {
+  Trace t = tiny_trace();
+  t.cycles[0].activations[1].side = Side::Right;
+  EXPECT_THROW(validate(t), TraceFormatError);
+}
+
+TEST(TraceValidate, ParentMustPrecedeChild) {
+  Trace t = tiny_trace();
+  std::swap(t.cycles[0].activations[0], t.cycles[0].activations[1]);
+  EXPECT_THROW(validate(t), TraceFormatError);
+}
+
+TEST(TraceStats, CountsSidesAndRoots) {
+  const TraceStats s = compute_stats(tiny_trace());
+  EXPECT_EQ(s.left, 1u);
+  EXPECT_EQ(s.right, 1u);
+  EXPECT_EQ(s.total(), 2u);
+  EXPECT_EQ(s.root_activations, 1u);
+  EXPECT_EQ(s.instantiations, 1u);
+  EXPECT_DOUBLE_EQ(s.left_pct(), 50.0);
+}
+
+TEST(TraceStats, BucketActivity) {
+  const Trace t = tiny_trace();
+  const auto act = bucket_activity(t);
+  ASSERT_EQ(act.size(), 16u);
+  std::uint64_t total = 0;
+  for (auto a : act) total += a;
+  EXPECT_EQ(total, 2u);
+}
+
+TEST(SectionBuilder, ChildOfUnknownParentThrows) {
+  SectionBuilder b("bad", 8);
+  b.begin_cycle(1);
+  EXPECT_THROW(b.child(ActivationId{42}, NodeId{1}, 0), TraceFormatError);
+}
+
+TEST(SectionBuilder, ParentLookupCrossCycleFails) {
+  SectionBuilder b("bad", 8);
+  b.begin_cycle(1);
+  const auto root = b.root(Side::Right, NodeId{1}, 0);
+  b.begin_cycle(1);
+  EXPECT_THROW(b.child(root, NodeId{2}, 0), TraceFormatError);
+}
+
+TEST(TraceTotals, TotalActivations) {
+  EXPECT_EQ(tiny_trace().total_activations(), 2u);
+}
+
+TEST(TraceSlice, ExtractsConsecutiveCycles) {
+  const Trace t = make_weaver_section();
+  const Trace section = slice(t, 1, 2);
+  ASSERT_EQ(section.cycles.size(), 2u);
+  EXPECT_EQ(section.cycles[0].activations.size(),
+            t.cycles[1].activations.size());
+  EXPECT_EQ(section.num_buckets, t.num_buckets);
+  EXPECT_NE(section.name.find("[1..3)"), std::string::npos);
+}
+
+TEST(TraceSlice, SliceIsValidAndSimulable) {
+  const Trace section = slice(make_rubik_section(), 2, 2);
+  EXPECT_NO_THROW(validate(section));
+  const TraceStats s = compute_stats(section);
+  EXPECT_GT(s.total(), 0u);
+}
+
+TEST(TraceSlice, WholeTraceSliceEqualsOriginalStats) {
+  const Trace t = make_tourney_section();
+  const Trace whole = slice(t, 0, t.cycles.size());
+  EXPECT_EQ(compute_stats(whole).total(), compute_stats(t).total());
+}
+
+TEST(TraceSlice, RejectsOutOfRange) {
+  const Trace t = make_weaver_section();
+  EXPECT_THROW(slice(t, 4, 1), TraceFormatError);
+  EXPECT_THROW(slice(t, 0, 5), TraceFormatError);
+  EXPECT_THROW(slice(t, 2, 0), TraceFormatError);
+}
+
+}  // namespace
+}  // namespace mpps::trace

@@ -1,0 +1,202 @@
+// The synthetic sections must reproduce the paper's Table 5-2 exactly and
+// carry the structural phenomena the analysis depends on.
+#include "src/trace/synth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace mpps::trace {
+namespace {
+
+TEST(SynthRubik, Table52CountsExact) {
+  const TraceStats s = compute_stats(make_rubik_section());
+  EXPECT_EQ(s.left, 2388u);
+  EXPECT_EQ(s.right, 6114u);
+  EXPECT_EQ(s.total(), 8502u);
+}
+
+TEST(SynthRubik, FourCycles) {
+  EXPECT_EQ(make_rubik_section().cycles.size(), 4u);
+}
+
+TEST(SynthRubik, LeftShareIsRoughly28Percent) {
+  const TraceStats s = compute_stats(make_rubik_section());
+  EXPECT_NEAR(s.left_pct(), 28.0, 1.0);
+}
+
+TEST(SynthRubik, PerCycleActiveBucketsAreComplementary) {
+  // Fig 5-5: the left-activation bucket sets of consecutive cycles barely
+  // overlap — busy processors in one cycle go idle in the next.
+  const Trace t = make_rubik_section();
+  std::vector<std::set<std::uint32_t>> left_buckets(t.cycles.size());
+  for (std::size_t c = 0; c < t.cycles.size(); ++c) {
+    for (const auto& act : t.cycles[c].activations) {
+      if (act.side == Side::Left) left_buckets[c].insert(act.bucket);
+    }
+  }
+  for (std::size_t c = 0; c + 1 < t.cycles.size(); ++c) {
+    std::vector<std::uint32_t> overlap;
+    std::set_intersection(left_buckets[c].begin(), left_buckets[c].end(),
+                          left_buckets[c + 1].begin(),
+                          left_buckets[c + 1].end(),
+                          std::back_inserter(overlap));
+    const double frac = static_cast<double>(overlap.size()) /
+                        static_cast<double>(left_buckets[c].size());
+    EXPECT_LT(frac, 0.35) << "cycles " << c << " and " << c + 1;
+  }
+}
+
+TEST(SynthRubik, DifferentSeedsDifferentTraces) {
+  const Trace a = make_rubik_section(256, 1);
+  const Trace b = make_rubik_section(256, 2);
+  // Same aggregate counts...
+  EXPECT_EQ(compute_stats(a).total(), compute_stats(b).total());
+  // ...different bucket layout.
+  EXPECT_NE(bucket_activity(a), bucket_activity(b));
+}
+
+TEST(SynthRubik, DeterministicForSeed) {
+  const Trace a = make_rubik_section(256, 7);
+  const Trace b = make_rubik_section(256, 7);
+  EXPECT_EQ(bucket_activity(a), bucket_activity(b));
+}
+
+TEST(SynthWeaver, Table52CountsExact) {
+  const TraceStats s = compute_stats(make_weaver_section());
+  EXPECT_EQ(s.left, 338u);
+  EXPECT_EQ(s.right, 78u);
+  EXPECT_EQ(s.total(), 416u);
+}
+
+TEST(SynthWeaver, LeftShareIsRoughly81Percent) {
+  const TraceStats s = compute_stats(make_weaver_section());
+  EXPECT_NEAR(s.left_pct(), 81.0, 1.0);
+}
+
+TEST(SynthWeaver, BottleneckCycleShape) {
+  // "only three left-activations ... generate a majority (120 out of about
+  // 150) of the activations in one of the cycles"
+  const Trace t = make_weaver_section();
+  ASSERT_EQ(t.cycles.size(), 4u);
+  const auto& cycle = t.cycles.back();
+  EXPECT_EQ(cycle.activations.size(), 150u);
+  std::size_t hot = 0;
+  std::uint64_t hot_successors = 0;
+  for (const auto& act : cycle.activations) {
+    if (act.node == weaver_bottleneck_node()) {
+      ++hot;
+      hot_successors += act.successors;
+    }
+  }
+  EXPECT_EQ(hot, 3u);
+  EXPECT_EQ(hot_successors, 120u);
+}
+
+TEST(SynthWeaver, BottleneckHasMultipleOutputNodes) {
+  // The bottleneck node is shared: its successors land on several distinct
+  // nodes (what unsharing splits apart).
+  const Trace t = make_weaver_section();
+  std::set<std::uint32_t> outputs;
+  for (const auto& cycle : t.cycles) {
+    std::set<std::uint64_t> hot_ids;
+    for (const auto& act : cycle.activations) {
+      if (act.node == weaver_bottleneck_node()) hot_ids.insert(act.id.value());
+      if (act.parent.valid() && hot_ids.contains(act.parent.value())) {
+        outputs.insert(act.node.value());
+      }
+    }
+  }
+  EXPECT_EQ(outputs.size(), 4u);
+}
+
+TEST(SynthTourney, Table52CountsExact) {
+  const TraceStats s = compute_stats(make_tourney_section());
+  EXPECT_EQ(s.left, 10667u);
+  EXPECT_EQ(s.right, 83u);
+  EXPECT_EQ(s.total(), 10750u);
+}
+
+TEST(SynthTourney, LeftShareIsRoughly99Percent) {
+  const TraceStats s = compute_stats(make_tourney_section());
+  EXPECT_NEAR(s.left_pct(), 99.0, 0.5);
+}
+
+TEST(SynthTourney, FiveCyclesWithHeavyMiddle) {
+  const Trace t = make_tourney_section();
+  ASSERT_EQ(t.cycles.size(), 5u);
+  EXPECT_GT(t.cycles[2].activations.size(), 10000u);
+  for (std::size_t c : {0u, 1u, 3u, 4u}) {
+    EXPECT_LT(t.cycles[c].activations.size(), 100u);
+  }
+}
+
+TEST(SynthTourney, CrossProductNodeUsesOneBucket) {
+  // The two-input node has no equality test: the hash cannot discriminate,
+  // every activation at it lands in the same bucket.
+  const Trace t = make_tourney_section();
+  std::set<std::uint32_t> buckets;
+  std::size_t count = 0;
+  for (const auto& act : t.cycles[2].activations) {
+    if (act.node == tourney_cross_node()) {
+      buckets.insert(act.bucket);
+      ++count;
+    }
+  }
+  EXPECT_EQ(buckets.size(), 1u);
+  EXPECT_EQ(count, 150u);
+}
+
+TEST(SynthTourney, LocalSuccessorsShareTheCrossBucket) {
+  // The "non-randomized" successors hash to the cross node's bucket too:
+  // they are processed locally and exchange no messages.
+  const Trace t = make_tourney_section();
+  std::uint32_t cross_bucket = 0;
+  for (const auto& act : t.cycles[2].activations) {
+    if (act.node == tourney_cross_node()) {
+      cross_bucket = act.bucket;
+      break;
+    }
+  }
+  std::size_t local = 0;
+  for (const auto& act : t.cycles[2].activations) {
+    if (act.node == tourney_cross_local_node()) {
+      EXPECT_EQ(act.bucket, cross_bucket);
+      ++local;
+    }
+  }
+  EXPECT_EQ(local, 1500u);  // 20% of 7500 successors
+}
+
+TEST(SynthTourney, CrossProductTokensCarryDistinctKeys) {
+  // The tokens DO carry distinct values (key classes) — the hash just
+  // ignores them.  Copy-and-constraint exploits exactly this.
+  const Trace t = make_tourney_section();
+  std::set<std::uint32_t> keys;
+  for (const auto& act : t.cycles[2].activations) {
+    if (act.node == tourney_cross_node()) keys.insert(act.key_class);
+  }
+  EXPECT_GT(keys.size(), 1u);
+}
+
+TEST(BucketFor, StableAndInRange) {
+  for (std::uint32_t n = 0; n < 64; ++n) {
+    for (std::uint32_t k = 0; k < 8; ++k) {
+      const auto b = bucket_for(NodeId{n}, k, 128);
+      EXPECT_LT(b, 128u);
+      EXPECT_EQ(b, bucket_for(NodeId{n}, k, 128));
+    }
+  }
+}
+
+TEST(BucketFor, SpreadsAcrossBuckets) {
+  std::set<std::uint32_t> seen;
+  for (std::uint32_t k = 0; k < 64; ++k) {
+    seen.insert(bucket_for(NodeId{7}, k, 256));
+  }
+  EXPECT_GT(seen.size(), 48u);  // near-injective for small key sets
+}
+
+}  // namespace
+}  // namespace mpps::trace

@@ -1,0 +1,12 @@
+// The `mpps` command-line tool: run OPS5 programs, record traces, and
+// replay them on the simulated message-passing machine.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/core/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return mpps::core::run_cli(args, std::cout, std::cerr);
+}
