@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bucket_count.dir/ablation_bucket_count.cpp.o"
+  "CMakeFiles/ablation_bucket_count.dir/ablation_bucket_count.cpp.o.d"
+  "ablation_bucket_count"
+  "ablation_bucket_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bucket_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

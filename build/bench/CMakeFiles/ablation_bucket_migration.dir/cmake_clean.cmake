@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bucket_migration.dir/ablation_bucket_migration.cpp.o"
+  "CMakeFiles/ablation_bucket_migration.dir/ablation_bucket_migration.cpp.o.d"
+  "ablation_bucket_migration"
+  "ablation_bucket_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bucket_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_small_cycles.dir/ablation_small_cycles.cpp.o"
+  "CMakeFiles/ablation_small_cycles.dir/ablation_small_cycles.cpp.o.d"
+  "ablation_small_cycles"
+  "ablation_small_cycles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_small_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_3_unshare_demo.dir/fig5_3_unshare_demo.cpp.o"
+  "CMakeFiles/fig5_3_unshare_demo.dir/fig5_3_unshare_demo.cpp.o.d"
+  "fig5_3_unshare_demo"
+  "fig5_3_unshare_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_3_unshare_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

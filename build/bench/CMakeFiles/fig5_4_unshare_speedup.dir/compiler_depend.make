@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig5_4_unshare_speedup.
+# This may be replaced when dependencies are built.

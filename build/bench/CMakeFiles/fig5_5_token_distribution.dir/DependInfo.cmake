@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig5_5_token_distribution.cpp" "bench/CMakeFiles/fig5_5_token_distribution.dir/fig5_5_token_distribution.cpp.o" "gcc" "bench/CMakeFiles/fig5_5_token_distribution.dir/fig5_5_token_distribution.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mpps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mpps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mpps_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/rete/CMakeFiles/mpps_rete.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops5/CMakeFiles/mpps_ops5.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mpps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

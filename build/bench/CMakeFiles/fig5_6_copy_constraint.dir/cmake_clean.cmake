@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_6_copy_constraint.dir/fig5_6_copy_constraint.cpp.o"
+  "CMakeFiles/fig5_6_copy_constraint.dir/fig5_6_copy_constraint.cpp.o.d"
+  "fig5_6_copy_constraint"
+  "fig5_6_copy_constraint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_6_copy_constraint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greedy_redistribution.dir/greedy_redistribution.cpp.o"
+  "CMakeFiles/greedy_redistribution.dir/greedy_redistribution.cpp.o.d"
+  "greedy_redistribution"
+  "greedy_redistribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greedy_redistribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intra_cycle_analysis.dir/intra_cycle_analysis.cpp.o"
+  "CMakeFiles/intra_cycle_analysis.dir/intra_cycle_analysis.cpp.o.d"
+  "intra_cycle_analysis"
+  "intra_cycle_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intra_cycle_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_rete.dir/micro_rete.cpp.o"
+  "CMakeFiles/micro_rete.dir/micro_rete.cpp.o.d"
+  "micro_rete"
+  "micro_rete.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_rete.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

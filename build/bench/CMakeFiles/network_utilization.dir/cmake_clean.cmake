@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_utilization.dir/network_utilization.cpp.o"
+  "CMakeFiles/network_utilization.dir/network_utilization.cpp.o.d"
+  "network_utilization"
+  "network_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

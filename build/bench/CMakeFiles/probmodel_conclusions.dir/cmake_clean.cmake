@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probmodel_conclusions.dir/probmodel_conclusions.cpp.o"
+  "CMakeFiles/probmodel_conclusions.dir/probmodel_conclusions.cpp.o.d"
+  "probmodel_conclusions"
+  "probmodel_conclusions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probmodel_conclusions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

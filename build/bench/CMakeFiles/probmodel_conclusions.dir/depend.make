@@ -1,0 +1,2 @@
+# Empty dependencies file for probmodel_conclusions.
+# This may be replaced when dependencies are built.

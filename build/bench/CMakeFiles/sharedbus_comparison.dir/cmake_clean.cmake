@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharedbus_comparison.dir/sharedbus_comparison.cpp.o"
+  "CMakeFiles/sharedbus_comparison.dir/sharedbus_comparison.cpp.o.d"
+  "sharedbus_comparison"
+  "sharedbus_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharedbus_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_1_overheads.dir/table5_1_overheads.cpp.o"
+  "CMakeFiles/table5_1_overheads.dir/table5_1_overheads.cpp.o.d"
+  "table5_1_overheads"
+  "table5_1_overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_1_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_2_activations.dir/table5_2_activations.cpp.o"
+  "CMakeFiles/table5_2_activations.dir/table5_2_activations.cpp.o.d"
+  "table5_2_activations"
+  "table5_2_activations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_2_activations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_memory_footprint.dir/table_memory_footprint.cpp.o"
+  "CMakeFiles/table_memory_footprint.dir/table_memory_footprint.cpp.o.d"
+  "table_memory_footprint"
+  "table_memory_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_memory_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treat_vs_rete.dir/treat_vs_rete.cpp.o"
+  "CMakeFiles/treat_vs_rete.dir/treat_vs_rete.cpp.o.d"
+  "treat_vs_rete"
+  "treat_vs_rete.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treat_vs_rete.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

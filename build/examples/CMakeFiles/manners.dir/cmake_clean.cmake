@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manners.dir/manners.cpp.o"
+  "CMakeFiles/manners.dir/manners.cpp.o.d"
+  "manners"
+  "manners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

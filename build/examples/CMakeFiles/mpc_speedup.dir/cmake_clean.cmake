@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpc_speedup.dir/mpc_speedup.cpp.o"
+  "CMakeFiles/mpc_speedup.dir/mpc_speedup.cpp.o.d"
+  "mpc_speedup"
+  "mpc_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpc_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

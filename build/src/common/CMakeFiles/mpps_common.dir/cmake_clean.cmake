@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpps_common.dir/strings.cpp.o"
+  "CMakeFiles/mpps_common.dir/strings.cpp.o.d"
+  "CMakeFiles/mpps_common.dir/symbol.cpp.o"
+  "CMakeFiles/mpps_common.dir/symbol.cpp.o.d"
+  "CMakeFiles/mpps_common.dir/table.cpp.o"
+  "CMakeFiles/mpps_common.dir/table.cpp.o.d"
+  "libmpps_common.a"
+  "libmpps_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpps_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

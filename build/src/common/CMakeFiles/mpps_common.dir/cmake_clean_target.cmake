@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmpps_common.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpps_core.dir/cli.cpp.o"
+  "CMakeFiles/mpps_core.dir/cli.cpp.o.d"
+  "CMakeFiles/mpps_core.dir/distribution.cpp.o"
+  "CMakeFiles/mpps_core.dir/distribution.cpp.o.d"
+  "CMakeFiles/mpps_core.dir/experiments.cpp.o"
+  "CMakeFiles/mpps_core.dir/experiments.cpp.o.d"
+  "CMakeFiles/mpps_core.dir/pipeline.cpp.o"
+  "CMakeFiles/mpps_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/mpps_core.dir/probmodel.cpp.o"
+  "CMakeFiles/mpps_core.dir/probmodel.cpp.o.d"
+  "CMakeFiles/mpps_core.dir/xform.cpp.o"
+  "CMakeFiles/mpps_core.dir/xform.cpp.o.d"
+  "libmpps_core.a"
+  "libmpps_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpps_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

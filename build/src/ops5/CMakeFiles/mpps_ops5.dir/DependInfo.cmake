@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ops5/ast.cpp" "src/ops5/CMakeFiles/mpps_ops5.dir/ast.cpp.o" "gcc" "src/ops5/CMakeFiles/mpps_ops5.dir/ast.cpp.o.d"
+  "/root/repo/src/ops5/lexer.cpp" "src/ops5/CMakeFiles/mpps_ops5.dir/lexer.cpp.o" "gcc" "src/ops5/CMakeFiles/mpps_ops5.dir/lexer.cpp.o.d"
+  "/root/repo/src/ops5/parser.cpp" "src/ops5/CMakeFiles/mpps_ops5.dir/parser.cpp.o" "gcc" "src/ops5/CMakeFiles/mpps_ops5.dir/parser.cpp.o.d"
+  "/root/repo/src/ops5/value.cpp" "src/ops5/CMakeFiles/mpps_ops5.dir/value.cpp.o" "gcc" "src/ops5/CMakeFiles/mpps_ops5.dir/value.cpp.o.d"
+  "/root/repo/src/ops5/wme.cpp" "src/ops5/CMakeFiles/mpps_ops5.dir/wme.cpp.o" "gcc" "src/ops5/CMakeFiles/mpps_ops5.dir/wme.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mpps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpps_ops5.dir/ast.cpp.o"
+  "CMakeFiles/mpps_ops5.dir/ast.cpp.o.d"
+  "CMakeFiles/mpps_ops5.dir/lexer.cpp.o"
+  "CMakeFiles/mpps_ops5.dir/lexer.cpp.o.d"
+  "CMakeFiles/mpps_ops5.dir/parser.cpp.o"
+  "CMakeFiles/mpps_ops5.dir/parser.cpp.o.d"
+  "CMakeFiles/mpps_ops5.dir/value.cpp.o"
+  "CMakeFiles/mpps_ops5.dir/value.cpp.o.d"
+  "CMakeFiles/mpps_ops5.dir/wme.cpp.o"
+  "CMakeFiles/mpps_ops5.dir/wme.cpp.o.d"
+  "libmpps_ops5.a"
+  "libmpps_ops5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpps_ops5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmpps_ops5.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rete/conflict.cpp" "src/rete/CMakeFiles/mpps_rete.dir/conflict.cpp.o" "gcc" "src/rete/CMakeFiles/mpps_rete.dir/conflict.cpp.o.d"
+  "/root/repo/src/rete/engine.cpp" "src/rete/CMakeFiles/mpps_rete.dir/engine.cpp.o" "gcc" "src/rete/CMakeFiles/mpps_rete.dir/engine.cpp.o.d"
+  "/root/repo/src/rete/footprint.cpp" "src/rete/CMakeFiles/mpps_rete.dir/footprint.cpp.o" "gcc" "src/rete/CMakeFiles/mpps_rete.dir/footprint.cpp.o.d"
+  "/root/repo/src/rete/interp.cpp" "src/rete/CMakeFiles/mpps_rete.dir/interp.cpp.o" "gcc" "src/rete/CMakeFiles/mpps_rete.dir/interp.cpp.o.d"
+  "/root/repo/src/rete/memory.cpp" "src/rete/CMakeFiles/mpps_rete.dir/memory.cpp.o" "gcc" "src/rete/CMakeFiles/mpps_rete.dir/memory.cpp.o.d"
+  "/root/repo/src/rete/naive.cpp" "src/rete/CMakeFiles/mpps_rete.dir/naive.cpp.o" "gcc" "src/rete/CMakeFiles/mpps_rete.dir/naive.cpp.o.d"
+  "/root/repo/src/rete/network.cpp" "src/rete/CMakeFiles/mpps_rete.dir/network.cpp.o" "gcc" "src/rete/CMakeFiles/mpps_rete.dir/network.cpp.o.d"
+  "/root/repo/src/rete/treat.cpp" "src/rete/CMakeFiles/mpps_rete.dir/treat.cpp.o" "gcc" "src/rete/CMakeFiles/mpps_rete.dir/treat.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ops5/CMakeFiles/mpps_ops5.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mpps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpps_rete.dir/conflict.cpp.o"
+  "CMakeFiles/mpps_rete.dir/conflict.cpp.o.d"
+  "CMakeFiles/mpps_rete.dir/engine.cpp.o"
+  "CMakeFiles/mpps_rete.dir/engine.cpp.o.d"
+  "CMakeFiles/mpps_rete.dir/footprint.cpp.o"
+  "CMakeFiles/mpps_rete.dir/footprint.cpp.o.d"
+  "CMakeFiles/mpps_rete.dir/interp.cpp.o"
+  "CMakeFiles/mpps_rete.dir/interp.cpp.o.d"
+  "CMakeFiles/mpps_rete.dir/memory.cpp.o"
+  "CMakeFiles/mpps_rete.dir/memory.cpp.o.d"
+  "CMakeFiles/mpps_rete.dir/naive.cpp.o"
+  "CMakeFiles/mpps_rete.dir/naive.cpp.o.d"
+  "CMakeFiles/mpps_rete.dir/network.cpp.o"
+  "CMakeFiles/mpps_rete.dir/network.cpp.o.d"
+  "CMakeFiles/mpps_rete.dir/treat.cpp.o"
+  "CMakeFiles/mpps_rete.dir/treat.cpp.o.d"
+  "libmpps_rete.a"
+  "libmpps_rete.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpps_rete.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mpps_rete.
+# This may be replaced when dependencies are built.

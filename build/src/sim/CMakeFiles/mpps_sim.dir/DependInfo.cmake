@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/assignment.cpp" "src/sim/CMakeFiles/mpps_sim.dir/assignment.cpp.o" "gcc" "src/sim/CMakeFiles/mpps_sim.dir/assignment.cpp.o.d"
+  "/root/repo/src/sim/sharedbus.cpp" "src/sim/CMakeFiles/mpps_sim.dir/sharedbus.cpp.o" "gcc" "src/sim/CMakeFiles/mpps_sim.dir/sharedbus.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/mpps_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/mpps_sim.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/mpps_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mpps_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rete/CMakeFiles/mpps_rete.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops5/CMakeFiles/mpps_ops5.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

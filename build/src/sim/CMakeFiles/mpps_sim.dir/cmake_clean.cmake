@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpps_sim.dir/assignment.cpp.o"
+  "CMakeFiles/mpps_sim.dir/assignment.cpp.o.d"
+  "CMakeFiles/mpps_sim.dir/sharedbus.cpp.o"
+  "CMakeFiles/mpps_sim.dir/sharedbus.cpp.o.d"
+  "CMakeFiles/mpps_sim.dir/simulator.cpp.o"
+  "CMakeFiles/mpps_sim.dir/simulator.cpp.o.d"
+  "libmpps_sim.a"
+  "libmpps_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpps_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

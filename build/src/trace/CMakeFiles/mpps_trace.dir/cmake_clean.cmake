@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpps_trace.dir/io.cpp.o"
+  "CMakeFiles/mpps_trace.dir/io.cpp.o.d"
+  "CMakeFiles/mpps_trace.dir/record.cpp.o"
+  "CMakeFiles/mpps_trace.dir/record.cpp.o.d"
+  "CMakeFiles/mpps_trace.dir/synth.cpp.o"
+  "CMakeFiles/mpps_trace.dir/synth.cpp.o.d"
+  "libmpps_trace.a"
+  "libmpps_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpps_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coverage_gap_tests.dir/coverage_gaps_test.cpp.o"
+  "CMakeFiles/coverage_gap_tests.dir/coverage_gaps_test.cpp.o.d"
+  "coverage_gap_tests"
+  "coverage_gap_tests.pdb"
+  "coverage_gap_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coverage_gap_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops5_tests.dir/ops5_compute_test.cpp.o"
+  "CMakeFiles/ops5_tests.dir/ops5_compute_test.cpp.o.d"
+  "CMakeFiles/ops5_tests.dir/ops5_lexer_test.cpp.o"
+  "CMakeFiles/ops5_tests.dir/ops5_lexer_test.cpp.o.d"
+  "CMakeFiles/ops5_tests.dir/ops5_parser_test.cpp.o"
+  "CMakeFiles/ops5_tests.dir/ops5_parser_test.cpp.o.d"
+  "CMakeFiles/ops5_tests.dir/ops5_value_test.cpp.o"
+  "CMakeFiles/ops5_tests.dir/ops5_value_test.cpp.o.d"
+  "CMakeFiles/ops5_tests.dir/ops5_wme_test.cpp.o"
+  "CMakeFiles/ops5_tests.dir/ops5_wme_test.cpp.o.d"
+  "ops5_tests"
+  "ops5_tests.pdb"
+  "ops5_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops5_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

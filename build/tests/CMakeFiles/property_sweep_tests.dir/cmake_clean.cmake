@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_sweep_tests.dir/property_sweep_test.cpp.o"
+  "CMakeFiles/property_sweep_tests.dir/property_sweep_test.cpp.o.d"
+  "property_sweep_tests"
+  "property_sweep_tests.pdb"
+  "property_sweep_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_sweep_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

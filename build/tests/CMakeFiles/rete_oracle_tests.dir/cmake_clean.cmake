@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rete_oracle_tests.dir/rete_oracle_test.cpp.o"
+  "CMakeFiles/rete_oracle_tests.dir/rete_oracle_test.cpp.o.d"
+  "CMakeFiles/rete_oracle_tests.dir/rete_treat_test.cpp.o"
+  "CMakeFiles/rete_oracle_tests.dir/rete_treat_test.cpp.o.d"
+  "rete_oracle_tests"
+  "rete_oracle_tests.pdb"
+  "rete_oracle_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rete_oracle_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rete_tests.dir/rete_conflict_test.cpp.o"
+  "CMakeFiles/rete_tests.dir/rete_conflict_test.cpp.o.d"
+  "CMakeFiles/rete_tests.dir/rete_engine_test.cpp.o"
+  "CMakeFiles/rete_tests.dir/rete_engine_test.cpp.o.d"
+  "CMakeFiles/rete_tests.dir/rete_footprint_test.cpp.o"
+  "CMakeFiles/rete_tests.dir/rete_footprint_test.cpp.o.d"
+  "CMakeFiles/rete_tests.dir/rete_interp_test.cpp.o"
+  "CMakeFiles/rete_tests.dir/rete_interp_test.cpp.o.d"
+  "CMakeFiles/rete_tests.dir/rete_network_test.cpp.o"
+  "CMakeFiles/rete_tests.dir/rete_network_test.cpp.o.d"
+  "rete_tests"
+  "rete_tests.pdb"
+  "rete_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rete_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_tests[1]_include.cmake")
+include("/root/repo/build/tests/ops5_tests[1]_include.cmake")
+include("/root/repo/build/tests/rete_tests[1]_include.cmake")
+include("/root/repo/build/tests/rete_oracle_tests[1]_include.cmake")
+include("/root/repo/build/tests/trace_tests[1]_include.cmake")
+include("/root/repo/build/tests/sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/property_sweep_tests[1]_include.cmake")
+include("/root/repo/build/tests/coverage_gap_tests[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")

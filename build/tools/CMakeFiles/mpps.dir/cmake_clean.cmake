@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpps.dir/mpps_cli.cpp.o"
+  "CMakeFiles/mpps.dir/mpps_cli.cpp.o.d"
+  "mpps"
+  "mpps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
