@@ -1,60 +1,19 @@
-// Shared helpers for the paper-reproduction bench binaries.
+// Shared helpers for the paper-reproduction bench binaries.  The run-loop
+// and reporting helpers live in src/obs/bench.hpp (the observability
+// layer) so that benches, tools and tests share one implementation; this
+// header keeps the historical mpps::bench names as aliases.
 #pragma once
 
-#include <cstdint>
-#include <ostream>
-#include <string_view>
-#include <vector>
-
-#include "src/common/simtime.hpp"
-#include "src/common/table.hpp"
-#include "src/core/experiments.hpp"
-#include "src/sim/simulator.hpp"
-#include "src/trace/record.hpp"
+#include "src/core/experiments.hpp"  // core::standard_sections for benches
+#include "src/obs/bench.hpp"
 
 namespace mpps::bench {
 
-/// Processor counts for the figure sweeps — finer than powers of two so the
-/// paper's speedup "dips" (decreases with more processors) are visible.
-inline std::vector<std::uint32_t> sweep_procs() {
-  return {1, 2, 4, 6, 8, 12, 16, 20, 24, 28, 32, 48, 64};
-}
-
-/// Speedup of `variant_trace` under `config`, measured against the serial
-/// zero-overhead baseline of `baseline_trace` (transformed traces are
-/// compared against the ORIGINAL section's baseline, since they perform
-/// the same semantic work plus duplication).
-inline double speedup_vs(const trace::Trace& baseline_trace,
-                         const trace::Trace& variant_trace,
-                         const sim::SimConfig& config) {
-  const SimTime base = sim::baseline_time(baseline_trace);
-  const SimTime t =
-      sim::simulate(variant_trace, config,
-                    sim::Assignment::round_robin(variant_trace.num_buckets,
-                                                 config.match_processors))
-          .makespan;
-  return static_cast<double>(base.nanos()) / static_cast<double>(t.nanos());
-}
-
-/// Prints a table as CSV when `--csv` was passed on the command line,
-/// as a boxed ASCII table otherwise (for plotting vs reading).
-inline void emit_table(const TextTable& table, int argc, char** argv,
-                       std::ostream& os) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::string_view(argv[i]) == "--csv") {
-      table.print_csv(os);
-      return;
-    }
-  }
-  table.print(os);
-}
-
-inline sim::SimConfig config_for(std::uint32_t procs, int run) {
-  sim::SimConfig config;
-  config.match_processors = procs;
-  config.costs = run == 0 ? sim::CostModel::zero_overhead()
-                          : sim::CostModel::paper_run(run);
-  return config;
-}
+using obs::config_for;
+using obs::emit_table;
+using obs::InstrumentedRun;
+using obs::run_instrumented;
+using obs::speedup_vs;
+using obs::sweep_procs;
 
 }  // namespace mpps::bench

@@ -9,6 +9,7 @@
 
 #include "bench/bench_util.hpp"
 #include "src/common/table.hpp"
+#include "src/obs/summary.hpp"
 #include "src/trace/synth.hpp"
 
 int main() {
@@ -18,9 +19,12 @@ int main() {
                "Figure 5-5: left-token distribution per processor, two "
                "independent Rubik cycles");
   const trace::Trace t = trace::make_rubik_section();
-  const auto config = bench::config_for(kProcs, 0);
-  const auto result = sim::simulate(
-      t, config, sim::Assignment::round_robin(t.num_buckets, kProcs));
+  // Run with the observability layer attached: the per-processor counts
+  // below come from the simulator's own metrics, and the skew/hot-bucket
+  // summary at the end is obs::summarize_run — the paper's uneven-
+  // distribution diagnosis, automated.
+  const auto run = obs::run_instrumented(t, bench::config_for(kProcs, 0));
+  const sim::SimResult& result = run.result;
 
   TextTable table({"processor", "cycle 1 left tokens", "cycle 2 left tokens",
                    "aggregate (4 cycles)"});
@@ -51,6 +55,9 @@ int main() {
   }
   std::cout << "\nNote the complementary pattern: processors loaded in one\n"
                "cycle tend to be idle in the next (each cycle's active hash\n"
-               "buckets are a different part of the table).\n";
+               "buckets are a different part of the table).\n\n";
+
+  // The same diagnosis from the observability layer's run summary.
+  obs::print_run_summary(std::cout, obs::summarize_run(t, result, 8));
   return 0;
 }

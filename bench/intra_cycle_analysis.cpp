@@ -9,6 +9,7 @@
 
 #include "bench/bench_util.hpp"
 #include "src/common/table.hpp"
+#include "src/obs/summary.hpp"
 
 int main() {
   using namespace mpps;
@@ -53,11 +54,12 @@ int main() {
   for (std::uint32_t p : {2u, 4u, 8u, 16u, 32u, 64u}) {
     util.row().cell(static_cast<long>(p));
     for (const auto& section : sections) {
-      const auto config = bench::config_for(p, 0);
-      const auto result = sim::simulate(
-          section.trace, config,
-          sim::Assignment::round_robin(section.trace.num_buckets, p));
-      util.cell(100.0 * result.avg_processor_utilization(), 1);
+      // Utilization via the observability layer's run summary rather than
+      // a hand-rolled aggregate over SimResult.
+      const auto run =
+          obs::run_instrumented(section.trace, bench::config_for(p, 0));
+      const auto summary = obs::summarize_run(section.trace, run.result);
+      util.cell(summary.avg_processor_utilization_pct, 1);
     }
   }
   util.print(std::cout);

@@ -4,6 +4,8 @@
 #include <benchmark/benchmark.h>
 
 #include "src/core/distribution.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/tracer.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/trace/synth.hpp"
 
@@ -11,6 +13,10 @@ namespace {
 
 using namespace mpps;
 
+// Baseline: observability disabled (SimConfig::metrics/tracer left null).
+// Compare against BM_SimulateRubik32Observed below — the delta is the cost
+// of full instrumentation; the disabled path itself is just null-pointer
+// checks and should be indistinguishable from the pre-obs simulator.
 void BM_SimulateRubik32(benchmark::State& state) {
   const trace::Trace t = trace::make_rubik_section();
   sim::SimConfig config;
@@ -25,6 +31,27 @@ void BM_SimulateRubik32(benchmark::State& state) {
                           static_cast<std::int64_t>(t.total_activations()));
 }
 BENCHMARK(BM_SimulateRubik32);
+
+// Same run with a metrics registry and trace sink attached.
+void BM_SimulateRubik32Observed(benchmark::State& state) {
+  const trace::Trace t = trace::make_rubik_section();
+  const auto assignment = sim::Assignment::round_robin(t.num_buckets, 32);
+  for (auto _ : state) {
+    obs::Registry registry;
+    obs::Tracer tracer;
+    sim::SimConfig config;
+    config.match_processors = 32;
+    config.costs = sim::CostModel::paper_run(4);
+    config.metrics = &registry;
+    config.tracer = &tracer;
+    auto result = sim::simulate(t, config, assignment);
+    benchmark::DoNotOptimize(result.makespan);
+    benchmark::DoNotOptimize(tracer.events().size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(t.total_activations()));
+}
+BENCHMARK(BM_SimulateRubik32Observed);
 
 void BM_SimulateTourney32(benchmark::State& state) {
   const trace::Trace t = trace::make_tourney_section();

@@ -15,17 +15,23 @@ int main() {
   TextTable table({"section", "messages", "local deliveries",
                    "network busy (us)", "makespan (us)", "idle %"});
   for (const auto& section : core::standard_sections()) {
-    const auto config = bench::config_for(32, 1);
-    const auto result = sim::simulate(
-        section.trace, config,
-        sim::Assignment::round_robin(section.trace.num_buckets, 32));
+    // Numbers come from the metrics registry the simulator records into
+    // (src/obs), not from ad-hoc result fields.
+    auto run = obs::run_instrumented(section.trace, bench::config_for(32, 1));
+    obs::Registry& reg = run.registry;
+    const auto network_busy_us =
+        static_cast<double>(reg.counter("sim.network_busy_ns").value()) /
+        1000.0;
+    const auto makespan_us =
+        static_cast<double>(reg.gauge("sim.makespan_ns").value()) / 1000.0;
     table.row()
         .cell(section.label)
-        .cell(static_cast<unsigned long>(result.messages))
-        .cell(static_cast<unsigned long>(result.local_deliveries))
-        .cell(result.network_busy.micros(), 1)
-        .cell(result.makespan.micros(), 1)
-        .cell(100.0 * (1.0 - result.network_utilization()), 1);
+        .cell(static_cast<unsigned long>(reg.counter("sim.messages").value()))
+        .cell(static_cast<unsigned long>(
+            reg.counter("sim.local_deliveries").value()))
+        .cell(network_busy_us, 1)
+        .cell(makespan_us, 1)
+        .cell(100.0 * (1.0 - run.result.network_utilization()), 1);
   }
   table.print(std::cout);
   std::cout << "\nUtilization is measured against aggregate link capacity\n"

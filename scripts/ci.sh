@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: a plain build + full test suite, then the same
+# suite again under AddressSanitizer/UndefinedBehaviorSanitizer.  This is
+# the check every change must pass; scripts/reproduce.sh is the heavier
+# companion that also regenerates the paper tables and figures.
+#
+# Usage:
+#   scripts/ci.sh            # plain + sanitizer pass
+#   scripts/ci.sh --fast     # plain pass only (skip the sanitizer rebuild)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FAST=0
+for arg in "$@"; do
+  case "$arg" in
+    --fast) FAST=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+echo "=== tier-1: configure + build + ctest (build/) ==="
+cmake -B build -S .
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+if [ "$FAST" -eq 1 ]; then
+  echo "=== tier-1 passed (sanitizer pass skipped via --fast) ==="
+  exit 0
+fi
+
+echo "=== sanitizers: ASan + UBSan rebuild + ctest (build-asan/) ==="
+SAN_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer -fno-sanitize-recover=all"
+cmake -B build-asan -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="$SAN_FLAGS" \
+  -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS"
+cmake --build build-asan -j
+ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
+
+echo "=== tier-1 + sanitizers passed ==="

@@ -2,6 +2,10 @@
 # Rebuilds everything, runs the full test suite and regenerates every
 # paper table/figure.  Outputs land in test_output.txt / bench_output.txt
 # at the repository root.
+#
+# For the verification gate alone (build + tests, plus an ASan/UBSan
+# pass), use scripts/ci.sh instead — it is faster and what changes are
+# expected to pass before landing.
 set -uo pipefail
 
 cd "$(dirname "$0")/.."

@@ -9,6 +9,10 @@
 #include "src/common/table.hpp"
 #include "src/core/distribution.hpp"
 #include "src/core/pipeline.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/summary.hpp"
+#include "src/obs/timeline.hpp"
+#include "src/obs/tracer.hpp"
 #include "src/ops5/parser.hpp"
 #include "src/rete/interp.hpp"
 #include "src/sim/simulator.hpp"
@@ -22,16 +26,27 @@ constexpr const char* kUsage = R"(usage: mpps <command> [options]
 
 commands:
   run <file.ops>       run an OPS5 program (--strategy lex|mea,
-                       --max-cycles N, --quiet, --watch 0|1|2)
+                       --max-cycles N, --quiet, --watch 0|1|2); with
+                       --trace-out t.json / --metrics-out m.csv the match
+                       trace is replayed on the simulated MPC (--procs P,
+                       --run 0..4) and the timeline/metrics are exported
   trace <file.ops>     record its match trace (-o out.trace, --buckets B)
-  stats <file.trace>   print activation statistics
+  stats <file.trace>   print activation statistics and a simulated-run
+                       summary: busy skew, message histogram, hottest
+                       buckets (--procs P, --run 0..4, --top K)
   simulate <f.trace>   replay on the simulated MPC (--procs P, --run 0..4,
                        --mapping merged|pairs, --assign rr|random|greedy,
-                       --ct K, --cs M, --termination none|ack|poll)
+                       --ct K, --cs M, --termination none|ack|poll,
+                       --trace-out t.json, --metrics-out m.csv)
   sections             write the synthetic Rubik/Tourney/Weaver sections
                        (-o directory, default '.')
   slice <file.trace>   extract consecutive cycles (--from N, --cycles K,
                        -o out.trace) — how the paper built its sections
+
+`--trace-out` writes a Chrome trace_event JSON timeline (load it in
+chrome://tracing or https://ui.perfetto.dev); `--metrics-out` writes the
+per-cycle busy/idle CSV plus the metrics registry.  docs/OBSERVABILITY.md
+documents both formats.
 )";
 
 /// Tiny flag cursor over the argument vector.
@@ -80,7 +95,8 @@ class Args {
            arg == "--buckets" || arg == "--procs" || arg == "--run" ||
            arg == "--mapping" || arg == "--assign" || arg == "--ct" ||
            arg == "--cs" || arg == "--termination" || arg == "--seed" ||
-           arg == "--from" || arg == "--cycles";
+           arg == "--from" || arg == "--cycles" || arg == "--trace-out" ||
+           arg == "--metrics-out" || arg == "--top";
   }
 
  private:
@@ -108,12 +124,58 @@ std::string read_file(const std::string& path) {
   return buffer.str();
 }
 
+/// The `--trace-out` / `--metrics-out` pair accepted by run and simulate.
+struct ObsOutputs {
+  std::string trace_path;
+  std::string metrics_path;
+
+  [[nodiscard]] bool any() const {
+    return !trace_path.empty() || !metrics_path.empty();
+  }
+
+  static ObsOutputs from(Args& args) {
+    return ObsOutputs{args.value("--trace-out", ""),
+                      args.value("--metrics-out", "")};
+  }
+
+  /// Exports the attached tracer/registry of a finished simulation.
+  void write(const obs::Tracer& tracer, const obs::Registry& registry,
+             const sim::SimResult& result, std::ostream& out) const {
+    if (!trace_path.empty()) {
+      std::ofstream file(trace_path);
+      if (!file) throw RuntimeError("cannot write '" + trace_path + "'");
+      tracer.write_chrome_json(file);
+      out << "wrote trace timeline to " << trace_path << "\n";
+    }
+    if (!metrics_path.empty()) {
+      std::ofstream file(metrics_path);
+      if (!file) throw RuntimeError("cannot write '" + metrics_path + "'");
+      obs::write_metrics_csv(file, result, &registry);
+      out << "wrote metrics to " << metrics_path << "\n";
+    }
+  }
+};
+
+sim::SimConfig parse_basic_sim_config(Args& args, std::uint32_t default_procs,
+                                      int default_run) {
+  sim::SimConfig config;
+  config.match_processors = static_cast<std::uint32_t>(parse_long_or(
+      args.value("--procs", std::to_string(default_procs)), default_procs));
+  const int run = static_cast<int>(parse_long_or(
+      args.value("--run", std::to_string(default_run)), default_run));
+  config.costs = run == 0 ? sim::CostModel::zero_overhead()
+                          : sim::CostModel::paper_run(run);
+  return config;
+}
+
 int cmd_run(Args& args, std::ostream& out, std::ostream& err) {
   const std::string path = args.positional();
   if (path.empty()) {
     err << "run: missing program file\n";
     return 2;
   }
+  const ObsOutputs obs_out = ObsOutputs::from(args);
+  obs::Registry registry;
   rete::InterpreterOptions options;
   options.strategy = args.value("--strategy", "lex") == "mea"
                          ? rete::Strategy::Mea
@@ -124,8 +186,10 @@ int cmd_run(Args& args, std::ostream& out, std::ostream& err) {
   options.out = quiet ? nullptr : &out;
   options.watch =
       static_cast<int>(parse_long_or(args.value("--watch", "0"), 0));
+  if (obs_out.any()) options.engine.metrics = &registry;
 
-  rete::Interpreter interp(ops5::parse_program(read_file(path)), options);
+  const std::string source = read_file(path);
+  rete::Interpreter interp(ops5::parse_program(source), options);
   interp.load_initial_wmes();
   const rete::RunResult result = interp.run();
   out << "outcome: "
@@ -139,6 +203,31 @@ int cmd_run(Args& args, std::ostream& out, std::ostream& err) {
     for (const auto& firing : interp.firings()) {
       out << "  cycle " << firing.cycle << ": " << firing.production << "\n";
     }
+  }
+  if (obs_out.any()) {
+    // Replay the program's match trace on the simulated machine and export
+    // the run's timeline + metrics (rete.* counters above were recorded by
+    // the live engine; sim.* come from this replay).
+    PipelineOptions pipeline;
+    pipeline.interpreter.strategy = options.strategy;
+    pipeline.interpreter.max_cycles = options.max_cycles;
+    const PipelineResult recorded = record_trace(
+        ops5::parse_program(source), path, pipeline);
+    sim::SimConfig config = parse_basic_sim_config(args, 8, 1);
+    obs::Tracer tracer;
+    config.metrics = &registry;
+    config.tracer = &tracer;
+    const sim::SimResult sim_result =
+        sim::simulate(recorded.trace, config,
+                      sim::Assignment::round_robin(recorded.trace.num_buckets,
+                                                   config.partitions()));
+    const SimTime base = sim::baseline_time(recorded.trace);
+    out << "simulated " << config.match_processors << " match processors: "
+        << "makespan " << sim_result.makespan.micros() << " us, speedup "
+        << static_cast<double>(base.nanos()) /
+               static_cast<double>(sim_result.makespan.nanos())
+        << "\n";
+    obs_out.write(tracer, registry, sim_result, out);
   }
   return 0;
 }
@@ -188,6 +277,19 @@ int cmd_stats(Args& args, std::ostream& out, std::ostream& err) {
       .cell(static_cast<unsigned long>(stats.instantiations))
       .cell(stats.left_pct(), 1);
   table.print(out);
+
+  // The paper's uneven-distribution diagnosis, automated: replay the trace
+  // on the simulated machine and summarize skew, traffic and hot buckets.
+  const sim::SimConfig config = parse_basic_sim_config(args, 16, 1);
+  const auto top_k =
+      static_cast<std::size_t>(parse_long_or(args.value("--top", "8"), 8));
+  const sim::SimResult result = sim::simulate(
+      t, config,
+      sim::Assignment::round_robin(t.num_buckets, config.partitions()));
+  out << "\nsimulated run summary (" << config.match_processors
+      << " match processors):\n";
+  const obs::RunSummary summary = obs::summarize_run(t, result, top_k);
+  obs::print_run_summary(out, summary);
   return 0;
 }
 
@@ -232,6 +334,14 @@ int cmd_simulate(Args& args, std::ostream& out, std::ostream& err) {
           ? greedy_assignment(t, config.partitions(), config.costs)
           : sim::Assignment::round_robin(t.num_buckets, config.partitions());
 
+  const ObsOutputs obs_out = ObsOutputs::from(args);
+  obs::Registry registry;
+  obs::Tracer tracer;
+  if (obs_out.any()) {
+    config.metrics = &registry;
+    config.tracer = &tracer;
+  }
+
   const sim::SimResult result = sim::simulate(t, config, assignment);
   const SimTime base = sim::baseline_time(t);
   TextTable table({"makespan (us)", "speedup", "messages", "local",
@@ -246,6 +356,7 @@ int cmd_simulate(Args& args, std::ostream& out, std::ostream& err) {
       .cell(100.0 * (1.0 - result.network_utilization()), 1)
       .cell(100.0 * result.avg_processor_utilization(), 1);
   table.print(out);
+  obs_out.write(tracer, registry, result, out);
   return 0;
 }
 

@@ -1,0 +1,143 @@
+#include "src/obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+
+namespace mpps::obs {
+
+Histogram::Histogram(std::vector<std::int64_t> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw RuntimeError("histogram bucket bounds must be ascending");
+  }
+}
+
+void Histogram::observe(std::int64_t v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  if (count_ == 0 || v < min_) min_ = v;
+  if (count_ == 0 || v > max_) max_ = v;
+  ++count_;
+  sum_ += v;
+}
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::int64_t Histogram::quantile_bound(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank: the smallest bucket whose cumulative count reaches
+  // ceil(q * count).
+  const auto rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(count_) + 0.9999999999);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= rank) {
+      return i < bounds_.size() ? bounds_[i] : max_;
+    }
+  }
+  return max_;
+}
+
+std::vector<std::int64_t> Histogram::linear_bounds(std::int64_t width, int n) {
+  std::vector<std::int64_t> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 1; i <= n; ++i) out.push_back(width * i);
+  return out;
+}
+
+std::vector<std::int64_t> Histogram::exponential_bounds(std::int64_t start,
+                                                        double factor, int n) {
+  std::vector<std::int64_t> out;
+  out.reserve(static_cast<std::size_t>(n));
+  double edge = static_cast<double>(start);
+  for (int i = 0; i < n; ++i) {
+    const auto rounded = static_cast<std::int64_t>(edge);
+    // Keep edges strictly increasing even when rounding collapses them.
+    out.push_back(out.empty() ? rounded : std::max(rounded, out.back() + 1));
+    edge *= factor;
+  }
+  return out;
+}
+
+std::string Registry::key_of(const std::string& name, const Labels& labels) {
+  if (labels.empty()) return name;
+  std::string key = name + "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) key += ";";  // ';' keeps the key CSV-safe
+    key += labels[i].first + "=" + labels[i].second;
+  }
+  key += "}";
+  return key;
+}
+
+Counter& Registry::counter(const std::string& name, const Labels& labels) {
+  Instrument& slot = instruments_[key_of(name, labels)];
+  if (!slot.counter) {
+    if (slot.gauge || slot.histogram) {
+      throw RuntimeError("metric '" + name + "' already registered with a "
+                         "different type");
+    }
+    slot.counter = std::make_unique<Counter>();
+  }
+  return *slot.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const Labels& labels) {
+  Instrument& slot = instruments_[key_of(name, labels)];
+  if (!slot.gauge) {
+    if (slot.counter || slot.histogram) {
+      throw RuntimeError("metric '" + name + "' already registered with a "
+                         "different type");
+    }
+    slot.gauge = std::make_unique<Gauge>();
+  }
+  return *slot.gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<std::int64_t> bounds,
+                               const Labels& labels) {
+  Instrument& slot = instruments_[key_of(name, labels)];
+  if (!slot.histogram) {
+    if (slot.counter || slot.gauge) {
+      throw RuntimeError("metric '" + name + "' already registered with a "
+                         "different type");
+    }
+    slot.histogram = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *slot.histogram;
+}
+
+void Registry::write_csv(std::ostream& os) const {
+  os << "metric,type,field,value\n";
+  for (const auto& [key, instrument] : instruments_) {
+    if (instrument.counter) {
+      os << key << ",counter,value," << instrument.counter->value() << "\n";
+    } else if (instrument.gauge) {
+      os << key << ",gauge,value," << instrument.gauge->value() << "\n";
+    } else if (instrument.histogram) {
+      const Histogram& h = *instrument.histogram;
+      os << key << ",histogram,count," << h.count() << "\n";
+      os << key << ",histogram,sum," << h.sum() << "\n";
+      os << key << ",histogram,min," << h.min() << "\n";
+      os << key << ",histogram,max," << h.max() << "\n";
+      for (std::size_t i = 0; i < h.counts().size(); ++i) {
+        os << key << ",histogram,";
+        if (i < h.bounds().size()) {
+          os << "le_" << h.bounds()[i];
+        } else {
+          os << "le_inf";
+        }
+        os << "," << h.counts()[i] << "\n";
+      }
+    }
+  }
+}
+
+}  // namespace mpps::obs

@@ -1,0 +1,131 @@
+// The metrics registry: named counters, gauges and histograms with labels,
+// recorded by the Rete engine, the TREAT engine and the MPC simulator.
+//
+// Design constraints (see docs/OBSERVABILITY.md):
+//   * Zero cost when absent.  Instrumented code holds a `Registry*` that
+//     defaults to nullptr; every recording site is guarded by one pointer
+//     test, and instrument handles are resolved once at setup, never on
+//     the hot path.  With a null registry the simulator's results are
+//     bit-for-bit identical to the uninstrumented build (asserted in
+//     tests/obs_metrics_test.cpp) and the wall-clock overhead is below
+//     measurement noise in bench/micro_sim.
+//   * Deterministic export.  Instruments are kept in a sorted map and the
+//     CSV writer emits them in (name, labels) order, so identical runs
+//     produce byte-identical files.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mpps::obs {
+
+/// Label set attached to an instrument, e.g. {{"side", "left"}}.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing count (activations, messages, ...).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// A value that can move both ways (live token count, queue depth, ...).
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_ = v; }
+  void add(std::int64_t delta) { value_ += delta; }
+  [[nodiscard]] std::int64_t value() const { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+/// Fixed-bucket histogram.  `bounds` are inclusive upper edges in
+/// ascending order; an implicit +inf bucket catches the rest.  A sample v
+/// lands in the first bucket with v <= bound (so bounds {1, 10} split
+/// samples into v<=1, 1<v<=10, v>10 — asserted in obs_metrics_test).
+class Histogram {
+ public:
+  /// A single catch-all bucket (useful as a default member).
+  Histogram() : Histogram(std::vector<std::int64_t>{}) {}
+  explicit Histogram(std::vector<std::int64_t> bounds);
+
+  void observe(std::int64_t v);
+
+  [[nodiscard]] const std::vector<std::int64_t>& bounds() const {
+    return bounds_;
+  }
+  /// Per-bucket counts; size() == bounds().size() + 1 (last is overflow).
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const {
+    return counts_;
+  }
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::int64_t sum() const { return sum_; }
+  [[nodiscard]] std::int64_t min() const { return min_; }
+  [[nodiscard]] std::int64_t max() const { return max_; }
+  [[nodiscard]] double mean() const;
+
+  /// Upper edge of the bucket holding the q-quantile sample (q in [0,1]);
+  /// max() for the overflow bucket.  Exact for integer-valued metrics with
+  /// unit-spaced edges, an upper bound otherwise.
+  [[nodiscard]] std::int64_t quantile_bound(double q) const;
+
+  /// Evenly spaced bucket edges: {width, 2*width, ..., n*width}.
+  static std::vector<std::int64_t> linear_bounds(std::int64_t width, int n);
+  /// Geometric edges: {start, start*factor, ...} (n edges).
+  static std::vector<std::int64_t> exponential_bounds(std::int64_t start,
+                                                      double factor, int n);
+
+ private:
+  std::vector<std::int64_t> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  std::int64_t sum_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+};
+
+/// Owns every instrument of one run.  Lookup is by (name, labels); the
+/// first call creates the instrument, later calls return the same object,
+/// so callers cache the pointer at setup time.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(Registry&&) = default;
+  Registry& operator=(Registry&&) = default;
+
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  /// `bounds` are only consulted on first creation.
+  Histogram& histogram(const std::string& name,
+                       std::vector<std::int64_t> bounds,
+                       const Labels& labels = {});
+
+  /// CSV export, one row per instrument (histograms expand to one row per
+  /// bucket plus count/sum/min/max rows).  Deterministic order:
+  /// columns are `metric,type,field,value`.
+  void write_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t size() const { return instruments_.size(); }
+
+ private:
+  struct Instrument {
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  /// "name{k=v;k=v}" — also the form printed in the CSV `metric` column.
+  static std::string key_of(const std::string& name, const Labels& labels);
+
+  std::map<std::string, Instrument> instruments_;
+};
+
+}  // namespace mpps::obs

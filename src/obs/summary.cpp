@@ -1,0 +1,120 @@
+#include "src/obs/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/table.hpp"
+
+namespace mpps::obs {
+
+Quantiles quantiles(std::vector<double> values) {
+  Quantiles q;
+  if (values.empty()) return q;
+  std::sort(values.begin(), values.end());
+  const auto rank = [&](double p) {
+    const auto n = static_cast<double>(values.size());
+    const auto index = static_cast<std::size_t>(std::ceil(p * n));
+    return values[std::min(values.size() - 1, index == 0 ? 0 : index - 1)];
+  };
+  q.p50 = rank(0.50);
+  q.p95 = rank(0.95);
+  q.max = values.back();
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  q.mean = sum / static_cast<double>(values.size());
+  return q;
+}
+
+RunSummary summarize_run(const trace::Trace& trace,
+                         const sim::SimResult& result, std::size_t top_k) {
+  RunSummary s;
+  s.messages = result.messages;
+  s.local_deliveries = result.local_deliveries;
+  s.avg_processor_utilization_pct =
+      100.0 * result.avg_processor_utilization();
+
+  std::vector<double> skews;
+  std::vector<double> utilizations;
+  Histogram msg_hist(Histogram::exponential_bounds(1, 2.0, 24));
+  for (const sim::CycleMetrics& cycle : result.cycles) {
+    msg_hist.observe(static_cast<std::int64_t>(cycle.messages));
+    const double span = static_cast<double>(cycle.span().nanos());
+    double busy_sum = 0.0;
+    double busy_max = 0.0;
+    for (const sim::ProcCycleMetrics& proc : cycle.procs) {
+      const double busy = static_cast<double>(proc.busy.nanos());
+      busy_sum += busy;
+      busy_max = std::max(busy_max, busy);
+      if (span > 0.0) utilizations.push_back(100.0 * busy / span);
+    }
+    const double busy_mean =
+        busy_sum / std::max<double>(1.0, static_cast<double>(
+                                             cycle.procs.size()));
+    skews.push_back(busy_mean > 0.0 ? busy_max / busy_mean : 1.0);
+  }
+  s.busy_skew = quantiles(std::move(skews));
+  s.proc_utilization_pct = quantiles(std::move(utilizations));
+  s.cycle_messages = std::move(msg_hist);
+
+  const std::vector<std::uint64_t> activity = trace::bucket_activity(trace);
+  std::uint64_t total = 0;
+  for (std::uint64_t a : activity) total += a;
+  std::vector<std::uint32_t> order(activity.size());
+  for (std::uint32_t b = 0; b < order.size(); ++b) order[b] = b;
+  // Heaviest first; ties broken by bucket index for determinism.
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              if (activity[a] != activity[b]) return activity[a] > activity[b];
+              return a < b;
+            });
+  for (std::uint32_t b : order) {
+    if (s.hot_buckets.size() >= top_k || activity[b] == 0) break;
+    HotBucket hot;
+    hot.bucket = b;
+    hot.activations = activity[b];
+    hot.share_pct = total == 0 ? 0.0
+                               : 100.0 * static_cast<double>(activity[b]) /
+                                     static_cast<double>(total);
+    s.hot_buckets.push_back(hot);
+  }
+  return s;
+}
+
+void print_run_summary(std::ostream& os, const RunSummary& summary) {
+  print_banner(os, "busy skew per cycle (max proc busy / mean proc busy)");
+  TextTable skew({"p50", "p95", "max", "mean", "avg proc util %"});
+  skew.row()
+      .cell(summary.busy_skew.p50, 2)
+      .cell(summary.busy_skew.p95, 2)
+      .cell(summary.busy_skew.max, 2)
+      .cell(summary.busy_skew.mean, 2)
+      .cell(summary.avg_processor_utilization_pct, 1);
+  skew.print(os);
+
+  print_banner(os, "messages per cycle");
+  TextTable msgs({"le", "cycles"});
+  const Histogram& h = summary.cycle_messages;
+  for (std::size_t i = 0; i < h.counts().size(); ++i) {
+    if (h.counts()[i] == 0) continue;
+    msgs.row()
+        .cell(i < h.bounds().size() ? std::to_string(h.bounds()[i])
+                                    : std::string("inf"))
+        .cell(static_cast<unsigned long>(h.counts()[i]));
+  }
+  msgs.row()
+      .cell("total")
+      .cell(static_cast<unsigned long>(summary.messages));
+  msgs.print(os);
+
+  print_banner(os, "hottest buckets (uneven token distribution)");
+  TextTable hot({"bucket", "activations", "share %"});
+  for (const HotBucket& b : summary.hot_buckets) {
+    hot.row()
+        .cell(static_cast<unsigned long>(b.bucket))
+        .cell(static_cast<unsigned long>(b.activations))
+        .cell(b.share_pct, 1);
+  }
+  hot.print(os);
+}
+
+}  // namespace mpps::obs

@@ -1,0 +1,55 @@
+// Run summaries: the paper's uneven-token-distribution diagnosis
+// (Fig 5-5, Table 5-2, the idle-time analysis), automated.  Consumed by
+// `mpps stats` and the bench harnesses.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "src/obs/metrics.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/trace/record.hpp"
+
+namespace mpps::obs {
+
+/// Nearest-rank quantiles over a sample set.
+struct Quantiles {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+};
+
+Quantiles quantiles(std::vector<double> values);
+
+struct HotBucket {
+  std::uint32_t bucket = 0;
+  std::uint64_t activations = 0;
+  double share_pct = 0.0;  // of all activations in the trace
+};
+
+/// Everything `mpps stats` prints about one simulated run.
+struct RunSummary {
+  /// Per-cycle busy skew: max processor busy / mean processor busy.  1.0
+  /// is a perfectly balanced cycle; the paper's sections sit far above.
+  Quantiles busy_skew;
+  /// Per-(cycle, processor) utilization: busy / cycle span, in percent.
+  Quantiles proc_utilization_pct;
+  /// Messages per cycle (the paper's comms-overhead lever).
+  Histogram cycle_messages;
+  /// Top-k buckets by total activations — the hot spots an assignment
+  /// must split or co-locate carefully.
+  std::vector<HotBucket> hot_buckets;
+  double avg_processor_utilization_pct = 0.0;
+  std::uint64_t messages = 0;
+  std::uint64_t local_deliveries = 0;
+};
+
+RunSummary summarize_run(const trace::Trace& trace,
+                         const sim::SimResult& result, std::size_t top_k = 8);
+
+/// Prints the summary as the boxed tables `mpps stats` emits.
+void print_run_summary(std::ostream& os, const RunSummary& summary);
+
+}  // namespace mpps::obs

@@ -1,0 +1,30 @@
+#include "src/obs/timeline.hpp"
+
+namespace mpps::obs {
+
+void write_cycle_csv(std::ostream& os, const sim::SimResult& result) {
+  os << "cycle,proc,cycle_start_ns,cycle_end_ns,busy_ns,idle_ns,"
+        "activations,left_activations,cycle_messages\n";
+  for (std::size_t c = 0; c < result.cycles.size(); ++c) {
+    const sim::CycleMetrics& cycle = result.cycles[c];
+    for (std::size_t p = 0; p < cycle.procs.size(); ++p) {
+      const sim::ProcCycleMetrics& proc = cycle.procs[p];
+      const SimTime idle = cycle.span() - proc.busy;
+      os << c << "," << p << "," << cycle.start.nanos() << ","
+         << cycle.end.nanos() << "," << proc.busy.nanos() << ","
+         << idle.nanos() << "," << proc.activations << ","
+         << proc.left_activations << "," << cycle.messages << "\n";
+    }
+  }
+}
+
+void write_metrics_csv(std::ostream& os, const sim::SimResult& result,
+                       const Registry* registry) {
+  write_cycle_csv(os, result);
+  if (registry != nullptr) {
+    os << "\n";
+    registry->write_csv(os);
+  }
+}
+
+}  // namespace mpps::obs

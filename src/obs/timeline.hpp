@@ -1,0 +1,27 @@
+// Deterministic per-cycle timeline export of a simulated run.  The CSV's
+// busy/idle totals reconcile exactly with the simulator's makespan (and
+// therefore its reported speedup): for every cycle,
+//   sum over procs (busy_ns + idle_ns) == cycle span * match processors,
+// and the last row's cycle_end_ns equals the makespan.  Asserted in
+// tests/obs_export_test.cpp.
+#pragma once
+
+#include <ostream>
+
+#include "src/obs/metrics.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace mpps::obs {
+
+/// One row per (cycle, match processor):
+/// cycle,proc,cycle_start_ns,cycle_end_ns,busy_ns,idle_ns,activations,
+/// left_activations,cycle_messages
+void write_cycle_csv(std::ostream& os, const sim::SimResult& result);
+
+/// The `--metrics-out` payload: the per-cycle table above, a blank line,
+/// then the registry export (`metric,type,field,value`) when a registry
+/// is provided.
+void write_metrics_csv(std::ostream& os, const sim::SimResult& result,
+                       const Registry* registry);
+
+}  // namespace mpps::obs

@@ -1,0 +1,118 @@
+#include "src/obs/tracer.hpp"
+
+#include <cstdio>
+
+namespace mpps::obs {
+namespace {
+
+/// Nanoseconds → "123.456" microseconds, exact (no floating point).
+void write_micros(std::ostream& os, SimTime t) {
+  const std::int64_t ns = t.nanos();
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%lld.%03lld",
+                static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000));
+  os << buf;
+}
+
+/// Minimal JSON string escaping (names are ASCII identifiers in practice).
+void write_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+void write_args(std::ostream& os,
+                const std::vector<std::pair<const char*, std::int64_t>>& args) {
+  os << "{";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) os << ",";
+    os << '"' << args[i].first << "\":" << args[i].second;
+  }
+  os << "}";
+}
+
+}  // namespace
+
+void Tracer::span(std::string name, const char* category, std::uint32_t tid,
+                  SimTime ts, SimTime dur,
+                  std::vector<std::pair<const char*, std::int64_t>> args) {
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.category = category;
+  ev.phase = TraceEvent::Phase::Span;
+  ev.tid = tid;
+  ev.ts = ts;
+  ev.dur = dur;
+  ev.args = std::move(args);
+  events_.push_back(std::move(ev));
+}
+
+void Tracer::instant(std::string name, const char* category, std::uint32_t tid,
+                     SimTime ts,
+                     std::vector<std::pair<const char*, std::int64_t>> args) {
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.category = category;
+  ev.phase = TraceEvent::Phase::Instant;
+  ev.tid = tid;
+  ev.ts = ts;
+  ev.args = std::move(args);
+  events_.push_back(std::move(ev));
+}
+
+void Tracer::counter(std::string name, std::uint32_t tid, SimTime ts,
+                     std::vector<std::pair<const char*, std::int64_t>> values) {
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.category = "counter";
+  ev.phase = TraceEvent::Phase::Counter;
+  ev.tid = tid;
+  ev.ts = ts;
+  ev.args = std::move(values);
+  events_.push_back(std::move(ev));
+}
+
+void Tracer::write_chrome_json(std::ostream& os) const {
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+  comma();
+  os << R"({"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":)";
+  write_string(os, process_name_);
+  os << "}}";
+  for (const auto& [tid, name] : thread_names_) {
+    comma();
+    os << R"({"name":"thread_name","ph":"M","pid":0,"tid":)" << tid
+       << R"(,"args":{"name":)";
+    write_string(os, name);
+    os << "}}";
+  }
+  for (const TraceEvent& ev : events_) {
+    comma();
+    os << "{\"name\":";
+    write_string(os, ev.name);
+    os << ",\"cat\":\"" << ev.category << "\",\"ph\":\""
+       << static_cast<char>(ev.phase) << "\",\"pid\":0,\"tid\":" << ev.tid
+       << ",\"ts\":";
+    write_micros(os, ev.ts);
+    if (ev.phase == TraceEvent::Phase::Span) {
+      os << ",\"dur\":";
+      write_micros(os, ev.dur);
+    }
+    if (!ev.args.empty() || ev.phase == TraceEvent::Phase::Counter) {
+      os << ",\"args\":";
+      write_args(os, ev.args);
+    }
+    os << "}";
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace mpps::obs

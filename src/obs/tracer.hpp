@@ -1,0 +1,79 @@
+// The structured event tracer: per-processor simulated-time spans and
+// instant events, exportable as Chrome trace_event JSON ("JSON Array
+// Format") that loads directly in chrome://tracing and Perfetto.
+//
+// The simulator emits one span per processor task (root-activation group,
+// merged activation, pair micro-task, constant-test group, conflict-set
+// receive), control-processor phase spans (broadcast, instantiation
+// receives, resolve, termination), and per-cycle counter samples.  All
+// timestamps are simulated SimTime, so the exported timeline is exactly
+// deterministic: the same trace and configuration produce byte-identical
+// JSON (asserted in tests/obs_export_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/simtime.hpp"
+
+namespace mpps::obs {
+
+/// One timeline event.  `tid` is a lane on the timeline: the simulator
+/// uses tid 0 for the control processor and tid p+1 for match processor p
+/// (names are attached with `set_thread_name`).
+struct TraceEvent {
+  enum class Phase : char {
+    Span = 'X',     // complete event: ts + dur
+    Instant = 'i',  // point event
+    Counter = 'C',  // sampled value series
+  };
+
+  std::string name;
+  const char* category = "sim";
+  Phase phase = Phase::Span;
+  std::uint32_t tid = 0;
+  SimTime ts{};
+  SimTime dur{};  // spans only
+  /// Numeric args, shown in the trace viewer's detail pane (for Counter
+  /// events, the sampled series values).
+  std::vector<std::pair<const char*, std::int64_t>> args;
+};
+
+class Tracer {
+ public:
+  void set_process_name(std::string name) { process_name_ = std::move(name); }
+  void set_thread_name(std::uint32_t tid, std::string name) {
+    thread_names_[tid] = std::move(name);
+  }
+
+  void span(std::string name, const char* category, std::uint32_t tid,
+            SimTime ts, SimTime dur,
+            std::vector<std::pair<const char*, std::int64_t>> args = {});
+  void instant(std::string name, const char* category, std::uint32_t tid,
+               SimTime ts,
+               std::vector<std::pair<const char*, std::int64_t>> args = {});
+  /// One sample of a counter track (stacked in the viewer).
+  void counter(std::string name, std::uint32_t tid, SimTime ts,
+               std::vector<std::pair<const char*, std::int64_t>> values);
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+
+  /// Chrome trace_event JSON (object form with "traceEvents", metadata
+  /// thread-name events first, then events in recording order).
+  /// Timestamps are microseconds with nanosecond precision.
+  void write_chrome_json(std::ostream& os) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::string process_name_ = "mpps";
+  std::map<std::uint32_t, std::string> thread_names_;
+};
+
+}  // namespace mpps::obs

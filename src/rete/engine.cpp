@@ -11,7 +11,34 @@ Engine::Engine(const Network& net, EngineOptions options)
       right_(options.num_buckets),
       conflict_([&net](ProductionId pid) {
         return net.production(pid).specificity();
-      }) {}
+      }) {
+  if (options_.metrics != nullptr) {
+    obs::Registry& reg = *options_.metrics;
+    instr_.left = &reg.counter("rete.activations", {{"side", "left"}});
+    instr_.right = &reg.counter("rete.activations", {{"side", "right"}});
+    instr_.tokens = &reg.counter("rete.tokens_generated");
+    instr_.comparisons = &reg.counter("rete.comparisons");
+    instr_.stale = &reg.counter("rete.stale_deletes");
+    instr_.probe_len = &reg.histogram(
+        "rete.probe_len", obs::Histogram::exponential_bounds(1, 2.0, 16));
+    instr_.occupancy = &reg.histogram(
+        "rete.bucket_occupancy",
+        obs::Histogram::exponential_bounds(1, 2.0, 16));
+    instr_.live_tokens = &reg.gauge("rete.live_tokens");
+  }
+}
+
+void Engine::flush_metrics() {
+  if (instr_.left == nullptr) return;
+  instr_.left->add(stats_.left_activations - flushed_.left_activations);
+  instr_.right->add(stats_.right_activations - flushed_.right_activations);
+  instr_.tokens->add(stats_.tokens_generated - flushed_.tokens_generated);
+  instr_.comparisons->add(stats_.comparisons - flushed_.comparisons);
+  instr_.stale->add(stats_.stale_deletes - flushed_.stale_deletes);
+  instr_.live_tokens->set(
+      static_cast<std::int64_t>(left_.total_tokens() + right_.total_tokens()));
+  flushed_ = stats_;
+}
 
 void Engine::process_change(const ops5::WmeChange& change) {
   if (listener_ != nullptr) listener_->on_wme_change(change);
@@ -47,6 +74,7 @@ void Engine::process_change(const ops5::WmeChange& change) {
   if (tag == Tag::Minus) {
     wmes_.erase(id);
   }
+  flush_metrics();
 }
 
 void Engine::drain() {
@@ -131,11 +159,13 @@ void Engine::process_left(const Pending& p) {
 
   if (node.kind == BetaNode::Kind::Join) {
     if (p.tag == Tag::Plus) {
-      left_.insert(node.id, p.token, key);
+      observe_insert(left_, node.id, left_.insert(node.id, p.token, key));
     } else if (!left_.erase(node.id, p.token, key)) {
       ++stats_.stale_deletes;
     }
-    for (HashedMemory::Entry* e : right_.find(node.id, key)) {
+    const auto candidates = right_.find(node.id, key);
+    observe_probe(candidates.size());
+    for (HashedMemory::Entry* e : candidates) {
       ++stats_.comparisons;
       const ops5::Wme& w = wmes_.at(e->token.wmes[0]);
       if (!non_eq_tests_pass(node, p.token, w)) continue;
@@ -147,13 +177,15 @@ void Engine::process_left(const Pending& p) {
   } else {  // Negative node
     if (p.tag == Tag::Plus) {
       int count = 0;
-      for (HashedMemory::Entry* e : right_.find(node.id, key)) {
+      const auto candidates = right_.find(node.id, key);
+      observe_probe(candidates.size());
+      for (HashedMemory::Entry* e : candidates) {
         ++stats_.comparisons;
         if (non_eq_tests_pass(node, p.token, wmes_.at(e->token.wmes[0]))) {
           ++count;
         }
       }
-      left_.insert(node.id, p.token, key);
+      observe_insert(left_, node.id, left_.insert(node.id, p.token, key));
       left_.find_token(node.id, p.token, key)->neg_count = count;
       if (count == 0) {
         emit(node, p.token, Tag::Plus, rec.id, rec.successors,
@@ -194,11 +226,14 @@ void Engine::process_right(const Pending& p) {
 
   if (node.kind == BetaNode::Kind::Join) {
     if (p.tag == Tag::Plus) {
-      right_.insert(node.id, wme_token, key);
+      observe_insert(right_, node.id,
+                     right_.insert(node.id, wme_token, key));
     } else if (!right_.erase(node.id, wme_token, key)) {
       ++stats_.stale_deletes;
     }
-    for (HashedMemory::Entry* e : left_.find(node.id, key)) {
+    const auto candidates = left_.find(node.id, key);
+    observe_probe(candidates.size());
+    for (HashedMemory::Entry* e : candidates) {
       ++stats_.comparisons;
       if (!non_eq_tests_pass(node, e->token, w)) continue;
       Token child = e->token;
@@ -208,8 +243,11 @@ void Engine::process_right(const Pending& p) {
     }
   } else {  // Negative node
     if (p.tag == Tag::Plus) {
-      right_.insert(node.id, wme_token, key);
-      for (HashedMemory::Entry* e : left_.find(node.id, key)) {
+      observe_insert(right_, node.id,
+                     right_.insert(node.id, wme_token, key));
+      const auto candidates = left_.find(node.id, key);
+      observe_probe(candidates.size());
+      for (HashedMemory::Entry* e : candidates) {
         ++stats_.comparisons;
         if (!non_eq_tests_pass(node, e->token, w)) continue;
         if (e->neg_count++ == 0) {
@@ -221,7 +259,9 @@ void Engine::process_right(const Pending& p) {
       if (!right_.erase(node.id, wme_token, key)) {
         ++stats_.stale_deletes;
       } else {
-        for (HashedMemory::Entry* e : left_.find(node.id, key)) {
+        const auto candidates = left_.find(node.id, key);
+        observe_probe(candidates.size());
+        for (HashedMemory::Entry* e : candidates) {
           ++stats_.comparisons;
           if (!non_eq_tests_pass(node, e->token, w)) continue;
           if (--e->neg_count == 0) {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/common/ids.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/ops5/wme.hpp"
 #include "src/rete/conflict.hpp"
 #include "src/rete/memory.hpp"
@@ -48,6 +49,10 @@ struct EngineOptions {
   /// Buckets per side of the global hash table — the unit the MPC mapping
   /// distributes across match processors.
   std::uint32_t num_buckets = 256;
+  /// Optional metrics registry (not owned; see docs/OBSERVABILITY.md).
+  /// Records rete.* counters, the hash-probe-length histogram and the
+  /// bucket-occupancy histogram.  Null ⇒ zero recording cost.
+  obs::Registry* metrics = nullptr;
 };
 
 struct EngineStats {
@@ -88,7 +93,35 @@ class Engine {
     WmeId wme;    // right activations
   };
 
+  /// Instrument handles resolved once at construction (hot-path recording
+  /// is one null check when no registry is attached).
+  struct Instruments {
+    obs::Counter* left = nullptr;
+    obs::Counter* right = nullptr;
+    obs::Counter* tokens = nullptr;
+    obs::Counter* comparisons = nullptr;
+    obs::Counter* stale = nullptr;
+    obs::Histogram* probe_len = nullptr;
+    obs::Histogram* occupancy = nullptr;
+    obs::Gauge* live_tokens = nullptr;
+  };
+
   void drain();
+  /// Mirrors the EngineStats deltas since the last flush into the
+  /// registry; called at the end of every process_change.
+  void flush_metrics();
+  void observe_probe(std::size_t candidates) {
+    if (instr_.probe_len != nullptr) {
+      instr_.probe_len->observe(static_cast<std::int64_t>(candidates));
+    }
+  }
+  void observe_insert(const HashedMemory& mem, NodeId node,
+                      std::uint32_t bucket) {
+    if (instr_.occupancy != nullptr) {
+      instr_.occupancy->observe(
+          static_cast<std::int64_t>(mem.cell_size(node, bucket)));
+    }
+  }
   void process_left(const Pending& p);
   void process_right(const Pending& p);
   std::vector<Value> left_key(const BetaNode& node, const Token& t) const;
@@ -111,6 +144,8 @@ class Engine {
   std::deque<Pending> queue_;
   std::uint64_t next_activation_ = 1;
   EngineStats stats_;
+  Instruments instr_;
+  EngineStats flushed_;
 };
 
 }  // namespace mpps::rete

@@ -34,6 +34,11 @@ std::uint32_t HashedMemory::insert(NodeId node, Token token,
   return bucket;
 }
 
+std::size_t HashedMemory::cell_size(NodeId node, std::uint32_t bucket) const {
+  const auto it = cells_.find(cell_key(node, bucket));
+  return it == cells_.end() ? 0 : it->second.size();
+}
+
 bool HashedMemory::erase(NodeId node, const Token& token,
                          std::span<const Value> key) {
   const std::uint32_t bucket = bucket_of(node, key);

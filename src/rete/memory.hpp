@@ -69,6 +69,10 @@ class HashedMemory {
   /// Number of (node, bucket) cells currently non-empty.
   [[nodiscard]] std::size_t occupied_cells() const { return cells_.size(); }
 
+  /// Entries currently in `node`'s cell for `bucket` (bucket-occupancy
+  /// observability; see docs/OBSERVABILITY.md).
+  [[nodiscard]] std::size_t cell_size(NodeId node, std::uint32_t bucket) const;
+
   /// Total entries examined by find/find_token/erase since construction —
   /// the "token comparisons" the paper's hashing cuts by up to ~10x
   /// versus linear memories (compare num_buckets == 1 against a real

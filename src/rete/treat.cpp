@@ -40,6 +40,30 @@ void TreatEngine::process_change(const ops5::WmeChange& change) {
     remove_wme(change.wme);
     wmes_.erase(change.wme.id());
   }
+  flush_metrics();
+}
+
+void TreatEngine::set_metrics(obs::Registry* registry) {
+  if (registry == nullptr) {
+    instr_ = Instruments{};
+    return;
+  }
+  instr_.alpha_insertions = &registry->counter("treat.alpha_insertions");
+  instr_.join_attempts = &registry->counter("treat.join_attempts");
+  instr_.negated_rechecks = &registry->counter("treat.negated_rechecks");
+  instr_.alpha_memory = &registry->gauge("treat.alpha_memory");
+  flushed_ = stats_;
+}
+
+void TreatEngine::flush_metrics() {
+  if (instr_.alpha_insertions == nullptr) return;
+  instr_.alpha_insertions->add(stats_.alpha_insertions -
+                               flushed_.alpha_insertions);
+  instr_.join_attempts->add(stats_.join_attempts - flushed_.join_attempts);
+  instr_.negated_rechecks->add(stats_.negated_rechecks -
+                               flushed_.negated_rechecks);
+  instr_.alpha_memory->set(static_cast<std::int64_t>(alpha_memory_size()));
+  flushed_ = stats_;
 }
 
 void TreatEngine::add_wme(const ops5::Wme& wme) {

@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/obs/metrics.hpp"
 #include "src/ops5/ast.hpp"
 #include "src/ops5/wme.hpp"
 #include "src/rete/conflict.hpp"
@@ -33,6 +34,11 @@ class TreatEngine {
 
   /// Pushes one WM change (add or delete) through the matcher.
   void process_change(const ops5::WmeChange& change);
+
+  /// Attaches a metrics registry (not owned); treat.* counters and the
+  /// alpha-memory size gauge are updated after every change.  Null
+  /// detaches.  See docs/OBSERVABILITY.md.
+  void set_metrics(obs::Registry* registry);
 
   [[nodiscard]] ConflictSet& conflict_set() { return conflict_; }
   [[nodiscard]] const ConflictSet& conflict_set() const { return conflict_; }
@@ -59,10 +65,20 @@ class TreatEngine {
   /// reconciles the conflict set with it (negated-CE deletions).
   void recompute_production(ProductionState& prod);
 
+  void flush_metrics();
+
   std::vector<ProductionState> productions_;
   ConflictSet conflict_;
   std::unordered_map<WmeId, ops5::Wme> wmes_;
   TreatStats stats_;
+  struct Instruments {
+    obs::Counter* alpha_insertions = nullptr;
+    obs::Counter* join_attempts = nullptr;
+    obs::Counter* negated_rechecks = nullptr;
+    obs::Gauge* alpha_memory = nullptr;
+  };
+  Instruments instr_;
+  TreatStats flushed_;
 };
 
 }  // namespace mpps::rete

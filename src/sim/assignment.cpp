@@ -1,11 +1,21 @@
 #include "src/sim/assignment.hpp"
 
+#include "src/common/error.hpp"
 #include "src/common/rng.hpp"
 
 namespace mpps::sim {
 
+namespace {
+void require_procs(std::uint32_t num_procs) {
+  if (num_procs == 0) {
+    throw RuntimeError("bucket assignment requires at least one processor");
+  }
+}
+}  // namespace
+
 Assignment Assignment::round_robin(std::uint32_t num_buckets,
                                    std::uint32_t num_procs) {
+  require_procs(num_procs);
   std::vector<std::uint32_t> map(num_buckets);
   for (std::uint32_t b = 0; b < num_buckets; ++b) map[b] = b % num_procs;
   return fixed(std::move(map), num_procs);
@@ -13,6 +23,7 @@ Assignment Assignment::round_robin(std::uint32_t num_buckets,
 
 Assignment Assignment::random(std::uint32_t num_buckets,
                               std::uint32_t num_procs, std::uint64_t seed) {
+  require_procs(num_procs);
   Rng rng(seed);
   std::vector<std::uint32_t> map(num_buckets);
   for (std::uint32_t b = 0; b < num_buckets; ++b) {

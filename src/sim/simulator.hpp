@@ -38,6 +38,8 @@
 #include <vector>
 
 #include "src/common/simtime.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/tracer.hpp"
 #include "src/sim/assignment.hpp"
 #include "src/sim/costs.hpp"
 #include "src/trace/record.hpp"
@@ -85,6 +87,11 @@ struct SimConfig {
   /// Charge send overhead + latency + receive overhead for instantiation
   /// messages.
   bool charge_instantiation_messages = true;
+  /// Observability sinks (not owned; see docs/OBSERVABILITY.md).  Null ⇒
+  /// nothing is recorded and the simulated results are bit-for-bit
+  /// identical to an uninstrumented run.
+  obs::Registry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
 
   /// Hash partitions implied by mapping/match_processors.  The bucket
   /// assignment must target [0, partitions()).

@@ -1,0 +1,251 @@
+// Export-layer tests (src/obs/tracer.hpp, src/obs/timeline.hpp) and the
+// CLI observability flags: byte-identical exports for identical runs, the
+// Chrome trace JSON envelope, and the reconciliation the per-cycle CSV
+// promises — busy + idle totals add up to span x processors, and the
+// timeline's end equals the makespan the speedup is computed from.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/cli.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/summary.hpp"
+#include "src/obs/timeline.hpp"
+#include "src/obs/tracer.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/trace/synth.hpp"
+
+namespace mpps::obs {
+namespace {
+
+struct ObservedRun {
+  sim::SimResult result;
+  Registry registry;
+  Tracer tracer;
+};
+
+ObservedRun observed_rubik(std::uint32_t procs) {
+  ObservedRun run;
+  const trace::Trace t = trace::make_rubik_section();
+  sim::SimConfig config;
+  config.match_processors = procs;
+  config.costs = sim::CostModel::paper_run(4);
+  config.metrics = &run.registry;
+  config.tracer = &run.tracer;
+  run.result = sim::simulate(
+      t, config, sim::Assignment::round_robin(t.num_buckets, procs));
+  return run;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream in(s);
+  while (std::getline(in, item, sep)) out.push_back(item);
+  return out;
+}
+
+TEST(TraceExport, ChromeJsonIsByteIdenticalAcrossRuns) {
+  auto a = observed_rubik(8);
+  auto b = observed_rubik(8);
+  std::ostringstream ja;
+  std::ostringstream jb;
+  a.tracer.write_chrome_json(ja);
+  b.tracer.write_chrome_json(jb);
+  EXPECT_FALSE(ja.str().empty());
+  EXPECT_EQ(ja.str(), jb.str());
+}
+
+TEST(TraceExport, ChromeJsonEnvelope) {
+  auto run = observed_rubik(4);
+  std::ostringstream os;
+  run.tracer.write_chrome_json(os);
+  const std::string json = os.str();
+  EXPECT_EQ(json.rfind("{\"displayTimeUnit\"", 0), 0u) << json.substr(0, 40);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  // Metadata names every lane: the control processor and each match proc.
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  EXPECT_NE(json.find("control"), std::string::npos);
+  EXPECT_NE(json.find("match 3"), std::string::npos);
+  // Complete events carry both a timestamp and a duration.
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  // Cycle spans appear on the control lane.
+  EXPECT_NE(json.find("cycle 1"), std::string::npos);
+  // The envelope closes properly.
+  EXPECT_EQ(json.back() == '\n' ? json[json.size() - 2] : json.back(), '}');
+}
+
+TEST(TraceExport, MetricsCsvIsByteIdenticalAcrossRuns) {
+  auto a = observed_rubik(8);
+  auto b = observed_rubik(8);
+  std::ostringstream ca;
+  std::ostringstream cb;
+  write_metrics_csv(ca, a.result, &a.registry);
+  write_metrics_csv(cb, b.result, &b.registry);
+  EXPECT_FALSE(ca.str().empty());
+  EXPECT_EQ(ca.str(), cb.str());
+  // Both sections present: the per-cycle table and the registry export.
+  EXPECT_NE(ca.str().find("cycle,proc,cycle_start_ns"), std::string::npos);
+  EXPECT_NE(ca.str().find("metric,type,field,value"), std::string::npos);
+}
+
+// The acceptance check: parse the CSV the way a consumer would and verify
+// its busy/idle totals reconcile with the simulator's makespan — the
+// quantity every reported speedup divides into.
+TEST(TraceExport, CycleCsvBusyIdleReconcilesWithSpeedup) {
+  const trace::Trace t = trace::make_rubik_section();
+  constexpr std::uint32_t kProcs = 16;
+  sim::SimConfig config;
+  config.match_processors = kProcs;
+  config.costs = sim::CostModel::paper_run(4);
+  const auto assignment = sim::Assignment::round_robin(t.num_buckets, kProcs);
+  const auto result = sim::simulate(t, config, assignment);
+
+  std::ostringstream os;
+  write_cycle_csv(os, result);
+  const auto lines = split(os.str(), '\n');
+  ASSERT_GT(lines.size(), 1u);
+  EXPECT_EQ(lines[0],
+            "cycle,proc,cycle_start_ns,cycle_end_ns,busy_ns,idle_ns,"
+            "activations,left_activations,cycle_messages");
+
+  // Per-cycle: sum over procs of (busy + idle) == span * P.
+  std::map<long, long long> busy_plus_idle;
+  std::map<long, long long> span_ns;
+  long long timeline_end = 0;
+  std::size_t rows = 0;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    if (lines[i].empty()) continue;
+    const auto cols = split(lines[i], ',');
+    ASSERT_EQ(cols.size(), 9u) << lines[i];
+    const long cycle = std::stol(cols[0]);
+    const long long start = std::stoll(cols[2]);
+    const long long end = std::stoll(cols[3]);
+    busy_plus_idle[cycle] += std::stoll(cols[4]) + std::stoll(cols[5]);
+    span_ns[cycle] = end - start;
+    timeline_end = std::max(timeline_end, end);
+    ++rows;
+  }
+  EXPECT_EQ(rows, result.cycles.size() * kProcs);
+  for (const auto& [cycle, total] : busy_plus_idle) {
+    EXPECT_EQ(total, span_ns[cycle] * kProcs) << "cycle " << cycle;
+  }
+
+  // The timeline ends at the makespan, so the speedup derived from the CSV
+  // equals the simulator's reported speedup.
+  EXPECT_EQ(timeline_end, result.makespan.nanos());
+  const double csv_speedup =
+      static_cast<double>(sim::baseline_time(t).nanos()) /
+      static_cast<double>(timeline_end);
+  EXPECT_DOUBLE_EQ(csv_speedup, sim::speedup(t, config, assignment));
+}
+
+TEST(Summary, SkewAndUtilizationWithinBounds) {
+  auto run = observed_rubik(16);
+  const auto summary =
+      summarize_run(trace::make_rubik_section(), run.result, 5);
+  EXPECT_GE(summary.busy_skew.p50, 1.0);  // max/mean is always >= 1
+  EXPECT_LE(summary.busy_skew.p50, summary.busy_skew.max);
+  EXPECT_GT(summary.avg_processor_utilization_pct, 0.0);
+  EXPECT_LE(summary.avg_processor_utilization_pct, 100.0);
+  ASSERT_EQ(summary.hot_buckets.size(), 5u);
+  // Heaviest-first ordering.
+  for (std::size_t i = 1; i < summary.hot_buckets.size(); ++i) {
+    EXPECT_GE(summary.hot_buckets[i - 1].activations,
+              summary.hot_buckets[i].activations);
+  }
+  EXPECT_EQ(summary.messages, run.result.messages);
+}
+
+// ---------------------------------------------------------------------------
+// CLI-level checks: the --trace-out/--metrics-out flags and `mpps stats`.
+
+struct CliRun {
+  int code = 0;
+  std::string out;
+  std::string err;
+};
+
+CliRun cli(std::vector<std::string> args) {
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = core::run_cli(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+class SectionTrace : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir();
+    ASSERT_EQ(cli({"sections", "-o", dir_}).code, 0);
+    trace_path_ = dir_ + "/rubik.trace";
+  }
+  void TearDown() override {
+    for (const char* name : {"rubik.trace", "tourney.trace", "weaver.trace"}) {
+      std::remove((dir_ + "/" + name).c_str());
+    }
+  }
+  std::string dir_;
+  std::string trace_path_;
+};
+
+TEST_F(SectionTrace, SimulateWritesTraceAndMetricsFiles) {
+  const std::string json_path = dir_ + "/run.trace.json";
+  const std::string csv_path = dir_ + "/run.metrics.csv";
+  const CliRun r =
+      cli({"simulate", trace_path_, "--procs", "8", "--run", "1",
+           "--trace-out", json_path, "--metrics-out", csv_path});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("wrote trace timeline to"), std::string::npos);
+  EXPECT_NE(r.out.find("wrote metrics to"), std::string::npos);
+
+  const std::string json = slurp(json_path);
+  EXPECT_EQ(json.rfind("{\"displayTimeUnit\"", 0), 0u);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  const std::string csv = slurp(csv_path);
+  EXPECT_NE(csv.find("cycle,proc,cycle_start_ns"), std::string::npos);
+  EXPECT_NE(csv.find("sim.makespan_ns"), std::string::npos);
+
+  // Re-running the identical command reproduces both files byte-for-byte.
+  const std::string json_path2 = dir_ + "/run2.trace.json";
+  const std::string csv_path2 = dir_ + "/run2.metrics.csv";
+  ASSERT_EQ(cli({"simulate", trace_path_, "--procs", "8", "--run", "1",
+                 "--trace-out", json_path2, "--metrics-out", csv_path2})
+                .code,
+            0);
+  EXPECT_EQ(json, slurp(json_path2));
+  EXPECT_EQ(csv, slurp(csv_path2));
+  for (const auto& p : {json_path, csv_path, json_path2, csv_path2}) {
+    std::remove(p.c_str());
+  }
+}
+
+TEST_F(SectionTrace, StatsPrintsRunSummaryGolden) {
+  const CliRun r = cli({"stats", trace_path_, "--procs", "16", "--top", "3"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("simulated run summary (16 match processors)"),
+            std::string::npos);
+  EXPECT_NE(r.out.find("busy skew per cycle"), std::string::npos);
+  EXPECT_NE(r.out.find("messages per cycle"), std::string::npos);
+  EXPECT_NE(r.out.find("hottest buckets"), std::string::npos);
+  // Deterministic: the whole report is a golden output.
+  const CliRun again =
+      cli({"stats", trace_path_, "--procs", "16", "--top", "3"});
+  EXPECT_EQ(r.out, again.out);
+}
+
+}  // namespace
+}  // namespace mpps::obs

@@ -1,0 +1,221 @@
+// Tests for the metrics registry (src/obs/metrics.hpp): instrument
+// semantics, histogram bucket edges, deterministic CSV export, and the
+// zero-cost guarantee — attaching sinks to the simulator must not change
+// the simulated results.
+#include "src/obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/common/error.hpp"
+#include "src/obs/tracer.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/trace/synth.hpp"
+
+namespace mpps::obs {
+namespace {
+
+TEST(Counter, AccumulatesMonotonically) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, MovesBothWays) {
+  Gauge g;
+  g.set(10);
+  g.add(-3);
+  EXPECT_EQ(g.value(), 7);
+}
+
+TEST(Histogram, BucketEdgesAreInclusiveUpperBounds) {
+  Histogram h({1, 10});
+  // v <= 1 → bucket 0; 1 < v <= 10 → bucket 1; v > 10 → overflow.
+  h.observe(0);
+  h.observe(1);
+  h.observe(2);
+  h.observe(10);
+  h.observe(11);
+  ASSERT_EQ(h.counts().size(), 3u);
+  EXPECT_EQ(h.counts()[0], 2u);
+  EXPECT_EQ(h.counts()[1], 2u);
+  EXPECT_EQ(h.counts()[2], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 24);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 11);
+  EXPECT_DOUBLE_EQ(h.mean(), 24.0 / 5.0);
+}
+
+TEST(Histogram, DefaultIsSingleCatchAllBucket) {
+  Histogram h;
+  h.observe(-5);
+  h.observe(1000000);
+  ASSERT_EQ(h.counts().size(), 1u);
+  EXPECT_EQ(h.counts()[0], 2u);
+  EXPECT_EQ(h.count(), 2u);
+}
+
+TEST(Histogram, QuantileBoundNearestRank) {
+  Histogram h({1, 2, 4, 8});
+  for (int i = 0; i < 10; ++i) h.observe(1);  // bucket 0
+  h.observe(8);                               // bucket 3
+  // 10 of 11 samples are <= 1: p50 must report bucket edge 1.
+  EXPECT_EQ(h.quantile_bound(0.5), 1);
+  EXPECT_EQ(h.quantile_bound(1.0), 8);
+}
+
+TEST(Histogram, QuantileBoundOverflowReportsMax) {
+  Histogram h({1});
+  h.observe(100);
+  h.observe(200);
+  EXPECT_EQ(h.quantile_bound(0.5), 200);  // overflow bucket → observed max
+}
+
+TEST(Histogram, LinearBoundsEvenlySpaced) {
+  const auto b = Histogram::linear_bounds(5, 3);
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_EQ(b[0], 5);
+  EXPECT_EQ(b[1], 10);
+  EXPECT_EQ(b[2], 15);
+}
+
+TEST(Histogram, ExponentialBoundsStrictlyIncreasing) {
+  // factor close to 1 would produce duplicate rounded edges without the
+  // strictly-increasing fixup.
+  const auto b = Histogram::exponential_bounds(1, 1.1, 20);
+  ASSERT_EQ(b.size(), 20u);
+  for (std::size_t i = 1; i < b.size(); ++i) {
+    EXPECT_LT(b[i - 1], b[i]) << "edge " << i;
+  }
+}
+
+TEST(Registry, SameNameAndLabelsReturnsSameInstrument) {
+  Registry reg;
+  Counter& a = reg.counter("x", {{"side", "left"}});
+  a.add(3);
+  Counter& b = reg.counter("x", {{"side", "left"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 3u);
+  // A different label set is a different instrument.
+  Counter& c = reg.counter("x", {{"side", "right"}});
+  EXPECT_NE(&a, &c);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(Registry, TypeMismatchThrows) {
+  Registry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.gauge("x"), RuntimeError);
+  EXPECT_THROW(reg.histogram("x", {}), RuntimeError);
+}
+
+TEST(Registry, HistogramBoundsOnlyConsultedOnCreation) {
+  Registry reg;
+  Histogram& h = reg.histogram("h", {1, 2});
+  Histogram& again = reg.histogram("h", {99});
+  EXPECT_EQ(&h, &again);
+  EXPECT_EQ(again.bounds().size(), 2u);
+}
+
+TEST(Registry, CsvExportIsDeterministicAndSorted) {
+  const auto fill = [](Registry& reg) {
+    reg.counter("zeta").add(1);
+    reg.gauge("alpha").set(-7);
+    reg.histogram("mid", {10, 20}).observe(15);
+    reg.counter("mid2", {{"k", "v"}}).add(2);
+  };
+  Registry a;
+  Registry b;
+  fill(a);
+  fill(b);
+  std::ostringstream csv_a;
+  std::ostringstream csv_b;
+  a.write_csv(csv_a);
+  b.write_csv(csv_b);
+  EXPECT_EQ(csv_a.str(), csv_b.str());
+  const std::string csv = csv_a.str();
+  EXPECT_NE(csv.find("metric,type,field,value"), std::string::npos);
+  // Sorted by key: alpha before mid before zeta.
+  EXPECT_LT(csv.find("alpha"), csv.find("mid"));
+  EXPECT_LT(csv.find("mid"), csv.find("zeta"));
+  EXPECT_NE(csv.find("mid2{k=v}"), std::string::npos);
+  EXPECT_NE(csv.find("le_inf"), std::string::npos);
+}
+
+// The zero-cost guarantee: a run with metrics + tracer attached must
+// produce bit-for-bit identical simulated results to a run without.
+TEST(ZeroCost, AttachedSinksDoNotChangeSimResults) {
+  const trace::Trace t = trace::make_rubik_section();
+  const auto assignment = sim::Assignment::round_robin(t.num_buckets, 8);
+
+  sim::SimConfig plain;
+  plain.match_processors = 8;
+  plain.costs = sim::CostModel::paper_run(4);
+  const auto base = sim::simulate(t, plain, assignment);
+
+  Registry registry;
+  Tracer tracer;
+  sim::SimConfig observed = plain;
+  observed.metrics = &registry;
+  observed.tracer = &tracer;
+  const auto obs = sim::simulate(t, observed, assignment);
+
+  EXPECT_EQ(base.makespan, obs.makespan);
+  EXPECT_EQ(base.messages, obs.messages);
+  EXPECT_EQ(base.local_deliveries, obs.local_deliveries);
+  EXPECT_EQ(base.network_busy, obs.network_busy);
+  EXPECT_EQ(base.termination_overhead, obs.termination_overhead);
+  ASSERT_EQ(base.cycles.size(), obs.cycles.size());
+  for (std::size_t c = 0; c < base.cycles.size(); ++c) {
+    EXPECT_EQ(base.cycles[c].start, obs.cycles[c].start);
+    EXPECT_EQ(base.cycles[c].end, obs.cycles[c].end);
+    EXPECT_EQ(base.cycles[c].messages, obs.cycles[c].messages);
+    ASSERT_EQ(base.cycles[c].procs.size(), obs.cycles[c].procs.size());
+    for (std::size_t p = 0; p < base.cycles[c].procs.size(); ++p) {
+      EXPECT_EQ(base.cycles[c].procs[p].busy, obs.cycles[c].procs[p].busy);
+      EXPECT_EQ(base.cycles[c].procs[p].activations,
+                obs.cycles[c].procs[p].activations);
+    }
+  }
+  // And the attached run actually recorded something.
+  EXPECT_GT(registry.size(), 0u);
+  EXPECT_FALSE(tracer.empty());
+}
+
+// The simulator's recorded counters agree with the results struct.
+TEST(SimMetrics, CountersMatchSimResult) {
+  const trace::Trace t = trace::make_rubik_section();
+  Registry registry;
+  sim::SimConfig config;
+  config.match_processors = 16;
+  config.costs = sim::CostModel::paper_run(4);
+  config.metrics = &registry;
+  const auto result = sim::simulate(
+      t, config, sim::Assignment::round_robin(t.num_buckets, 16));
+
+  EXPECT_EQ(registry.counter("sim.messages").value(), result.messages);
+  EXPECT_EQ(registry.counter("sim.local_deliveries").value(),
+            result.local_deliveries);
+  EXPECT_EQ(registry.counter("sim.cycles").value(), result.cycles.size());
+  EXPECT_EQ(registry.gauge("sim.makespan_ns").value(),
+            result.makespan.nanos());
+  std::uint64_t left = 0;
+  std::uint64_t total = 0;
+  for (const auto& cycle : result.cycles) {
+    for (const auto& proc : cycle.procs) {
+      left += proc.left_activations;
+      total += proc.activations;
+    }
+  }
+  EXPECT_EQ(registry.counter("sim.activations", {{"side", "left"}}).value(),
+            left);
+  EXPECT_EQ(registry.counter("sim.activations", {{"side", "right"}}).value(),
+            total - left);
+}
+
+}  // namespace
+}  // namespace mpps::obs
