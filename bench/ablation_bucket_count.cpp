@@ -7,9 +7,12 @@
 // (and precedence) remain.
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "src/common/table.hpp"
 #include "src/core/pipeline.hpp"
+#include "src/core/sweep.hpp"
+#include "src/obs/bench.hpp"
 
 namespace {
 
@@ -51,27 +54,42 @@ std::string seater_source(int guests) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mpps;
   print_banner(std::cout,
                "Bucket-count sensitivity (Manners seater, 24 guests, 16 "
                "processors, run 2)");
-  TextTable table({"buckets", "activations", "speedup @16 procs"});
-  for (std::uint32_t buckets : {4u, 16u, 64u, 256u, 1024u}) {
+  // Re-recording the trace at each bucket count is serial (one interpreter
+  // run apiece); the simulations then fan out across worker threads.
+  const std::vector<std::uint32_t> bucket_counts = {4u, 16u, 64u, 256u,
+                                                    1024u};
+  std::vector<core::PipelineResult> piped;
+  for (std::uint32_t buckets : bucket_counts) {
     core::PipelineOptions options;
     options.interpreter.engine.num_buckets = buckets;
-    const core::PipelineResult piped = core::record_trace_from_source(
-        seater_source(24), "seater", options);
-    sim::SimConfig config;
-    config.match_processors = 16;
-    config.costs = sim::CostModel::paper_run(2);
-    const double s = sim::speedup(
-        piped.trace, config,
-        sim::Assignment::round_robin(piped.trace.num_buckets, 16));
+    piped.push_back(core::record_trace_from_source(seater_source(24),
+                                                   "seater", options));
+  }
+  std::vector<core::SweepScenario> scenarios;
+  for (const auto& p : piped) {
+    core::SweepScenario scenario;
+    scenario.label =
+        "seater/b" + std::to_string(p.trace.num_buckets);
+    scenario.trace = &p.trace;
+    scenario.config.match_processors = 16;
+    scenario.config.costs = sim::CostModel::paper_run(2);
+    scenario.assignment =
+        sim::Assignment::round_robin(p.trace.num_buckets, 16);
+    scenarios.push_back(std::move(scenario));
+  }
+  const auto outcomes =
+      core::run_sweep(scenarios, obs::jobs_arg(argc, argv));
+  TextTable table({"buckets", "activations", "speedup @16 procs"});
+  for (std::size_t i = 0; i < bucket_counts.size(); ++i) {
     table.row()
-        .cell(static_cast<long>(buckets))
-        .cell(static_cast<unsigned long>(piped.trace.total_activations()))
-        .cell(s, 2);
+        .cell(static_cast<long>(bucket_counts[i]))
+        .cell(static_cast<unsigned long>(piped[i].trace.total_activations()))
+        .cell(outcomes[i].speedup, 2);
   }
   table.print(std::cout);
   std::cout << "\nFew buckets serialize unrelated keys on shared indices;\n"

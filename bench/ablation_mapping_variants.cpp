@@ -12,36 +12,58 @@
 //     processors.
 //  D. Termination-detection models (future work in the paper): what the
 //     "free termination" assumption hides.
+//
+// Each block's grid fans out across worker threads (--jobs N) through the
+// sweep engine; outcomes are consumed in scenario order, so the tables are
+// identical for every jobs value.
 #include <iostream>
+#include <vector>
 
 #include "bench/bench_util.hpp"
 #include "src/common/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mpps;
   const auto sections = core::standard_sections();
+  const unsigned jobs = obs::jobs_arg(argc, argv);
 
   print_banner(std::cout,
                "A. Processor pairs vs merged, fixed processor budget "
                "(zero overheads)");
   {
-    TextTable table({"section", "procs", "merged", "pairs (procs/2 partitions)"});
+    std::vector<core::SweepScenario> scenarios;
     for (const auto& section : sections) {
       for (std::uint32_t p : {8u, 16u, 32u}) {
         sim::SimConfig merged = bench::config_for(p, 0);
         sim::SimConfig paired = merged;
         paired.mapping = sim::MappingMode::ProcessorPairs;
+        core::SweepScenario a;
+        a.label = section.label + "/p" + std::to_string(p) + "/merged";
+        a.trace = &section.trace;
+        a.config = merged;
+        a.assignment =
+            sim::Assignment::round_robin(section.trace.num_buckets, p);
+        core::SweepScenario b;
+        b.label = section.label + "/p" + std::to_string(p) + "/pairs";
+        b.trace = &section.trace;
+        b.config = paired;
+        b.assignment =
+            sim::Assignment::round_robin(section.trace.num_buckets, p / 2);
+        scenarios.push_back(std::move(a));
+        scenarios.push_back(std::move(b));
+      }
+    }
+    const auto outcomes = core::run_sweep(scenarios, jobs);
+    TextTable table({"section", "procs", "merged", "pairs (procs/2 partitions)"});
+    std::size_t index = 0;
+    for (const auto& section : sections) {
+      for (std::uint32_t p : {8u, 16u, 32u}) {
         table.row()
             .cell(section.label)
             .cell(static_cast<long>(p))
-            .cell(sim::speedup(section.trace, merged,
-                               sim::Assignment::round_robin(
-                                   section.trace.num_buckets, p)),
-                  2)
-            .cell(sim::speedup(section.trace, paired,
-                               sim::Assignment::round_robin(
-                                   section.trace.num_buckets, p / 2)),
-                  2);
+            .cell(outcomes[index].speedup, 2)
+            .cell(outcomes[index + 1].speedup, 2);
+        index += 2;
       }
     }
     table.print(std::cout);
@@ -51,18 +73,31 @@ int main() {
                "B. Constant-test processors vs broadcast-to-all "
                "(16 match processors)");
   {
+    std::vector<core::SweepScenario> scenarios;
+    for (const auto& section : sections) {
+      for (int run : {1, 4}) {
+        for (std::uint32_t ct : {0u, 1u, 2u, 4u}) {
+          core::SweepScenario scenario;
+          scenario.label = section.label + "/r" + std::to_string(run) +
+                           "/ct" + std::to_string(ct);
+          scenario.trace = &section.trace;
+          scenario.config = bench::config_for(16, run);
+          scenario.config.constant_test_processors = ct;
+          scenario.assignment =
+              sim::Assignment::round_robin(section.trace.num_buckets, 16);
+          scenarios.push_back(std::move(scenario));
+        }
+      }
+    }
+    const auto outcomes = core::run_sweep(scenarios, jobs);
     TextTable table({"section", "overhead run", "broadcast", "1 CT proc",
                      "2 CT procs", "4 CT procs"});
+    std::size_t index = 0;
     for (const auto& section : sections) {
       for (int run : {1, 4}) {
         table.row().cell(section.label).cell(static_cast<long>(run));
-        for (std::uint32_t ct : {0u, 1u, 2u, 4u}) {
-          sim::SimConfig config = bench::config_for(16, run);
-          config.constant_test_processors = ct;
-          table.cell(sim::speedup(section.trace, config,
-                                  sim::Assignment::round_robin(
-                                      section.trace.num_buckets, 16)),
-                     2);
+        for (int ct = 0; ct < 4; ++ct) {
+          table.cell(outcomes[index++].speedup, 2);
         }
       }
     }
@@ -72,16 +107,26 @@ int main() {
   print_banner(std::cout,
                "C. Conflict-set processors (16 match processors, run 4)");
   {
+    std::vector<core::SweepScenario> scenarios;
+    for (const auto& section : sections) {
+      for (std::uint32_t cs : {0u, 2u, 4u}) {
+        core::SweepScenario scenario;
+        scenario.label = section.label + "/cs" + std::to_string(cs);
+        scenario.trace = &section.trace;
+        scenario.config = bench::config_for(16, 4);
+        scenario.config.conflict_set_processors = cs;
+        scenario.assignment =
+            sim::Assignment::round_robin(section.trace.num_buckets, 16);
+        scenarios.push_back(std::move(scenario));
+      }
+    }
+    const auto outcomes = core::run_sweep(scenarios, jobs);
     TextTable table({"section", "control only", "2 CS procs", "4 CS procs"});
+    std::size_t index = 0;
     for (const auto& section : sections) {
       table.row().cell(section.label);
-      for (std::uint32_t cs : {0u, 2u, 4u}) {
-        sim::SimConfig config = bench::config_for(16, 4);
-        config.conflict_set_processors = cs;
-        table.cell(sim::speedup(section.trace, config,
-                                sim::Assignment::round_robin(
-                                    section.trace.num_buckets, 16)),
-                   2);
+      for (int cs = 0; cs < 3; ++cs) {
+        table.cell(outcomes[index++].speedup, 2);
       }
     }
     table.print(std::cout);
@@ -90,24 +135,36 @@ int main() {
   print_banner(std::cout,
                "D. Termination detection models (16 processors, run 4)");
   {
+    const auto models = {sim::TerminationModel::None,
+                         sim::TerminationModel::AckCounting,
+                         sim::TerminationModel::BarrierPoll};
+    std::vector<core::SweepScenario> scenarios;
+    for (const auto& section : sections) {
+      for (auto model : models) {
+        core::SweepScenario scenario;
+        scenario.label = section.label + "/term" +
+                         std::to_string(static_cast<int>(model));
+        scenario.trace = &section.trace;
+        scenario.config = bench::config_for(16, 4);
+        scenario.config.termination = model;
+        scenario.assignment =
+            sim::Assignment::round_robin(section.trace.num_buckets, 16);
+        scenarios.push_back(std::move(scenario));
+      }
+    }
+    const auto outcomes = core::run_sweep(scenarios, jobs);
     TextTable table({"section", "free (paper)", "ack counting",
                      "barrier poll", "barrier overhead (us)"});
+    std::size_t index = 0;
     for (const auto& section : sections) {
       table.row().cell(section.label);
       SimTime barrier_overhead{};
-      for (auto model :
-           {sim::TerminationModel::None, sim::TerminationModel::AckCounting,
-            sim::TerminationModel::BarrierPoll}) {
-        sim::SimConfig config = bench::config_for(16, 4);
-        config.termination = model;
-        const auto assignment =
-            sim::Assignment::round_robin(section.trace.num_buckets, 16);
-        table.cell(sim::speedup(section.trace, config, assignment), 2);
+      for (auto model : models) {
+        table.cell(outcomes[index].speedup, 2);
         if (model == sim::TerminationModel::BarrierPoll) {
-          barrier_overhead =
-              sim::simulate(section.trace, config, assignment)
-                  .termination_overhead;
+          barrier_overhead = outcomes[index].result.termination_overhead;
         }
+        ++index;
       }
       table.cell(barrier_overhead.micros(), 0);
     }

@@ -6,38 +6,31 @@
 // coalesced cycles lose their (tiny) parallelism but pay no messages, so
 // the benefit appears at high communication overheads and vanishes at low
 // ones.
+//
+// Both grids run through the sweep engine (--jobs N worker threads).
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.hpp"
 #include "src/common/table.hpp"
 #include "src/core/distribution.hpp"
 #include "src/trace/synth.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mpps;
+  const unsigned jobs = obs::jobs_arg(argc, argv);
   print_banner(std::cout,
                "Small-cycle coalescing (variable granularity), Weaver "
                "section, 16 processors");
   const trace::Trace weaver = trace::make_weaver_section();
   const auto base = sim::Assignment::round_robin(weaver.num_buckets, 16);
 
-  TextTable table({"machine", "distributed", "coalesce < 100 acts",
-                   "coalesce < 200 acts"});
-  auto sweep_row = [&](const std::string& label, const sim::CostModel& costs) {
-    sim::SimConfig config;
-    config.match_processors = 16;
-    config.costs = costs;
-    table.row().cell(label);
-    table.cell(sim::speedup(weaver, config, base), 2);
-    for (std::size_t threshold : {100u, 200u}) {
-      const auto coalesced =
-          core::coalesce_small_cycles(weaver, base, 16, threshold);
-      table.cell(sim::speedup(weaver, config, coalesced), 2);
-    }
-  };
+  std::vector<std::string> machines;
+  std::vector<sim::CostModel> machine_costs;
   for (int run = 1; run <= 4; ++run) {
-    sweep_row("Nectar run " + std::to_string(run),
-              sim::CostModel::paper_run(run));
+    machines.push_back("Nectar run " + std::to_string(run));
+    machine_costs.push_back(sim::CostModel::paper_run(run));
   }
   // A first-generation message-passing computer (the paper's introduction:
   // Cosmic-Cube-class machines had ~2 ms network latency and ~300 us
@@ -47,21 +40,65 @@ int main() {
   first_gen.send_overhead = SimTime::us(150);
   first_gen.recv_overhead = SimTime::us(150);
   first_gen.wire_latency = SimTime::us(2000);
-  sweep_row("first-gen MPC", first_gen);
+  machines.push_back("first-gen MPC");
+  machine_costs.push_back(first_gen);
+
+  std::vector<core::SweepScenario> scenarios;
+  for (std::size_t m = 0; m < machines.size(); ++m) {
+    sim::SimConfig config;
+    config.match_processors = 16;
+    config.costs = machine_costs[m];
+    for (std::size_t threshold : {0u, 100u, 200u}) {
+      core::SweepScenario scenario;
+      scenario.label = machines[m] + "/t" + std::to_string(threshold);
+      scenario.trace = &weaver;
+      scenario.config = config;
+      scenario.assignment =
+          threshold == 0
+              ? base
+              : core::coalesce_small_cycles(weaver, base, 16, threshold);
+      scenarios.push_back(std::move(scenario));
+    }
+  }
+  const auto outcomes = core::run_sweep(scenarios, jobs);
+
+  TextTable table({"machine", "distributed", "coalesce < 100 acts",
+                   "coalesce < 200 acts"});
+  std::size_t index = 0;
+  for (const auto& machine : machines) {
+    table.row().cell(machine);
+    for (int t = 0; t < 3; ++t) {
+      table.cell(outcomes[index++].speedup, 2);
+    }
+  }
   table.print(std::cout);
 
   print_banner(std::cout, "Same sweep on Rubik (no small cycles: a no-op)");
   const trace::Trace rubik = trace::make_rubik_section();
   const auto rubik_base = sim::Assignment::round_robin(rubik.num_buckets, 16);
-  TextTable rt({"overhead run", "distributed", "coalesce < 100 acts"});
+  const auto rubik_coalesced =
+      core::coalesce_small_cycles(rubik, rubik_base, 16, 100);
+  std::vector<core::SweepScenario> rubik_scenarios;
   for (int run = 1; run <= 4; ++run) {
-    sim::SimConfig config = bench::config_for(16, run);
-    const auto coalesced =
-        core::coalesce_small_cycles(rubik, rubik_base, 16, 100);
+    for (bool coalesce : {false, true}) {
+      core::SweepScenario scenario;
+      scenario.label = "rubik/r" + std::to_string(run) +
+                       (coalesce ? "/coalesced" : "/distributed");
+      scenario.trace = &rubik;
+      scenario.config = bench::config_for(16, run);
+      scenario.assignment = coalesce ? rubik_coalesced : rubik_base;
+      rubik_scenarios.push_back(std::move(scenario));
+    }
+  }
+  const auto rubik_outcomes = core::run_sweep(rubik_scenarios, jobs);
+  TextTable rt({"overhead run", "distributed", "coalesce < 100 acts"});
+  index = 0;
+  for (int run = 1; run <= 4; ++run) {
     rt.row()
         .cell(static_cast<long>(run))
-        .cell(sim::speedup(rubik, config, rubik_base), 2)
-        .cell(sim::speedup(rubik, config, coalesced), 2);
+        .cell(rubik_outcomes[index].speedup, 2)
+        .cell(rubik_outcomes[index + 1].speedup, 2);
+    index += 2;
   }
   rt.print(std::cout);
   std::cout << "\nCoalescing trades the small cycles' limited parallelism\n"

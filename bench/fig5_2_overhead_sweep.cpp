@@ -4,7 +4,13 @@
 // Weaver up to ~50% — the ordering follows each section's share of left
 // activations (28% / 99% / 81%), since only left activations travel as
 // messages.
+//
+// The (section x processors x run) grid is independent scenarios, so it
+// fans out across worker threads (--jobs N) via core::overhead_sweep;
+// outcomes come back in scenario order, so the tables are byte-identical
+// for every jobs value.
 #include <iostream>
+#include <vector>
 
 #include "bench/bench_util.hpp"
 #include "src/common/table.hpp"
@@ -12,25 +18,32 @@
 int main(int argc, char** argv) {
   using namespace mpps;
   const auto sections = core::standard_sections();
+  const std::vector<std::uint32_t> procs = bench::sweep_procs();
+  const std::vector<int> runs = {1, 2, 3, 4};
+  const std::vector<core::SweepOutcome> outcomes = core::overhead_sweep(
+      sections, procs, runs, obs::jobs_arg(argc, argv));
+
+  // Scenario order is section-major, then processor, then run.
+  std::size_t index = 0;
   for (const auto& section : sections) {
     print_banner(std::cout, "Figure 5-2: " + section.label +
                                 " speedups vs message-processing overhead");
     TextTable table({"processors", "0 us", "8 us", "16 us", "32 us"});
-    for (std::uint32_t p : bench::sweep_procs()) {
+    const std::size_t section_start = index;
+    for (std::uint32_t p : procs) {
       table.row().cell(static_cast<long>(p));
-      for (int run = 1; run <= 4; ++run) {
-        table.cell(bench::speedup_vs(section.trace, section.trace,
-                                     bench::config_for(p, run)),
-                   2);
+      for (std::size_t r = 0; r < runs.size(); ++r) {
+        table.cell(outcomes[index++].speedup, 2);
       }
     }
     bench::emit_table(table, argc, argv, std::cout);
     // The headline comparison: fraction of the zero-overhead speedup lost
     // at the highest overhead setting.
-    const double zero = bench::speedup_vs(section.trace, section.trace,
-                                          bench::config_for(32, 1));
-    const double heavy = bench::speedup_vs(section.trace, section.trace,
-                                           bench::config_for(32, 4));
+    std::size_t p32 = 0;
+    while (procs[p32] != 32) ++p32;
+    const double zero = outcomes[section_start + p32 * runs.size()].speedup;
+    const double heavy =
+        outcomes[section_start + p32 * runs.size() + runs.size() - 1].speedup;
     std::cout << section.label << " @32 processors: speedup loss from 0 to "
               << "32 us total overhead = "
               << static_cast<int>(100.0 * (1.0 - heavy / zero) + 0.5)

@@ -6,26 +6,47 @@
 // bottleneck) but suffers static hash-table partitioning; the shared
 // memory has no partitioning but serializes on the queue — and BOTH
 // serialize on a non-discriminating cross-product bucket.
+//
+// The MPC column fans out across worker threads (--jobs N) via the sweep
+// engine; the shared-bus model is a different simulator and stays serial.
 #include <iostream>
+#include <vector>
 
 #include "bench/bench_util.hpp"
 #include "src/common/table.hpp"
 #include "src/sim/sharedbus.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mpps;
   print_banner(std::cout,
                "MPC (distributed hash table) vs shared-bus "
                "(centralized task queues)");
-  for (const auto& section : core::standard_sections()) {
+  const auto sections = core::standard_sections();
+  const std::vector<std::uint32_t> procs = {2u, 4u, 8u, 16u, 32u, 64u};
+
+  std::vector<core::SweepScenario> scenarios;
+  for (const auto& section : sections) {
+    for (std::uint32_t p : procs) {
+      core::SweepScenario scenario;
+      scenario.label = section.label + "/p" + std::to_string(p);
+      scenario.trace = &section.trace;
+      scenario.config = bench::config_for(p, 2);
+      scenario.assignment =
+          sim::Assignment::round_robin(section.trace.num_buckets, p);
+      scenarios.push_back(std::move(scenario));
+    }
+  }
+  const auto outcomes =
+      core::run_sweep(scenarios, obs::jobs_arg(argc, argv));
+
+  std::size_t index = 0;
+  for (const auto& section : sections) {
     TextTable table({"processors", "MPC run 2 (8 us ovh)",
                      "shared-bus (3 us queue)", "shared-bus (10 us queue)",
                      "queue util @10 us"});
-    for (std::uint32_t p : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    for (std::uint32_t p : procs) {
       table.row().cell(static_cast<long>(p));
-      table.cell(bench::speedup_vs(section.trace, section.trace,
-                                   bench::config_for(p, 2)),
-                 2);
+      table.cell(outcomes[index++].speedup, 2);
       for (auto access : {SimTime::us(3), SimTime::us(10)}) {
         sim::SharedBusConfig bus;
         bus.processors = p;

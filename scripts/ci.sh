@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
 # Tier-1 verification gate: a plain build + full test suite, then the same
-# suite again under AddressSanitizer/UndefinedBehaviorSanitizer.  This is
-# the check every change must pass; scripts/reproduce.sh is the heavier
+# suite again under AddressSanitizer/UndefinedBehaviorSanitizer, then the
+# multi-threaded sweep-engine tests under ThreadSanitizer.  This is the
+# check every change must pass; scripts/reproduce.sh is the heavier
 # companion that also regenerates the paper tables and figures.
 #
 # Usage:
-#   scripts/ci.sh            # plain + sanitizer pass
-#   scripts/ci.sh --fast     # plain pass only (skip the sanitizer rebuild)
+#   scripts/ci.sh            # plain + sanitizer passes
+#   scripts/ci.sh --fast     # plain pass only (skip the sanitizer rebuilds)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -37,5 +38,17 @@ cmake -B build-asan -S . \
   -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS"
 cmake --build build-asan -j
 ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
+
+echo "=== sanitizers: TSan rebuild of the sweep engine + its tests (build-tsan/) ==="
+# TSan is incompatible with ASan/UBSan in one binary, so it gets its own
+# tree; only the multi-threaded code (SweepRunner, BaselineCache) and its
+# tests need the pass, so build and run just that target.
+TSAN_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
+cmake -B build-tsan -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="$TSAN_FLAGS" \
+  -DCMAKE_EXE_LINKER_FLAGS="$TSAN_FLAGS"
+cmake --build build-tsan -j --target sweep_tests
+./build-tsan/tests/sweep_tests
 
 echo "=== tier-1 + sanitizers passed ==="

@@ -9,6 +9,7 @@
 #include "src/common/table.hpp"
 #include "src/core/distribution.hpp"
 #include "src/core/pipeline.hpp"
+#include "src/core/sweep.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/summary.hpp"
 #include "src/obs/timeline.hpp"
@@ -29,7 +30,10 @@ commands:
                        --max-cycles N, --quiet, --watch 0|1|2); with
                        --trace-out t.json / --metrics-out m.csv the match
                        trace is replayed on the simulated MPC (--procs P,
-                       --run 0..4) and the timeline/metrics are exported
+                       --run 0..4) and the timeline/metrics are exported;
+                       --procs accepts a comma list (the exports describe
+                       the first entry; one summary line per entry,
+                       fanned out over --jobs N worker threads)
   trace <file.ops>     record its match trace (-o out.trace, --buckets B)
   stats <file.trace>   print activation statistics and a simulated-run
                        summary: busy skew, message histogram, hottest
@@ -37,7 +41,16 @@ commands:
   simulate <f.trace>   replay on the simulated MPC (--procs P, --run 0..4,
                        --mapping merged|pairs, --assign rr|random|greedy,
                        --ct K, --cs M, --termination none|ack|poll,
-                       --trace-out t.json, --metrics-out m.csv)
+                       --trace-out t.json, --metrics-out m.csv); a comma
+                       list --procs 1,2,4 sweeps the counts in parallel
+                       (--jobs N; exports then hold the merged registry
+                       and merged timeline)
+  sweep <f.trace>      fan a (processors x overhead-runs) grid across
+                       worker threads and print the speedup table
+                       (--procs 2,4,8,16,32, --runs 1,2,3,4, --jobs N,
+                       --mapping merged|pairs, --assign rr|random|greedy,
+                       --metrics-out m.csv, --csv); results are
+                       bit-identical for every --jobs value
   sections             write the synthetic Rubik/Tourney/Weaver sections
                        (-o directory, default '.')
   slice <file.trace>   extract consecutive cycles (--from N, --cycles K,
@@ -46,7 +59,7 @@ commands:
 `--trace-out` writes a Chrome trace_event JSON timeline (load it in
 chrome://tracing or https://ui.perfetto.dev); `--metrics-out` writes the
 per-cycle busy/idle CSV plus the metrics registry.  docs/OBSERVABILITY.md
-documents both formats.
+documents both formats; docs/SIMULATOR.md documents the sweep engine.
 )";
 
 /// Tiny flag cursor over the argument vector.
@@ -96,7 +109,8 @@ class Args {
            arg == "--mapping" || arg == "--assign" || arg == "--ct" ||
            arg == "--cs" || arg == "--termination" || arg == "--seed" ||
            arg == "--from" || arg == "--cycles" || arg == "--trace-out" ||
-           arg == "--metrics-out" || arg == "--top";
+           arg == "--metrics-out" || arg == "--top" || arg == "--jobs" ||
+           arg == "--runs";
   }
 
  private:
@@ -114,6 +128,33 @@ class Args {
 long parse_long_or(const std::string& s, long fallback) {
   long v = 0;
   return parse_int(s, v) ? v : fallback;
+}
+
+/// "1,2,4" → {1, 2, 4}.  Non-numeric or non-positive fields are dropped;
+/// an empty result falls back to {fallback}.
+std::vector<std::uint32_t> parse_u32_list(const std::string& s,
+                                          std::uint32_t fallback) {
+  std::vector<std::uint32_t> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    const std::size_t len =
+        (comma == std::string::npos ? s.size() : comma) - start;
+    long v = 0;
+    if (parse_int(trim(std::string_view(s).substr(start, len)), v) && v > 0) {
+      out.push_back(static_cast<std::uint32_t>(v));
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (out.empty()) out.push_back(fallback);
+  return out;
+}
+
+/// The `--jobs N` worker-thread count; 0 (auto) when absent or invalid.
+unsigned parse_jobs(Args& args) {
+  const long v = parse_long_or(args.value("--jobs", "0"), 0);
+  return v > 0 ? static_cast<unsigned>(v) : 0u;
 }
 
 std::string read_file(const std::string& path) {
@@ -159,8 +200,11 @@ struct ObsOutputs {
 sim::SimConfig parse_basic_sim_config(Args& args, std::uint32_t default_procs,
                                       int default_run) {
   sim::SimConfig config;
-  config.match_processors = static_cast<std::uint32_t>(parse_long_or(
-      args.value("--procs", std::to_string(default_procs)), default_procs));
+  // --procs may be a comma list; the basic config takes the first entry.
+  config.match_processors =
+      parse_u32_list(args.value("--procs", std::to_string(default_procs)),
+                     default_procs)
+          .front();
   const int run = static_cast<int>(parse_long_or(
       args.value("--run", std::to_string(default_run)), default_run));
   config.costs = run == 0 ? sim::CostModel::zero_overhead()
@@ -204,30 +248,46 @@ int cmd_run(Args& args, std::ostream& out, std::ostream& err) {
       out << "  cycle " << firing.cycle << ": " << firing.production << "\n";
     }
   }
-  if (obs_out.any()) {
+  const std::vector<std::uint32_t> procs_list =
+      parse_u32_list(args.value("--procs", "8"), 8);
+  if (obs_out.any() || procs_list.size() > 1) {
     // Replay the program's match trace on the simulated machine and export
     // the run's timeline + metrics (rete.* counters above were recorded by
-    // the live engine; sim.* come from this replay).
+    // the live engine; sim.* come from this replay).  With a --procs list
+    // the entries fan out across --jobs worker threads; the exports
+    // describe the first entry.
     PipelineOptions pipeline;
     pipeline.interpreter.strategy = options.strategy;
     pipeline.interpreter.max_cycles = options.max_cycles;
     const PipelineResult recorded = record_trace(
         ops5::parse_program(source), path, pipeline);
-    sim::SimConfig config = parse_basic_sim_config(args, 8, 1);
+    const sim::SimConfig base_config = parse_basic_sim_config(args, 8, 1);
     obs::Tracer tracer;
-    config.metrics = &registry;
-    config.tracer = &tracer;
-    const sim::SimResult sim_result =
-        sim::simulate(recorded.trace, config,
-                      sim::Assignment::round_robin(recorded.trace.num_buckets,
-                                                   config.partitions()));
-    const SimTime base = sim::baseline_time(recorded.trace);
-    out << "simulated " << config.match_processors << " match processors: "
-        << "makespan " << sim_result.makespan.micros() << " us, speedup "
-        << static_cast<double>(base.nanos()) /
-               static_cast<double>(sim_result.makespan.nanos())
-        << "\n";
-    obs_out.write(tracer, registry, sim_result, out);
+    SweepOptions sweep_options;
+    sweep_options.jobs = parse_jobs(args);
+    if (obs_out.any()) {
+      sweep_options.metrics = &registry;
+      sweep_options.tracer = &tracer;
+    }
+    std::vector<SweepScenario> scenarios;
+    for (std::uint32_t procs : procs_list) {
+      SweepScenario scenario;
+      scenario.label = "p" + std::to_string(procs);
+      scenario.trace = &recorded.trace;
+      scenario.config = base_config;
+      scenario.config.match_processors = procs;
+      scenario.assignment = sim::Assignment::round_robin(
+          recorded.trace.num_buckets, scenario.config.partitions());
+      scenarios.push_back(std::move(scenario));
+    }
+    const std::vector<SweepOutcome> outcomes =
+        SweepRunner(sweep_options).run(scenarios);
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      out << "simulated " << procs_list[i] << " match processors: "
+          << "makespan " << outcomes[i].result.makespan.micros()
+          << " us, speedup " << outcomes[i].speedup << "\n";
+    }
+    obs_out.write(tracer, registry, outcomes.front().result, out);
   }
   return 0;
 }
@@ -303,9 +363,11 @@ int cmd_simulate(Args& args, std::ostream& out, std::ostream& err) {
   if (!file) throw RuntimeError("cannot open '" + path + "'");
   const trace::Trace t = trace::read_trace(file);
 
+  const std::vector<std::uint32_t> procs_list =
+      parse_u32_list(args.value("--procs", "8"), 8);
+
   sim::SimConfig config;
-  config.match_processors = static_cast<std::uint32_t>(
-      parse_long_or(args.value("--procs", "8"), 8));
+  config.match_processors = procs_list.front();
   const int run = static_cast<int>(parse_long_or(args.value("--run", "1"), 1));
   config.costs = run == 0 ? sim::CostModel::zero_overhead()
                           : sim::CostModel::paper_run(run);
@@ -324,39 +386,198 @@ int cmd_simulate(Args& args, std::ostream& out, std::ostream& err) {
   }
 
   const std::string assign = args.value("--assign", "rr");
-  sim::Assignment assignment =
-      assign == "random"
-          ? sim::Assignment::random(
-                t.num_buckets, config.partitions(),
-                static_cast<std::uint64_t>(
-                    parse_long_or(args.value("--seed", "1"), 1)))
-      : assign == "greedy"
-          ? greedy_assignment(t, config.partitions(), config.costs)
-          : sim::Assignment::round_robin(t.num_buckets, config.partitions());
+  const auto seed = static_cast<std::uint64_t>(
+      parse_long_or(args.value("--seed", "1"), 1));
+  const auto assignment_for = [&](const sim::SimConfig& cfg) {
+    return assign == "random"
+               ? sim::Assignment::random(t.num_buckets, cfg.partitions(), seed)
+           : assign == "greedy"
+               ? greedy_assignment(t, cfg.partitions(), cfg.costs)
+               : sim::Assignment::round_robin(t.num_buckets,
+                                              cfg.partitions());
+  };
 
   const ObsOutputs obs_out = ObsOutputs::from(args);
   obs::Registry registry;
   obs::Tracer tracer;
-  if (obs_out.any()) {
-    config.metrics = &registry;
-    config.tracer = &tracer;
+
+  if (procs_list.size() == 1) {
+    if (obs_out.any()) {
+      config.metrics = &registry;
+      config.tracer = &tracer;
+    }
+    const sim::SimResult result =
+        sim::simulate(t, config, assignment_for(config));
+    const SimTime base = sim::baseline_time(t);
+    TextTable table({"makespan (us)", "speedup", "messages", "local",
+                     "network idle %", "avg proc util %"});
+    table.row()
+        .cell(result.makespan.micros(), 1)
+        .cell(static_cast<double>(base.nanos()) /
+                  static_cast<double>(result.makespan.nanos()),
+              2)
+        .cell(static_cast<unsigned long>(result.messages))
+        .cell(static_cast<unsigned long>(result.local_deliveries))
+        .cell(100.0 * (1.0 - result.network_utilization()), 1)
+        .cell(100.0 * result.avg_processor_utilization(), 1);
+    table.print(out);
+    obs_out.write(tracer, registry, result, out);
+    return 0;
   }
 
-  const sim::SimResult result = sim::simulate(t, config, assignment);
-  const SimTime base = sim::baseline_time(t);
-  TextTable table({"makespan (us)", "speedup", "messages", "local",
+  // A comma list sweeps the processor counts across worker threads; the
+  // exports then hold the merged registry / merged timeline.
+  SweepOptions sweep_options;
+  sweep_options.jobs = parse_jobs(args);
+  if (obs_out.any()) {
+    sweep_options.metrics = &registry;
+    sweep_options.tracer = &tracer;
+  }
+  std::vector<SweepScenario> scenarios;
+  for (std::uint32_t procs : procs_list) {
+    SweepScenario scenario;
+    scenario.label = "p" + std::to_string(procs);
+    scenario.trace = &t;
+    scenario.config = config;
+    scenario.config.match_processors = procs;
+    scenario.assignment = assignment_for(scenario.config);
+    scenarios.push_back(std::move(scenario));
+  }
+  const SweepRunner runner(sweep_options);
+  const std::vector<SweepOutcome> outcomes = runner.run(scenarios);
+
+  TextTable table({"procs", "makespan (us)", "speedup", "messages", "local",
                    "network idle %", "avg proc util %"});
-  table.row()
-      .cell(result.makespan.micros(), 1)
-      .cell(static_cast<double>(base.nanos()) /
-                static_cast<double>(result.makespan.nanos()),
-            2)
-      .cell(static_cast<unsigned long>(result.messages))
-      .cell(static_cast<unsigned long>(result.local_deliveries))
-      .cell(100.0 * (1.0 - result.network_utilization()), 1)
-      .cell(100.0 * result.avg_processor_utilization(), 1);
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const sim::SimResult& result = outcomes[i].result;
+    table.row()
+        .cell(static_cast<unsigned long>(procs_list[i]))
+        .cell(result.makespan.micros(), 1)
+        .cell(outcomes[i].speedup, 2)
+        .cell(static_cast<unsigned long>(result.messages))
+        .cell(static_cast<unsigned long>(result.local_deliveries))
+        .cell(100.0 * (1.0 - result.network_utilization()), 1)
+        .cell(100.0 * result.avg_processor_utilization(), 1);
+  }
   table.print(out);
-  obs_out.write(tracer, registry, result, out);
+  out << "swept " << outcomes.size() << " configurations on "
+      << runner.jobs() << " worker thread(s)\n";
+  if (!obs_out.trace_path.empty()) {
+    std::ofstream sink(obs_out.trace_path);
+    if (!sink) throw RuntimeError("cannot write '" + obs_out.trace_path + "'");
+    tracer.write_chrome_json(sink);
+    out << "wrote trace timeline to " << obs_out.trace_path << "\n";
+  }
+  if (!obs_out.metrics_path.empty()) {
+    std::ofstream sink(obs_out.metrics_path);
+    if (!sink) {
+      throw RuntimeError("cannot write '" + obs_out.metrics_path + "'");
+    }
+    registry.write_csv(sink);
+    out << "wrote metrics to " << obs_out.metrics_path << "\n";
+  }
+  return 0;
+}
+
+/// `sweep` — fan a (processors x overhead-runs) grid across worker
+/// threads and print the per-run speedup columns.  Scenario order (and
+/// thus every byte of the output) is fixed regardless of --jobs.
+int cmd_sweep(Args& args, std::ostream& out, std::ostream& err) {
+  const std::string path = args.positional();
+  if (path.empty()) {
+    err << "sweep: missing trace file\n";
+    return 2;
+  }
+  std::ifstream file(path);
+  if (!file) throw RuntimeError("cannot open '" + path + "'");
+  const trace::Trace t = trace::read_trace(file);
+
+  const std::vector<std::uint32_t> procs =
+      parse_u32_list(args.value("--procs", "2,4,8,16,32"), 2);
+  // Overhead runs: 0 = zero-overhead cost model, 1..4 = the paper's runs.
+  std::vector<int> runs;
+  {
+    const std::string spec = args.value("--runs", "1,2,3,4");
+    std::size_t start = 0;
+    while (start <= spec.size()) {
+      const std::size_t comma = spec.find(',', start);
+      const std::size_t len =
+          (comma == std::string::npos ? spec.size() : comma) - start;
+      long v = 0;
+      if (parse_int(trim(std::string_view(spec).substr(start, len)), v) &&
+          v >= 0 && v <= 4) {
+        runs.push_back(static_cast<int>(v));
+      }
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+    if (runs.empty()) runs.push_back(1);
+  }
+
+  const bool pairs = args.value("--mapping", "merged") == "pairs";
+  const std::string assign = args.value("--assign", "rr");
+  const auto seed = static_cast<std::uint64_t>(
+      parse_long_or(args.value("--seed", "1"), 1));
+
+  std::vector<SweepScenario> scenarios;
+  scenarios.reserve(procs.size() * runs.size());
+  for (std::uint32_t p : procs) {
+    for (int run : runs) {
+      SweepScenario scenario;
+      scenario.label =
+          "p" + std::to_string(p) + "/r" + std::to_string(run);
+      scenario.trace = &t;
+      scenario.config.match_processors = p;
+      if (pairs) scenario.config.mapping = sim::MappingMode::ProcessorPairs;
+      scenario.config.costs = run == 0 ? sim::CostModel::zero_overhead()
+                                       : sim::CostModel::paper_run(run);
+      scenario.assignment =
+          assign == "random"
+              ? sim::Assignment::random(t.num_buckets,
+                                        scenario.config.partitions(), seed)
+          : assign == "greedy"
+              ? greedy_assignment(t, scenario.config.partitions(),
+                                  scenario.config.costs)
+              : sim::Assignment::round_robin(t.num_buckets,
+                                             scenario.config.partitions());
+      scenarios.push_back(std::move(scenario));
+    }
+  }
+
+  obs::Registry registry;
+  SweepOptions options;
+  options.jobs = parse_jobs(args);
+  const std::string metrics_path = args.value("--metrics-out", "");
+  if (!metrics_path.empty()) options.metrics = &registry;
+  const SweepRunner runner(options);
+  const std::vector<SweepOutcome> outcomes = runner.run(scenarios);
+
+  std::vector<std::string> headers{"procs"};
+  for (int run : runs) {
+    headers.push_back("run " + std::to_string(run) + " speedup");
+  }
+  TextTable table(std::move(headers));
+  std::size_t index = 0;
+  for (std::uint32_t p : procs) {
+    TextTable& row = table.row();
+    row.cell(static_cast<unsigned long>(p));
+    for (std::size_t r = 0; r < runs.size(); ++r) {
+      row.cell(outcomes[index++].speedup, 2);
+    }
+  }
+  if (args.flag("--csv")) {
+    table.print_csv(out);
+  } else {
+    table.print(out);
+  }
+  out << "swept " << outcomes.size() << " configurations on "
+      << runner.jobs() << " worker thread(s)\n";
+  if (!metrics_path.empty()) {
+    std::ofstream sink(metrics_path);
+    if (!sink) throw RuntimeError("cannot write '" + metrics_path + "'");
+    registry.write_csv(sink);
+    out << "wrote metrics to " << metrics_path << "\n";
+  }
   return 0;
 }
 
@@ -420,6 +641,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     if (command == "trace") return cmd_trace(cursor, out, err);
     if (command == "stats") return cmd_stats(cursor, out, err);
     if (command == "simulate") return cmd_simulate(cursor, out, err);
+    if (command == "sweep") return cmd_sweep(cursor, out, err);
     if (command == "sections") return cmd_sections(cursor, out, err);
     if (command == "slice") return cmd_slice(cursor, out, err);
     if (command == "help" || command == "--help") {

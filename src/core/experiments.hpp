@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/sweep.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/trace/record.hpp"
 
@@ -27,5 +28,20 @@ double zero_overhead_speedup(const trace::Trace& trace, std::uint32_t procs);
 
 /// Round-robin speedup under Table 5-1 `run` (1..4), 0.5 us latency.
 double run_speedup(const trace::Trace& trace, int run, std::uint32_t procs);
+
+/// The Figure 5-2 grid for one section: round-robin scenarios over
+/// (procs × runs), run-major per processor count, labelled
+/// "<section>/p<procs>/r<run>".  `run` 0 means zero overheads.  The
+/// section (its trace) must outlive the returned scenarios.
+std::vector<SweepScenario> overhead_grid(const Section& section,
+                                         const std::vector<std::uint32_t>& procs,
+                                         const std::vector<int>& runs);
+
+/// Runs `overhead_grid` for every section on `jobs` workers; outcomes are
+/// section-major in grid order.
+std::vector<SweepOutcome> overhead_sweep(const std::vector<Section>& sections,
+                                         const std::vector<std::uint32_t>& procs,
+                                         const std::vector<int>& runs,
+                                         unsigned jobs = 0);
 
 }  // namespace mpps::core

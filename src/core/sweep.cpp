@@ -1,0 +1,113 @@
+#include "src/core/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "src/common/error.hpp"
+
+namespace mpps::core {
+
+SweepRunner::SweepRunner(SweepOptions options) : options_(options) {
+  jobs_ = options.jobs != 0
+              ? options.jobs
+              : std::max(1u, std::thread::hardware_concurrency());
+}
+
+std::vector<SweepOutcome> SweepRunner::run(
+    const std::vector<SweepScenario>& scenarios) const {
+  // Warm the shared baseline cache serially before fanning out: each
+  // distinct trace is simulated exactly once and the workers only read.
+  for (const SweepScenario& scenario : scenarios) {
+    if (scenario.trace == nullptr) {
+      throw RuntimeError("sweep scenario '" + scenario.label +
+                         "' has no trace");
+    }
+    const trace::Trace& base =
+        scenario.baseline != nullptr ? *scenario.baseline : *scenario.trace;
+    sim::BaselineCache::shared().baseline(base);
+  }
+
+  // One slot per scenario: workers write only their own slot, so the
+  // collected results are ordered by scenario no matter which worker ran
+  // what.
+  struct Slot {
+    SweepOutcome outcome;
+    obs::Registry registry;
+    obs::Tracer tracer;
+  };
+  std::vector<Slot> slots(scenarios.size());
+  const bool collect_metrics = options_.metrics != nullptr;
+  const bool collect_timeline = options_.tracer != nullptr;
+
+  std::atomic<std::size_t> next{0};
+  std::mutex failure_mu;
+  std::exception_ptr failure;
+  std::size_t failure_index = scenarios.size();
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= scenarios.size()) return;
+      try {
+        const SweepScenario& scenario = scenarios[i];
+        Slot& slot = slots[i];
+        sim::SimConfig config = scenario.config;
+        config.metrics = collect_metrics ? &slot.registry : nullptr;
+        config.tracer = collect_timeline ? &slot.tracer : nullptr;
+        slot.outcome.label = scenario.label;
+        slot.outcome.result =
+            sim::simulate(*scenario.trace, config, scenario.assignment);
+        const trace::Trace& base = scenario.baseline != nullptr
+                                       ? *scenario.baseline
+                                       : *scenario.trace;
+        slot.outcome.baseline = sim::BaselineCache::shared().baseline(base);
+        const SimTime t = slot.outcome.result.makespan;
+        slot.outcome.speedup =
+            t.nanos() == 0
+                ? 0.0
+                : static_cast<double>(slot.outcome.baseline.nanos()) /
+                      static_cast<double>(t.nanos());
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(failure_mu);
+        if (i < failure_index) {
+          failure_index = i;
+          failure = std::current_exception();
+        }
+      }
+    }
+  };
+
+  const auto want = static_cast<std::size_t>(jobs_);
+  const std::size_t n = std::min(want, std::max<std::size_t>(
+                                           std::size_t{1}, scenarios.size()));
+  if (n <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(n);
+    for (std::size_t t = 0; t < n; ++t) pool.emplace_back(worker);
+    for (std::thread& thread : pool) thread.join();
+  }
+  if (failure) std::rethrow_exception(failure);
+
+  std::vector<SweepOutcome> out;
+  out.reserve(slots.size());
+  for (Slot& slot : slots) {
+    if (collect_metrics) options_.metrics->merge_from(slot.registry);
+    if (collect_timeline) options_.tracer->merge_from(slot.tracer);
+    out.push_back(std::move(slot.outcome));
+  }
+  return out;
+}
+
+std::vector<SweepOutcome> run_sweep(const std::vector<SweepScenario>& scenarios,
+                                    unsigned jobs) {
+  SweepOptions options;
+  options.jobs = jobs;
+  return SweepRunner(options).run(scenarios);
+}
+
+}  // namespace mpps::core

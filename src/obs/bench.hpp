@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/common/simtime.hpp"
+#include "src/common/strings.hpp"
 #include "src/common/table.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/tracer.hpp"
@@ -28,17 +29,32 @@ inline std::vector<std::uint32_t> sweep_procs() {
 /// Speedup of `variant_trace` under `config`, measured against the serial
 /// zero-overhead baseline of `baseline_trace` (transformed traces are
 /// compared against the ORIGINAL section's baseline, since they perform
-/// the same semantic work plus duplication).
+/// the same semantic work plus duplication).  The baseline comes from the
+/// shared per-trace cache, so sweeping many configs pays for it once.
 inline double speedup_vs(const trace::Trace& baseline_trace,
                          const trace::Trace& variant_trace,
                          const sim::SimConfig& config) {
-  const SimTime base = sim::baseline_time(baseline_trace);
+  const SimTime base = sim::BaselineCache::shared().baseline(baseline_trace);
   const SimTime t =
       sim::simulate(variant_trace, config,
                     sim::Assignment::round_robin(variant_trace.num_buckets,
                                                  config.match_processors))
           .makespan;
   return static_cast<double>(base.nanos()) / static_cast<double>(t.nanos());
+}
+
+/// The `--jobs N` worker count passed to a bench binary; 0 (auto) when
+/// the flag is absent or malformed.
+inline unsigned jobs_arg(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string_view(argv[i]) == "--jobs") {
+      long v = 0;
+      if (parse_int(argv[i + 1], v) && v > 0) {
+        return static_cast<unsigned>(v);
+      }
+    }
+  }
+  return 0;
 }
 
 /// Prints a table as CSV when `--csv` was passed on the command line,

@@ -22,6 +22,25 @@ void Histogram::observe(std::int64_t v) {
   sum_ += v;
 }
 
+void Histogram::merge_from(const Histogram& other) {
+  if (bounds_ != other.bounds_) {
+    throw RuntimeError("cannot merge histograms with different bounds");
+  }
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
 double Histogram::mean() const {
   return count_ == 0 ? 0.0
                      : static_cast<double>(sum_) / static_cast<double>(count_);
@@ -112,6 +131,33 @@ Histogram& Registry::histogram(const std::string& name,
     slot.histogram = std::make_unique<Histogram>(std::move(bounds));
   }
   return *slot.histogram;
+}
+
+void Registry::merge_from(const Registry& other) {
+  for (const auto& [key, theirs] : other.instruments_) {
+    Instrument& slot = instruments_[key];
+    const bool type_clash =
+        (theirs.counter && (slot.gauge || slot.histogram)) ||
+        (theirs.gauge && (slot.counter || slot.histogram)) ||
+        (theirs.histogram && (slot.counter || slot.gauge));
+    if (type_clash) {
+      throw RuntimeError("metric '" + key +
+                         "' merged with a different type");
+    }
+    if (theirs.counter) {
+      if (!slot.counter) slot.counter = std::make_unique<Counter>();
+      slot.counter->add(theirs.counter->value());
+    } else if (theirs.gauge) {
+      if (!slot.gauge) slot.gauge = std::make_unique<Gauge>();
+      slot.gauge->set(theirs.gauge->value());
+    } else if (theirs.histogram) {
+      if (!slot.histogram) {
+        slot.histogram = std::make_unique<Histogram>(
+            theirs.histogram->bounds());
+      }
+      slot.histogram->merge_from(*theirs.histogram);
+    }
+  }
 }
 
 void Registry::write_csv(std::ostream& os) const {

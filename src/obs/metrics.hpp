@@ -60,6 +60,11 @@ class Histogram {
 
   void observe(std::int64_t v);
 
+  /// Folds `other` in as if its samples had been observed here (counts,
+  /// sum, min/max all combine exactly).  Throws mpps::RuntimeError when
+  /// the bucket bounds differ.
+  void merge_from(const Histogram& other);
+
   [[nodiscard]] const std::vector<std::int64_t>& bounds() const {
     return bounds_;
   }
@@ -108,6 +113,15 @@ class Registry {
   Histogram& histogram(const std::string& name,
                        std::vector<std::int64_t> bounds,
                        const Labels& labels = {});
+
+  /// Folds every instrument of `other` into this registry: counters add,
+  /// histograms combine bucket-wise, gauges take `other`'s value (the
+  /// same end state as re-recording `other`'s updates here, so merging
+  /// per-worker registries in a fixed order reproduces the serial
+  /// accumulation byte for byte — asserted in core_sweep_test).  Throws
+  /// mpps::RuntimeError when a name is registered with different types or
+  /// histogram bounds on the two sides.
+  void merge_from(const Registry& other);
 
   /// CSV export, one row per instrument (histograms expand to one row per
   /// bucket plus count/sum/min/max rows).  Deterministic order:

@@ -76,6 +76,16 @@ void Tracer::counter(std::string name, std::uint32_t tid, SimTime ts,
   events_.push_back(std::move(ev));
 }
 
+void Tracer::merge_from(const Tracer& other) {
+  events_.insert(events_.end(), other.events_.begin(), other.events_.end());
+  if (events_.size() == other.events_.size() && !other.events_.empty()) {
+    process_name_ = other.process_name_;  // first non-trivial merge names us
+  }
+  for (const auto& [tid, name] : other.thread_names_) {
+    thread_names_.emplace(tid, name);
+  }
+}
+
 void Tracer::write_chrome_json(std::ostream& os) const {
   os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
   bool first = true;

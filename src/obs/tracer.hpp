@@ -60,6 +60,12 @@ class Tracer {
   void counter(std::string name, std::uint32_t tid, SimTime ts,
                std::vector<std::pair<const char*, std::int64_t>> values);
 
+  /// Appends `other`'s events after this tracer's and adopts its process
+  /// and thread names for lanes this tracer has not named.  Merging
+  /// per-worker tracers in a fixed order therefore yields the same
+  /// timeline regardless of which thread recorded what.
+  void merge_from(const Tracer& other);
+
   [[nodiscard]] const std::vector<TraceEvent>& events() const {
     return events_;
   }

@@ -11,6 +11,22 @@ void require_procs(std::uint32_t num_procs) {
     throw RuntimeError("bucket assignment requires at least one processor");
   }
 }
+
+/// Every map entry must name a processor in [0, num_procs): the simulator
+/// indexes its processor table with these values, so an out-of-range entry
+/// would read past the end of that table.
+void require_in_range(const std::vector<std::uint32_t>& map,
+                      std::size_t cycle, std::uint32_t num_procs) {
+  for (std::size_t bucket = 0; bucket < map.size(); ++bucket) {
+    if (map[bucket] >= num_procs) {
+      throw RuntimeError(
+          "bucket assignment map for cycle " + std::to_string(cycle) +
+          " sends bucket " + std::to_string(bucket) + " to processor " +
+          std::to_string(map[bucket]) + ", but only " +
+          std::to_string(num_procs) + " processors exist");
+    }
+  }
+}
 }  // namespace
 
 Assignment Assignment::round_robin(std::uint32_t num_buckets,
@@ -34,6 +50,10 @@ Assignment Assignment::random(std::uint32_t num_buckets,
 
 Assignment Assignment::per_cycle(std::vector<std::vector<std::uint32_t>> maps,
                                  std::uint32_t num_procs) {
+  require_procs(num_procs);
+  for (std::size_t cycle = 0; cycle < maps.size(); ++cycle) {
+    require_in_range(maps[cycle], cycle, num_procs);
+  }
   Assignment a;
   a.maps_ = std::move(maps);
   a.num_procs_ = num_procs;
@@ -42,6 +62,8 @@ Assignment Assignment::per_cycle(std::vector<std::vector<std::uint32_t>> maps,
 
 Assignment Assignment::fixed(std::vector<std::uint32_t> map,
                              std::uint32_t num_procs) {
+  require_procs(num_procs);
+  require_in_range(map, 0, num_procs);
   Assignment a;
   a.maps_.push_back(std::move(map));
   a.num_procs_ = num_procs;

@@ -21,11 +21,13 @@ class Assignment {
 
   /// One map per cycle (used by the offline greedy redistribution, which
   /// produced "a series of distributions, one per cycle").  Each map has
-  /// one processor index per bucket.
+  /// one processor index per bucket.  Throws mpps::RuntimeError when any
+  /// entry is >= num_procs (naming the cycle, bucket and processor).
   static Assignment per_cycle(std::vector<std::vector<std::uint32_t>> maps,
                               std::uint32_t num_procs);
 
-  /// A single static map.
+  /// A single static map.  Throws mpps::RuntimeError when any entry is
+  /// >= num_procs.
   static Assignment fixed(std::vector<std::uint32_t> map,
                           std::uint32_t num_procs);
 

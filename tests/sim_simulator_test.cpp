@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
+
+#include "src/common/error.hpp"
+#include "src/trace/record.hpp"
 #include "src/trace/synth.hpp"
 
 namespace mpps::sim {
@@ -254,6 +259,143 @@ TEST(Assignment, PerCycleMapsSelectedByCycle) {
   EXPECT_EQ(a.proc_of(0, 0), 0u);
   EXPECT_EQ(a.proc_of(1, 0), 1u);
   EXPECT_EQ(a.proc_of(0, 1), 1u);
+}
+
+// Regression: a map entry >= num_procs used to slip through construction
+// and index past the processor array inside the simulator (UB).  Both
+// factories must reject it up front, naming the cycle, bucket and
+// processor.
+TEST(Assignment, FixedRejectsOutOfRangeProcessor) {
+  try {
+    Assignment::fixed({0u, 1u, 7u, 1u}, 2);
+    FAIL() << "expected RuntimeError";
+  } catch (const RuntimeError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bucket 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("processor 7"), std::string::npos) << what;
+    EXPECT_NE(what.find("2 processors exist"), std::string::npos) << what;
+  }
+}
+
+TEST(Assignment, PerCycleRejectsOutOfRangeProcessorNamingCycle) {
+  try {
+    Assignment::per_cycle({{0u, 1u}, {1u, 4u}}, 2);
+    FAIL() << "expected RuntimeError";
+  } catch (const RuntimeError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("cycle 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("bucket 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("processor 4"), std::string::npos) << what;
+  }
+}
+
+TEST(Assignment, InRangeMapsStillAccepted) {
+  const auto fixed = Assignment::fixed({0u, 1u, 0u, 1u}, 2);
+  EXPECT_EQ(fixed.proc_of(0, 2), 0u);
+  const auto per_cycle = Assignment::per_cycle({{0u, 1u}}, 2);
+  EXPECT_EQ(per_cycle.proc_of(5, 1), 1u);
+}
+
+/// A single-cycle trace whose second activation names `parent` as its
+/// generating activation (the first activation has id 1).
+Trace trace_with_parent_ref(std::uint64_t parent) {
+  Trace t;
+  t.name = "broken";
+  t.num_buckets = 4;
+  trace::TraceCycle cycle;
+  cycle.wme_changes = 1;
+  trace::TraceActivation root;
+  root.id = ActivationId{1};
+  root.parent = ActivationId::invalid();
+  root.bucket = 0;
+  root.successors = 1;
+  trace::TraceActivation child;
+  child.id = ActivationId{2};
+  child.parent = ActivationId{parent};
+  child.side = Side::Left;
+  child.bucket = 1;
+  cycle.activations.push_back(root);
+  cycle.activations.push_back(child);
+  t.cycles.push_back(std::move(cycle));
+  return t;
+}
+
+// Regression: a child naming a parent id absent from its cycle used to
+// die with an uncaught std::out_of_range from the index's map lookup.
+// Now a RuntimeError names the cycle and both activation ids.
+TEST(Simulator, MissingParentRaisesDescriptiveError) {
+  const Trace t = trace_with_parent_ref(99);
+  SimConfig config;
+  config.match_processors = 1;
+  config.costs = CostModel::zero_overhead();
+  try {
+    simulate(t, config, Assignment::round_robin(4, 1));
+    FAIL() << "expected RuntimeError";
+  } catch (const RuntimeError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("cycle 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("activation 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("parent 99"), std::string::npos) << what;
+    EXPECT_NE(what.find("does not exist"), std::string::npos) << what;
+  }
+}
+
+// Regression: a parent declared AFTER its child (or an activation naming
+// itself) indexed uninitialized children state.  The trace contract is
+// generation order, so this is now a descriptive error too.
+TEST(Simulator, ForwardDeclaredParentRaisesDescriptiveError) {
+  Trace t = trace_with_parent_ref(2);  // activation 2 names itself
+  SimConfig config;
+  config.match_processors = 1;
+  config.costs = CostModel::zero_overhead();
+  try {
+    simulate(t, config, Assignment::round_robin(4, 1));
+    FAIL() << "expected RuntimeError";
+  } catch (const RuntimeError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("parents must precede"), std::string::npos) << what;
+  }
+
+  // Same for a genuine forward reference: swap so the child precedes its
+  // parent in the cycle.
+  std::swap(t.cycles[0].activations[0], t.cycles[0].activations[1]);
+  t.cycles[0].activations[0].parent = ActivationId{1};
+  try {
+    simulate(t, config, Assignment::round_robin(4, 1));
+    FAIL() << "expected RuntimeError";
+  } catch (const RuntimeError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("cycle 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("parents must precede"), std::string::npos) << what;
+  }
+}
+
+// The cached baseline must agree with the always-recompute form and
+// dedup structurally identical traces (including copies).
+TEST(Simulator, BaselineCacheMatchesBaselineTime) {
+  const Trace t = chain_trace();
+  const Trace copy = t;
+  BaselineCache cache;
+  const std::size_t size_before = cache.size();
+  EXPECT_EQ(cache.baseline(t), baseline_time(t));
+  EXPECT_EQ(cache.baseline(copy), baseline_time(t));
+  EXPECT_EQ(cache.size(), size_before + 1);
+  const Trace other = trace::make_weaver_section(32, 3);
+  EXPECT_EQ(cache.baseline(other), baseline_time(other));
+  EXPECT_EQ(cache.size(), size_before + 2);
+}
+
+TEST(Simulator, SpeedupUsesSharedBaselineCache) {
+  const Trace t = trace::make_rubik_section(64, 11);
+  SimConfig config;
+  config.match_processors = 4;
+  config.costs = CostModel::zero_overhead();
+  const double direct =
+      static_cast<double>(baseline_time(t).nanos()) /
+      static_cast<double>(
+          simulate(t, config, Assignment::round_robin(64, 4)).makespan.nanos());
+  EXPECT_DOUBLE_EQ(speedup(t, config, Assignment::round_robin(64, 4)),
+                   direct);
 }
 
 }  // namespace
