@@ -1,13 +1,29 @@
 #!/usr/bin/env bash
-# Tier-1 verification gate: a plain build + full test suite, then the same
-# suite again under AddressSanitizer/UndefinedBehaviorSanitizer, then the
-# multi-threaded sweep-engine tests under ThreadSanitizer.  This is the
-# check every change must pass; scripts/reproduce.sh is the heavier
-# companion that also regenerates the paper tables and figures.
+# Tier-1 verification gate: a plain build + full test suite + simulator
+# self-check, then the same suite under AddressSanitizer/
+# UndefinedBehaviorSanitizer, then the multi-threaded sweep-engine tests
+# and the self-check under ThreadSanitizer, then a gcov line-coverage
+# floor on the simulator and orchestration layers.  This is the check
+# every change must pass; scripts/reproduce.sh is the heavier companion
+# that also regenerates the paper tables and figures.
+#
+# Coverage thresholds (enforced by the coverage job below; measured as
+# gcov line coverage across each directory's sources):
+#   src/sim/  >= 85%   — the simulator is the subject of the paper; the
+#                        differential + selfcheck suites should leave
+#                        little of it unexecuted
+#   src/core/ >= 70%   — CLI/sweep/selfcheck orchestration (some error
+#                        plumbing and report formatting is cold)
+# Raise them when coverage improves; never lower them to make a change
+# pass — add tests instead (docs/TESTING.md).
+#
+# Every ctest invocation runs with --timeout 120 so a hung test (deadlock
+# in the sweep pool, runaway shrinker) fails the gate instead of wedging
+# it.
 #
 # Usage:
-#   scripts/ci.sh            # plain + sanitizer passes
-#   scripts/ci.sh --fast     # plain pass only (skip the sanitizer rebuilds)
+#   scripts/ci.sh            # plain + sanitizer + coverage passes
+#   scripts/ci.sh --fast     # plain pass only (skip sanitizers + coverage)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -23,10 +39,19 @@ done
 echo "=== tier-1: configure + build + ctest (build/) ==="
 cmake -B build -S .
 cmake --build build -j
-ctest --test-dir build --output-on-failure -j "$(nproc)"
+ctest --test-dir build --output-on-failure -j "$(nproc)" --timeout 120
+
+echo "=== tier-1: simulator differential self-check ==="
+./build/tools/mpps selfcheck --rounds 50 --seed 1
+# The oracle must also CATCH a planted cost-model bug (exit 1).
+if ./build/tools/mpps selfcheck --rounds 5 --seed 1 \
+    --fault left-token-undercharge > /dev/null 2>&1; then
+  echo "selfcheck failed to catch an injected fault" >&2
+  exit 1
+fi
 
 if [ "$FAST" -eq 1 ]; then
-  echo "=== tier-1 passed (sanitizer pass skipped via --fast) ==="
+  echo "=== tier-1 passed (sanitizer + coverage passes skipped via --fast) ==="
   exit 0
 fi
 
@@ -37,18 +62,35 @@ cmake -B build-asan -S . \
   -DCMAKE_CXX_FLAGS="$SAN_FLAGS" \
   -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS"
 cmake --build build-asan -j
-ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
+ctest --test-dir build-asan --output-on-failure -j "$(nproc)" --timeout 120
+./build-asan/tools/mpps selfcheck --rounds 20 --seed 1
 
 echo "=== sanitizers: TSan rebuild of the sweep engine + its tests (build-tsan/) ==="
 # TSan is incompatible with ASan/UBSan in one binary, so it gets its own
 # tree; only the multi-threaded code (SweepRunner, BaselineCache) and its
-# tests need the pass, so build and run just that target.
+# tests need the pass, so build and run just those targets.
 TSAN_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
 cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=Debug \
   -DCMAKE_CXX_FLAGS="$TSAN_FLAGS" \
   -DCMAKE_EXE_LINKER_FLAGS="$TSAN_FLAGS"
-cmake --build build-tsan -j --target sweep_tests
+cmake --build build-tsan -j --target sweep_tests mpps
 ./build-tsan/tests/sweep_tests
+./build-tsan/tools/mpps selfcheck --rounds 10 --seed 1
 
-echo "=== tier-1 + sanitizers passed ==="
+echo "=== coverage: gcov rebuild + line-coverage floors (build-cov/) ==="
+# gcovr/lcov are not available in the container, so the job drives raw
+# gcov: rebuild with --coverage, run the full suite plus a selfcheck,
+# then aggregate "Lines executed" per source directory with a small
+# python reader (scripts/coverage_gate.py documents the math).
+COV_FLAGS="--coverage -O0"
+cmake -B build-cov -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="$COV_FLAGS" \
+  -DCMAKE_EXE_LINKER_FLAGS="--coverage"
+cmake --build build-cov -j
+ctest --test-dir build-cov --output-on-failure -j "$(nproc)" --timeout 240
+./build-cov/tools/mpps selfcheck --rounds 20 --seed 1
+python3 scripts/coverage_gate.py build-cov src/sim=85 src/core=70
+
+echo "=== tier-1 + sanitizers + coverage passed ==="

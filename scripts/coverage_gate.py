@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Line-coverage floor check driven by raw gcov.
+
+The container has no gcovr/lcov, so this script does the aggregation
+itself: it walks a --coverage build tree for .gcda note files, runs
+`gcov` on each, and parses the
+
+    File 'src/sim/simulator.cpp'
+    Lines executed:95.31% of 448
+
+summary pairs from stdout.  Only .cpp files are counted (headers show
+up once per including translation unit with different counts, which
+would skew a naive sum; the implementation files are compiled exactly
+once into their library).  When the same source still appears under
+several objects, the best-covered instance wins.
+
+Usage:
+    coverage_gate.py BUILD_DIR PREFIX=FLOOR [PREFIX=FLOOR ...]
+
+e.g.
+
+    coverage_gate.py build-cov src/sim=85 src/core=70
+
+Exit status is 0 when every prefix meets its floor, 1 otherwise.
+The per-directory percentage is total-executed-lines / total-lines
+across the directory's sources, not an average of per-file ratios.
+"""
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+FILE_RE = re.compile(r"^File '(.+)'$")
+LINES_RE = re.compile(r"^Lines executed:([0-9.]+)% of (\d+)$")
+
+
+def gcov_summaries(build_dir):
+    """Yields (source_path, executed_lines, total_lines) per gcov report."""
+    gcda = []
+    for root, _dirs, files in os.walk(build_dir):
+        gcda.extend(os.path.join(root, f) for f in files if f.endswith(".gcda"))
+    if not gcda:
+        sys.exit(f"coverage_gate: no .gcda files under {build_dir}; "
+                 "was the tree built with --coverage and the tests run?")
+    with tempfile.TemporaryDirectory() as scratch:
+        for path in sorted(gcda):
+            proc = subprocess.run(
+                ["gcov", os.path.abspath(path)],
+                cwd=scratch, capture_output=True, text=True, check=False)
+            current = None
+            for line in proc.stdout.splitlines():
+                m = FILE_RE.match(line)
+                if m:
+                    current = m.group(1)
+                    continue
+                m = LINES_RE.match(line)
+                if m and current is not None:
+                    total = int(m.group(2))
+                    executed = round(float(m.group(1)) * total / 100.0)
+                    yield current, executed, total
+                    current = None
+
+
+def main(argv):
+    if len(argv) < 3:
+        sys.exit(__doc__)
+    build_dir = argv[1]
+    floors = {}
+    for spec in argv[2:]:
+        prefix, _, floor = spec.partition("=")
+        floors[prefix.rstrip("/")] = float(floor)
+
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    # best (executed, total) seen per repo-relative source path
+    best = {}
+    for source, executed, total in gcov_summaries(build_dir):
+        if not source.endswith(".cpp"):
+            continue
+        rel = os.path.relpath(os.path.abspath(os.path.join(repo, source)), repo) \
+            if not os.path.isabs(source) else os.path.relpath(source, repo)
+        if rel.startswith(".."):
+            continue  # system / external source
+        prev = best.get(rel)
+        if prev is None or executed * prev[1] > prev[0] * total:
+            best[rel] = (executed, total)
+
+    failed = False
+    for prefix in sorted(floors):
+        floor = floors[prefix]
+        executed = total = files = 0
+        for rel, (e, t) in sorted(best.items()):
+            if rel.startswith(prefix + "/"):
+                executed += e
+                total += t
+                files += 1
+        if total == 0:
+            print(f"coverage_gate: FAIL {prefix}: no covered sources found")
+            failed = True
+            continue
+        pct = 100.0 * executed / total
+        verdict = "ok  " if pct >= floor else "FAIL"
+        print(f"coverage_gate: {verdict} {prefix}: {pct:.1f}% "
+              f"({executed}/{total} lines, {files} files, floor {floor:.0f}%)")
+        if pct < floor:
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

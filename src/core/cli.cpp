@@ -9,6 +9,7 @@
 #include "src/common/table.hpp"
 #include "src/core/distribution.hpp"
 #include "src/core/pipeline.hpp"
+#include "src/core/selfcheck.hpp"
 #include "src/core/sweep.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/summary.hpp"
@@ -50,7 +51,17 @@ commands:
                        (--procs 2,4,8,16,32, --runs 1,2,3,4, --jobs N,
                        --mapping merged|pairs, --assign rr|random|greedy,
                        --metrics-out m.csv, --csv); results are
-                       bit-identical for every --jobs value
+                       bit-identical for every --jobs value, and every
+                       outcome is checked against the simulator's
+                       invariant laws (docs/TESTING.md)
+  selfcheck            differential self-test: N seeded random scenarios
+                       through the optimized AND the naive reference
+                       simulator plus the invariant laws (--rounds N,
+                       --seed S, --metrics-out m.csv, --fault
+                       none|left-token-undercharge|free-remote-send to
+                       prove the oracle catches an injected bug; failing
+                       scenarios are shrunk to a minimal repro).  Exits
+                       0 when clean, 1 on any failure
   sections             write the synthetic Rubik/Tourney/Weaver sections
                        (-o directory, default '.')
   slice <file.trace>   extract consecutive cycles (--from N, --cycles K,
@@ -110,7 +121,7 @@ class Args {
            arg == "--cs" || arg == "--termination" || arg == "--seed" ||
            arg == "--from" || arg == "--cycles" || arg == "--trace-out" ||
            arg == "--metrics-out" || arg == "--top" || arg == "--jobs" ||
-           arg == "--runs";
+           arg == "--runs" || arg == "--rounds" || arg == "--fault";
   }
 
  private:
@@ -125,36 +136,53 @@ class Args {
   std::vector<std::size_t> consumed_flags_;
 };
 
+/// Bad command-line input: reported with usage exit code 2, unlike
+/// runtime failures (exit 1).
+class UsageError : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
 long parse_long_or(const std::string& s, long fallback) {
   long v = 0;
   return parse_int(s, v) ? v : fallback;
 }
 
-/// "1,2,4" → {1, 2, 4}.  Non-numeric or non-positive fields are dropped;
-/// an empty result falls back to {fallback}.
+/// "1,2,4" → {1, 2, 4}.  Every field must be a positive integer; a
+/// malformed or non-positive field is a usage error naming the field (a
+/// silently dropped entry would shrink the sweep grid unnoticed).
 std::vector<std::uint32_t> parse_u32_list(const std::string& s,
-                                          std::uint32_t fallback) {
+                                          const std::string& flag) {
   std::vector<std::uint32_t> out;
   std::size_t start = 0;
   while (start <= s.size()) {
     const std::size_t comma = s.find(',', start);
     const std::size_t len =
         (comma == std::string::npos ? s.size() : comma) - start;
+    const std::string field{trim(std::string_view(s).substr(start, len))};
     long v = 0;
-    if (parse_int(trim(std::string_view(s).substr(start, len)), v) && v > 0) {
-      out.push_back(static_cast<std::uint32_t>(v));
+    if (!parse_int(field, v) || v <= 0) {
+      throw UsageError(flag + ": '" + field +
+                       "' is not a positive integer (in '" + s + "')");
     }
+    out.push_back(static_cast<std::uint32_t>(v));
     if (comma == std::string::npos) break;
     start = comma + 1;
   }
-  if (out.empty()) out.push_back(fallback);
+  if (out.empty()) throw UsageError(flag + ": empty list");
   return out;
 }
 
-/// The `--jobs N` worker-thread count; 0 (auto) when absent or invalid.
+/// The `--jobs N` worker-thread count; 0 (auto) when absent.  An explicit
+/// value must be a positive integer — `--jobs 0` and garbage are usage
+/// errors, not a silent fallback to auto.
 unsigned parse_jobs(Args& args) {
-  const long v = parse_long_or(args.value("--jobs", "0"), 0);
-  return v > 0 ? static_cast<unsigned>(v) : 0u;
+  const std::string raw = args.value("--jobs", "");
+  if (raw.empty()) return 0;
+  long v = 0;
+  if (!parse_int(raw, v) || v <= 0) {
+    throw UsageError("--jobs: '" + raw + "' is not a positive integer");
+  }
+  return static_cast<unsigned>(v);
 }
 
 std::string read_file(const std::string& path) {
@@ -203,7 +231,7 @@ sim::SimConfig parse_basic_sim_config(Args& args, std::uint32_t default_procs,
   // --procs may be a comma list; the basic config takes the first entry.
   config.match_processors =
       parse_u32_list(args.value("--procs", std::to_string(default_procs)),
-                     default_procs)
+                     "--procs")
           .front();
   const int run = static_cast<int>(parse_long_or(
       args.value("--run", std::to_string(default_run)), default_run));
@@ -249,7 +277,7 @@ int cmd_run(Args& args, std::ostream& out, std::ostream& err) {
     }
   }
   const std::vector<std::uint32_t> procs_list =
-      parse_u32_list(args.value("--procs", "8"), 8);
+      parse_u32_list(args.value("--procs", "8"), "--procs");
   if (obs_out.any() || procs_list.size() > 1) {
     // Replay the program's match trace on the simulated machine and export
     // the run's timeline + metrics (rete.* counters above were recorded by
@@ -364,7 +392,7 @@ int cmd_simulate(Args& args, std::ostream& out, std::ostream& err) {
   const trace::Trace t = trace::read_trace(file);
 
   const std::vector<std::uint32_t> procs_list =
-      parse_u32_list(args.value("--procs", "8"), 8);
+      parse_u32_list(args.value("--procs", "8"), "--procs");
 
   sim::SimConfig config;
   config.match_processors = procs_list.front();
@@ -493,7 +521,7 @@ int cmd_sweep(Args& args, std::ostream& out, std::ostream& err) {
   const trace::Trace t = trace::read_trace(file);
 
   const std::vector<std::uint32_t> procs =
-      parse_u32_list(args.value("--procs", "2,4,8,16,32"), 2);
+      parse_u32_list(args.value("--procs", "2,4,8,16,32"), "--procs");
   // Overhead runs: 0 = zero-overhead cost model, 1..4 = the paper's runs.
   std::vector<int> runs;
   {
@@ -547,6 +575,7 @@ int cmd_sweep(Args& args, std::ostream& out, std::ostream& err) {
   obs::Registry registry;
   SweepOptions options;
   options.jobs = parse_jobs(args);
+  options.check_invariants = true;
   const std::string metrics_path = args.value("--metrics-out", "");
   if (!metrics_path.empty()) options.metrics = &registry;
   const SweepRunner runner(options);
@@ -579,6 +608,42 @@ int cmd_sweep(Args& args, std::ostream& out, std::ostream& err) {
     out << "wrote metrics to " << metrics_path << "\n";
   }
   return 0;
+}
+
+/// `selfcheck` — the differential + metamorphic self-test of the
+/// simulator (docs/TESTING.md).  Deterministic for a fixed --seed.
+int cmd_selfcheck(Args& args, std::ostream& out, std::ostream& err) {
+  SelfCheckOptions options;
+  {
+    const std::string raw = args.value("--rounds", "200");
+    long v = 0;
+    if (!parse_int(raw, v) || v <= 0) {
+      throw UsageError("--rounds: '" + raw + "' is not a positive integer");
+    }
+    options.rounds = static_cast<std::uint64_t>(v);
+  }
+  options.seed = static_cast<std::uint64_t>(
+      parse_long_or(args.value("--seed", "1"), 1));
+  try {
+    options.fault = parse_fault(args.value("--fault", "none"));
+  } catch (const RuntimeError& e) {
+    throw UsageError(std::string("--fault: ") + e.what());
+  }
+  obs::Registry registry;
+  options.metrics = &registry;
+  options.log = &out;
+
+  const SelfCheckResult result = run_selfcheck(options);
+  (result.ok() ? out : err) << result.summary() << "\n";
+
+  const std::string metrics_path = args.value("--metrics-out", "");
+  if (!metrics_path.empty()) {
+    std::ofstream sink(metrics_path);
+    if (!sink) throw RuntimeError("cannot write '" + metrics_path + "'");
+    registry.write_csv(sink);
+    out << "wrote metrics to " << metrics_path << "\n";
+  }
+  return result.ok() ? 0 : 1;
 }
 
 int cmd_slice(Args& args, std::ostream& out, std::ostream& err) {
@@ -642,6 +707,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     if (command == "stats") return cmd_stats(cursor, out, err);
     if (command == "simulate") return cmd_simulate(cursor, out, err);
     if (command == "sweep") return cmd_sweep(cursor, out, err);
+    if (command == "selfcheck") return cmd_selfcheck(cursor, out, err);
     if (command == "sections") return cmd_sections(cursor, out, err);
     if (command == "slice") return cmd_slice(cursor, out, err);
     if (command == "help" || command == "--help") {
@@ -649,6 +715,9 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
       return 0;
     }
     err << "unknown command '" << command << "'\n" << kUsage;
+    return 2;
+  } catch (const UsageError& e) {
+    err << "usage error: " << e.what() << "\n";
     return 2;
   } catch (const std::exception& e) {
     err << "error: " << e.what() << "\n";

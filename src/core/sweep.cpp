@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "src/common/error.hpp"
+#include "src/sim/invariants.hpp"
 
 namespace mpps::core {
 
@@ -60,6 +61,16 @@ std::vector<SweepOutcome> SweepRunner::run(
         slot.outcome.label = scenario.label;
         slot.outcome.result =
             sim::simulate(*scenario.trace, config, scenario.assignment);
+        if (options_.check_invariants) {
+          const sim::InvariantReport laws = sim::check_run_invariants(
+              *scenario.trace, scenario.config, slot.outcome.result,
+              collect_metrics ? &slot.registry : nullptr);
+          if (!laws.ok()) {
+            throw RuntimeError("sweep scenario '" + scenario.label +
+                               "' violates simulator invariants:\n" +
+                               laws.summary());
+          }
+        }
         const trace::Trace& base = scenario.baseline != nullptr
                                        ? *scenario.baseline
                                        : *scenario.trace;

@@ -60,6 +60,11 @@ struct SweepOptions {
   /// scenario order at join — byte-identical output for every jobs value.
   obs::Registry* metrics = nullptr;
   obs::Tracer* tracer = nullptr;
+  /// Run sim::check_run_invariants on every outcome (the metamorphic
+  /// law layer of docs/TESTING.md).  A violated law fails the scenario
+  /// like any other error; the law counters land in the per-scenario
+  /// registry, so merged metrics stay identical for every jobs value.
+  bool check_invariants = false;
 };
 
 class SweepRunner {

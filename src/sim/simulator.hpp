@@ -150,21 +150,41 @@ SimTime baseline_time(const trace::Trace& trace);
 /// Thread-safe memo of `baseline_time`, keyed by a structural fingerprint
 /// of the trace, so a sweep simulates the zero-overhead baseline once per
 /// trace instead of once per configuration.  Safe across trace copies and
-/// reloads: content-identical traces share one entry.
+/// reloads: content-identical traces share one entry.  A fingerprint hit
+/// is verified against the full canonical encoding of the trace before it
+/// is trusted, so hash collisions produce a second entry instead of a
+/// silently wrong baseline (and thus wrong speedups everywhere).
 class BaselineCache {
  public:
+  /// Structural fingerprint function; injectable so tests can force
+  /// collisions (e.g. a constant) and exercise the verification path.
+  using Fingerprint = std::uint64_t (*)(const trace::Trace&);
+
+  BaselineCache() = default;
+  explicit BaselineCache(Fingerprint fingerprint);
+
   /// Cached baseline of `trace`; simulates and remembers it on first use.
   SimTime baseline(const trace::Trace& trace);
 
   /// Entries currently cached (for tests and capacity reasoning).
+  /// Colliding traces count individually.
   [[nodiscard]] std::size_t size() const;
 
   /// The process-wide instance used by `speedup` and the sweep engine.
   static BaselineCache& shared();
 
+  /// The default fingerprint: FNV-1a over the canonical encoding.
+  static std::uint64_t fingerprint(const trace::Trace& trace);
+
  private:
+  struct Entry {
+    std::vector<std::uint64_t> structure;  // canonical field encoding
+    SimTime baseline{};
+  };
+
   mutable std::mutex mu_;
-  std::unordered_map<std::uint64_t, SimTime> entries_;
+  Fingerprint fingerprint_ = &BaselineCache::fingerprint;
+  std::unordered_map<std::uint64_t, std::vector<Entry>> entries_;
 };
 
 /// Speedup of `config`/`assignment` relative to the serial zero-overhead

@@ -175,5 +175,92 @@ TEST(Cli, StatsOnMalformedTraceFails) {
   EXPECT_EQ(r.code, 1);
 }
 
+/// Writes the weaver section to a temp trace and returns its path.
+std::string weaver_trace_path(const char* name) {
+  const std::string dir = ::testing::TempDir();
+  cli({"sections", "-o", dir});
+  for (const char* other : {"rubik.trace", "tourney.trace"}) {
+    std::remove((dir + "/" + other).c_str());
+  }
+  const std::string path = dir + "/" + name + ".weaver.trace";
+  std::rename((dir + "/weaver.trace").c_str(), path.c_str());
+  return path;
+}
+
+TEST(Cli, ExplicitJobsZeroIsUsageError) {
+  const std::string path = weaver_trace_path("jobs0");
+  const CliRun r = cli({"sweep", path, "--jobs", "0"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--jobs"), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find("usage error"), std::string::npos) << r.err;
+  const CliRun garbage = cli({"sweep", path, "--jobs", "many"});
+  EXPECT_EQ(garbage.code, 2);
+  const CliRun negative = cli({"simulate", path, "--procs", "1,2",
+                               "--jobs", "-3"});
+  EXPECT_EQ(negative.code, 2);
+  // Absent --jobs still auto-detects.
+  const CliRun ok = cli({"sweep", path, "--procs", "2", "--runs", "1"});
+  EXPECT_EQ(ok.code, 0) << ok.err;
+  std::remove(path.c_str());
+}
+
+TEST(Cli, MalformedProcsListIsUsageError) {
+  const std::string path = weaver_trace_path("procs");
+  for (const char* bad : {"2,,8", "0", "-4", "a,b", "2,8x", ""}) {
+    const CliRun r = cli({"simulate", path, "--procs", bad});
+    EXPECT_EQ(r.code, 2) << "--procs '" << bad << "': " << r.err;
+    EXPECT_NE(r.err.find("--procs"), std::string::npos) << r.err;
+  }
+  const CliRun sweep_bad = cli({"sweep", path, "--procs", "4,nope"});
+  EXPECT_EQ(sweep_bad.code, 2);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, SweepChecksInvariants) {
+  const std::string path = weaver_trace_path("inv");
+  const std::string metrics_path =
+      std::string(::testing::TempDir()) + "inv.metrics.csv";
+  const CliRun r = cli({"sweep", path, "--procs", "2,4", "--runs", "1,2",
+                        "--metrics-out", metrics_path});
+  EXPECT_EQ(r.code, 0) << r.err;
+  std::ifstream csv(metrics_path);
+  std::ostringstream contents;
+  contents << csv.rdbuf();
+  EXPECT_NE(contents.str().find("sim.invariants.checked"), std::string::npos);
+  std::remove(path.c_str());
+  std::remove(metrics_path.c_str());
+}
+
+TEST(Cli, SelfCheckCleanExitsZero) {
+  const std::string metrics_path =
+      std::string(::testing::TempDir()) + "selfcheck.metrics.csv";
+  const CliRun r = cli({"selfcheck", "--rounds", "3", "--seed", "5",
+                        "--metrics-out", metrics_path});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("0 failure(s)"), std::string::npos) << r.out;
+  std::ifstream csv(metrics_path);
+  std::ostringstream contents;
+  contents << csv.rdbuf();
+  EXPECT_NE(contents.str().find("selfcheck.rounds"), std::string::npos);
+  std::remove(metrics_path.c_str());
+}
+
+TEST(Cli, SelfCheckInjectedFaultExitsNonzero) {
+  const CliRun r = cli({"selfcheck", "--rounds", "5", "--seed", "1",
+                        "--fault", "left-token-undercharge"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("failure"), std::string::npos) << r.err;
+  EXPECT_NE(r.out.find("minimal repro"), std::string::npos) << r.out;
+}
+
+TEST(Cli, SelfCheckBadFlagsAreUsageErrors) {
+  const CliRun rounds = cli({"selfcheck", "--rounds", "0"});
+  EXPECT_EQ(rounds.code, 2);
+  EXPECT_NE(rounds.err.find("--rounds"), std::string::npos);
+  const CliRun fault = cli({"selfcheck", "--fault", "bogus"});
+  EXPECT_EQ(fault.code, 2);
+  EXPECT_NE(fault.err.find("--fault"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace mpps::core

@@ -1,0 +1,139 @@
+// The randomized differential self-check: clean engines pass hundreds of
+// rounds; an injected cost-model fault is caught and shrunk to a minimal
+// scenario; everything is deterministic for a fixed seed.
+#include "src/core/selfcheck.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "src/common/error.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/trace/synth.hpp"
+
+namespace mpps::core {
+namespace {
+
+SelfCheckOptions quick_options() {
+  SelfCheckOptions options;
+  options.rounds = 12;
+  options.seed = 7;
+  return options;
+}
+
+TEST(SelfCheck, CleanEnginesPass) {
+  obs::Registry metrics;
+  SelfCheckOptions options = quick_options();
+  options.metrics = &metrics;
+  const SelfCheckResult result = run_selfcheck(options);
+  EXPECT_TRUE(result.ok()) << result.summary();
+  EXPECT_EQ(result.rounds, 12u);
+  // 4 overhead runs x 4 assignment strategies per round.
+  EXPECT_EQ(result.comparisons, 12u * 16u);
+  EXPECT_GT(result.invariant_checks, 0u);
+  EXPECT_EQ(metrics.counter("selfcheck.rounds").value(), 12u);
+  EXPECT_EQ(metrics.counter("selfcheck.comparisons").value(), 12u * 16u);
+  EXPECT_NE(result.summary().find("0 failure(s)"), std::string::npos);
+}
+
+TEST(SelfCheck, DeterministicForFixedSeed) {
+  const SelfCheckResult a = run_selfcheck(quick_options());
+  const SelfCheckResult b = run_selfcheck(quick_options());
+  EXPECT_EQ(a.summary(), b.summary());
+  EXPECT_EQ(a.comparisons, b.comparisons);
+  EXPECT_EQ(a.invariant_checks, b.invariant_checks);
+}
+
+TEST(SelfCheck, InjectedFaultIsCaughtAndShrunk) {
+  SelfCheckOptions options = quick_options();
+  options.fault = FaultInjection::LeftTokenUndercharge;
+  options.max_failures = 1;
+  std::ostringstream log;
+  options.log = &log;
+  const SelfCheckResult result = run_selfcheck(options);
+  ASSERT_FALSE(result.ok());
+  const SelfCheckFailure& failure = result.failures.front();
+  // The acceptance bar: the shrinker reduces the repro to a handful of
+  // activations (a single left token already exposes the undercharge).
+  EXPECT_LE(failure.scenario.trace.total_activations(), 10u);
+  EXPECT_GT(failure.shrink_steps, 0u);
+  // The minimized scenario still fails, under the true shrink semantics.
+  EXPECT_FALSE(check_scenario(failure.scenario, options.fault).empty());
+  EXPECT_NE(failure.describe().find("minimal repro"), std::string::npos);
+  EXPECT_NE(log.str().find("round"), std::string::npos);
+}
+
+TEST(SelfCheck, FreeRemoteSendFaultIsCaught) {
+  SelfCheckOptions options = quick_options();
+  options.rounds = 30;
+  options.fault = FaultInjection::FreeRemoteSend;
+  options.max_failures = 1;
+  const SelfCheckResult result = run_selfcheck(options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_LE(result.failures.front().scenario.trace.total_activations(), 64u);
+}
+
+TEST(SelfCheck, CheckScenarioAgreesOnHandBuiltWorkload) {
+  Scenario scenario;
+  scenario.trace = trace::make_weaver_section();
+  scenario.config.match_processors = 4;
+  scenario.config.costs = sim::CostModel::paper_run(3);
+  for (const AssignKind kind :
+       {AssignKind::RoundRobin, AssignKind::Random, AssignKind::PerCycle,
+        AssignKind::Greedy}) {
+    scenario.assign = kind;
+    scenario.assign_seed = 99;
+    EXPECT_EQ(check_scenario(scenario), "");
+  }
+  EXPECT_NE(check_scenario(scenario, FaultInjection::LeftTokenUndercharge),
+            "");
+}
+
+TEST(SelfCheck, ShrinkKeepsScenarioValidAndMinimal) {
+  Scenario scenario;
+  scenario.trace = trace::make_weaver_section();
+  scenario.config.match_processors = 16;
+  scenario.config.termination = sim::TerminationModel::AckCounting;
+  scenario.config.costs = sim::CostModel::paper_run(2);
+  scenario.assign = AssignKind::PerCycle;
+  ASSERT_NE(check_scenario(scenario, FaultInjection::LeftTokenUndercharge),
+            "");
+  std::uint64_t steps = 0;
+  const Scenario minimal = shrink_scenario(
+      scenario, FaultInjection::LeftTokenUndercharge, &steps);
+  EXPECT_GT(steps, 0u);
+  EXPECT_LE(minimal.trace.total_activations(), 10u);
+  EXPECT_EQ(minimal.trace.cycles.size(), 1u);
+  EXPECT_EQ(minimal.config.match_processors, 1u);
+  EXPECT_EQ(minimal.config.termination, sim::TerminationModel::None);
+  EXPECT_EQ(minimal.assign, AssignKind::RoundRobin);
+  EXPECT_FALSE(
+      check_scenario(minimal, FaultInjection::LeftTokenUndercharge).empty());
+}
+
+TEST(SelfCheck, ParseFault) {
+  EXPECT_EQ(parse_fault("none"), FaultInjection::None);
+  EXPECT_EQ(parse_fault("left-token-undercharge"),
+            FaultInjection::LeftTokenUndercharge);
+  EXPECT_EQ(parse_fault("free-remote-send"), FaultInjection::FreeRemoteSend);
+  EXPECT_THROW(parse_fault("bogus"), RuntimeError);
+}
+
+TEST(SelfCheck, DescribeNamesTheShape) {
+  Scenario scenario;
+  scenario.trace = trace::make_weaver_section();
+  scenario.config.match_processors = 4;
+  scenario.config.mapping = sim::MappingMode::ProcessorPairs;
+  scenario.config.constant_test_processors = 2;
+  scenario.assign = AssignKind::Greedy;
+  const std::string description = scenario.describe();
+  EXPECT_NE(description.find("4 proc(s)"), std::string::npos) << description;
+  EXPECT_NE(description.find("pairs"), std::string::npos);
+  EXPECT_NE(description.find("ct=2"), std::string::npos);
+  EXPECT_NE(description.find("greedy"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mpps::core

@@ -1,0 +1,59 @@
+// Golden-file regression tests: the paper-table bench binaries must
+// reproduce their committed outputs byte for byte.  Any cost-model or
+// simulator change that shifts a published number shows up as a diff
+// against tests/golden/ — regenerate with
+//   build/bench/table5_1_overheads > tests/golden/table5_1.txt
+//   build/bench/table5_2_activations > tests/golden/table5_2.txt
+// and review the change like any other observable behavior change.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string run_binary(const std::string& path) {
+  FILE* pipe = ::popen((path + " 2>/dev/null").c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << "cannot run " << path;
+  if (pipe == nullptr) return {};
+  std::string out;
+  char chunk[4096];
+  std::size_t n = 0;
+  while ((n = ::fread(chunk, 1, sizeof(chunk), pipe)) > 0) {
+    out.append(chunk, n);
+  }
+  const int status = ::pclose(pipe);
+  EXPECT_EQ(status, 0) << path << " exited with status " << status;
+  return out;
+}
+
+void expect_golden(const std::string& binary, const std::string& golden) {
+  const std::string actual = run_binary(binary);
+  const std::string expected = read_file(golden);
+  ASSERT_FALSE(expected.empty()) << golden << " is empty";
+  EXPECT_EQ(actual, expected)
+      << "output of " << binary << " no longer matches " << golden
+      << "; regenerate and review the diff if the change is intended";
+}
+
+TEST(GoldenTables, Table51OverheadGrid) {
+  expect_golden(MPPS_TABLE5_1_BIN, std::string(MPPS_GOLDEN_DIR) +
+                                       "/table5_1.txt");
+}
+
+TEST(GoldenTables, Table52SectionActivations) {
+  expect_golden(MPPS_TABLE5_2_BIN, std::string(MPPS_GOLDEN_DIR) +
+                                       "/table5_2.txt");
+}
+
+}  // namespace

@@ -3,8 +3,12 @@
 // distinct trace shape.
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "src/core/distribution.hpp"
+#include "src/core/sweep.hpp"
 #include "src/core/xform.hpp"
+#include "src/sim/refsim.hpp"
 #include "src/sim/sharedbus.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/trace/io.hpp"
@@ -177,6 +181,71 @@ TEST_P(TraceProperty, TransformsPreserveStructureAndSemanticWork) {
   EXPECT_GE(dummies.total_activations(), trace_.total_activations());
   EXPECT_EQ(trace::compute_stats(dummies).instantiations,
             before.instantiations);
+}
+
+TEST_P(TraceProperty, ReferenceSimulatorAgrees) {
+  // The naive reference engine and the optimized engine agree bit for bit
+  // on every random shape (the acceptance grid on the paper's sections
+  // lives in sim_refsim_test.cpp).
+  SimConfig config;
+  config.match_processors = 1 + static_cast<std::uint32_t>(GetParam() % 8);
+  config.costs = CostModel::paper_run(1 + static_cast<int>(GetParam() % 4));
+  const auto assignment = Assignment::round_robin(
+      trace_.num_buckets, config.partitions());
+  EXPECT_EQ(sim::describe_divergence(
+                sim::simulate(trace_, config, assignment),
+                sim::ref_simulate(trace_, config, assignment)),
+            "");
+}
+
+TEST_P(TraceProperty, SweepBitIdenticalAcrossJobs) {
+  // The full sweep pipeline — outcomes, merged metrics (including the
+  // invariant-law counters) — is byte-identical for every --jobs value.
+  std::vector<core::SweepScenario> scenarios;
+  for (const std::uint32_t procs : {1u, 4u, 16u}) {
+    for (const int run : {1, 3}) {
+      core::SweepScenario scenario;
+      scenario.label =
+          "p" + std::to_string(procs) + "/r" + std::to_string(run);
+      scenario.trace = &trace_;
+      scenario.config.match_processors = procs;
+      scenario.config.costs = CostModel::paper_run(run);
+      scenario.assignment =
+          Assignment::round_robin(trace_.num_buckets, procs);
+      scenarios.push_back(std::move(scenario));
+    }
+  }
+
+  std::string first_csv;
+  std::vector<core::SweepOutcome> first;
+  for (const unsigned jobs : {1u, 3u, 8u}) {
+    obs::Registry registry;
+    core::SweepOptions options;
+    options.jobs = jobs;
+    options.metrics = &registry;
+    options.check_invariants = true;
+    const std::vector<core::SweepOutcome> outcomes =
+        core::SweepRunner(options).run(scenarios);
+    std::ostringstream csv;
+    registry.write_csv(csv);
+    if (jobs == 1u) {
+      first_csv = csv.str();
+      first = outcomes;
+      // The law counters actually landed in the merged registry.
+      EXPECT_NE(first_csv.find("sim.invariants.checked"), std::string::npos);
+      EXPECT_EQ(first_csv.find("sim.invariants.violated{"),
+                std::string::npos);
+      continue;
+    }
+    EXPECT_EQ(csv.str(), first_csv) << "jobs " << jobs;
+    ASSERT_EQ(outcomes.size(), first.size());
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      EXPECT_EQ(outcomes[i].label, first[i].label);
+      EXPECT_EQ(outcomes[i].result.makespan, first[i].result.makespan);
+      EXPECT_EQ(outcomes[i].result.messages, first[i].result.messages);
+      EXPECT_EQ(outcomes[i].speedup, first[i].speedup);
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomShapes, TraceProperty,

@@ -1,0 +1,194 @@
+// Differential tests: the naive reference engine (ref_simulate) and the
+// optimized engine (simulate) must agree bit-for-bit — makespan, message
+// counts, network time, every per-processor per-cycle metric — across the
+// Table 5-1 overhead grid, the paper's processor counts, every assignment
+// strategy, every mapping variation, and randomized workloads.
+#include "src/sim/refsim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/core/distribution.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/trace/record.hpp"
+#include "src/trace/synth.hpp"
+
+namespace mpps::sim {
+namespace {
+
+using trace::Trace;
+
+/// Rotated round-robin, one map per cycle (a cost-independent per-cycle
+/// assignment, unlike the greedy distribution).
+Assignment rotated_per_cycle(const Trace& trace, std::uint32_t procs) {
+  const std::size_t cycles = trace.cycles.empty() ? 1 : trace.cycles.size();
+  std::vector<std::vector<std::uint32_t>> maps(cycles);
+  for (std::size_t c = 0; c < cycles; ++c) {
+    maps[c].resize(trace.num_buckets);
+    for (std::uint32_t b = 0; b < trace.num_buckets; ++b) {
+      maps[c][b] = (b + static_cast<std::uint32_t>(c)) % procs;
+    }
+  }
+  return Assignment::per_cycle(std::move(maps), procs);
+}
+
+/// Asserts exact agreement and reports the first diverging field.
+void expect_agreement(const Trace& trace, const SimConfig& config,
+                      const Assignment& assignment, const std::string& what) {
+  const SimResult fast = simulate(trace, config, assignment);
+  const SimResult ref = ref_simulate(trace, config, assignment);
+  EXPECT_EQ(describe_divergence(fast, ref), "") << what;
+}
+
+/// The acceptance grid of ISSUE.md: 4 Table 5-1 runs x {1,2,4,8,16,32}
+/// processors x {fixed, per-cycle, greedy} assignments, per section.
+void run_acceptance_grid(const Trace& trace, const std::string& section) {
+  for (int run = 1; run <= 4; ++run) {
+    for (const std::uint32_t procs : {1u, 2u, 4u, 8u, 16u, 32u}) {
+      SimConfig config;
+      config.match_processors = procs;
+      config.costs = CostModel::paper_run(run);
+      const std::string at = section + " run " + std::to_string(run) + " x " +
+                             std::to_string(procs) + " procs";
+      expect_agreement(trace, config,
+                       Assignment::round_robin(trace.num_buckets, procs),
+                       at + " (fixed)");
+      expect_agreement(trace, config, rotated_per_cycle(trace, procs),
+                       at + " (per-cycle)");
+      expect_agreement(
+          trace, config,
+          core::greedy_assignment(trace, procs, config.costs),
+          at + " (greedy)");
+    }
+  }
+}
+
+TEST(RefSim, AcceptanceGridRubik) {
+  run_acceptance_grid(trace::make_rubik_section(), "rubik");
+}
+
+TEST(RefSim, AcceptanceGridTourney) {
+  run_acceptance_grid(trace::make_tourney_section(), "tourney");
+}
+
+TEST(RefSim, AcceptanceGridWeaver) {
+  run_acceptance_grid(trace::make_weaver_section(), "weaver");
+}
+
+/// Every mapping variation the simulator supports, over random workloads.
+TEST(RefSim, VariationsAgreeOnRandomTraces) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    trace::RandomTraceSpec spec;
+    spec.cycles = 3;
+    spec.num_buckets = 32;
+    spec.roots_per_cycle = 24;
+    spec.instantiation_prob = 0.1;
+    const Trace trace = trace::make_random_trace(spec, seed);
+    const std::string at = "seed " + std::to_string(seed);
+
+    {
+      SimConfig config;
+      config.match_processors = 8;
+      config.mapping = MappingMode::ProcessorPairs;
+      config.costs = CostModel::paper_run(3);
+      expect_agreement(trace, config,
+                       Assignment::round_robin(trace.num_buckets, 4),
+                       at + " pairs");
+    }
+    {
+      SimConfig config;
+      config.match_processors = 6;
+      config.constant_test_processors = 2;
+      config.costs = CostModel::paper_run(2);
+      expect_agreement(trace, config,
+                       Assignment::round_robin(trace.num_buckets, 6),
+                       at + " constant-test procs");
+    }
+    {
+      SimConfig config;
+      config.match_processors = 5;
+      config.conflict_set_processors = 2;
+      config.conflict_select_cost = SimTime::us(3);
+      config.costs = CostModel::paper_run(4);
+      expect_agreement(trace, config,
+                       Assignment::random(trace.num_buckets, 5, seed),
+                       at + " conflict-set procs");
+    }
+    {
+      SimConfig config;
+      config.match_processors = 4;
+      config.termination = TerminationModel::AckCounting;
+      config.costs = CostModel::paper_run(2);
+      expect_agreement(trace, config,
+                       Assignment::round_robin(trace.num_buckets, 4),
+                       at + " ack counting");
+    }
+    {
+      SimConfig config;
+      config.match_processors = 4;
+      config.termination = TerminationModel::BarrierPoll;
+      config.costs = CostModel::paper_run(3);
+      config.costs.hardware_broadcast = false;
+      expect_agreement(trace, config,
+                       Assignment::round_robin(trace.num_buckets, 4),
+                       at + " barrier poll, serialized broadcast");
+    }
+    {
+      SimConfig config;
+      config.match_processors = 7;
+      config.charge_instantiation_messages = false;
+      config.costs = CostModel::paper_run(2);
+      config.costs.resolve_cost = SimTime::us(11);
+      expect_agreement(trace, config,
+                       Assignment::round_robin(trace.num_buckets, 7),
+                       at + " uncharged instantiations + resolve cost");
+    }
+  }
+}
+
+TEST(RefSim, RejectsOddProcessorCountInPairMode) {
+  SimConfig config;
+  config.match_processors = 3;
+  config.mapping = MappingMode::ProcessorPairs;
+  EXPECT_THROW(ref_simulate(trace::make_weaver_section(), config,
+                            Assignment::round_robin(256, 1)),
+               RuntimeError);
+}
+
+TEST(RefSim, RejectsMismatchedAssignment) {
+  SimConfig config;
+  config.match_processors = 4;
+  EXPECT_THROW(ref_simulate(trace::make_weaver_section(), config,
+                            Assignment::round_robin(256, 3)),
+               RuntimeError);
+}
+
+TEST(RefSim, DescribeDivergenceReportsFirstDifference) {
+  const Trace trace = trace::make_weaver_section();
+  SimConfig config;
+  config.match_processors = 4;
+  const Assignment assignment = Assignment::round_robin(trace.num_buckets, 4);
+  SimResult a = simulate(trace, config, assignment);
+  SimResult b = a;
+  EXPECT_EQ(describe_divergence(a, b), "");
+
+  b.makespan += SimTime::us(1);
+  EXPECT_NE(describe_divergence(a, b).find("makespan"), std::string::npos);
+
+  b = a;
+  b.cycles.at(1).procs.at(2).busy += SimTime::us(1);
+  const std::string diff = describe_divergence(a, b);
+  EXPECT_NE(diff.find("cycle 1"), std::string::npos) << diff;
+  EXPECT_NE(diff.find("proc 2"), std::string::npos) << diff;
+
+  b = a;
+  b.messages += 1;
+  EXPECT_NE(describe_divergence(a, b).find("messages"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mpps::sim
