@@ -1,0 +1,176 @@
+// Simulator-kernel throughput: how many trace activations and discrete
+// kernel events per second `sim::simulate` sustains on the three
+// paper-shaped synthetic workloads (Rubik / Tourney / Weaver sections,
+// tiled to a benchable size) at {1, 8, 32} match processors under the
+// Table 5-1 Run 2 cost model.  Writes BENCH_simkernel.json so successive
+// PRs leave a tracked perf trajectory (docs/SIMULATOR.md explains how to
+// read it).
+//
+// Usage:
+//   simkernel_throughput [--smoke] [-o FILE]
+//
+// `--smoke` is the CI bit-rot guard: a tiny trace, 2 timed iterations per
+// configuration — seconds, not minutes — still exercising every code path
+// and emitting the same JSON schema (scripts/ci.sh runs it on every
+// build and keeps the JSON as the run artifact).
+//
+// Methodology: each (workload, procs) pair is warmed once, then timed
+// over enough iterations to pass a minimum wall-clock budget, and the
+// simulated results of every iteration are required to be identical (the
+// kernel is deterministic; a flaky reading here is a bug, not noise).
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/sim/assignment.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/trace/record.hpp"
+#include "src/trace/synth.hpp"
+
+namespace {
+
+using mpps::SimTime;
+
+/// Concatenates `copies` repetitions of the trace's cycle list.  Cycles
+/// are structurally self-contained, so the tiled trace is valid; it keeps
+/// the section's shape (bucket skew, fanout, left/right mix) while giving
+/// the timer enough work to measure.
+mpps::trace::Trace tile(const mpps::trace::Trace& section,
+                        std::size_t copies) {
+  mpps::trace::Trace out;
+  out.name = section.name + "-x" + std::to_string(copies);
+  out.num_buckets = section.num_buckets;
+  out.cycles.reserve(section.cycles.size() * copies);
+  for (std::size_t i = 0; i < copies; ++i) {
+    out.cycles.insert(out.cycles.end(), section.cycles.begin(),
+                      section.cycles.end());
+  }
+  return out;
+}
+
+struct Measurement {
+  std::string workload;
+  std::uint32_t procs = 0;
+  std::uint64_t iterations = 0;
+  std::uint64_t activations = 0;   // per simulated run
+  std::uint64_t events = 0;        // per simulated run (SimResult::events)
+  double wall_ms = 0.0;
+  double activations_per_sec = 0.0;
+  double events_per_sec = 0.0;
+};
+
+Measurement measure(const std::string& name, const mpps::trace::Trace& trace,
+                    std::uint32_t procs, bool smoke) {
+  namespace sim = mpps::sim;
+  sim::SimConfig config;
+  config.match_processors = procs;
+  config.costs = sim::CostModel::paper_run(2);
+  const sim::Assignment assignment =
+      sim::Assignment::round_robin(trace.num_buckets, config.partitions());
+
+  const sim::SimResult first = sim::simulate(trace, config, assignment);
+
+  Measurement m;
+  m.workload = name;
+  m.procs = procs;
+  m.activations = trace.total_activations();
+  m.events = first.events;
+
+  const double min_budget_ms = smoke ? 0.0 : 300.0;
+  std::uint64_t iterations = smoke ? 2 : 4;
+  for (;;) {
+    const auto start = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < iterations; ++i) {
+      const sim::SimResult result = sim::simulate(trace, config, assignment);
+      if (result.makespan != first.makespan ||
+          result.events != first.events) {
+        std::cerr << "non-deterministic kernel result on " << name << " at "
+                  << procs << " procs\n";
+        std::exit(1);
+      }
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    m.wall_ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    m.iterations = iterations;
+    if (m.wall_ms >= min_budget_ms || smoke) break;
+    iterations *= 2;
+  }
+
+  const double secs = m.wall_ms / 1000.0;
+  m.activations_per_sec =
+      static_cast<double>(m.activations * m.iterations) / secs;
+  m.events_per_sec = static_cast<double>(m.events * m.iterations) / secs;
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_simkernel.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "-o" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: simkernel_throughput [--smoke] [-o FILE]\n";
+      return 2;
+    }
+  }
+
+  using mpps::trace::Trace;
+  const std::size_t copies = smoke ? 1 : 16;
+  const std::vector<std::pair<std::string, Trace>> workloads = {
+      {"rubik", tile(mpps::trace::make_rubik_section(256, 1), copies)},
+      {"tourney", tile(mpps::trace::make_tourney_section(256, 1),
+                       smoke ? 1 : copies / 4)},
+      {"weaver", tile(mpps::trace::make_weaver_section(256, 1),
+                      smoke ? 1 : copies * 8)},
+  };
+  const std::vector<std::uint32_t> proc_counts = {1, 8, 32};
+
+  std::vector<Measurement> measurements;
+  for (const auto& [name, trace] : workloads) {
+    for (const std::uint32_t procs : proc_counts) {
+      Measurement m = measure(name, trace, procs, smoke);
+      std::cout << m.workload << " @ " << m.procs << " procs: "
+                << static_cast<std::uint64_t>(m.events_per_sec)
+                << " events/s, "
+                << static_cast<std::uint64_t>(m.activations_per_sec)
+                << " activations/s (" << m.iterations << " iters, "
+                << m.wall_ms << " ms)\n";
+      measurements.push_back(std::move(m));
+    }
+  }
+
+  std::ofstream file(out_path);
+  if (!file) {
+    std::cerr << "cannot write '" << out_path << "'\n";
+    return 1;
+  }
+  file << "{\n"
+       << "  \"benchmark\": \"simkernel_throughput\",\n"
+       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+       << "  \"cost_model\": \"table5_1_run2\",\n"
+       << "  \"workloads\": [\n";
+  for (std::size_t i = 0; i < measurements.size(); ++i) {
+    const Measurement& m = measurements[i];
+    file << "    {\"name\": \"" << m.workload << "\", \"procs\": " << m.procs
+         << ", \"iterations\": " << m.iterations
+         << ", \"activations\": " << m.activations
+         << ", \"events\": " << m.events << ", \"wall_ms\": " << m.wall_ms
+         << ", \"activations_per_sec\": " << m.activations_per_sec
+         << ", \"events_per_sec\": " << m.events_per_sec << "}"
+         << (i + 1 < measurements.size() ? "," : "") << "\n";
+  }
+  file << "  ]\n}\n";
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

@@ -22,33 +22,7 @@ std::vector<std::uint64_t> bucket_costs(const trace::Trace& trace,
 sim::Assignment greedy_assignment(const trace::Trace& trace,
                                   std::uint32_t num_procs,
                                   const sim::CostModel& costs) {
-  std::vector<std::vector<std::uint32_t>> maps;
-  maps.reserve(trace.cycles.size());
-  for (std::size_t c = 0; c < trace.cycles.size(); ++c) {
-    const std::vector<std::uint64_t> weight = bucket_costs(trace, c, costs);
-    std::vector<std::uint32_t> order(trace.num_buckets);
-    std::iota(order.begin(), order.end(), 0u);
-    std::stable_sort(order.begin(), order.end(),
-                     [&](std::uint32_t a, std::uint32_t b) {
-                       return weight[a] > weight[b];
-                     });
-    std::vector<std::uint64_t> load(num_procs, 0);
-    std::vector<std::uint32_t> map(trace.num_buckets, 0);
-    std::uint32_t rr = 0;
-    for (std::uint32_t bucket : order) {
-      if (weight[bucket] == 0) {
-        map[bucket] = rr++ % num_procs;
-        continue;
-      }
-      const auto min_it = std::min_element(load.begin(), load.end());
-      const auto proc =
-          static_cast<std::uint32_t>(std::distance(load.begin(), min_it));
-      map[bucket] = proc;
-      load[proc] += weight[bucket];
-    }
-    maps.push_back(std::move(map));
-  }
-  return sim::Assignment::per_cycle(std::move(maps), num_procs);
+  return sim::Assignment::greedy(trace, num_procs, costs);
 }
 
 std::vector<std::vector<std::uint64_t>> resident_tokens_per_cycle(

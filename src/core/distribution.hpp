@@ -23,7 +23,9 @@ std::vector<std::uint64_t> bucket_costs(const trace::Trace& trace,
 
 /// Offline greedy (LPT) assignment: per cycle, sorts buckets by descending
 /// cost and assigns each to the least-loaded processor.  Zero-cost buckets
-/// are dealt round-robin.
+/// are dealt round-robin.  Compatibility wrapper over
+/// sim::Assignment::greedy, where the algorithm now lives (property-tested
+/// in tests/sim_assignment_property_test.cpp).
 sim::Assignment greedy_assignment(const trace::Trace& trace,
                                   std::uint32_t num_procs,
                                   const sim::CostModel& costs);

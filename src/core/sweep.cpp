@@ -111,6 +111,43 @@ std::vector<SweepOutcome> SweepRunner::run(
     if (collect_timeline) options_.tracer->merge_from(slot.tracer);
     out.push_back(std::move(slot.outcome));
   }
+
+  // Cross-run laws (event conservation across the cost grid, token
+  // conservation across processor counts, overhead monotonicity) over
+  // every group of scenarios replaying the same trace with the same
+  // assignment — the monotonicity law is only meaningful between runs
+  // sharing one assignment (see sim::ObservedRun).  Runs serially after
+  // the join, in scenario order, so the law counters merged into
+  // `metrics` stay bit-identical for every jobs value.
+  if (options_.check_invariants) {
+    std::vector<bool> grouped(scenarios.size(), false);
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+      if (grouped[i]) continue;
+      std::vector<sim::ObservedRun> group;
+      std::vector<std::size_t> members;
+      for (std::size_t j = i; j < scenarios.size(); ++j) {
+        if (grouped[j] || scenarios[j].trace != scenarios[i].trace ||
+            !(scenarios[j].assignment == scenarios[i].assignment)) {
+          continue;
+        }
+        grouped[j] = true;
+        group.push_back({scenarios[j].config, &out[j].result});
+        members.push_back(j);
+      }
+      if (group.size() < 2) continue;
+      const sim::InvariantReport laws = sim::check_cross_run_invariants(
+          *scenarios[i].trace, group, options_.metrics);
+      if (!laws.ok()) {
+        std::string labels;
+        for (const std::size_t j : members) {
+          labels += (labels.empty() ? "" : ", ") + scenarios[j].label;
+        }
+        throw RuntimeError("sweep scenarios [" + labels +
+                           "] violate cross-run simulator invariants:\n" +
+                           laws.summary());
+      }
+    }
+  }
   return out;
 }
 

@@ -60,10 +60,15 @@ struct SweepOptions {
   /// scenario order at join — byte-identical output for every jobs value.
   obs::Registry* metrics = nullptr;
   obs::Tracer* tracer = nullptr;
-  /// Run sim::check_run_invariants on every outcome (the metamorphic
-  /// law layer of docs/TESTING.md).  A violated law fails the scenario
-  /// like any other error; the law counters land in the per-scenario
-  /// registry, so merged metrics stay identical for every jobs value.
+  /// Run sim::check_run_invariants on every outcome, and
+  /// sim::check_cross_run_invariants over every group of scenarios that
+  /// replay the same trace with the same assignment (the metamorphic
+  /// law layer of docs/TESTING.md — including the event-conservation
+  /// law pinning SimResult::events constant across the cost grid).  A
+  /// violated law fails the sweep like any other error; per-run law
+  /// counters land in the per-scenario registries and the cross-run
+  /// pass runs serially after the join, so merged metrics stay
+  /// identical for every jobs value.
   bool check_invariants = false;
 };
 

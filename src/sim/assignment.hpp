@@ -6,6 +6,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/sim/costs.hpp"
+#include "src/trace/record.hpp"
+
 namespace mpps::sim {
 
 class Assignment {
@@ -31,14 +34,35 @@ class Assignment {
   static Assignment fixed(std::vector<std::uint32_t> map,
                           std::uint32_t num_procs);
 
+  /// Offline greedy (LPT) assignment, the paper's Section 5.2.2 algorithm:
+  /// per cycle, sorts buckets by descending processing cost under `costs`
+  /// (token add/delete plus successor generation) and assigns each to the
+  /// least-loaded processor; zero-cost buckets are dealt round-robin.
+  /// Produces one map per trace cycle.  `core::greedy_assignment` is a
+  /// compatibility wrapper over this.
+  static Assignment greedy(const trace::Trace& trace, std::uint32_t num_procs,
+                           const CostModel& costs);
+
   [[nodiscard]] std::uint32_t proc_of(std::size_t cycle,
                                       std::uint32_t bucket) const {
-    const auto& map = maps_.size() == 1 ? maps_[0]
-                                        : maps_[cycle % maps_.size()];
-    return map[bucket];
+    return map_for(cycle)[bucket];
+  }
+
+  /// The dense bucket -> processor map in effect for `cycle` (the
+  /// simulator kernel caches the returned array's data pointer for the
+  /// whole cycle instead of paying two indirections per lookup).
+  [[nodiscard]] const std::vector<std::uint32_t>& map_for(
+      std::size_t cycle) const {
+    return maps_.size() == 1 ? maps_[0] : maps_[cycle % maps_.size()];
   }
 
   [[nodiscard]] std::uint32_t num_procs() const { return num_procs_; }
+
+  /// Structural equality: same partition count and same per-cycle maps.
+  /// The sweep engine uses it to group runs for the cross-run laws,
+  /// whose monotonicity comparisons are only meaningful between runs
+  /// sharing one assignment.
+  friend bool operator==(const Assignment&, const Assignment&) = default;
   [[nodiscard]] std::uint32_t num_buckets() const {
     return static_cast<std::uint32_t>(maps_.empty() ? 0 : maps_[0].size());
   }

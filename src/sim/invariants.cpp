@@ -254,6 +254,34 @@ InvariantReport check_cross_run_invariants(const trace::Trace& trace,
     }
   }
 
+  // Event conservation: which kernel events get posted is decided by the
+  // routing inputs alone — trace structure, mapping, processor counts and
+  // the instantiation-charging flag (plus the shared assignment) — so two
+  // runs that agree on those must dispatch the same number of events no
+  // matter how their cost models differ.  This pins the overhead grid
+  // down hard: a cost knob that changes the event count leaked into
+  // routing decisions.
+  const auto same_routing = [](const SimConfig& a, const SimConfig& b) {
+    return a.match_processors == b.match_processors &&
+           a.mapping == b.mapping &&
+           a.constant_test_processors == b.constant_test_processors &&
+           a.conflict_set_processors == b.conflict_set_processors &&
+           a.charge_instantiation_messages == b.charge_instantiation_messages;
+  };
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    for (std::size_t j = i + 1; j < runs.size(); ++j) {
+      if (!same_routing(runs[i].config, runs[j].config)) continue;
+      checker.check(
+          "cross-run-event-conservation",
+          runs[i].result->events != runs[j].result->events,
+          "same routing inputs dispatched " +
+              std::to_string(runs[i].result->events) + " vs " +
+              std::to_string(runs[j].result->events) + " kernel events at " +
+              std::to_string(runs[i].config.match_processors) +
+              " processors");
+    }
+  }
+
   // Message-cost monotonicity: same machine, component-wise costlier
   // messages, never a shorter makespan.
   const auto same_machine = [](const SimConfig& a, const SimConfig& b) {

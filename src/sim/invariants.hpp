@@ -29,6 +29,10 @@
 //   * token conservation is independent of the processor count: for
 //     merged-mapping runs with the same instantiation-charging flag,
 //     messages + local deliveries is one constant;
+//   * event conservation across the cost grid: runs agreeing on the
+//     routing inputs (mapping, processor counts, charging flag) dispatch
+//     exactly the same number of kernel events (SimResult::events),
+//     whatever their cost models — costs shift time, never routing;
 //   * message-cost monotonicity: if two runs differ only in their
 //     message costs and one dominates component-wise (send, receive and
 //     wire latency all >=), its makespan is >= the other's — the

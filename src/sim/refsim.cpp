@@ -89,6 +89,7 @@ class RefCycle {
   }
 
   [[nodiscard]] std::uint64_t local_deliveries() const { return local_; }
+  [[nodiscard]] std::uint64_t events() const { return next_post_; }
   [[nodiscard]] SimTime network_busy() const { return wire_time_; }
   [[nodiscard]] SimTime termination_overhead() const { return tail_; }
 
@@ -434,6 +435,7 @@ SimResult ref_simulate(const Trace& trace, const SimConfig& config,
     clock = metrics.end;
     result.messages += metrics.messages;
     result.local_deliveries += cycle.local_deliveries();
+    result.events += cycle.events();
     result.network_busy += cycle.network_busy();
     result.termination_overhead += cycle.termination_overhead();
     result.cycles.push_back(std::move(metrics));
@@ -467,6 +469,9 @@ std::string describe_divergence(const SimResult& fast, const SimResult& ref) {
   if (fast.local_deliveries != ref.local_deliveries) {
     return diverged_count("local deliveries", fast.local_deliveries,
                           ref.local_deliveries);
+  }
+  if (fast.events != ref.events) {
+    return diverged_count("kernel events", fast.events, ref.events);
   }
   if (fast.network_busy != ref.network_busy) {
     return diverged_time("network busy", fast.network_busy, ref.network_busy);

@@ -35,8 +35,9 @@ SimResult ref_simulate(const trace::Trace& trace, const SimConfig& config,
                        const Assignment& assignment);
 
 /// Compares two results field by field (makespan, messages, local
-/// deliveries, network busy, termination overhead, per-cycle spans and
-/// per-processor busy/activation counts).  Returns an empty string when
+/// deliveries, kernel event counts, network busy, termination overhead,
+/// per-cycle spans and per-processor busy/activation counts).  Returns an
+/// empty string when
 /// they agree exactly, otherwise a description of the FIRST divergence —
 /// the differential oracle's failure message.
 std::string describe_divergence(const SimResult& fast, const SimResult& ref);

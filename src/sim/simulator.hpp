@@ -123,6 +123,12 @@ struct SimResult {
   SimTime makespan{};
   std::uint64_t messages = 0;          // inter-processor + to-control
   std::uint64_t local_deliveries = 0;  // tokens that stayed on-processor
+  /// Discrete events the kernel dispatched (task arrivals + completions,
+  /// summed over cycles).  A pure function of (trace, mapping, assignment)
+  /// — the cost model never changes it — so it doubles as an oracle field
+  /// (compared bit-exactly against refsim) and as the denominator-free
+  /// throughput unit reported by bench/simkernel_throughput.
+  std::uint64_t events = 0;
   SimTime network_busy{};              // sum of per-message wire latencies
   SimTime termination_overhead{};      // total charged by TerminationModel
   std::vector<CycleMetrics> cycles;

@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+
+#include <unistd.h>
 
 namespace mpps::core {
 namespace {
@@ -36,6 +39,18 @@ class TempFile {
  private:
   std::string path_;
 };
+
+/// A per-process scratch directory under gtest's TempDir.  ctest runs each
+/// test case as its own process, all sharing TempDir() — tests that write
+/// fixed filenames (`sections` emits rubik/tourney/weaver.trace) race with
+/// each other under `ctest -j`, so every such test gets its own subdir.
+std::string unique_temp_dir(const std::string& tag) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) /
+      (tag + "." + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
 
 constexpr const char* kProgram = R"(
   (make machine ^state s1)
@@ -140,19 +155,19 @@ TEST(Cli, SimulateGreedyAndPairs) {
 }
 
 TEST(Cli, SectionsWritesThreeTraces) {
-  const std::string dir = ::testing::TempDir();
+  const std::string dir = unique_temp_dir("cli_sections");
   const CliRun r = cli({"sections", "-o", dir});
   EXPECT_EQ(r.code, 0);
   for (const char* name : {"rubik", "tourney", "weaver"}) {
     const std::string path = dir + "/" + name + ".trace";
     std::ifstream f(path);
     EXPECT_TRUE(f.good()) << path;
-    std::remove(path.c_str());
   }
+  std::filesystem::remove_all(dir);
 }
 
 TEST(Cli, SliceExtractsCycles) {
-  const std::string dir = ::testing::TempDir();
+  const std::string dir = unique_temp_dir("cli_slice");
   cli({"sections", "-o", dir});
   const std::string src = dir + "/weaver.trace";
   const std::string dst = dir + "/weaver_slice.trace";
@@ -163,10 +178,7 @@ TEST(Cli, SliceExtractsCycles) {
   EXPECT_EQ(s.code, 0);
   const CliRun bad = cli({"slice", src, "--from", "9", "--cycles", "2"});
   EXPECT_EQ(bad.code, 1);
-  for (const char* name : {"rubik.trace", "tourney.trace", "weaver.trace",
-                           "weaver_slice.trace"}) {
-    std::remove((dir + "/" + name).c_str());
-  }
+  std::filesystem::remove_all(dir);
 }
 
 TEST(Cli, StatsOnMalformedTraceFails) {
@@ -175,9 +187,9 @@ TEST(Cli, StatsOnMalformedTraceFails) {
   EXPECT_EQ(r.code, 1);
 }
 
-/// Writes the weaver section to a temp trace and returns its path.
+/// Writes the weaver section to a private temp dir and returns its path.
 std::string weaver_trace_path(const char* name) {
-  const std::string dir = ::testing::TempDir();
+  const std::string dir = unique_temp_dir(std::string("cli_") + name);
   cli({"sections", "-o", dir});
   for (const char* other : {"rubik.trace", "tourney.trace"}) {
     std::remove((dir + "/" + other).c_str());

@@ -153,6 +153,45 @@ TEST(SweepRunner, MergedRegistryEqualsSerialAccumulation) {
   EXPECT_EQ(serial_csv.str(), merged_csv.str());
 }
 
+TEST(SweepRunner, CrossRunLawsCountedInMergedMetrics) {
+  // small_grid replays each (trace, procs) machine shape under two cost
+  // models with one shared round-robin assignment, so the invariant pass
+  // groups them and the cross-run laws — including event conservation —
+  // must fire and be accounted in the merged registry, bit-identically
+  // for every jobs value.
+  const Trace rubik = trace::make_rubik_section(32, 11);
+  const Trace weaver = trace::make_weaver_section(32, 11);
+  const auto scenarios = small_grid(rubik, weaver);
+
+  std::string csv[2];
+  const unsigned job_counts[2] = {1, 4};
+  for (int i = 0; i < 2; ++i) {
+    obs::Registry registry;
+    SweepOptions options;
+    options.jobs = job_counts[i];
+    options.metrics = &registry;
+    options.check_invariants = true;
+    const auto outcomes = SweepRunner(options).run(scenarios);
+    ASSERT_EQ(outcomes.size(), scenarios.size());
+    EXPECT_GT(
+        registry
+            .counter("sim.invariants.checked",
+                     {{"invariant", "cross-run-event-conservation"}})
+            .value(),
+        0u);
+    EXPECT_GT(registry
+                  .counter("sim.invariants.checked",
+                           {{"invariant", "overhead-monotonicity"}})
+                  .value(),
+              0u);
+    std::ostringstream os;
+    registry.write_csv(os);
+    csv[i] = os.str();
+  }
+  EXPECT_FALSE(csv[0].empty());
+  EXPECT_EQ(csv[0], csv[1]);
+}
+
 TEST(SweepRunner, LowestIndexedFailureWins) {
   const Trace rubik = trace::make_rubik_section(32, 2);
   std::vector<SweepScenario> scenarios;

@@ -6,11 +6,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
 
 #include "src/core/cli.hpp"
 #include "src/obs/metrics.hpp"
@@ -189,15 +192,17 @@ std::string slurp(const std::string& path) {
 class SectionTrace : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = ::testing::TempDir();
+    // Private per-process subdir: `sections` emits fixed filenames, and
+    // other test processes sharing TempDir() race on them under ctest -j.
+    const std::filesystem::path dir =
+        std::filesystem::path(::testing::TempDir()) /
+        ("obs_sections." + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir);
+    dir_ = dir.string();
     ASSERT_EQ(cli({"sections", "-o", dir_}).code, 0);
     trace_path_ = dir_ + "/rubik.trace";
   }
-  void TearDown() override {
-    for (const char* name : {"rubik.trace", "tourney.trace", "weaver.trace"}) {
-      std::remove((dir_ + "/" + name).c_str());
-    }
-  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
   std::string dir_;
   std::string trace_path_;
 };

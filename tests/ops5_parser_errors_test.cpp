@@ -1,0 +1,119 @@
+// Negative-input corpus for the OPS5 parser: every malformed production
+// here must be rejected with a ParseError carrying a descriptive,
+// position-bearing diagnostic — and must not crash (the ASan/UBSan tree
+// runs this file too, so an out-of-bounds read on malformed input fails
+// loudly instead of silently).  Complements the targeted error tests in
+// ops5_parser_test.cpp with broad coverage of the grammar's failure
+// surface: top-level forms, condition elements, test groups,
+// disjunctions, and every RHS action.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/common/error.hpp"
+#include "src/ops5/parser.hpp"
+
+namespace mpps::ops5 {
+namespace {
+
+struct BadProgram {
+  const char* label;
+  const char* source;
+  const char* diagnostic;  // required substring of the ParseError message
+};
+
+const BadProgram kCorpus[] = {
+    {"naked symbol at top level", "p x", "expected '(' at top level"},
+    {"unknown top-level form", "(frobnicate x)", "unknown top-level form"},
+    {"production without a name", "(p)", "expected production name"},
+    {"production cut off after name", "(p x",
+     "expected '(' to open condition element"},
+    {"missing arrow", "(p x (a ^v 1) (halt))",
+     "expected '(' to open condition element"},
+    {"empty condition element", "(p x () --> (halt))",
+     "expected class name in condition element"},
+    {"empty LHS", "(p x --> (halt))", "has no LHS"},
+    {"leading negated CE", "(p x -(a ^v 1) --> (halt))",
+     "must not be negated"},
+    {"element variable missing", "(p x { (a ^v 1) } --> (halt))",
+     "expected element variable after '{'"},
+    {"negated element variable", "(p x (b ^v 1) -{ <e> (a ^v 1) } --> (halt))",
+     "negated condition element cannot bind an element variable"},
+    {"value without ^attribute", "(p x (a blue) --> (halt))",
+     "expected ^attribute"},
+    {"empty test group", "(p x (a ^v { }) --> (halt))",
+     "empty '{}' test group"},
+    {"arrow inside test group", "(p x (a ^v { > 1 --> (halt))",
+     "expected test value"},
+    {"unterminated test group", "(p x (a ^v { > 1",
+     "unterminated '{' test group"},
+    {"predicate without operand", "(p x (a ^v >) --> (halt))",
+     "expected operand after predicate"},
+    {"empty disjunction", "(p x (a ^v << >>) --> (halt))",
+     "empty '<< >>' disjunction"},
+    {"variable inside disjunction", "(p x (a ^v << <y> >>) --> (halt))",
+     "variables are not allowed inside << >>"},
+    {"paren closing a disjunction", "(p x (a ^v << blue) --> (halt))",
+     "expected constant in << >> disjunction"},
+    {"unterminated disjunction", "(p x (a ^v << blue",
+     "unterminated '<<' disjunction"},
+    {"unterminated RHS", "(p x (a ^v 1) --> (halt)", "unexpected end of input"},
+    {"unknown RHS action", "(p x (a ^v 1) --> (explode 1))",
+     "unknown RHS action"},
+    {"remove without argument", "(p x (a ^v 1) --> (remove))",
+     "remove requires a CE number or element variable"},
+    {"remove with junk argument", "(p x (a ^v 1) --> (remove 1 blue))",
+     "expected ')' after remove"},
+    {"modify without argument", "(p x (a ^v 1) --> (modify))",
+     "modify requires a CE number or element variable"},
+    {"modify value without attribute", "(p x (a ^v 1) --> (modify 1 v))",
+     "expected ^attribute in modify"},
+    {"modify attribute without value", "(p x (a ^v 1) --> (modify 1 ^attr))",
+     "expected value in modify"},
+    {"make without class", "(p x (a ^v 1) --> (make))",
+     "expected class name in make"},
+    {"make attribute without value", "(p x (a ^v 1) --> (make b ^v))",
+     "expected value in make"},
+    {"bind without variable", "(p x (a ^v 1) --> (bind 7 7))",
+     "bind requires a variable"},
+    {"halt with arguments", "(p x (a ^v 1) --> (halt now))",
+     "expected ')' after halt"},
+    {"compute missing operand", "(p x (a ^v 1) --> (bind <y> (compute 1 +)))",
+     "expected compute operand"},
+    {"compute unknown operator",
+     "(p x (a ^v 1) --> (bind <y> (compute 1 ? 2)))",
+     "unknown compute operator"},
+    {"unterminated compute", "(p x (a ^v 1) --> (bind <y> (compute 1 + 2",
+     "unterminated compute"},
+};
+
+TEST(ParserErrorCorpus, EveryMalformedProductionIsDiagnosed) {
+  for (const BadProgram& bad : kCorpus) {
+    try {
+      parse_program(bad.source);
+      FAIL() << bad.label << ": parsed without error";
+    } catch (const ParseError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find(bad.diagnostic), std::string::npos)
+          << bad.label << ": diagnostic \"" << what
+          << "\" missing expected substring \"" << bad.diagnostic << '"';
+      EXPECT_NE(what.find("parse error at"), std::string::npos)
+          << bad.label << ": diagnostic lacks source position: " << what;
+    } catch (const std::exception& e) {
+      FAIL() << bad.label << ": threw non-ParseError: " << e.what();
+    }
+  }
+}
+
+TEST(ParserErrorCorpus, DiagnosticsCarrySourcePositions) {
+  try {
+    parse_program("(p x\n  (a blue)\n  --> (halt))");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2) << e.what();
+    EXPECT_GT(e.column(), 0) << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace mpps::ops5

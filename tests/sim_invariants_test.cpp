@@ -147,6 +147,22 @@ TEST(Invariants, CrossRunLawsHoldOnTheOverheadGrid) {
   EXPECT_GT(report.checked, 0u);
 }
 
+TEST(Invariants, CrossRunEventConservationViolationCaught) {
+  const Trace trace = trace::make_weaver_section();
+  const SimConfig run1 = merged_config(4, 1);
+  const SimConfig run3 = merged_config(4, 3);
+  const SimResult result1 = simulate(trace, run1, rr(trace, run1));
+  SimResult result3 = simulate(trace, run3, rr(trace, run3));
+  ASSERT_EQ(result1.events, result3.events);  // the law itself
+  ++result3.events;  // a cost knob that leaked into routing
+  const std::vector<ObservedRun> runs = {{run1, &result1}, {run3, &result3}};
+  const InvariantReport report = check_cross_run_invariants(trace, runs);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.summary().find("cross-run-event-conservation"),
+            std::string::npos)
+      << report.summary();
+}
+
 TEST(Invariants, CrossRunMonotonicityViolationCaught) {
   const Trace trace = trace::make_weaver_section();
   const SimConfig cheap = merged_config(4, 1);

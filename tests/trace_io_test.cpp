@@ -123,6 +123,83 @@ TEST(TraceIoErrors, ValidationRunsOnParse) {
       TraceFormatError);
 }
 
+TEST(TraceIo, WriteReadWriteIsByteIdentical) {
+  // to_string is a canonical form: serializing, parsing and serializing
+  // again reproduces the exact bytes.  Randomized traces cover field
+  // combinations the handwritten samples miss.
+  RandomTraceSpec spec;
+  for (const std::uint64_t seed : {1ull, 7ull, 42ull, 1989ull, 20260806ull}) {
+    spec.cycles = 3 + static_cast<std::uint32_t>(seed % 4);
+    spec.num_buckets = 16u << (seed % 3);
+    spec.right_fraction = 0.3 + 0.1 * static_cast<double>(seed % 5);
+    spec.instantiation_prob = 0.05;
+    const Trace t = make_random_trace(spec, seed);
+    const std::string first = to_string(t);
+    const Trace parsed = from_string(first);
+    const std::string second = to_string(parsed);
+    EXPECT_EQ(first, second) << "seed " << seed;
+  }
+  for (const Trace& t : {make_weaver_section(64, 3), make_rubik_section(64, 3),
+                         make_tourney_section(64, 3)}) {
+    const std::string first = to_string(t);
+    EXPECT_EQ(first, to_string(from_string(first))) << t.name;
+  }
+}
+
+TEST(TraceIoErrors, TruncatedInputsThrowInsteadOfCrashing) {
+  // Any prefix of a valid serialization either parses (only when it
+  // happens to end on a cycle boundary) or raises TraceFormatError — a
+  // std::runtime_error, never UB (the ASan/UBSan tree runs this too).
+  const std::string full = to_string(sample());
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    const std::string prefix = full.substr(0, cut);
+    try {
+      const Trace t = from_string(prefix);
+      EXPECT_NO_THROW(validate(t)) << "cut at byte " << cut;
+    } catch (const TraceFormatError&) {
+      // expected for most cut points
+    } catch (const std::exception& e) {
+      FAIL() << "cut at byte " << cut << " threw non-TraceFormatError: "
+             << e.what();
+    }
+  }
+}
+
+TEST(TraceIoErrors, TraceFormatErrorIsARuntimeError) {
+  // Callers that only know std::runtime_error still catch IO failures.
+  EXPECT_THROW(from_string("garbage\n"), std::runtime_error);
+  try {
+    from_string("trace t buckets 4\ncycle 1\nact bogus\nendcycle\n");
+    FAIL() << "malformed act line parsed";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("trace line"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TraceIoErrors, CorruptHeaderVariants) {
+  const char* corrupt[] = {
+      "tracer t buckets 4\n",            // misspelled keyword
+      "trace t bucket 4\n",              // misspelled buckets
+      "trace t buckets\n",               // missing count
+      "trace t buckets four\n",          // non-numeric count
+      "trace t buckets 4 extra\n",       // trailing token
+      "trace buckets 4\n",               // missing name
+      "buckets 4 trace t\n",             // reordered
+      "trace t buckets -4\n",            // negative count
+      "trace t buckets 4294967296000\n"  // overflows uint32
+  };
+  for (const char* header : corrupt) {
+    EXPECT_THROW(from_string(std::string(header) +
+                             "cycle 1\n"
+                             "act 1 R node 0 bucket 0 parent - succ 0 inst 0 "
+                             "key 0 tag +\n"
+                             "endcycle\n"),
+                 TraceFormatError)
+        << header;
+  }
+}
+
 TEST(TraceIo, MinusTagRoundTrips) {
   const Trace t = from_string(
       "trace t buckets 4\ncycle 1\n"
