@@ -1,0 +1,251 @@
+// Parallel match-engine throughput: wall-clock activations per second of
+// pmatch::ParallelEngine at 1/2/4/8 worker threads (plus the serial
+// rete::Engine as the reference point) on two synthetic match workloads,
+// written to BENCH_pmatch.json so the paper's *simulated* speedup curves
+// (BENCH_simkernel.json, docs/EXPERIMENTS.md) sit next to *measured*
+// ones (docs/PARALLEL_MATCH.md explains how to compare them).
+//
+//   fanout — one trigger wme joins P=48 productions' beta nodes spread
+//            across the bucket space: the paper's good case, wide
+//            activation rounds that partition across workers.
+//   chain  — a single 8-CE production: every activation ripples down one
+//            join chain, so rounds are deep and narrow — the paper's
+//            bad case, and an honest lower bound for the engine.
+//
+// Usage:
+//   pmatch_throughput [--smoke] [-o FILE]
+//
+// `--smoke` runs a tiny iteration count (seconds, not minutes) for CI
+// bit-rot checking; absolute numbers from smoke mode are noise.
+//
+// The JSON records hardware_concurrency: thread-level speedup above 1.0
+// is only reachable when the host actually has spare cores — on a 1-CPU
+// container every extra worker only adds barrier overhead, and the
+// numbers will honestly show that.
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "src/core/jsonw.hpp"
+#include "src/ops5/parser.hpp"
+#include "src/ops5/wme.hpp"
+#include "src/pmatch/engine.hpp"
+#include "src/rete/engine.hpp"
+#include "src/rete/network.hpp"
+
+namespace {
+
+using namespace mpps;
+
+struct Workload {
+  std::string name;
+  std::string source;                  // productions only
+  std::vector<std::string> setup;      // wmes added once, untimed
+  // One timed iteration adds `per_iter(i)` wmes and then removes them
+  // again (so working-set size stays constant across iterations).
+  std::vector<std::string> (*per_iter)(std::uint64_t iter);
+};
+
+std::vector<std::string> fanout_iter(std::uint64_t) {
+  return {"(trigger ^g 0)"};
+}
+
+std::vector<std::string> chain_iter(std::uint64_t iter) {
+  std::vector<std::string> out;
+  out.reserve(8);
+  for (int c = 0; c < 8; ++c) {
+    out.push_back("(c" + std::to_string(c) + " ^k " + std::to_string(iter % 17) +
+                  ")");
+  }
+  return out;
+}
+
+Workload make_fanout() {
+  Workload w;
+  w.name = "fanout";
+  std::ostringstream src;
+  const int productions = 48;
+  const int items_per_slot = 4;
+  for (int p = 0; p < productions; ++p) {
+    src << "(p fan" << p << " (trigger ^g <g>) (item ^slot " << p
+        << " ^g <g>) --> (halt))\n";
+  }
+  w.source = src.str();
+  for (int p = 0; p < productions; ++p) {
+    for (int m = 0; m < items_per_slot; ++m) {
+      w.setup.push_back("(item ^slot " + std::to_string(p) + " ^g 0)");
+    }
+  }
+  w.per_iter = fanout_iter;
+  return w;
+}
+
+Workload make_chain() {
+  Workload w;
+  w.name = "chain";
+  std::ostringstream src;
+  src << "(p chain";
+  for (int c = 0; c < 8; ++c) src << " (c" << c << " ^k <x>)";
+  src << " --> (halt))\n";
+  w.source = src.str();
+  w.per_iter = chain_iter;
+  return w;
+}
+
+struct Measurement {
+  std::string workload;
+  std::uint32_t threads = 0;  // 0 = the serial rete::Engine
+  std::uint64_t iterations = 0;
+  std::uint64_t activations = 0;  // total across the timed iterations
+  double wall_ms = 0.0;
+  double activations_per_sec = 0.0;
+};
+
+std::uint64_t total_activations(const rete::MatchEngine& engine) {
+  return engine.stats().left_activations + engine.stats().right_activations;
+}
+
+/// Runs `iterations` add+remove rounds through `engine` and returns the
+/// wall-clock milliseconds spent (activation counts read via stats()).
+double drive(rete::MatchEngine& engine, const Workload& w,
+             std::uint64_t iterations) {
+  ops5::WorkingMemory wm;
+  const auto feed = [&] {
+    for (const ops5::WmeChange& change : wm.drain_changes()) {
+      engine.process_change(change);
+    }
+  };
+  for (const std::string& wme : w.setup) {
+    wm.add(ops5::parse_wme(wme));
+  }
+  feed();
+
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < iterations; ++i) {
+    std::vector<WmeId> added;
+    for (const std::string& wme : w.per_iter(i)) {
+      added.push_back(wm.add(ops5::parse_wme(wme)));
+    }
+    feed();
+    for (const WmeId id : added) wm.remove(id);
+    feed();
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+Measurement measure(const rete::Network& net, const Workload& w,
+                    std::uint32_t threads, bool smoke) {
+  Measurement m;
+  m.workload = w.name;
+  m.threads = threads;
+
+  const double min_budget_ms = smoke ? 0.0 : 250.0;
+  std::uint64_t iterations = smoke ? 20 : 64;
+  for (;;) {
+    std::unique_ptr<rete::MatchEngine> engine;
+    if (threads == 0) {
+      engine = std::make_unique<rete::Engine>(net, rete::EngineOptions{});
+    } else {
+      pmatch::ParallelOptions popts;
+      popts.threads = threads;
+      engine = std::make_unique<pmatch::ParallelEngine>(net, popts);
+    }
+    const std::uint64_t before = total_activations(*engine);
+    m.wall_ms = drive(*engine, w, iterations);
+    m.iterations = iterations;
+    m.activations = total_activations(*engine) - before;
+    if (m.wall_ms >= min_budget_ms || smoke) break;
+    iterations *= 2;
+  }
+  m.activations_per_sec =
+      static_cast<double>(m.activations) / (m.wall_ms / 1000.0);
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_pmatch.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "-o" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: pmatch_throughput [--smoke] [-o FILE]\n";
+      return 2;
+    }
+  }
+
+  const unsigned hardware = std::thread::hardware_concurrency();
+  const std::vector<Workload> workloads = {make_fanout(), make_chain()};
+  const std::vector<std::uint32_t> thread_counts = {0, 1, 2, 4, 8};
+
+  std::vector<Measurement> measurements;
+  for (const Workload& w : workloads) {
+    const ops5::Program program = ops5::parse_program(w.source);
+    const rete::Network net = rete::Network::compile(program);
+    double base_aps = 0.0;  // the 1-thread parallel engine
+    for (const std::uint32_t threads : thread_counts) {
+      Measurement m = measure(net, w, threads, smoke);
+      if (threads == 1) base_aps = m.activations_per_sec;
+      std::cout << m.workload << " @ "
+                << (m.threads == 0 ? "serial"
+                                   : std::to_string(m.threads) + " threads")
+                << ": "
+                << static_cast<std::uint64_t>(m.activations_per_sec)
+                << " activations/s (" << m.iterations << " iters, "
+                << m.wall_ms << " ms)";
+      if (m.threads > 1 && base_aps > 0.0) {
+        std::cout << " speedup vs 1 thread "
+                  << m.activations_per_sec / base_aps;
+      }
+      std::cout << "\n";
+      measurements.push_back(std::move(m));
+    }
+  }
+
+  std::ofstream file(out_path);
+  if (!file) {
+    std::cerr << "cannot write '" << out_path << "'\n";
+    return 1;
+  }
+  core::JsonWriter j(file);
+  j.begin_object();
+  j.field("benchmark", "pmatch_throughput");
+  j.field("smoke", smoke);
+  j.field("hardware_concurrency", static_cast<std::uint64_t>(hardware));
+  j.key("workloads");
+  j.begin_array();
+  double base_aps = 0.0;
+  for (const Measurement& m : measurements) {
+    if (m.threads == 1) base_aps = m.activations_per_sec;
+    j.begin_object();
+    j.field("name", m.workload);
+    j.field("engine", m.threads == 0 ? "serial" : "parallel");
+    j.field("threads", m.threads);
+    j.field("iterations", m.iterations);
+    j.field("activations", m.activations);
+    j.field("wall_ms", m.wall_ms);
+    j.field("activations_per_sec", m.activations_per_sec);
+    if (m.threads >= 1 && base_aps > 0.0) {
+      j.field("speedup_vs_1_thread", m.activations_per_sec / base_aps);
+    }
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+  std::cout << "wrote " << out_path << " (hardware_concurrency " << hardware
+            << ")\n";
+  return 0;
+}

@@ -63,6 +63,13 @@ echo "=== tier-1: simulator kernel throughput smoke (BENCH_simkernel.json) ==="
 ./build/bench/simkernel_throughput --smoke -o BENCH_simkernel.json
 test -s BENCH_simkernel.json
 
+echo "=== tier-1: parallel match throughput smoke (BENCH_pmatch.json) ==="
+# Measured (wall-clock) counterpart of the simulated curves above; the
+# JSON records hardware_concurrency — on a 1-CPU runner the speedup
+# columns honestly stay <= 1 (docs/PARALLEL_MATCH.md).
+./build/bench/pmatch_throughput --smoke -o BENCH_pmatch.json
+test -s BENCH_pmatch.json
+
 if [ "$FAST" -eq 1 ]; then
   echo "=== tier-1 passed (sanitizer + coverage passes skipped via --fast) ==="
   exit 0
@@ -78,17 +85,20 @@ cmake --build build-asan -j
 ctest --test-dir build-asan --output-on-failure -j "$(nproc)" --timeout 120
 ./build-asan/tools/mpps selfcheck --rounds 20 --seed 1
 
-echo "=== sanitizers: TSan rebuild of the sweep engine + its tests (build-tsan/) ==="
+echo "=== sanitizers: TSan rebuild of the threaded code + its tests (build-tsan/) ==="
 # TSan is incompatible with ASan/UBSan in one binary, so it gets its own
-# tree; only the multi-threaded code (SweepRunner, BaselineCache) and its
-# tests need the pass, so build and run just those targets.
+# tree; only the multi-threaded code (SweepRunner, BaselineCache, the
+# pmatch worker pool) and its tests need the pass, so build and run just
+# those targets.  pmatch_tests includes the differential oracle at
+# 1/2/4/8 worker threads, so this is where engine races would surface.
 TSAN_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
 cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=Debug \
   -DCMAKE_CXX_FLAGS="$TSAN_FLAGS" \
   -DCMAKE_EXE_LINKER_FLAGS="$TSAN_FLAGS"
-cmake --build build-tsan -j --target sweep_tests mpps
+cmake --build build-tsan -j --target sweep_tests pmatch_tests mpps
 ./build-tsan/tests/sweep_tests
+./build-tsan/tests/pmatch_tests
 ./build-tsan/tools/mpps selfcheck --rounds 10 --seed 1
 
 echo "=== coverage: gcov rebuild + line-coverage floors (build-cov/) ==="

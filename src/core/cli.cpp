@@ -1,6 +1,8 @@
 #include "src/core/cli.hpp"
 
+#include <algorithm>
 #include <fstream>
+#include <iomanip>
 #include <ostream>
 #include <sstream>
 
@@ -8,6 +10,7 @@
 #include "src/common/strings.hpp"
 #include "src/common/table.hpp"
 #include "src/core/distribution.hpp"
+#include "src/core/jsonw.hpp"
 #include "src/core/pipeline.hpp"
 #include "src/core/selfcheck.hpp"
 #include "src/core/sweep.hpp"
@@ -16,6 +19,7 @@
 #include "src/obs/timeline.hpp"
 #include "src/obs/tracer.hpp"
 #include "src/ops5/parser.hpp"
+#include "src/pmatch/engine.hpp"
 #include "src/rete/interp.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/trace/io.hpp"
@@ -24,122 +28,268 @@
 namespace mpps::core {
 namespace {
 
-constexpr const char* kUsage = R"(usage: mpps <command> [options]
+// ---------------------------------------------------------------------------
+// The flag table.  Everything the CLI accepts is declared here; the usage
+// text is generated from it, unknown flags are rejected against it, and
+// cli_commands() exposes it so tests can assert that every documented
+// flag really parses.  `sample` is a valid example value for those tests.
+// ---------------------------------------------------------------------------
 
-commands:
-  run <file.ops>       run an OPS5 program (--strategy lex|mea,
-                       --max-cycles N, --quiet, --watch 0|1|2); with
-                       --trace-out t.json / --metrics-out m.csv the match
-                       trace is replayed on the simulated MPC (--procs P,
-                       --run 0..4) and the timeline/metrics are exported;
-                       --procs accepts a comma list (the exports describe
-                       the first entry; one summary line per entry,
-                       fanned out over --jobs N worker threads)
-  trace <file.ops>     record its match trace (-o out.trace, --buckets B)
-  stats <file.trace>   print activation statistics and a simulated-run
-                       summary: busy skew, message histogram, hottest
-                       buckets (--procs P, --run 0..4, --top K)
-  simulate <f.trace>   replay on the simulated MPC (--procs P, --run 0..4,
-                       --mapping merged|pairs, --assign rr|random|greedy,
-                       --ct K, --cs M, --termination none|ack|poll,
-                       --trace-out t.json, --metrics-out m.csv); a comma
-                       list --procs 1,2,4 sweeps the counts in parallel
-                       (--jobs N; exports then hold the merged registry
-                       and merged timeline)
-  sweep <f.trace>      fan a (processors x overhead-runs) grid across
-                       worker threads and print the speedup table
-                       (--procs 2,4,8,16,32, --runs 1,2,3,4, --jobs N,
-                       --mapping merged|pairs, --assign rr|random|greedy,
-                       --metrics-out m.csv, --csv); results are
-                       bit-identical for every --jobs value, and every
-                       outcome is checked against the simulator's
-                       invariant laws (docs/TESTING.md)
-  selfcheck            differential self-test: N seeded random scenarios
-                       through the optimized AND the naive reference
-                       simulator plus the invariant laws (--rounds N,
-                       --seed S, --metrics-out m.csv, --fault
-                       none|left-token-undercharge|free-remote-send to
-                       prove the oracle catches an injected bug; failing
-                       scenarios are shrunk to a minimal repro).  Exits
-                       0 when clean, 1 on any failure
-  sections             write the synthetic Rubik/Tourney/Weaver sections
-                       (-o directory, default '.')
-  slice <file.trace>   extract consecutive cycles (--from N, --cycles K,
-                       -o out.trace) — how the paper built its sections
-
-`--trace-out` writes a Chrome trace_event JSON timeline (load it in
-chrome://tracing or https://ui.perfetto.dev); `--metrics-out` writes the
-per-cycle busy/idle CSV plus the metrics registry.  docs/OBSERVABILITY.md
-documents both formats; docs/SIMULATOR.md documents the sweep engine.
-)";
-
-/// Tiny flag cursor over the argument vector.
-class Args {
- public:
-  explicit Args(const std::vector<std::string>& args) : args_(args) {}
-
-  /// The next positional argument, or empty if none.
-  std::string positional() {
-    for (std::size_t i = next_; i < args_.size(); ++i) {
-      if (!consumed_(i) && args_[i].rfind("--", 0) != 0 && args_[i] != "-o") {
-        consumed_flags_.push_back(i);
-        return args_[i];
-      }
-      // Skip a flag and, when it takes a value, its value.
-      if (!consumed_(i) && flag_takes_value(args_[i])) ++i;
-    }
-    return {};
-  }
-
-  /// Value of `--name <value>` or `-o <value>`, or `fallback`.
-  std::string value(const std::string& name, const std::string& fallback) {
-    for (std::size_t i = 0; i + 1 < args_.size(); ++i) {
-      if (args_[i] == name) {
-        consumed_flags_.push_back(i);
-        consumed_flags_.push_back(i + 1);
-        return args_[i + 1];
-      }
-    }
-    return fallback;
-  }
-
-  bool flag(const std::string& name) {
-    for (std::size_t i = 0; i < args_.size(); ++i) {
-      if (args_[i] == name) {
-        consumed_flags_.push_back(i);
-        return true;
-      }
-    }
-    return false;
-  }
-
-  static bool flag_takes_value(const std::string& arg) {
-    return arg == "-o" || arg == "--watch" || arg == "--strategy" ||
-           arg == "--max-cycles" ||
-           arg == "--buckets" || arg == "--procs" || arg == "--run" ||
-           arg == "--mapping" || arg == "--assign" || arg == "--ct" ||
-           arg == "--cs" || arg == "--termination" || arg == "--seed" ||
-           arg == "--from" || arg == "--cycles" || arg == "--trace-out" ||
-           arg == "--metrics-out" || arg == "--top" || arg == "--jobs" ||
-           arg == "--runs" || arg == "--rounds" || arg == "--fault";
-  }
-
- private:
-  bool consumed_(std::size_t i) const {
-    for (auto c : consumed_flags_) {
-      if (c == i) return true;
-    }
-    return false;
-  }
-  const std::vector<std::string>& args_;
-  std::size_t next_ = 0;
-  std::vector<std::size_t> consumed_flags_;
+struct FlagSpec {
+  const char* name;    // "--procs", "-o", ...
+  const char* value;   // metavar; nullptr for boolean flags
+  const char* sample;  // a valid example value; nullptr for boolean flags
+  const char* help;    // one clause, kept short enough for one help line
 };
+
+struct CommandSpec {
+  const char* name;
+  const char* operand;  // nullptr if the command takes no file argument
+  const char* summary;  // '\n'-separated summary lines
+  std::vector<FlagSpec> flags;
+};
+
+constexpr FlagSpec kJobs{"--jobs", "N", "2",
+                         "worker threads for a --procs fan-out (default: auto)"};
+constexpr FlagSpec kTraceOut{
+    "--trace-out", "FILE", "mpps_cli.trace.json",
+    "write a Chrome trace_event timeline of the simulated run(s)"};
+constexpr FlagSpec kMetricsOut{"--metrics-out", "FILE", "mpps_cli.metrics.csv",
+                               "write the metrics-registry CSV"};
+constexpr FlagSpec kJson{"--json", nullptr, nullptr,
+                         "machine-readable output (\"schema_version\": 1)"};
+constexpr FlagSpec kRunModel{"--run", "0..4", "2",
+                             "overhead cost model: 0 zero-overhead, 1..4 the "
+                             "paper's runs (default 1)"};
+constexpr FlagSpec kMapping{"--mapping", "merged|pairs", "pairs",
+                            "map each bucket pair to one processor or to a "
+                            "left/right pair"};
+constexpr FlagSpec kAssign{"--assign", "rr|random|greedy", "greedy",
+                           "bucket-to-processor assignment policy"};
+constexpr FlagSpec kSeed{"--seed", "S", "7", "seed for randomized choices"};
+
+const std::vector<CommandSpec>& commands() {
+  static const std::vector<CommandSpec> kCommands = {
+      {"run", "<file.ops>",
+       "run an OPS5 program to halt/quiescence and print its firings;\n"
+       "--match-threads runs the parallel match engine and prints the\n"
+       "measured per-worker skew; with --procs and/or --trace-out/\n"
+       "--metrics-out the match trace is also replayed on the simulated\n"
+       "MPC (one summary line per --procs entry, fanned out over --jobs)",
+       {
+           {"--strategy", "lex|mea", "mea",
+            "conflict-resolution strategy (default lex)"},
+           {"--max-cycles", "N", "500", "cycle limit (default 100000)"},
+           {"--quiet", nullptr, nullptr, "suppress the per-firing lines"},
+           {"--watch", "0|1|2", "1", "OPS5 watch level (default 0)"},
+           {"--match-threads", "N", "2",
+            "match with N parallel worker threads (default: serial)"},
+           {"--match-assign", "rr|random", "random",
+            "bucket partition across match workers (default rr)"},
+           kSeed,
+           {"--procs", "P[,P...]", "2,4",
+            "simulated match-processor counts (default 8)"},
+           kRunModel,
+           kJobs,
+           kTraceOut,
+           kMetricsOut,
+       }},
+      {"trace", "<file.ops>",
+       "record the program's match-phase activation trace",
+       {
+           {"-o", "FILE", "mpps_cli.trace", "output path (default stdout)"},
+           {"--buckets", "B", "64", "hash buckets per memory (default 256)"},
+       }},
+      {"stats", "<file.trace>",
+       "print activation statistics plus a simulated-run summary per\n"
+       "--procs entry: busy skew, message histogram, hottest buckets",
+       {
+           {"--procs", "P[,P...]", "4,8",
+            "simulated match-processor counts (default 16)"},
+           kRunModel,
+           {"--top", "K", "4", "hottest buckets to list (default 8)"},
+           kJobs,
+           kJson,
+           kTraceOut,
+           kMetricsOut,
+       }},
+      {"simulate", "<file.trace>",
+       "replay a trace on the simulated message-passing machine; a\n"
+       "--procs comma list sweeps the counts in parallel (the exports\n"
+       "then hold the merged registry and merged timeline)",
+       {
+           {"--procs", "P[,P...]", "1,2,4",
+            "match-processor counts (default 8)"},
+           kRunModel,
+           kMapping,
+           kAssign,
+           kSeed,
+           {"--ct", "K", "1", "dedicated constant-test processors"},
+           {"--cs", "M", "1", "dedicated conflict-set processors"},
+           {"--termination", "none|ack|poll", "ack",
+            "cycle-termination detection model"},
+           kJobs,
+           kJson,
+           kTraceOut,
+           kMetricsOut,
+       }},
+      {"sweep", "<file.trace>",
+       "fan a (processors x overhead-runs) grid across worker threads\n"
+       "and print the speedup table; results are bit-identical for every\n"
+       "--jobs value and checked against the simulator's invariant laws",
+       {
+           {"--procs", "P[,P...]", "2,4",
+            "processor counts (default 2,4,8,16,32)"},
+           {"--runs", "R[,R...]", "1,2", "overhead runs (default 1,2,3,4)"},
+           kJobs,
+           kMapping,
+           kAssign,
+           kSeed,
+           {"--csv", nullptr, nullptr, "print the table as CSV"},
+           kJson,
+           kTraceOut,
+           kMetricsOut,
+       }},
+      {"selfcheck", nullptr,
+       "differential self-test: N seeded scenarios through the optimized\n"
+       "AND the naive reference simulator plus the invariant laws;\n"
+       "failing scenarios are shrunk to a minimal repro (exit 0 clean,\n"
+       "1 on any failure)",
+       {
+           {"--rounds", "N", "3", "scenarios to run (default 200)"},
+           kSeed,
+           {"--fault", "none|left-token-undercharge|free-remote-send", "none",
+            "inject a known bug to prove the oracle catches it"},
+           kMetricsOut,
+       }},
+      {"sections", nullptr,
+       "write the synthetic Rubik/Tourney/Weaver sections as traces",
+       {
+           {"-o", "DIR", ".", "output directory (default '.')"},
+       }},
+      {"slice", "<file.trace>",
+       "extract consecutive cycles -- how the paper built its sections",
+       {
+           {"--from", "N", "0", "first cycle (default 0)"},
+           {"--cycles", "K", "2", "cycle count (default 4)"},
+           {"-o", "FILE", "mpps_cli.slice.trace",
+            "output path (default stdout)"},
+       }},
+  };
+  return kCommands;
+}
+
+constexpr const char* kUsageTrailer =
+    "`--trace-out` writes a Chrome trace_event JSON timeline (load it in\n"
+    "chrome://tracing or https://ui.perfetto.dev); `--metrics-out` writes\n"
+    "the metrics registry (plus per-cycle busy/idle for single runs) as\n"
+    "CSV; `--json` output carries \"schema_version\": 1.\n"
+    "docs/OBSERVABILITY.md documents the export formats; docs/SIMULATOR.md\n"
+    "the sweep engine; docs/PARALLEL_MATCH.md the --match-threads engine.\n";
+
+std::string usage_text() {
+  std::ostringstream os;
+  os << "usage: mpps <command> [options]\n\ncommands:\n";
+  for (const CommandSpec& cmd : commands()) {
+    os << "  " << cmd.name;
+    if (cmd.operand != nullptr) os << " " << cmd.operand;
+    os << "\n";
+    std::istringstream summary(cmd.summary);
+    for (std::string line; std::getline(summary, line);) {
+      os << "      " << line << "\n";
+    }
+    for (const FlagSpec& flag : cmd.flags) {
+      std::string label = flag.name;
+      if (flag.value != nullptr) {
+        label += ' ';
+        label += flag.value;
+      }
+      os << "      " << label;
+      const std::size_t column = 34;
+      if (label.size() + 7 < column) {
+        os << std::string(column - 7 - label.size(), ' ');
+      } else {
+        os << "\n" << std::string(column - 1, ' ');
+      }
+      os << " " << flag.help << "\n";
+    }
+    os << "\n";
+  }
+  os << kUsageTrailer;
+  return os.str();
+}
 
 /// Bad command-line input: reported with usage exit code 2, unlike
 /// runtime failures (exit 1).
 class UsageError : public std::runtime_error {
   using std::runtime_error::runtime_error;
+};
+
+/// Flag cursor over one subcommand's argument vector, validated against
+/// the command's spec on construction: an undeclared flag, a missing
+/// flag value, or a stray positional argument is a UsageError.
+class Args {
+ public:
+  Args(const std::vector<std::string>& args, const CommandSpec& spec) {
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      const FlagSpec* flag = find_flag(spec, args[i]);
+      if (flag != nullptr) {
+        if (flag->value != nullptr) {
+          if (i + 1 >= args.size()) {
+            throw UsageError(std::string(spec.name) + ": " + flag->name +
+                             " needs a value (" + flag->value + ")");
+          }
+          values_.emplace_back(args[i], args[i + 1]);
+          ++i;
+        } else {
+          switches_.push_back(args[i]);
+        }
+        continue;
+      }
+      if (args[i].size() > 1 && args[i][0] == '-') {
+        throw UsageError(std::string(spec.name) + ": unknown flag '" +
+                         args[i] + "' (see 'mpps help')");
+      }
+      positionals_.push_back(args[i]);
+    }
+    const std::size_t max_positionals = spec.operand != nullptr ? 1 : 0;
+    if (positionals_.size() > max_positionals) {
+      throw UsageError(std::string(spec.name) + ": unexpected argument '" +
+                       positionals_[max_positionals] + "'");
+    }
+  }
+
+  /// The operand (file argument), or empty if none was given.
+  [[nodiscard]] std::string positional() const {
+    return positionals_.empty() ? std::string() : positionals_.front();
+  }
+
+  /// Value of `--name <value>`, or `fallback`.
+  [[nodiscard]] std::string value(const std::string& name,
+                                  const std::string& fallback) const {
+    for (const auto& [flag, value] : values_) {
+      if (flag == name) return value;
+    }
+    return fallback;
+  }
+
+  [[nodiscard]] bool flag(const std::string& name) const {
+    return std::find(switches_.begin(), switches_.end(), name) !=
+           switches_.end();
+  }
+
+ private:
+  static const FlagSpec* find_flag(const CommandSpec& spec,
+                                   const std::string& name) {
+    for (const FlagSpec& flag : spec.flags) {
+      if (name == flag.name) return &flag;
+    }
+    return nullptr;
+  }
+
+  std::vector<std::pair<std::string, std::string>> values_;
+  std::vector<std::string> switches_;
+  std::vector<std::string> positionals_;
 };
 
 long parse_long_or(const std::string& s, long fallback) {
@@ -175,7 +325,7 @@ std::vector<std::uint32_t> parse_u32_list(const std::string& s,
 /// The `--jobs N` worker-thread count; 0 (auto) when absent.  An explicit
 /// value must be a positive integer — `--jobs 0` and garbage are usage
 /// errors, not a silent fallback to auto.
-unsigned parse_jobs(Args& args) {
+unsigned parse_jobs(const Args& args) {
   const std::string raw = args.value("--jobs", "");
   if (raw.empty()) return 0;
   long v = 0;
@@ -193,7 +343,13 @@ std::string read_file(const std::string& path) {
   return buffer.str();
 }
 
-/// The `--trace-out` / `--metrics-out` pair accepted by run and simulate.
+trace::Trace read_trace_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw RuntimeError("cannot open '" + path + "'");
+  return trace::read_trace(file);
+}
+
+/// The uniform `--trace-out` / `--metrics-out` export pair.
 struct ObsOutputs {
   std::string trace_path;
   std::string metrics_path;
@@ -202,45 +358,77 @@ struct ObsOutputs {
     return !trace_path.empty() || !metrics_path.empty();
   }
 
-  static ObsOutputs from(Args& args) {
+  static ObsOutputs from(const Args& args) {
     return ObsOutputs{args.value("--trace-out", ""),
                       args.value("--metrics-out", "")};
   }
 
-  /// Exports the attached tracer/registry of a finished simulation.
+  /// Single-run export: timeline + per-cycle busy/idle CSV + registry.
   void write(const obs::Tracer& tracer, const obs::Registry& registry,
-             const sim::SimResult& result, std::ostream& out) const {
+             const sim::SimResult& result, std::ostream& note) const {
     if (!trace_path.empty()) {
       std::ofstream file(trace_path);
       if (!file) throw RuntimeError("cannot write '" + trace_path + "'");
       tracer.write_chrome_json(file);
-      out << "wrote trace timeline to " << trace_path << "\n";
+      note << "wrote trace timeline to " << trace_path << "\n";
     }
     if (!metrics_path.empty()) {
       std::ofstream file(metrics_path);
       if (!file) throw RuntimeError("cannot write '" + metrics_path + "'");
       obs::write_metrics_csv(file, result, &registry);
-      out << "wrote metrics to " << metrics_path << "\n";
+      note << "wrote metrics to " << metrics_path << "\n";
+    }
+  }
+
+  /// Fan-out export: merged timeline + merged registry CSV.
+  void write_merged(const obs::Tracer& tracer, const obs::Registry& registry,
+                    std::ostream& note) const {
+    if (!trace_path.empty()) {
+      std::ofstream file(trace_path);
+      if (!file) throw RuntimeError("cannot write '" + trace_path + "'");
+      tracer.write_chrome_json(file);
+      note << "wrote trace timeline to " << trace_path << "\n";
+    }
+    if (!metrics_path.empty()) {
+      std::ofstream file(metrics_path);
+      if (!file) throw RuntimeError("cannot write '" + metrics_path + "'");
+      registry.write_csv(file);
+      note << "wrote metrics to " << metrics_path << "\n";
     }
   }
 };
 
-sim::SimConfig parse_basic_sim_config(Args& args, std::uint32_t default_procs,
-                                      int default_run) {
-  sim::SimConfig config;
-  // --procs may be a comma list; the basic config takes the first entry.
-  config.match_processors =
-      parse_u32_list(args.value("--procs", std::to_string(default_procs)),
-                     "--procs")
-          .front();
-  const int run = static_cast<int>(parse_long_or(
-      args.value("--run", std::to_string(default_run)), default_run));
-  config.costs = run == 0 ? sim::CostModel::zero_overhead()
-                          : sim::CostModel::paper_run(run);
-  return config;
+int parse_run_model(const Args& args, int fallback) {
+  return static_cast<int>(
+      parse_long_or(args.value("--run", std::to_string(fallback)), fallback));
 }
 
-int cmd_run(Args& args, std::ostream& out, std::ostream& err) {
+sim::CostModel cost_model_for_run(int run) {
+  return run == 0 ? sim::CostModel::zero_overhead()
+                  : sim::CostModel::paper_run(run);
+}
+
+/// One simulated-run result object of the `--json` schema (shared by
+/// simulate, sweep and stats so downstream tooling parses one shape).
+void json_sim_result(JsonWriter& w, std::uint32_t procs, int run,
+                     const sim::SimResult& result, double speedup) {
+  w.begin_object();
+  w.field("procs", procs);
+  w.field("run", run);
+  w.field("makespan_us", result.makespan.micros());
+  w.field("speedup", speedup);
+  w.field("messages", result.messages);
+  w.field("local_deliveries", result.local_deliveries);
+  w.field("network_idle_pct", 100.0 * (1.0 - result.network_utilization()));
+  w.field("avg_proc_util_pct", 100.0 * result.avg_processor_utilization());
+  w.end_object();
+}
+
+// ---------------------------------------------------------------------------
+// Subcommands
+// ---------------------------------------------------------------------------
+
+int cmd_run(const Args& args, std::ostream& out, std::ostream& err) {
   const std::string path = args.positional();
   if (path.empty()) {
     err << "run: missing program file\n";
@@ -260,6 +448,19 @@ int cmd_run(Args& args, std::ostream& out, std::ostream& err) {
       static_cast<int>(parse_long_or(args.value("--watch", "0"), 0));
   if (obs_out.any()) options.engine.metrics = &registry;
 
+  const auto match_threads = static_cast<std::uint32_t>(
+      parse_long_or(args.value("--match-threads", "0"), 0));
+  if (match_threads > 0) {
+    pmatch::ParallelOptions popts;
+    popts.threads = match_threads;
+    if (args.value("--match-assign", "rr") == "random") {
+      popts.partition = pmatch::ParallelOptions::Partition::Random;
+      popts.seed = static_cast<std::uint64_t>(
+          parse_long_or(args.value("--seed", "1"), 1));
+    }
+    options.engine_factory = pmatch::parallel_engine_factory(popts);
+  }
+
   const std::string source = read_file(path);
   rete::Interpreter interp(ops5::parse_program(source), options);
   interp.load_initial_wmes();
@@ -276,20 +477,53 @@ int cmd_run(Args& args, std::ostream& out, std::ostream& err) {
       out << "  cycle " << firing.cycle << ": " << firing.production << "\n";
     }
   }
-  const std::vector<std::uint32_t> procs_list =
-      parse_u32_list(args.value("--procs", "8"), "--procs");
-  if (obs_out.any() || procs_list.size() > 1) {
+
+  if (match_threads > 0) {
+    // Measured (wall-clock) behaviour of the parallel match engine — the
+    // real-hardware counterpart of the simulated skew below / in `stats`.
+    const auto& engine =
+        dynamic_cast<const pmatch::ParallelEngine&>(interp.match_engine());
+    const std::vector<pmatch::WorkerStats> workers = engine.worker_stats();
+    std::uint64_t total_busy = 0;
+    std::uint64_t max_busy = 0;
+    out << "parallel match: " << workers.size() << " workers, "
+        << engine.rounds() << " activation rounds\n";
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+      const pmatch::WorkerStats& w = workers[i];
+      total_busy += w.busy_ns;
+      max_busy = std::max(max_busy, w.busy_ns);
+      out << "  worker " << i << ": busy "
+          << static_cast<double>(w.busy_ns) / 1e6 << " ms, " << w.activations
+          << " activations, " << w.messages_sent << " messages sent, "
+          << w.local_deliveries << " local, max mailbox depth "
+          << w.max_mailbox_depth << "\n";
+    }
+    const double mean_busy =
+        static_cast<double>(total_busy) /
+        static_cast<double>(workers.empty() ? 1 : workers.size());
+    const double skew =
+        mean_busy > 0.0 ? static_cast<double>(max_busy) / mean_busy : 1.0;
+    out << "measured busy skew: " << std::fixed << std::setprecision(2)
+        << skew << std::defaultfloat
+        << " (max/mean worker busy; `mpps stats` prints the simulated skew)\n";
+  }
+
+  const std::string procs_raw = args.value("--procs", "");
+  if (obs_out.any() || !procs_raw.empty()) {
     // Replay the program's match trace on the simulated machine and export
     // the run's timeline + metrics (rete.* counters above were recorded by
     // the live engine; sim.* come from this replay).  With a --procs list
     // the entries fan out across --jobs worker threads; the exports
     // describe the first entry.
+    const std::vector<std::uint32_t> procs_list =
+        parse_u32_list(procs_raw.empty() ? "8" : procs_raw, "--procs");
     PipelineOptions pipeline;
     pipeline.interpreter.strategy = options.strategy;
     pipeline.interpreter.max_cycles = options.max_cycles;
-    const PipelineResult recorded = record_trace(
-        ops5::parse_program(source), path, pipeline);
-    const sim::SimConfig base_config = parse_basic_sim_config(args, 8, 1);
+    const PipelineResult recorded =
+        record_trace(ops5::parse_program(source), path, pipeline);
+    sim::SimConfig base_config;
+    base_config.costs = cost_model_for_run(parse_run_model(args, 1));
     obs::Tracer tracer;
     SweepOptions sweep_options;
     sweep_options.jobs = parse_jobs(args);
@@ -320,7 +554,7 @@ int cmd_run(Args& args, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
-int cmd_trace(Args& args, std::ostream& out, std::ostream& err) {
+int cmd_trace(const Args& args, std::ostream& out, std::ostream& err) {
   const std::string path = args.positional();
   if (path.empty()) {
     err << "trace: missing program file\n";
@@ -344,62 +578,138 @@ int cmd_trace(Args& args, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
-int cmd_stats(Args& args, std::ostream& out, std::ostream& err) {
+int cmd_stats(const Args& args, std::ostream& out, std::ostream& err) {
   const std::string path = args.positional();
   if (path.empty()) {
     err << "stats: missing trace file\n";
     return 2;
   }
-  std::ifstream file(path);
-  if (!file) throw RuntimeError("cannot open '" + path + "'");
-  const trace::Trace t = trace::read_trace(file);
+  const trace::Trace t = read_trace_file(path);
   const trace::TraceStats stats = trace::compute_stats(t);
-  TextTable table({"trace", "cycles", "left", "right", "total",
-                   "instantiations", "left %"});
-  table.row()
-      .cell(t.name)
-      .cell(static_cast<unsigned long>(t.cycles.size()))
-      .cell(static_cast<unsigned long>(stats.left))
-      .cell(static_cast<unsigned long>(stats.right))
-      .cell(static_cast<unsigned long>(stats.total()))
-      .cell(static_cast<unsigned long>(stats.instantiations))
-      .cell(stats.left_pct(), 1);
-  table.print(out);
+  const bool json = args.flag("--json");
 
   // The paper's uneven-distribution diagnosis, automated: replay the trace
-  // on the simulated machine and summarize skew, traffic and hot buckets.
-  const sim::SimConfig config = parse_basic_sim_config(args, 16, 1);
+  // on the simulated machine for every --procs entry (fanned out across
+  // --jobs worker threads) and summarize skew, traffic and hot buckets.
+  const std::vector<std::uint32_t> procs_list =
+      parse_u32_list(args.value("--procs", "16"), "--procs");
+  const int run = parse_run_model(args, 1);
   const auto top_k =
       static_cast<std::size_t>(parse_long_or(args.value("--top", "8"), 8));
-  const sim::SimResult result = sim::simulate(
-      t, config,
-      sim::Assignment::round_robin(t.num_buckets, config.partitions()));
-  out << "\nsimulated run summary (" << config.match_processors
-      << " match processors):\n";
-  const obs::RunSummary summary = obs::summarize_run(t, result, top_k);
-  obs::print_run_summary(out, summary);
+  const ObsOutputs obs_out = ObsOutputs::from(args);
+  obs::Registry registry;
+  obs::Tracer tracer;
+  SweepOptions sweep_options;
+  sweep_options.jobs = parse_jobs(args);
+  if (obs_out.any()) {
+    sweep_options.metrics = &registry;
+    sweep_options.tracer = &tracer;
+  }
+  std::vector<SweepScenario> scenarios;
+  for (std::uint32_t procs : procs_list) {
+    SweepScenario scenario;
+    scenario.label = "p" + std::to_string(procs);
+    scenario.trace = &t;
+    scenario.config.match_processors = procs;
+    scenario.config.costs = cost_model_for_run(run);
+    scenario.assignment = sim::Assignment::round_robin(
+        t.num_buckets, scenario.config.partitions());
+    scenarios.push_back(std::move(scenario));
+  }
+  const std::vector<SweepOutcome> outcomes =
+      SweepRunner(sweep_options).run(scenarios);
+
+  if (json) {
+    JsonWriter w(out);
+    w.begin_object();
+    w.field("schema_version", 1);
+    w.field("command", "stats");
+    w.field("trace", t.name);
+    w.field("cycles", static_cast<std::uint64_t>(t.cycles.size()));
+    w.key("activations");
+    w.begin_object();
+    w.field("left", stats.left);
+    w.field("right", stats.right);
+    w.field("total", stats.total());
+    w.field("instantiations", stats.instantiations);
+    w.field("left_pct", stats.left_pct());
+    w.end_object();
+    w.key("simulated");
+    w.begin_array();
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      const sim::SimResult& result = outcomes[i].result;
+      const obs::RunSummary summary = obs::summarize_run(t, result, top_k);
+      w.begin_object();
+      w.field("procs", procs_list[i]);
+      w.field("run", run);
+      w.field("makespan_us", result.makespan.micros());
+      w.field("speedup", outcomes[i].speedup);
+      w.field("messages", summary.messages);
+      w.field("local_deliveries", summary.local_deliveries);
+      w.key("busy_skew");
+      w.begin_object();
+      w.field("p50", summary.busy_skew.p50);
+      w.field("p95", summary.busy_skew.p95);
+      w.field("max", summary.busy_skew.max);
+      w.field("mean", summary.busy_skew.mean);
+      w.end_object();
+      w.field("avg_proc_util_pct", summary.avg_processor_utilization_pct);
+      w.key("hot_buckets");
+      w.begin_array();
+      for (const obs::HotBucket& hot : summary.hot_buckets) {
+        w.begin_object();
+        w.field("bucket", hot.bucket);
+        w.field("activations", hot.activations);
+        w.field("share_pct", hot.share_pct);
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  } else {
+    TextTable table({"trace", "cycles", "left", "right", "total",
+                     "instantiations", "left %"});
+    table.row()
+        .cell(t.name)
+        .cell(static_cast<unsigned long>(t.cycles.size()))
+        .cell(static_cast<unsigned long>(stats.left))
+        .cell(static_cast<unsigned long>(stats.right))
+        .cell(static_cast<unsigned long>(stats.total()))
+        .cell(static_cast<unsigned long>(stats.instantiations))
+        .cell(stats.left_pct(), 1);
+    table.print(out);
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      out << "\nsimulated run summary (" << procs_list[i]
+          << " match processors):\n";
+      const obs::RunSummary summary =
+          obs::summarize_run(t, outcomes[i].result, top_k);
+      obs::print_run_summary(out, summary);
+    }
+  }
+  obs_out.write_merged(tracer, registry, json ? err : out);
   return 0;
 }
 
-int cmd_simulate(Args& args, std::ostream& out, std::ostream& err) {
+int cmd_simulate(const Args& args, std::ostream& out, std::ostream& err) {
   const std::string path = args.positional();
   if (path.empty()) {
     err << "simulate: missing trace file\n";
     return 2;
   }
-  std::ifstream file(path);
-  if (!file) throw RuntimeError("cannot open '" + path + "'");
-  const trace::Trace t = trace::read_trace(file);
+  const trace::Trace t = read_trace_file(path);
+  const bool json = args.flag("--json");
 
   const std::vector<std::uint32_t> procs_list =
       parse_u32_list(args.value("--procs", "8"), "--procs");
 
   sim::SimConfig config;
   config.match_processors = procs_list.front();
-  const int run = static_cast<int>(parse_long_or(args.value("--run", "1"), 1));
-  config.costs = run == 0 ? sim::CostModel::zero_overhead()
-                          : sim::CostModel::paper_run(run);
-  if (args.value("--mapping", "merged") == "pairs") {
+  const int run = parse_run_model(args, 1);
+  config.costs = cost_model_for_run(run);
+  const std::string mapping = args.value("--mapping", "merged");
+  if (mapping == "pairs") {
     config.mapping = sim::MappingMode::ProcessorPairs;
   }
   config.constant_test_processors =
@@ -429,6 +739,26 @@ int cmd_simulate(Args& args, std::ostream& out, std::ostream& err) {
   obs::Registry registry;
   obs::Tracer tracer;
 
+  const auto write_json = [&](const std::vector<std::uint32_t>& procs,
+                              const std::vector<const sim::SimResult*>& results,
+                              const std::vector<double>& speedups) {
+    JsonWriter w(out);
+    w.begin_object();
+    w.field("schema_version", 1);
+    w.field("command", "simulate");
+    w.field("trace", t.name);
+    w.field("mapping", mapping == "pairs" ? "pairs" : "merged");
+    w.field("assign", assign);
+    w.field("termination", termination);
+    w.key("results");
+    w.begin_array();
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      json_sim_result(w, procs[i], run, *results[i], speedups[i]);
+    }
+    w.end_array();
+    w.end_object();
+  };
+
   if (procs_list.size() == 1) {
     if (obs_out.any()) {
       config.metrics = &registry;
@@ -437,19 +767,23 @@ int cmd_simulate(Args& args, std::ostream& out, std::ostream& err) {
     const sim::SimResult result =
         sim::simulate(t, config, assignment_for(config));
     const SimTime base = sim::baseline_time(t);
-    TextTable table({"makespan (us)", "speedup", "messages", "local",
-                     "network idle %", "avg proc util %"});
-    table.row()
-        .cell(result.makespan.micros(), 1)
-        .cell(static_cast<double>(base.nanos()) /
-                  static_cast<double>(result.makespan.nanos()),
-              2)
-        .cell(static_cast<unsigned long>(result.messages))
-        .cell(static_cast<unsigned long>(result.local_deliveries))
-        .cell(100.0 * (1.0 - result.network_utilization()), 1)
-        .cell(100.0 * result.avg_processor_utilization(), 1);
-    table.print(out);
-    obs_out.write(tracer, registry, result, out);
+    const double speedup = static_cast<double>(base.nanos()) /
+                           static_cast<double>(result.makespan.nanos());
+    if (json) {
+      write_json(procs_list, {&result}, {speedup});
+    } else {
+      TextTable table({"makespan (us)", "speedup", "messages", "local",
+                       "network idle %", "avg proc util %"});
+      table.row()
+          .cell(result.makespan.micros(), 1)
+          .cell(speedup, 2)
+          .cell(static_cast<unsigned long>(result.messages))
+          .cell(static_cast<unsigned long>(result.local_deliveries))
+          .cell(100.0 * (1.0 - result.network_utilization()), 1)
+          .cell(100.0 * result.avg_processor_utilization(), 1);
+      table.print(out);
+    }
+    obs_out.write(tracer, registry, result, json ? err : out);
     return 0;
   }
 
@@ -474,51 +808,47 @@ int cmd_simulate(Args& args, std::ostream& out, std::ostream& err) {
   const SweepRunner runner(sweep_options);
   const std::vector<SweepOutcome> outcomes = runner.run(scenarios);
 
-  TextTable table({"procs", "makespan (us)", "speedup", "messages", "local",
-                   "network idle %", "avg proc util %"});
-  for (std::size_t i = 0; i < outcomes.size(); ++i) {
-    const sim::SimResult& result = outcomes[i].result;
-    table.row()
-        .cell(static_cast<unsigned long>(procs_list[i]))
-        .cell(result.makespan.micros(), 1)
-        .cell(outcomes[i].speedup, 2)
-        .cell(static_cast<unsigned long>(result.messages))
-        .cell(static_cast<unsigned long>(result.local_deliveries))
-        .cell(100.0 * (1.0 - result.network_utilization()), 1)
-        .cell(100.0 * result.avg_processor_utilization(), 1);
-  }
-  table.print(out);
-  out << "swept " << outcomes.size() << " configurations on "
-      << runner.jobs() << " worker thread(s)\n";
-  if (!obs_out.trace_path.empty()) {
-    std::ofstream sink(obs_out.trace_path);
-    if (!sink) throw RuntimeError("cannot write '" + obs_out.trace_path + "'");
-    tracer.write_chrome_json(sink);
-    out << "wrote trace timeline to " << obs_out.trace_path << "\n";
-  }
-  if (!obs_out.metrics_path.empty()) {
-    std::ofstream sink(obs_out.metrics_path);
-    if (!sink) {
-      throw RuntimeError("cannot write '" + obs_out.metrics_path + "'");
+  if (json) {
+    std::vector<const sim::SimResult*> results;
+    std::vector<double> speedups;
+    for (const SweepOutcome& outcome : outcomes) {
+      results.push_back(&outcome.result);
+      speedups.push_back(outcome.speedup);
     }
-    registry.write_csv(sink);
-    out << "wrote metrics to " << obs_out.metrics_path << "\n";
+    write_json(procs_list, results, speedups);
+  } else {
+    TextTable table({"procs", "makespan (us)", "speedup", "messages", "local",
+                     "network idle %", "avg proc util %"});
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      const sim::SimResult& result = outcomes[i].result;
+      table.row()
+          .cell(static_cast<unsigned long>(procs_list[i]))
+          .cell(result.makespan.micros(), 1)
+          .cell(outcomes[i].speedup, 2)
+          .cell(static_cast<unsigned long>(result.messages))
+          .cell(static_cast<unsigned long>(result.local_deliveries))
+          .cell(100.0 * (1.0 - result.network_utilization()), 1)
+          .cell(100.0 * result.avg_processor_utilization(), 1);
+    }
+    table.print(out);
+    out << "swept " << outcomes.size() << " configurations on "
+        << runner.jobs() << " worker thread(s)\n";
   }
+  obs_out.write_merged(tracer, registry, json ? err : out);
   return 0;
 }
 
 /// `sweep` — fan a (processors x overhead-runs) grid across worker
 /// threads and print the per-run speedup columns.  Scenario order (and
 /// thus every byte of the output) is fixed regardless of --jobs.
-int cmd_sweep(Args& args, std::ostream& out, std::ostream& err) {
+int cmd_sweep(const Args& args, std::ostream& out, std::ostream& err) {
   const std::string path = args.positional();
   if (path.empty()) {
     err << "sweep: missing trace file\n";
     return 2;
   }
-  std::ifstream file(path);
-  if (!file) throw RuntimeError("cannot open '" + path + "'");
-  const trace::Trace t = trace::read_trace(file);
+  const trace::Trace t = read_trace_file(path);
+  const bool json = args.flag("--json");
 
   const std::vector<std::uint32_t> procs =
       parse_u32_list(args.value("--procs", "2,4,8,16,32"), "--procs");
@@ -557,8 +887,7 @@ int cmd_sweep(Args& args, std::ostream& out, std::ostream& err) {
       scenario.trace = &t;
       scenario.config.match_processors = p;
       if (pairs) scenario.config.mapping = sim::MappingMode::ProcessorPairs;
-      scenario.config.costs = run == 0 ? sim::CostModel::zero_overhead()
-                                       : sim::CostModel::paper_run(run);
+      scenario.config.costs = cost_model_for_run(run);
       scenario.assignment =
           assign == "random"
               ? sim::Assignment::random(t.num_buckets,
@@ -573,46 +902,67 @@ int cmd_sweep(Args& args, std::ostream& out, std::ostream& err) {
   }
 
   obs::Registry registry;
+  obs::Tracer tracer;
   SweepOptions options;
   options.jobs = parse_jobs(args);
   options.check_invariants = true;
-  const std::string metrics_path = args.value("--metrics-out", "");
-  if (!metrics_path.empty()) options.metrics = &registry;
+  const ObsOutputs obs_out = ObsOutputs::from(args);
+  if (obs_out.any()) {
+    options.metrics = &registry;
+    options.tracer = &tracer;
+  }
   const SweepRunner runner(options);
   const std::vector<SweepOutcome> outcomes = runner.run(scenarios);
 
-  std::vector<std::string> headers{"procs"};
-  for (int run : runs) {
-    headers.push_back("run " + std::to_string(run) + " speedup");
-  }
-  TextTable table(std::move(headers));
-  std::size_t index = 0;
-  for (std::uint32_t p : procs) {
-    TextTable& row = table.row();
-    row.cell(static_cast<unsigned long>(p));
-    for (std::size_t r = 0; r < runs.size(); ++r) {
-      row.cell(outcomes[index++].speedup, 2);
+  if (json) {
+    JsonWriter w(out);
+    w.begin_object();
+    w.field("schema_version", 1);
+    w.field("command", "sweep");
+    w.field("trace", t.name);
+    w.field("mapping", pairs ? "pairs" : "merged");
+    w.field("assign", assign);
+    w.key("results");
+    w.begin_array();
+    std::size_t index = 0;
+    for (std::uint32_t p : procs) {
+      for (int run : runs) {
+        json_sim_result(w, p, run, outcomes[index].result,
+                        outcomes[index].speedup);
+        ++index;
+      }
     }
-  }
-  if (args.flag("--csv")) {
-    table.print_csv(out);
+    w.end_array();
+    w.end_object();
   } else {
-    table.print(out);
+    std::vector<std::string> headers{"procs"};
+    for (int run : runs) {
+      headers.push_back("run " + std::to_string(run) + " speedup");
+    }
+    TextTable table(std::move(headers));
+    std::size_t index = 0;
+    for (std::uint32_t p : procs) {
+      TextTable& row = table.row();
+      row.cell(static_cast<unsigned long>(p));
+      for (std::size_t r = 0; r < runs.size(); ++r) {
+        row.cell(outcomes[index++].speedup, 2);
+      }
+    }
+    if (args.flag("--csv")) {
+      table.print_csv(out);
+    } else {
+      table.print(out);
+    }
+    out << "swept " << outcomes.size() << " configurations on "
+        << runner.jobs() << " worker thread(s)\n";
   }
-  out << "swept " << outcomes.size() << " configurations on "
-      << runner.jobs() << " worker thread(s)\n";
-  if (!metrics_path.empty()) {
-    std::ofstream sink(metrics_path);
-    if (!sink) throw RuntimeError("cannot write '" + metrics_path + "'");
-    registry.write_csv(sink);
-    out << "wrote metrics to " << metrics_path << "\n";
-  }
+  obs_out.write_merged(tracer, registry, json ? err : out);
   return 0;
 }
 
 /// `selfcheck` — the differential + metamorphic self-test of the
 /// simulator (docs/TESTING.md).  Deterministic for a fixed --seed.
-int cmd_selfcheck(Args& args, std::ostream& out, std::ostream& err) {
+int cmd_selfcheck(const Args& args, std::ostream& out, std::ostream& err) {
   SelfCheckOptions options;
   {
     const std::string raw = args.value("--rounds", "200");
@@ -646,15 +996,13 @@ int cmd_selfcheck(Args& args, std::ostream& out, std::ostream& err) {
   return result.ok() ? 0 : 1;
 }
 
-int cmd_slice(Args& args, std::ostream& out, std::ostream& err) {
+int cmd_slice(const Args& args, std::ostream& out, std::ostream& err) {
   const std::string path = args.positional();
   if (path.empty()) {
     err << "slice: missing trace file\n";
     return 2;
   }
-  std::ifstream file(path);
-  if (!file) throw RuntimeError("cannot open '" + path + "'");
-  const trace::Trace t = trace::read_trace(file);
+  const trace::Trace t = read_trace_file(path);
   const auto first = static_cast<std::size_t>(
       parse_long_or(args.value("--from", "0"), 0));
   const auto count = static_cast<std::size_t>(
@@ -673,7 +1021,7 @@ int cmd_slice(Args& args, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
-int cmd_sections(Args& args, std::ostream& out, std::ostream&) {
+int cmd_sections(const Args& args, std::ostream& out, std::ostream&) {
   const std::string dir = args.value("-o", ".");
   for (const auto& [name, section] :
        {std::pair<const char*, trace::Trace>{"rubik",
@@ -692,16 +1040,51 @@ int cmd_sections(Args& args, std::ostream& out, std::ostream&) {
 
 }  // namespace
 
+std::vector<CliCommand> cli_commands() {
+  std::vector<CliCommand> out;
+  for (const CommandSpec& cmd : commands()) {
+    CliCommand info;
+    info.name = cmd.name;
+    info.operand = cmd.operand != nullptr ? cmd.operand : "";
+    for (const FlagSpec& flag : cmd.flags) {
+      CliFlag f;
+      f.name = flag.name;
+      f.value_name = flag.value != nullptr ? flag.value : "";
+      f.sample = flag.sample != nullptr ? flag.sample : "";
+      info.flags.push_back(std::move(f));
+    }
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+std::string cli_usage() { return usage_text(); }
+
 int run_cli(const std::vector<std::string>& args, std::ostream& out,
             std::ostream& err) {
   if (args.empty()) {
-    err << kUsage;
+    err << usage_text();
     return 2;
   }
-  const std::vector<std::string> tail(args.begin() + 1, args.end());
-  Args cursor(tail);
+  const std::string& command = args[0];
+  if (command == "help" || command == "--help") {
+    out << usage_text();
+    return 0;
+  }
+  const CommandSpec* spec = nullptr;
+  for (const CommandSpec& candidate : commands()) {
+    if (command == candidate.name) {
+      spec = &candidate;
+      break;
+    }
+  }
+  if (spec == nullptr) {
+    err << "unknown command '" << command << "'\n" << usage_text();
+    return 2;
+  }
   try {
-    const std::string& command = args[0];
+    const std::vector<std::string> tail(args.begin() + 1, args.end());
+    const Args cursor(tail, *spec);
     if (command == "run") return cmd_run(cursor, out, err);
     if (command == "trace") return cmd_trace(cursor, out, err);
     if (command == "stats") return cmd_stats(cursor, out, err);
@@ -709,13 +1092,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     if (command == "sweep") return cmd_sweep(cursor, out, err);
     if (command == "selfcheck") return cmd_selfcheck(cursor, out, err);
     if (command == "sections") return cmd_sections(cursor, out, err);
-    if (command == "slice") return cmd_slice(cursor, out, err);
-    if (command == "help" || command == "--help") {
-      out << kUsage;
-      return 0;
-    }
-    err << "unknown command '" << command << "'\n" << kUsage;
-    return 2;
+    return cmd_slice(cursor, out, err);
   } catch (const UsageError& e) {
     err << "usage error: " << e.what() << "\n";
     return 2;

@@ -1,18 +1,18 @@
 // The `mpps` command-line tool's engine, kept in the library so it can be
-// unit tested.  Subcommands:
+// unit tested.
 //
-//   mpps run <file.ops> [--strategy lex|mea] [--max-cycles N] [--quiet]
-//       Run an OPS5 program to halt/quiescence; print firings.
-//   mpps trace <file.ops> [-o <file.trace>] [--buckets B]
-//       Record the match-phase activation trace of a program.
-//   mpps stats <file.trace>
-//       Print Table 5-2-style statistics for a trace.
-//   mpps simulate <file.trace> [--procs P] [--run 0..4] [--mapping merged|pairs]
-//       [--assign rr|random|greedy] [--ct K] [--cs M]
-//       [--termination none|ack|poll]
-//       Replay a trace on the simulated message-passing machine.
-//   mpps sections [-o <dir>]
-//       Write the three synthetic paper sections as trace files.
+// The subcommand surface is declared in one flag table inside cli.cpp;
+// the usage text is generated from that table (so help cannot drift from
+// what is accepted), unknown flags are usage errors (exit 2), and
+// `cli_commands()` exposes the table so tests can assert that every
+// documented flag is actually parsed.
+//
+// Shared conventions across subcommands (see `mpps help`):
+//   --procs P[,P...]   processor counts; a comma list fans out in parallel
+//   --jobs N           worker threads for fan-out (0/absent = auto)
+//   --trace-out FILE   Chrome trace_event timeline of the simulated run(s)
+//   --metrics-out FILE metrics-registry CSV of the run(s)
+//   --json             versioned machine-readable output (schema_version 1)
 #pragma once
 
 #include <iosfwd>
@@ -21,8 +21,29 @@
 
 namespace mpps::core {
 
+/// One documented flag of a subcommand (from the cli.cpp flag table).
+struct CliFlag {
+  std::string name;        // e.g. "--procs" or "-o"
+  std::string value_name;  // metavar; empty for boolean flags
+  std::string sample;      // a valid example value (tests); empty if boolean
+};
+
+/// One subcommand and its accepted flags.
+struct CliCommand {
+  std::string name;     // e.g. "simulate"
+  std::string operand;  // e.g. "<file.trace>"; empty if none
+  std::vector<CliFlag> flags;
+};
+
+/// The full declared CLI surface, in help order.
+std::vector<CliCommand> cli_commands();
+
+/// The generated usage text (what `mpps help` prints).
+std::string cli_usage();
+
 /// Runs one CLI invocation.  `args` excludes the program name.  Returns
 /// the process exit code; all output goes to the provided streams.
+/// Exit codes: 0 success, 1 runtime failure, 2 usage error.
 int run_cli(const std::vector<std::string>& args, std::ostream& out,
             std::ostream& err);
 

@@ -1,0 +1,148 @@
+// A minimal streaming JSON writer for the CLI's `--json` output mode.
+// Emits pretty-printed, key-ordered JSON with a stable number format
+// (printf %.10g — no locale, no trailing noise) so the golden-file tests
+// in tests/golden/ can pin the schema byte-for-byte.
+//
+// Usage:
+//   JsonWriter w(out);
+//   w.begin_object();
+//   w.field("schema_version", 1);
+//   w.key("results"); w.begin_array();
+//   ... w.end_array();
+//   w.end_object();  // writes the final newline
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mpps::core {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  void begin_object() {
+    open('{');
+  }
+  void end_object() {
+    close('}');
+  }
+  void begin_array() {
+    open('[');
+  }
+  void end_array() {
+    close(']');
+  }
+
+  /// Writes `"name": ` — must be followed by a value or begin_*.
+  void key(std::string_view name) {
+    element();
+    write_string(name);
+    out_ << ": ";
+    pending_key_ = true;
+  }
+
+  void value(std::string_view s) {
+    element();
+    write_string(s);
+  }
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(bool b) {
+    element();
+    out_ << (b ? "true" : "false");
+  }
+  void value(double d) {
+    element();
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "%.10g", d);
+    out_ << buffer;
+  }
+  void value(std::uint64_t v) {
+    element();
+    out_ << v;
+  }
+  void value(std::uint32_t v) { value(static_cast<std::uint64_t>(v)); }
+  void value(int v) {
+    element();
+    out_ << v;
+  }
+
+  template <typename T>
+  void field(std::string_view name, T v) {
+    key(name);
+    value(v);
+  }
+
+ private:
+  struct Scope {
+    bool array = false;
+    std::size_t count = 0;
+  };
+
+  void open(char c) {
+    element();
+    out_ << c;
+    scopes_.push_back(Scope{c == '[', 0});
+  }
+
+  void close(char c) {
+    const bool empty = scopes_.back().count == 0;
+    scopes_.pop_back();
+    if (!empty) {
+      out_ << "\n";
+      indent();
+    }
+    out_ << c;
+    if (scopes_.empty()) out_ << "\n";
+  }
+
+  /// Comma/newline/indent bookkeeping before any element.
+  void element() {
+    if (pending_key_) {
+      pending_key_ = false;
+      return;  // value directly follows its key on the same line
+    }
+    if (scopes_.empty()) return;
+    if (scopes_.back().count > 0) out_ << ",";
+    out_ << "\n";
+    ++scopes_.back().count;
+    indent();
+  }
+
+  void indent() {
+    for (std::size_t i = 0; i < scopes_.size(); ++i) out_ << "  ";
+  }
+
+  void write_string(std::string_view s) {
+    out_ << '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': out_ << "\\\""; break;
+        case '\\': out_ << "\\\\"; break;
+        case '\n': out_ << "\\n"; break;
+        case '\t': out_ << "\\t"; break;
+        case '\r': out_ << "\\r"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buffer[8];
+            std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                          static_cast<unsigned>(c));
+            out_ << buffer;
+          } else {
+            out_ << c;
+          }
+      }
+    }
+    out_ << '"';
+  }
+
+  std::ostream& out_;
+  std::vector<Scope> scopes_;
+  bool pending_key_ = false;
+};
+
+}  // namespace mpps::core

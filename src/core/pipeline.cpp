@@ -9,7 +9,7 @@ PipelineResult record_trace(const ops5::Program& program, std::string name,
                             const PipelineOptions& options) {
   rete::Interpreter interp(program, options.interpreter);
   trace::Collector collector(options.interpreter.engine.num_buckets);
-  interp.engine().set_listener(&collector);
+  interp.match_engine().set_listener(&collector);
   interp.load_initial_wmes();
 
   PipelineResult result;

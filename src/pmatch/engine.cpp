@@ -1,0 +1,650 @@
+#include "src/pmatch/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "src/common/error.hpp"
+
+namespace mpps::pmatch {
+
+using rete::ActivationRecord;
+using rete::AlphaNode;
+using rete::AlphaSuccessor;
+using rete::BetaNode;
+using rete::BetaSuccessor;
+using rete::HashedMemory;
+using rete::JoinTest;
+using rete::Side;
+using rete::Tag;
+using rete::Token;
+using rete::Value;
+
+namespace {
+
+std::uint32_t resolve_threads(const ParallelOptions& options) {
+  return options.threads == 0 ? 1 : options.threads;
+}
+
+std::uint32_t resolve_buckets(const ParallelOptions& options) {
+  if (options.assignment.has_value()) {
+    return options.assignment->num_buckets();
+  }
+  return options.num_buckets == 0 ? 256 : options.num_buckets;
+}
+
+sim::Assignment resolve_assignment(const ParallelOptions& options,
+                                   std::uint32_t threads,
+                                   std::uint32_t num_buckets) {
+  if (options.assignment.has_value()) {
+    if (options.assignment->num_buckets() == 0) {
+      throw RuntimeError("ParallelEngine: assignment has no buckets");
+    }
+    if (options.assignment->num_procs() != threads) {
+      throw RuntimeError(
+          "ParallelEngine: assignment maps " +
+          std::to_string(options.assignment->num_procs()) +
+          " processors but the engine runs " + std::to_string(threads) +
+          " threads");
+    }
+    return *options.assignment;
+  }
+  if (options.partition == ParallelOptions::Partition::Random) {
+    return sim::Assignment::random(num_buckets, threads, options.seed);
+  }
+  return sim::Assignment::round_robin(num_buckets, threads);
+}
+
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+}  // namespace
+
+ParallelEngine::ParallelEngine(const rete::Network& net,
+                               ParallelOptions options)
+    : net_(net),
+      options_(options),
+      threads_(resolve_threads(options)),
+      num_buckets_(resolve_buckets(options)),
+      assignment_(resolve_assignment(options, threads_, num_buckets_)),
+      owner_map_(assignment_.map_for(0)),
+      conflict_([&net](ProductionId pid) {
+        return net.production(pid).specificity();
+      }),
+      round_barrier_(static_cast<std::ptrdiff_t>(threads_)),
+      exchange_barrier_(static_cast<std::ptrdiff_t>(threads_),
+                        ExchangeCompletion{this}) {
+  workers_.reserve(threads_);
+  for (std::uint32_t i = 0; i < threads_; ++i) {
+    workers_.push_back(
+        std::make_unique<Worker>(i, num_buckets_, options_.mailbox_capacity));
+  }
+  flushed_workers_.resize(threads_);
+  if (options_.metrics != nullptr) {
+    obs::Registry& reg = *options_.metrics;
+    instr_.left = &reg.counter("rete.activations", {{"side", "left"}});
+    instr_.right = &reg.counter("rete.activations", {{"side", "right"}});
+    instr_.tokens = &reg.counter("rete.tokens_generated");
+    instr_.comparisons = &reg.counter("rete.comparisons");
+    instr_.stale = &reg.counter("rete.stale_deletes");
+    instr_.live_tokens = &reg.gauge("rete.live_tokens");
+    instr_.messages = &reg.counter("pmatch.messages");
+    instr_.local = &reg.counter("pmatch.local_deliveries");
+    instr_.rounds = &reg.counter("pmatch.rounds");
+    instr_.phases = &reg.counter("pmatch.phases");
+    instr_.overflows = &reg.counter("pmatch.mailbox_overflows");
+    instr_.mailbox_depth = &reg.histogram(
+        "pmatch.mailbox_depth", obs::Histogram::exponential_bounds(1, 2.0, 12));
+    instr_.busy.reserve(threads_);
+    instr_.idle.reserve(threads_);
+    for (std::uint32_t i = 0; i < threads_; ++i) {
+      instr_.busy.push_back(&reg.counter("pmatch.worker_busy_ns",
+                                         {{"worker", std::to_string(i)}}));
+      instr_.idle.push_back(&reg.counter("pmatch.worker_idle_ns",
+                                         {{"worker", std::to_string(i)}}));
+    }
+  }
+  for (auto& worker : workers_) {
+    Worker* w = worker.get();
+    w->thread = std::thread([this, w] { worker_main(*w); });
+  }
+}
+
+ParallelEngine::~ParallelEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+void ParallelEngine::worker_main(Worker& w) {
+  std::uint64_t seen = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock, [&] { return stop_ || phase_gen_ > seen; });
+      if (stop_) return;
+      seen = phase_gen_;
+    }
+    run_worker_phase(w);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++workers_done_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ParallelEngine::run_worker_phase(Worker& w) {
+  const auto phase_start = std::chrono::steady_clock::now();
+  std::uint64_t idle_ns = 0;
+  w.records.clear();
+  w.deltas.clear();
+  w.drain_depths.clear();
+  w.current.clear();
+  w.next.clear();
+  w.self_next.clear();
+  w.provisional_counter = 0;
+  w.round = 0;
+  try {
+    scan_roots(w);
+  } catch (...) {
+    w.error = std::current_exception();
+    w.current.clear();
+  }
+  while (true) {
+    w.emit_seq = 0;
+    if (w.error == nullptr) {
+      try {
+        for (const WorkItem& item : w.current) process_item(w, item);
+      } catch (...) {
+        w.error = std::current_exception();
+      }
+    }
+    auto wait_start = std::chrono::steady_clock::now();
+    round_barrier_.arrive_and_wait();
+    idle_ns += elapsed_ns(wait_start);
+
+    w.next.clear();
+    const std::size_t drained = w.mailbox.drain_into(w.next);
+    w.drain_depths.push_back(drained);
+    for (WorkItem& item : w.self_next) w.next.push_back(std::move(item));
+    w.self_next.clear();
+    std::sort(w.next.begin(), w.next.end(),
+              [](const WorkItem& a, const WorkItem& b) {
+                return a.sender != b.sender ? a.sender < b.sender
+                                            : a.seq < b.seq;
+              });
+    pending_total_.fetch_add(w.next.size(), std::memory_order_relaxed);
+
+    wait_start = std::chrono::steady_clock::now();
+    exchange_barrier_.arrive_and_wait();
+    idle_ns += elapsed_ns(wait_start);
+    if (phase_done_) break;
+    std::swap(w.current, w.next);
+    ++w.round;
+  }
+  const std::uint64_t phase_ns = elapsed_ns(phase_start);
+  w.wstats.idle_ns += idle_ns;
+  w.wstats.busy_ns += phase_ns > idle_ns ? phase_ns - idle_ns : 0;
+}
+
+void ParallelEngine::on_exchange() noexcept {
+  phase_done_ = pending_total_.load(std::memory_order_relaxed) == 0;
+  pending_total_.store(0, std::memory_order_relaxed);
+  ++rounds_executed_;
+}
+
+void ParallelEngine::scan_roots(Worker& w) {
+  const ops5::WmeChange& change = *phase_change_;
+  const Tag tag = phase_tag_;
+  const WmeId id = change.wme.id();
+  for (const AlphaNode& alpha : net_.alphas()) {
+    if (!alpha.matches(change.wme)) continue;
+    for (const AlphaSuccessor& succ : alpha.successors) {
+      const BetaNode& dest = net_.beta(succ.beta);
+      WorkItem item;
+      item.sender = w.index;
+      item.node = succ.beta;
+      item.side = succ.side;
+      item.tag = tag;
+      if (succ.side == Side::Left) {
+        item.token = Token{{id}};
+        item.key = left_key(dest, item.token);
+      } else {
+        item.wme = id;
+        item.key = right_key(dest, change.wme);
+      }
+      item.bucket = rete::bucket_index(succ.beta, item.key, num_buckets_);
+      if (owner_map_[item.bucket] != w.index) continue;
+      w.current.push_back(std::move(item));
+    }
+  }
+}
+
+void ParallelEngine::process_item(Worker& w, const WorkItem& item) {
+  if (item.side == Side::Left) {
+    process_left(w, item);
+  } else {
+    process_right(w, item);
+  }
+}
+
+std::vector<Value> ParallelEngine::left_key(const BetaNode& node,
+                                            const Token& t) const {
+  std::vector<Value> key;
+  key.reserve(node.n_eq_tests);
+  for (std::uint32_t i = 0; i < node.n_eq_tests; ++i) {
+    const JoinTest& test = node.tests[i];
+    key.push_back(wmes_.at(t.wmes[test.left_pos]).get(test.left_attr));
+  }
+  return key;
+}
+
+std::vector<Value> ParallelEngine::right_key(const BetaNode& node,
+                                             const ops5::Wme& w) const {
+  std::vector<Value> key;
+  key.reserve(node.n_eq_tests);
+  for (std::uint32_t i = 0; i < node.n_eq_tests; ++i) {
+    key.push_back(w.get(node.tests[i].right_attr));
+  }
+  return key;
+}
+
+bool ParallelEngine::non_eq_tests_pass(const BetaNode& node, const Token& t,
+                                       const ops5::Wme& w) const {
+  for (std::uint32_t i = node.n_eq_tests; i < node.tests.size(); ++i) {
+    const JoinTest& test = node.tests[i];
+    const Value& lv = wmes_.at(t.wmes[test.left_pos]).get(test.left_attr);
+    if (!w.get(test.right_attr).test(test.pred, lv)) return false;
+  }
+  return true;
+}
+
+void ParallelEngine::emit(Worker& w, const BetaNode& node, const Token& token,
+                          Tag tag, std::uint64_t provisional_parent,
+                          std::uint32_t& successors,
+                          std::uint32_t& instantiations) {
+  for (const BetaSuccessor& succ : node.successors) {
+    ++w.stats.tokens_generated;
+    if (succ.kind == BetaSuccessor::Kind::Production) {
+      ++instantiations;
+      w.deltas.push_back(ConflictDelta{succ.production, token, tag, w.round});
+    } else {
+      ++successors;
+      const BetaNode& dest = net_.beta(succ.beta);
+      WorkItem child;
+      child.parent = provisional_parent;
+      child.seq = w.emit_seq++;
+      child.sender = w.index;
+      child.node = succ.beta;
+      child.side = Side::Left;  // two-input node outputs feed left inputs only
+      child.tag = tag;
+      child.token = token;
+      child.key = left_key(dest, token);
+      child.bucket = rete::bucket_index(succ.beta, child.key, num_buckets_);
+      route(w, std::move(child));
+    }
+  }
+}
+
+void ParallelEngine::route(Worker& w, WorkItem item) {
+  const std::uint32_t owner = owner_map_[item.bucket];
+  if (owner == w.index) {
+    ++w.wstats.local_deliveries;
+    w.self_next.push_back(std::move(item));
+  } else {
+    ++w.wstats.messages_sent;
+    workers_[owner]->mailbox.push(std::move(item));
+  }
+}
+
+void ParallelEngine::process_left(Worker& w, const WorkItem& item) {
+  const BetaNode& node = net_.beta(item.node);
+  ++w.stats.left_activations;
+  ++w.wstats.activations;
+  const std::uint64_t prov =
+      (static_cast<std::uint64_t>(w.index + 1) << 40) |
+      ++w.provisional_counter;
+
+  PendingRecord pr;
+  pr.provisional_id = prov;
+  pr.provisional_parent = item.parent;
+  pr.round = w.round;
+  pr.rec.node = node.id;
+  pr.rec.side = Side::Left;
+  pr.rec.tag = item.tag;
+  pr.rec.bucket = item.bucket;
+
+  if (node.kind == BetaNode::Kind::Join) {
+    if (item.tag == Tag::Plus) {
+      w.left.insert(node.id, item.token, item.key);
+    } else if (!w.left.erase(node.id, item.token, item.key)) {
+      ++w.stats.stale_deletes;
+    }
+    const auto candidates = w.right.find(node.id, item.key);
+    for (HashedMemory::Entry* e : candidates) {
+      ++w.stats.comparisons;
+      const ops5::Wme& wme = wmes_.at(e->token.wmes[0]);
+      if (!non_eq_tests_pass(node, item.token, wme)) continue;
+      Token child = item.token;
+      child.wmes.push_back(e->token.wmes[0]);
+      emit(w, node, child, item.tag, prov, pr.rec.successors,
+           pr.rec.instantiations);
+    }
+  } else {  // Negative node
+    if (item.tag == Tag::Plus) {
+      int count = 0;
+      const auto candidates = w.right.find(node.id, item.key);
+      for (HashedMemory::Entry* e : candidates) {
+        ++w.stats.comparisons;
+        if (non_eq_tests_pass(node, item.token, wmes_.at(e->token.wmes[0]))) {
+          ++count;
+        }
+      }
+      w.left.insert(node.id, item.token, item.key);
+      w.left.find_token(node.id, item.token, item.key)->neg_count = count;
+      if (count == 0) {
+        emit(w, node, item.token, Tag::Plus, prov, pr.rec.successors,
+             pr.rec.instantiations);
+      }
+    } else {
+      HashedMemory::Entry* e = w.left.find_token(node.id, item.token, item.key);
+      if (e == nullptr) {
+        ++w.stats.stale_deletes;
+      } else {
+        const bool was_propagated = e->neg_count == 0;
+        w.left.erase(node.id, item.token, item.key);
+        if (was_propagated) {
+          emit(w, node, item.token, Tag::Minus, prov, pr.rec.successors,
+               pr.rec.instantiations);
+        }
+      }
+    }
+  }
+  w.records.push_back(std::move(pr));
+}
+
+void ParallelEngine::process_right(Worker& w, const WorkItem& item) {
+  const BetaNode& node = net_.beta(item.node);
+  ++w.stats.right_activations;
+  ++w.wstats.activations;
+  const ops5::Wme& wme = wmes_.at(item.wme);
+  const Token wme_token{{item.wme}};
+  const std::uint64_t prov =
+      (static_cast<std::uint64_t>(w.index + 1) << 40) |
+      ++w.provisional_counter;
+
+  PendingRecord pr;
+  pr.provisional_id = prov;
+  pr.provisional_parent = item.parent;
+  pr.round = w.round;
+  pr.rec.node = node.id;
+  pr.rec.side = Side::Right;
+  pr.rec.tag = item.tag;
+  pr.rec.bucket = item.bucket;
+
+  if (node.kind == BetaNode::Kind::Join) {
+    if (item.tag == Tag::Plus) {
+      w.right.insert(node.id, wme_token, item.key);
+    } else if (!w.right.erase(node.id, wme_token, item.key)) {
+      ++w.stats.stale_deletes;
+    }
+    const auto candidates = w.left.find(node.id, item.key);
+    for (HashedMemory::Entry* e : candidates) {
+      ++w.stats.comparisons;
+      if (!non_eq_tests_pass(node, e->token, wme)) continue;
+      Token child = e->token;
+      child.wmes.push_back(item.wme);
+      emit(w, node, child, item.tag, prov, pr.rec.successors,
+           pr.rec.instantiations);
+    }
+  } else {  // Negative node
+    if (item.tag == Tag::Plus) {
+      w.right.insert(node.id, wme_token, item.key);
+      const auto candidates = w.left.find(node.id, item.key);
+      for (HashedMemory::Entry* e : candidates) {
+        ++w.stats.comparisons;
+        if (!non_eq_tests_pass(node, e->token, wme)) continue;
+        if (e->neg_count++ == 0) {
+          emit(w, node, e->token, Tag::Minus, prov, pr.rec.successors,
+               pr.rec.instantiations);
+        }
+      }
+    } else {
+      if (!w.right.erase(node.id, wme_token, item.key)) {
+        ++w.stats.stale_deletes;
+      } else {
+        const auto candidates = w.left.find(node.id, item.key);
+        for (HashedMemory::Entry* e : candidates) {
+          ++w.stats.comparisons;
+          if (!non_eq_tests_pass(node, e->token, wme)) continue;
+          if (--e->neg_count == 0) {
+            emit(w, node, e->token, Tag::Plus, prov, pr.rec.successors,
+                 pr.rec.instantiations);
+          }
+        }
+      }
+    }
+  }
+  w.records.push_back(std::move(pr));
+}
+
+void ParallelEngine::process_change(const ops5::WmeChange& change) {
+  if (listener_ != nullptr) listener_->on_wme_change(change);
+  const Tag tag =
+      change.kind == ops5::WmeChange::Kind::Add ? Tag::Plus : Tag::Minus;
+  const WmeId id = change.wme.id();
+  if (tag == Tag::Plus) {
+    wmes_.emplace(id, change.wme);
+  }
+  // Constant-test phase, control side: single-positive-CE productions
+  // update the conflict set directly (same scan order as the serial
+  // engine); everything else is seeded by the workers' own alpha scans.
+  for (const AlphaNode& alpha : net_.alphas()) {
+    if (!alpha.matches(change.wme)) continue;
+    for (ProductionId pid : alpha.direct_productions) {
+      update_conflict_set(pid, Token{{id}}, tag);
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    phase_change_ = &change;
+    phase_tag_ = tag;
+    ++phase_gen_;
+    start_cv_.notify_all();
+    done_cv_.wait(lock, [&] { return workers_done_ == threads_; });
+    workers_done_ = 0;
+    phase_change_ = nullptr;
+  }
+  std::exception_ptr error;
+  for (auto& w : workers_) {
+    if (w->error != nullptr && error == nullptr) error = w->error;
+    w->error = nullptr;
+  }
+  if (error != nullptr) std::rethrow_exception(error);
+  merge_phase();
+  if (tag == Tag::Minus) {
+    wmes_.erase(id);
+  }
+  ++phases_;
+  collect_stats();
+  flush_metrics();
+}
+
+void ParallelEngine::merge_phase() {
+  // Deterministic causal merge: round-major, worker-minor, per-worker
+  // emission order.  Rounds are BFS levels, so a parent's record is always
+  // assigned its final id before any of its children are remapped; at one
+  // thread this order IS the serial engine's FIFO order.
+  remap_.clear();
+  std::vector<std::size_t> rec_cursor(threads_, 0);
+  std::vector<std::size_t> delta_cursor(threads_, 0);
+  auto all_merged = [&] {
+    for (std::uint32_t i = 0; i < threads_; ++i) {
+      if (rec_cursor[i] < workers_[i]->records.size()) return false;
+      if (delta_cursor[i] < workers_[i]->deltas.size()) return false;
+    }
+    return true;
+  };
+  for (std::uint32_t round = 0; !all_merged(); ++round) {
+    for (std::uint32_t i = 0; i < threads_; ++i) {
+      auto& records = workers_[i]->records;
+      while (rec_cursor[i] < records.size() &&
+             records[rec_cursor[i]].round == round) {
+        PendingRecord& pr = records[rec_cursor[i]++];
+        ActivationRecord rec = pr.rec;
+        rec.id = ActivationId{next_activation_++};
+        remap_.emplace(pr.provisional_id, rec.id);
+        rec.parent = pr.provisional_parent == 0
+                         ? ActivationId::invalid()
+                         : remap_.at(pr.provisional_parent);
+        if (listener_ != nullptr) listener_->on_activation(rec);
+      }
+    }
+    for (std::uint32_t i = 0; i < threads_; ++i) {
+      auto& deltas = workers_[i]->deltas;
+      while (delta_cursor[i] < deltas.size() &&
+             deltas[delta_cursor[i]].round == round) {
+        ConflictDelta& d = deltas[delta_cursor[i]++];
+        update_conflict_set(d.pid, d.token, d.tag);
+      }
+    }
+  }
+}
+
+void ParallelEngine::update_conflict_set(ProductionId pid, const Token& token,
+                                         Tag tag) {
+  rete::Instantiation inst{pid, token};
+  if (tag == Tag::Plus) {
+    conflict_.add(std::move(inst));
+  } else {
+    conflict_.remove(inst);
+  }
+}
+
+void ParallelEngine::collect_stats() {
+  stats_ = rete::EngineStats{};
+  for (const auto& w : workers_) {
+    stats_.left_activations += w->stats.left_activations;
+    stats_.right_activations += w->stats.right_activations;
+    stats_.tokens_generated += w->stats.tokens_generated;
+    stats_.comparisons += w->stats.comparisons;
+    stats_.stale_deletes += w->stats.stale_deletes;
+  }
+}
+
+std::vector<WorkerStats> ParallelEngine::worker_stats() const {
+  std::vector<WorkerStats> out;
+  out.reserve(threads_);
+  for (const auto& w : workers_) {
+    WorkerStats s = w->wstats;
+    const auto mb = w->mailbox.stats();
+    s.max_mailbox_depth = mb.max_depth;
+    s.mailbox_overflows = mb.overflows;
+    out.push_back(s);
+  }
+  return out;
+}
+
+void ParallelEngine::flush_metrics() {
+  if (options_.metrics == nullptr) return;
+  instr_.left->add(stats_.left_activations - flushed_.left_activations);
+  instr_.right->add(stats_.right_activations - flushed_.right_activations);
+  instr_.tokens->add(stats_.tokens_generated - flushed_.tokens_generated);
+  instr_.comparisons->add(stats_.comparisons - flushed_.comparisons);
+  instr_.stale->add(stats_.stale_deletes - flushed_.stale_deletes);
+  std::size_t live = 0;
+  for (const auto& w : workers_) {
+    live += w->left.total_tokens() + w->right.total_tokens();
+  }
+  instr_.live_tokens->set(static_cast<std::int64_t>(live));
+  const std::vector<WorkerStats> current = worker_stats();
+  std::uint64_t messages = 0;
+  std::uint64_t local = 0;
+  std::uint64_t overflows = 0;
+  for (std::uint32_t i = 0; i < threads_; ++i) {
+    messages += current[i].messages_sent - flushed_workers_[i].messages_sent;
+    local +=
+        current[i].local_deliveries - flushed_workers_[i].local_deliveries;
+    overflows +=
+        current[i].mailbox_overflows - flushed_workers_[i].mailbox_overflows;
+    instr_.busy[i]->add(current[i].busy_ns - flushed_workers_[i].busy_ns);
+    instr_.idle[i]->add(current[i].idle_ns - flushed_workers_[i].idle_ns);
+  }
+  instr_.messages->add(messages);
+  instr_.local->add(local);
+  instr_.overflows->add(overflows);
+  instr_.rounds->add(rounds_executed_ - flushed_rounds_);
+  instr_.phases->add(phases_ - flushed_phases_);
+  for (const auto& w : workers_) {
+    for (std::uint64_t depth : w->drain_depths) {
+      instr_.mailbox_depth->observe(static_cast<std::int64_t>(depth));
+    }
+  }
+  flushed_ = stats_;
+  flushed_workers_ = current;
+  flushed_rounds_ = rounds_executed_;
+  flushed_phases_ = phases_;
+}
+
+rete::MatchEngineFactory parallel_engine_factory(ParallelOptions options) {
+  return [options](const rete::Network& net, const rete::EngineOptions& eopts)
+             -> std::unique_ptr<rete::MatchEngine> {
+    ParallelOptions merged = options;
+    if (merged.num_buckets == 0 && !merged.assignment.has_value()) {
+      merged.num_buckets = eopts.num_buckets;
+    }
+    if (merged.metrics == nullptr) merged.metrics = eopts.metrics;
+    return std::make_unique<ParallelEngine>(net, merged);
+  };
+}
+
+sim::Assignment greedy_static(const trace::Trace& trace, std::uint32_t threads,
+                              const sim::CostModel& costs) {
+  if (threads == 0) threads = 1;
+  const std::uint32_t num_buckets = trace.num_buckets;
+  std::vector<std::uint64_t> cost(num_buckets, 0);
+  for (const auto& cycle : trace.cycles) {
+    for (const auto& a : cycle.activations) {
+      const SimTime c = costs.token_cost(a.side == Side::Left) +
+                        costs.per_successor * a.successors;
+      cost[a.bucket] += static_cast<std::uint64_t>(c.nanos());
+    }
+  }
+  std::vector<std::uint32_t> order(num_buckets);
+  for (std::uint32_t b = 0; b < num_buckets; ++b) order[b] = b;
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return cost[a] != cost[b] ? cost[a] > cost[b] : a < b;
+            });
+  std::vector<std::uint64_t> load(threads, 0);
+  std::vector<std::uint32_t> map(num_buckets, 0);
+  std::uint32_t rr = 0;
+  for (std::uint32_t b : order) {
+    if (cost[b] == 0) {
+      // Zero-cost buckets are dealt round-robin, as in Assignment::greedy.
+      map[b] = rr;
+      rr = (rr + 1) % threads;
+      continue;
+    }
+    std::uint32_t best = 0;
+    for (std::uint32_t p = 1; p < threads; ++p) {
+      if (load[p] < load[best]) best = p;
+    }
+    map[b] = best;
+    load[best] += cost[b];
+  }
+  return sim::Assignment::fixed(std::move(map), threads);
+}
+
+}  // namespace mpps::pmatch

@@ -1,0 +1,295 @@
+// The parallel match engine: the paper's architecture executed for real on
+// shared-memory threads instead of simulated from a trace.  N worker
+// threads act as match processors; the bucket space of the global hashed
+// token memories is partitioned across them with the same
+// `sim::Assignment` policies the simulator maps with; and token
+// activations travel between workers through bounded MPSC mailboxes (the
+// "messages").  A cycle barrier at conflict-set assembly hands the merged
+// conflict set back to the Interpreter's match-resolve-act loop.
+//
+// Execution model (docs/PARALLEL_MATCH.md has the full walkthrough):
+// every WM change runs as one bulk-synchronous phase.  Workers process
+// activation rounds — round 0 holds the constant-test roots, round r+1
+// holds the tokens round r generated — with a barrier between rounds at
+// which mailboxes are drained and the next round is sorted by
+// (sender, sequence).  Because an activation touches exactly one
+// left/right bucket pair and each pair has one owner, per-bucket state
+// never needs a lock; because rounds are merged in deterministic order,
+// the conflict set, trace records and activation ids are reproducible for
+// a fixed thread count — and at 1 thread they are byte-identical to the
+// serial `rete::Engine` (asserted in tests/pmatch_determinism_test.cpp).
+#pragma once
+
+#include <atomic>
+#include <barrier>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/ids.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/ops5/wme.hpp"
+#include "src/pmatch/mailbox.hpp"
+#include "src/rete/conflict.hpp"
+#include "src/rete/engine.hpp"
+#include "src/rete/memory.hpp"
+#include "src/rete/network.hpp"
+#include "src/sim/assignment.hpp"
+#include "src/sim/costs.hpp"
+#include "src/trace/record.hpp"
+
+namespace mpps::pmatch {
+
+struct ParallelOptions {
+  /// Worker threads = match processors.  0 ⇒ 1.
+  std::uint32_t threads = 2;
+  /// Buckets per memory side; 0 ⇒ inherit rete::EngineOptions::num_buckets
+  /// through `parallel_engine_factory` (256 when constructed directly).
+  std::uint32_t num_buckets = 0;
+  /// Bucket-to-worker policy when no explicit `assignment` is given.
+  enum class Partition : std::uint8_t { RoundRobin, Random };
+  Partition partition = Partition::RoundRobin;
+  /// Seed for Partition::Random.
+  std::uint64_t seed = 1;
+  /// Explicit bucket→worker map (e.g. from `greedy_static`).  Overrides
+  /// `partition`/`num_buckets`; its num_procs must equal `threads`.  Only
+  /// the cycle-0 map is used: tokens live in worker-owned memories across
+  /// cycles, so the partition cannot migrate mid-run.
+  std::optional<sim::Assignment> assignment;
+  /// Mailbox backpressure threshold (see mailbox.hpp).
+  std::size_t mailbox_capacity = 1024;
+  /// Optional metrics registry (not owned).  Mirrors the serial engine's
+  /// rete.* counters and adds pmatch.* measured counters: per-worker
+  /// busy/idle nanoseconds, messages vs local deliveries, rounds, mailbox
+  /// depth and overflows.  Null ⇒ no recording.
+  obs::Registry* metrics = nullptr;
+};
+
+/// Measured (wall-clock) per-worker counters, cumulative over the run.
+/// busy/idle are nondeterministic by nature; everything else is
+/// deterministic for a fixed thread count.
+struct WorkerStats {
+  std::uint64_t busy_ns = 0;
+  std::uint64_t idle_ns = 0;            // time parked at round barriers
+  std::uint64_t activations = 0;        // items this worker processed
+  std::uint64_t messages_sent = 0;      // children routed to other workers
+  std::uint64_t local_deliveries = 0;   // children kept on this worker
+  std::uint64_t max_mailbox_depth = 0;
+  std::uint64_t mailbox_overflows = 0;
+};
+
+class ParallelEngine final : public rete::MatchEngine {
+ public:
+  /// The network must outlive the engine.  Spawns the worker threads.
+  explicit ParallelEngine(const rete::Network& net,
+                          ParallelOptions options = {});
+  ~ParallelEngine() override;
+
+  ParallelEngine(const ParallelEngine&) = delete;
+  ParallelEngine& operator=(const ParallelEngine&) = delete;
+
+  void set_listener(rete::ActivationListener* listener) override {
+    listener_ = listener;
+  }
+
+  /// Runs one WM change as a bulk-synchronous phase across the workers.
+  void process_change(const ops5::WmeChange& change) override;
+
+  [[nodiscard]] rete::ConflictSet& conflict_set() override {
+    return conflict_;
+  }
+  [[nodiscard]] const ops5::Wme& wme(WmeId id) const override {
+    return wmes_.at(id);
+  }
+  /// Aggregated across workers.  Identical to the serial engine's at
+  /// 1 thread; at >1 threads transient +/- token pairs (which cancel
+  /// before the conflict set) may add to the generation counters.
+  [[nodiscard]] const rete::EngineStats& stats() const override {
+    return stats_;
+  }
+
+  [[nodiscard]] std::uint32_t threads() const { return threads_; }
+  [[nodiscard]] std::uint32_t num_buckets() const { return num_buckets_; }
+  [[nodiscard]] const sim::Assignment& assignment() const {
+    return assignment_;
+  }
+  /// Snapshot of the measured per-worker counters.  Call between
+  /// process_change calls (i.e. not concurrently with a phase).
+  [[nodiscard]] std::vector<WorkerStats> worker_stats() const;
+  /// Total BSP rounds executed across all phases.
+  [[nodiscard]] std::uint64_t rounds() const { return rounds_executed_; }
+
+ private:
+  /// One activation in flight: the unit a mailbox carries.
+  struct WorkItem {
+    std::uint64_t parent = 0;  // provisional id; 0 ⇒ constant-test root
+    std::uint64_t seq = 0;     // per-(sender, round) emission index
+    std::uint32_t sender = 0;
+    NodeId node;
+    rete::Side side = rete::Side::Left;
+    rete::Tag tag = rete::Tag::Plus;
+    rete::Token token;               // left items
+    WmeId wme;                       // right items (roots only)
+    std::vector<rete::Value> key;    // equality key at the destination node
+    std::uint32_t bucket = 0;
+  };
+
+  /// A completed activation awaiting the deterministic merge.
+  struct PendingRecord {
+    rete::ActivationRecord rec;  // id/parent assigned at merge
+    std::uint64_t provisional_id = 0;
+    std::uint64_t provisional_parent = 0;
+    std::uint32_t round = 0;
+  };
+
+  /// A conflict-set update awaiting the deterministic merge.
+  struct ConflictDelta {
+    ProductionId pid;
+    rete::Token token;
+    rete::Tag tag = rete::Tag::Plus;
+    std::uint32_t round = 0;
+  };
+
+  struct Worker {
+    std::uint32_t index = 0;
+    rete::HashedMemory left;
+    rete::HashedMemory right;
+    Mailbox<WorkItem> mailbox;
+    // Per-phase state, touched only by the owning thread during a phase
+    // and by the control thread between phases.
+    std::vector<WorkItem> current;
+    std::vector<WorkItem> next;
+    std::vector<WorkItem> self_next;  // children staying on this worker
+    std::vector<PendingRecord> records;
+    std::vector<ConflictDelta> deltas;
+    std::vector<std::uint64_t> drain_depths;  // one sample per round
+    std::uint64_t provisional_counter = 0;
+    std::uint64_t emit_seq = 0;
+    std::uint32_t round = 0;
+    rete::EngineStats stats;  // cumulative across phases
+    WorkerStats wstats;       // cumulative across phases
+    std::exception_ptr error;
+    std::thread thread;
+
+    Worker(std::uint32_t idx, std::uint32_t num_buckets,
+           std::size_t mailbox_capacity)
+        : index(idx),
+          left(num_buckets),
+          right(num_buckets),
+          mailbox(mailbox_capacity) {}
+  };
+
+  struct ExchangeCompletion {
+    ParallelEngine* engine;
+    void operator()() noexcept { engine->on_exchange(); }
+  };
+
+  struct Instruments {
+    obs::Counter* left = nullptr;
+    obs::Counter* right = nullptr;
+    obs::Counter* tokens = nullptr;
+    obs::Counter* comparisons = nullptr;
+    obs::Counter* stale = nullptr;
+    obs::Gauge* live_tokens = nullptr;
+    obs::Counter* messages = nullptr;
+    obs::Counter* local = nullptr;
+    obs::Counter* rounds = nullptr;
+    obs::Counter* phases = nullptr;
+    obs::Counter* overflows = nullptr;
+    obs::Histogram* mailbox_depth = nullptr;
+    std::vector<obs::Counter*> busy;  // per worker
+    std::vector<obs::Counter*> idle;  // per worker
+  };
+
+  void worker_main(Worker& w);
+  void run_worker_phase(Worker& w);
+  void scan_roots(Worker& w);
+  void process_item(Worker& w, const WorkItem& item);
+  void process_left(Worker& w, const WorkItem& item);
+  void process_right(Worker& w, const WorkItem& item);
+  void emit(Worker& w, const rete::BetaNode& node, const rete::Token& token,
+            rete::Tag tag, std::uint64_t provisional_parent,
+            std::uint32_t& successors, std::uint32_t& instantiations);
+  void route(Worker& w, WorkItem item);
+  void on_exchange() noexcept;
+
+  [[nodiscard]] std::vector<rete::Value> left_key(const rete::BetaNode& node,
+                                                  const rete::Token& t) const;
+  [[nodiscard]] std::vector<rete::Value> right_key(const rete::BetaNode& node,
+                                                   const ops5::Wme& w) const;
+  [[nodiscard]] bool non_eq_tests_pass(const rete::BetaNode& node,
+                                       const rete::Token& t,
+                                       const ops5::Wme& w) const;
+
+  void merge_phase();
+  void update_conflict_set(ProductionId pid, const rete::Token& token,
+                           rete::Tag tag);
+  void collect_stats();
+  void flush_metrics();
+
+  const rete::Network& net_;
+  ParallelOptions options_;
+  std::uint32_t threads_ = 1;
+  std::uint32_t num_buckets_ = 256;
+  sim::Assignment assignment_;
+  std::vector<std::uint32_t> owner_map_;  // bucket → worker
+  rete::ActivationListener* listener_ = nullptr;
+  rete::ConflictSet conflict_;
+  std::unordered_map<WmeId, ops5::Wme> wmes_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  // Phase handshake: control publishes the change and bumps the
+  // generation; workers run the phase; the last one to finish wakes the
+  // control thread.
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t phase_gen_ = 0;
+  std::uint32_t workers_done_ = 0;
+  bool stop_ = false;
+  const ops5::WmeChange* phase_change_ = nullptr;
+  rete::Tag phase_tag_ = rete::Tag::Plus;
+
+  // Round machinery.  `phase_done_`/`rounds_executed_` are written only by
+  // the exchange barrier's completion step, which std::barrier runs
+  // exactly once per round with every worker blocked — the barrier
+  // sequences those writes against all worker reads.
+  std::barrier<> round_barrier_;
+  std::barrier<ExchangeCompletion> exchange_barrier_;
+  std::atomic<std::uint64_t> pending_total_{0};
+  bool phase_done_ = false;
+  std::uint64_t rounds_executed_ = 0;
+
+  std::uint64_t next_activation_ = 1;
+  std::unordered_map<std::uint64_t, ActivationId> remap_;
+  rete::EngineStats stats_;
+  rete::EngineStats flushed_;
+  std::vector<WorkerStats> flushed_workers_;
+  std::uint64_t flushed_rounds_ = 0;
+  std::uint64_t phases_ = 0;
+  std::uint64_t flushed_phases_ = 0;
+  Instruments instr_;
+};
+
+/// Adapts ParallelOptions into the InterpreterOptions::engine_factory
+/// slot.  num_buckets == 0 and metrics == nullptr inherit the values of
+/// the rete::EngineOptions the interpreter passes in.
+rete::MatchEngineFactory parallel_engine_factory(ParallelOptions options);
+
+/// Whole-trace greedy (LPT) bucket→worker map: the offline-greedy policy
+/// of sim::Assignment::greedy collapsed to a single static partition, so
+/// it can drive a live engine whose tokens cannot migrate between cycles.
+/// Buckets are costed over the entire trace with the paper's cost model
+/// (token add/delete + successor generation) and dealt most-expensive
+/// first to the least-loaded worker.
+sim::Assignment greedy_static(const trace::Trace& trace,
+                              std::uint32_t threads,
+                              const sim::CostModel& costs);
+
+}  // namespace mpps::pmatch

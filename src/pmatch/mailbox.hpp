@@ -1,0 +1,65 @@
+// Bounded MPSC mailbox: the "message" channel between match processors.
+// Any worker may push (multi-producer); only the owning worker drains
+// (single consumer).  The capacity is a backpressure threshold, not a
+// blocking bound: the BSP round structure of the parallel engine already
+// bounds in-flight traffic to one round's emissions, so instead of
+// blocking producers (which deadlocks against the round barrier) a push
+// beyond capacity is admitted and counted as an overflow.  Overflow and
+// peak-depth counts surface through the obs registry so a mailbox sized
+// too small for a workload is visible rather than fatal.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace mpps::pmatch {
+
+template <typename T>
+class Mailbox {
+ public:
+  struct Stats {
+    std::uint64_t pushes = 0;
+    std::uint64_t overflows = 0;    // pushes that found the box at capacity
+    std::uint64_t max_depth = 0;    // peak depth ever observed
+  };
+
+  explicit Mailbox(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Never blocks; see the header comment for the overflow contract.
+  void push(T item) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.size() >= capacity_) ++stats_.overflows;
+    items_.push_back(std::move(item));
+    ++stats_.pushes;
+    if (items_.size() > stats_.max_depth) stats_.max_depth = items_.size();
+  }
+
+  /// Moves every queued item onto the back of `out`; returns the number
+  /// drained.  Consumer-side only.
+  std::size_t drain_into(std::vector<T>& out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::size_t n = items_.size();
+    for (T& item : items_) out.push_back(std::move(item));
+    items_.clear();
+    return n;
+  }
+
+  [[nodiscard]] Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+ private:
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<T> items_;
+  Stats stats_;
+};
+
+}  // namespace mpps::pmatch

@@ -43,8 +43,15 @@ bool ConflictSet::dominates(const Entry& a, const Entry& b, Strategy strategy) {
   }
   if (ra.size() != rb.size()) return ra.size() > rb.size();
   if (a.specificity != b.specificity) return a.specificity > b.specificity;
-  // Deterministic final tiebreak: lower production id wins.
-  return a.inst.production < b.inst.production;
+  // Deterministic final tiebreaks: lower production id wins; between two
+  // instantiations of the SAME production whose sorted recency lists tie,
+  // order the raw wme lists positionally.  Without this last comparison the
+  // winner would depend on conflict-set insertion order, which a parallel
+  // match engine does not reproduce.
+  if (a.inst.production != b.inst.production) {
+    return a.inst.production < b.inst.production;
+  }
+  return a.inst.token.wmes > b.inst.token.wmes;
 }
 
 std::optional<Instantiation> ConflictSet::select(Strategy strategy) const {

@@ -7,6 +7,8 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -61,27 +63,63 @@ struct EngineStats {
   std::uint64_t tokens_generated = 0;
   std::uint64_t comparisons = 0;  // opposite-bucket entries examined
   std::uint64_t stale_deletes = 0;
+
+  friend bool operator==(const EngineStats&, const EngineStats&) = default;
 };
 
-class Engine {
+/// The match-engine contract the Interpreter's MRA loop drives.  Both the
+/// serial `Engine` below and `pmatch::ParallelEngine` implement it; all an
+/// engine owes the loop is per-change propagation, the conflict set, and
+/// access to the wmes currently live inside the network.
+class MatchEngine {
+ public:
+  virtual ~MatchEngine() = default;
+
+  /// Registers the activation observer (e.g. the trace collector).
+  /// Implementations must deliver activations in a deterministic order
+  /// consistent with `trace::validate` (parents precede children).
+  virtual void set_listener(ActivationListener* listener) = 0;
+
+  /// Pushes one WM change (add or delete) fully through the network.
+  virtual void process_change(const ops5::WmeChange& change) = 0;
+
+  [[nodiscard]] virtual ConflictSet& conflict_set() = 0;
+
+  /// The wme with `id`, which must be live inside the network.
+  [[nodiscard]] virtual const ops5::Wme& wme(WmeId id) const = 0;
+
+  [[nodiscard]] virtual const EngineStats& stats() const = 0;
+};
+
+/// Builds a match engine over a compiled network.  InterpreterOptions
+/// carries one of these so callers can swap in a parallel engine without
+/// the interpreter depending on it.
+using MatchEngineFactory = std::function<std::unique_ptr<MatchEngine>(
+    const Network&, const EngineOptions&)>;
+
+class Engine final : public MatchEngine {
  public:
   /// The network must outlive the engine.
   explicit Engine(const Network& net, EngineOptions options = {});
 
-  void set_listener(ActivationListener* listener) { listener_ = listener; }
+  void set_listener(ActivationListener* listener) override {
+    listener_ = listener;
+  }
 
   /// Pushes one WM change (add or delete) fully through the network.
-  void process_change(const ops5::WmeChange& change);
+  void process_change(const ops5::WmeChange& change) override;
 
-  [[nodiscard]] ConflictSet& conflict_set() { return conflict_; }
+  [[nodiscard]] ConflictSet& conflict_set() override { return conflict_; }
   [[nodiscard]] const ConflictSet& conflict_set() const { return conflict_; }
 
-  [[nodiscard]] const EngineStats& stats() const { return stats_; }
+  [[nodiscard]] const EngineStats& stats() const override { return stats_; }
   [[nodiscard]] const HashedMemory& left_memory() const { return left_; }
   [[nodiscard]] const HashedMemory& right_memory() const { return right_; }
 
   /// The wme with `id`, which must be live inside the network.
-  [[nodiscard]] const ops5::Wme& wme(WmeId id) const { return wmes_.at(id); }
+  [[nodiscard]] const ops5::Wme& wme(WmeId id) const override {
+    return wmes_.at(id);
+  }
 
  private:
   struct Pending {

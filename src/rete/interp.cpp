@@ -10,7 +10,21 @@ Interpreter::Interpreter(ops5::Program program, InterpreterOptions options)
     : program_(std::move(program)), options_(options) {
   network_ = std::make_unique<Network>(
       Network::compile(program_, options_.compile));
-  engine_ = std::make_unique<Engine>(*network_, options_.engine);
+  if (options_.engine_factory) {
+    engine_ = options_.engine_factory(*network_, options_.engine);
+  } else {
+    engine_ = std::make_unique<Engine>(*network_, options_.engine);
+  }
+}
+
+Engine& Interpreter::engine() {
+  auto* serial = dynamic_cast<Engine*>(engine_.get());
+  if (serial == nullptr) {
+    throw RuntimeError(
+        "Interpreter::engine(): the active match engine is not the serial "
+        "rete::Engine; use match_engine()");
+  }
+  return *serial;
 }
 
 namespace {

@@ -20,6 +20,10 @@ struct InterpreterOptions {
   std::size_t max_cycles = 100000;
   CompileOptions compile;
   EngineOptions engine;
+  /// Builds the match engine from the compiled network; null ⇒ the serial
+  /// `rete::Engine`.  `pmatch::parallel_engine_factory` plugs the
+  /// multithreaded engine in here.
+  MatchEngineFactory engine_factory;
   /// Sink for `(write ...)` actions; null discards the output.
   std::ostream* out = nullptr;
   /// OPS5 `watch` level (needs `out`): 0 = silent, 1 = production firings,
@@ -61,7 +65,12 @@ class Interpreter {
   RunResult run();
 
   [[nodiscard]] const Network& network() const { return *network_; }
-  [[nodiscard]] Engine& engine() { return *engine_; }
+  /// The active match engine, whatever its implementation.
+  [[nodiscard]] MatchEngine& match_engine() { return *engine_; }
+  /// The serial engine, for callers needing its extended surface (hash
+  /// memories, bucket diagnostics).  Throws mpps::RuntimeError when the
+  /// interpreter was built with a non-serial engine_factory.
+  [[nodiscard]] Engine& engine();
   [[nodiscard]] ops5::WorkingMemory& wm() { return wm_; }
   [[nodiscard]] const std::vector<FireRecord>& firings() const {
     return firings_;
@@ -84,7 +93,7 @@ class Interpreter {
   ops5::Program program_;
   InterpreterOptions options_;
   std::unique_ptr<Network> network_;  // stable address for engine_
-  std::unique_ptr<Engine> engine_;
+  std::unique_ptr<MatchEngine> engine_;
   ops5::WorkingMemory wm_;
   std::vector<FireRecord> firings_;
   std::size_t cycle_ = 0;

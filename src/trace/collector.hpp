@@ -1,6 +1,14 @@
 // Hooks the Rete engine and records an activation trace from a real
 // production-system run.  Drive the interpreter cycle by cycle, calling
 // `begin_cycle` before each match phase.
+//
+// The collector is single-threaded and relies on the MatchEngine
+// listener contract: activations arrive on the calling thread, in a
+// deterministic order with parents preceding children.  The parallel
+// engine honors this by merging its workers' records in (sender,
+// sequence) order at the end of each phase, so traces recorded from
+// `pmatch::ParallelEngine` are reproducible per thread count (and at
+// one thread identical to the serial engine's).
 #pragma once
 
 #include <string>

@@ -1,0 +1,122 @@
+// The public facade (src/mpps.hpp) end to end: everything a downstream
+// user is promised — parse, compile, serial and parallel matching, trace
+// collection, simulation, sweeps — reached ONLY through the facade's
+// re-exported names and builders.  If a rename inside a sub-namespace
+// breaks this suite, the facade (the public contract) regressed.
+#include "src/mpps.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace {
+
+// Two-CE productions so matching exercises the beta network (and thus
+// the ActivationListener the Collector hangs off — single-CE productions
+// take the direct alpha path and record no trace activations).
+constexpr const char* kProgram = R"(
+  (make job ^id 1)
+  (make job ^id 2)
+  (make worker ^id 1)
+  (make worker ^id 2)
+  (p assign (job ^id <i>) (worker ^id <i>) --> (remove 1))
+)";
+
+TEST(Facade, ParseCompileRun) {
+  const mpps::Program program = mpps::parse_program(kProgram);
+  const mpps::Network net = mpps::Network::compile(program);
+  EXPECT_FALSE(net.productions().empty());
+
+  mpps::InterpreterOptions options;
+  options.engine = mpps::EngineOptionsBuilder().num_buckets(64).build();
+  mpps::Interpreter interp(program, options);
+  interp.load_initial_wmes();
+  const auto result = interp.run();
+  EXPECT_EQ(result.firings, 2u);
+}
+
+TEST(Facade, ParallelEngineThroughBuilder) {
+  mpps::Registry registry;
+  const mpps::ParallelOptions popts = mpps::ParallelOptionsBuilder()
+                                          .threads(2)
+                                          .random_partition(7)
+                                          .mailbox_capacity(64)
+                                          .metrics(&registry)
+                                          .build();
+  EXPECT_EQ(popts.threads, 2u);
+  mpps::InterpreterOptions options;
+  options.engine_factory = mpps::parallel_engine_factory(popts);
+  mpps::Interpreter interp(mpps::parse_program(kProgram), options);
+  interp.load_initial_wmes();
+  const auto result = interp.run();
+  EXPECT_EQ(result.firings, 2u);
+  const auto& engine =
+      dynamic_cast<const mpps::ParallelEngine&>(interp.match_engine());
+  EXPECT_EQ(engine.threads(), 2u);
+  EXPECT_EQ(engine.worker_stats().size(), 2u);
+}
+
+TEST(Facade, CollectTraceSimulateAndSweep) {
+  // Record a trace through the facade's Collector...
+  const mpps::Program program = mpps::parse_program(kProgram);
+  mpps::InterpreterOptions options;
+  mpps::Interpreter interp(program, options);
+  mpps::Collector collector(options.engine.num_buckets);
+  interp.match_engine().set_listener(&collector);
+  interp.load_initial_wmes();
+  bool running = true;
+  while (running) {
+    collector.begin_cycle();
+    running = interp.step();
+  }
+  const mpps::Trace trace = collector.take("facade");
+  EXPECT_GT(trace.total_activations(), 0u);
+
+  // ...replay it on the simulated machine via the SimConfig builder...
+  const mpps::SimConfig config = mpps::SimConfigBuilder()
+                                     .match_processors(4)
+                                     .run(2)
+                                     .termination(
+                                         mpps::TerminationModel::AckCounting)
+                                     .build();
+  const mpps::SimResult result = mpps::simulate(
+      trace, config,
+      mpps::Assignment::round_robin(trace.num_buckets, config.partitions()));
+  EXPECT_GT(result.makespan.nanos(), 0);
+
+  // ...and sweep two processor counts through SweepRunner.
+  mpps::SweepOptions sweep_options;
+  sweep_options.jobs = 1;
+  std::vector<mpps::SweepScenario> scenarios;
+  for (const std::uint32_t procs : {2u, 4u}) {
+    mpps::SweepScenario scenario;
+    scenario.label = "p" + std::to_string(procs);
+    scenario.trace = &trace;
+    scenario.config = mpps::SimConfigBuilder().match_processors(procs).build();
+    scenario.assignment =
+        mpps::Assignment::round_robin(trace.num_buckets, procs);
+    scenarios.push_back(std::move(scenario));
+  }
+  const auto outcomes = mpps::SweepRunner(sweep_options).run(scenarios);
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_GT(outcomes[0].speedup, 0.0);
+}
+
+TEST(Facade, TraceRoundTripAndPipeline) {
+  const mpps::PipelineResult piped =
+      mpps::record_trace_from_source(kProgram, "facade");
+  std::ostringstream os;
+  mpps::write_trace(os, piped.trace);
+  std::istringstream is(os.str());
+  const mpps::Trace back = mpps::read_trace(is);
+  EXPECT_EQ(back.total_activations(), piped.trace.total_activations());
+}
+
+TEST(Facade, CliIsReachable) {
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(mpps::run_cli({"help"}, out, err), 0);
+  EXPECT_NE(out.str().find("simulate"), std::string::npos);
+}
+
+}  // namespace

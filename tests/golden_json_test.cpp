@@ -1,0 +1,113 @@
+// Golden-file tests pinning the CLI's `--json` schema
+// ("schema_version": 1): the stats/simulate/sweep JSON for the synthetic
+// weaver section must match tests/golden/*.json byte for byte.  The
+// section generator and the simulator are deterministic, so any diff
+// here is a real schema or semantics change — regenerate with
+//   build/tools/mpps sections -o /tmp/g
+//   build/tools/mpps stats /tmp/g/weaver.trace --json --procs 4 --top 3
+//     > tests/golden/stats_weaver.json
+//   build/tools/mpps simulate /tmp/g/weaver.trace --json --procs 2,4
+//     --run 2 --jobs 1 > tests/golden/simulate_weaver.json
+//   build/tools/mpps sweep /tmp/g/weaver.trace --json --procs 2,4
+//     --runs 0,2 --jobs 1 > tests/golden/sweep_weaver.json
+// and review the diff like any other observable behavior change
+// (downstream tooling parses these objects).
+#include "src/core/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+namespace mpps::core {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+class GoldenJson : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dir_ = new std::string(
+        (std::filesystem::path(::testing::TempDir()) /
+         ("golden_json." + std::to_string(::getpid())))
+            .string());
+    std::filesystem::create_directories(*dir_);
+    std::ostringstream out;
+    std::ostringstream err;
+    ASSERT_EQ(run_cli({"sections", "-o", *dir_}, out, err), 0) << err.str();
+  }
+
+  static void TearDownTestSuite() {
+    std::filesystem::remove_all(*dir_);
+    delete dir_;
+    dir_ = nullptr;
+  }
+
+  static std::string weaver() { return *dir_ + "/weaver.trace"; }
+
+  static void expect_golden(std::vector<std::string> args,
+                            const std::string& golden_name) {
+    std::ostringstream out;
+    std::ostringstream err;
+    const int code = run_cli(args, out, err);
+    ASSERT_EQ(code, 0) << err.str();
+    const std::string expected =
+        read_file(std::string(MPPS_GOLDEN_DIR) + "/" + golden_name);
+    ASSERT_FALSE(expected.empty()) << golden_name << " is empty";
+    EXPECT_EQ(out.str(), expected)
+        << "--json output no longer matches tests/golden/" << golden_name
+        << "; regenerate (header comment) and review the schema diff";
+  }
+
+  static std::string* dir_;
+};
+
+std::string* GoldenJson::dir_ = nullptr;
+
+TEST_F(GoldenJson, StatsSchema) {
+  expect_golden({"stats", weaver(), "--json", "--procs", "4", "--top", "3"},
+                "stats_weaver.json");
+}
+
+TEST_F(GoldenJson, SimulateSchema) {
+  expect_golden({"simulate", weaver(), "--json", "--procs", "2,4", "--run",
+                 "2", "--jobs", "1"},
+                "simulate_weaver.json");
+}
+
+TEST_F(GoldenJson, SweepSchema) {
+  expect_golden({"sweep", weaver(), "--json", "--procs", "2,4", "--runs",
+                 "0,2", "--jobs", "1"},
+                "sweep_weaver.json");
+}
+
+TEST_F(GoldenJson, SchemaVersionIsDeclared) {
+  // Belt and braces on top of the byte comparison: every --json mode
+  // leads with the version marker tooling keys on.
+  for (const char* cmd : {"stats", "simulate", "sweep"}) {
+    std::ostringstream out;
+    std::ostringstream err;
+    std::vector<std::string> args{cmd, weaver(), "--json", "--procs", "2"};
+    if (std::string(cmd) == "sweep") {
+      args.insert(args.end(), {"--runs", "1"});
+    }
+    ASSERT_EQ(run_cli(args, out, err), 0) << err.str();
+    EXPECT_NE(out.str().find("\"schema_version\": 1"), std::string::npos)
+        << cmd << ":\n" << out.str();
+    EXPECT_EQ(out.str().front(), '{') << cmd;
+  }
+}
+
+}  // namespace
+}  // namespace mpps::core
