@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "src/core/jsonw.hpp"
+#include "src/obs/profiler.hpp"
 #include "src/ops5/parser.hpp"
 #include "src/ops5/wme.hpp"
 #include "src/pmatch/engine.hpp"
@@ -106,6 +107,10 @@ struct Measurement {
   std::uint64_t activations = 0;  // total across the timed iterations
   double wall_ms = 0.0;
   double activations_per_sec = 0.0;
+  // Attribution pass (parallel rows only): a separate short profiled run
+  // — the throughput numbers above stay uninstrumented.
+  bool profiled = false;
+  obs::ProfileReport profile;
 };
 
 std::uint64_t total_activations(const rete::MatchEngine& engine) {
@@ -167,6 +172,17 @@ Measurement measure(const rete::Network& net, const Workload& w,
   }
   m.activations_per_sec =
       static_cast<double>(m.activations) / (m.wall_ms / 1000.0);
+
+  if (threads > 0) {
+    obs::Profiler profiler;
+    pmatch::ParallelOptions popts;
+    popts.threads = threads;
+    popts.profiler = &profiler;
+    pmatch::ParallelEngine engine(net, popts);
+    drive(engine, w, smoke ? 5 : 32);
+    m.profile = profiler.report();
+    m.profiled = true;
+  }
   return m;
 }
 
@@ -240,6 +256,35 @@ int main(int argc, char** argv) {
     j.field("activations_per_sec", m.activations_per_sec);
     if (m.threads >= 1 && base_aps > 0.0) {
       j.field("speedup_vs_1_thread", m.activations_per_sec / base_aps);
+    }
+    if (m.profiled) {
+      // Where the wall time went (from the separate profiled pass): the
+      // measured Table 5-1-style split, as % of summed worker wall time.
+      const obs::ProfileReport& p = m.profile;
+      const auto pct = [&](std::uint64_t ns) {
+        return p.total_wall_ns == 0 ? 0.0
+                                    : 100.0 * static_cast<double>(ns) /
+                                          static_cast<double>(p.total_wall_ns);
+      };
+      j.key("attribution");
+      j.begin_object();
+      j.field("min_attributed_pct", p.min_attributed_pct());
+      j.field("rounds_per_change", p.rounds_per_phase());
+      j.field("match_skew", p.match_skew);
+      for (std::size_t c = 0; c < obs::kProfCategories; ++c) {
+        j.field(std::string(obs::prof_category_name(
+                    static_cast<obs::ProfCategory>(c))) +
+                    "_pct",
+                pct(p.total_ns[c]));
+      }
+      j.field("unattributed_pct", pct(p.total_unattributed_ns));
+      j.key("merge");
+      j.begin_object();
+      j.field("rounds", p.merge_rounds);
+      j.field("merged_items", p.merged_items);
+      j.field("max_round_items", p.max_merge_items);
+      j.end_object();
+      j.end_object();
     }
     j.end_object();
   }

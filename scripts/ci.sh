@@ -70,6 +70,17 @@ echo "=== tier-1: parallel match throughput smoke (BENCH_pmatch.json) ==="
 ./build/bench/pmatch_throughput --smoke -o BENCH_pmatch.json
 test -s BENCH_pmatch.json
 
+echo "=== tier-1: profiler smoke report (PROFILE_pmatch.json) ==="
+# The wall-clock phase-attribution report on the fanout workload as a
+# per-run artifact next to the bench JSONs (docs/OBSERVABILITY.md); the
+# acceptance bound itself (>= 95% attributed) is asserted by
+# tests/pmatch_profile_test.cpp, this smoke just keeps the end-to-end
+# `run --profile --json` path exercised and archived.
+./build/tools/mpps run examples/programs/bench_fanout.ops \
+  --match-threads 2 --profile --json --quiet > PROFILE_pmatch.json
+test -s PROFILE_pmatch.json
+grep -q '"min_attributed_pct"' PROFILE_pmatch.json
+
 if [ "$FAST" -eq 1 ]; then
   echo "=== tier-1 passed (sanitizer + coverage passes skipped via --fast) ==="
   exit 0
@@ -90,7 +101,9 @@ echo "=== sanitizers: TSan rebuild of the threaded code + its tests (build-tsan/
 # tree; only the multi-threaded code (SweepRunner, BaselineCache, the
 # pmatch worker pool) and its tests need the pass, so build and run just
 # those targets.  pmatch_tests includes the differential oracle at
-# 1/2/4/8 worker threads, so this is where engine races would surface.
+# 1/2/4/8 worker threads plus the profiler integration and WorkerStats
+# suites (pmatch_profile_test / pmatch_stats_test), so this is where
+# engine races — including profiler-lane writes — would surface.
 TSAN_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
 cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=Debug \

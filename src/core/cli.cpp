@@ -15,6 +15,7 @@
 #include "src/core/selfcheck.hpp"
 #include "src/core/sweep.hpp"
 #include "src/obs/metrics.hpp"
+#include "src/obs/profiler.hpp"
 #include "src/obs/summary.hpp"
 #include "src/obs/timeline.hpp"
 #include "src/obs/tracer.hpp"
@@ -86,7 +87,11 @@ const std::vector<CommandSpec>& commands() {
             "match with N parallel worker threads (default: serial)"},
            {"--match-assign", "rr|random", "random",
             "bucket partition across match workers (default rr)"},
+           {"--profile", nullptr, nullptr,
+            "attribute each worker's wall time to match/mailbox/barrier/"
+            "merge categories (requires --match-threads)"},
            kSeed,
+           kJson,
            {"--procs", "P[,P...]", "2,4",
             "simulated match-processor counts (default 8)"},
            kRunModel,
@@ -428,6 +433,66 @@ void json_sim_result(JsonWriter& w, std::uint32_t procs, int run,
 // Subcommands
 // ---------------------------------------------------------------------------
 
+/// The `--json` profile object — the machine-readable Table 5-1-style
+/// breakdown (`min_attributed_pct` is the acceptance number).
+void json_profile_report(JsonWriter& w, const obs::ProfileReport& report) {
+  w.begin_object();
+  w.field("phases", report.phases);
+  w.field("rounds", report.rounds);
+  w.field("rounds_per_change", report.rounds_per_phase());
+  w.field("min_attributed_pct", report.min_attributed_pct());
+  w.field("match_skew", report.match_skew);
+  w.field("total_wall_ns", report.total_wall_ns);
+  w.field("total_unattributed_ns", report.total_unattributed_ns);
+  w.field("conflict_update_ns", report.conflict_update_ns);
+  w.key("category_totals_ns");
+  w.begin_object();
+  for (std::size_t c = 0; c < obs::kProfCategories; ++c) {
+    w.field(obs::prof_category_name(static_cast<obs::ProfCategory>(c)),
+            report.total_ns[c]);
+  }
+  w.end_object();
+  w.key("workers");
+  w.begin_array();
+  for (std::size_t i = 0; i < report.workers.size(); ++i) {
+    const obs::ProfileReport::Worker& worker = report.workers[i];
+    w.begin_object();
+    w.field("worker", static_cast<std::uint64_t>(i));
+    w.field("wall_ns", worker.wall_ns);
+    w.field("attributed_pct", worker.attributed_pct());
+    w.field("unattributed_ns", worker.unattributed_ns);
+    w.field("activations", worker.activations);
+    w.key("category_ns");
+    w.begin_object();
+    for (std::size_t c = 0; c < obs::kProfCategories; ++c) {
+      w.field(obs::prof_category_name(static_cast<obs::ProfCategory>(c)),
+              worker.category_ns[c]);
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("merge");
+  w.begin_object();
+  w.field("rounds", report.merge_rounds);
+  w.field("merged_items", report.merged_items);
+  w.field("max_round_items", report.max_merge_items);
+  w.end_object();
+  w.key("hot_buckets");
+  w.begin_array();
+  for (const obs::ProfileReport::HotBucket& hot : report.hot_buckets) {
+    w.begin_object();
+    w.field("bucket", hot.bucket);
+    w.field("worker", hot.worker);
+    w.field("activations", hot.activations);
+    w.field("tokens_touched", hot.tokens_touched);
+    w.field("share_pct", hot.share_pct);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
 int cmd_run(const Args& args, std::ostream& out, std::ostream& err) {
   const std::string path = args.positional();
   if (path.empty()) {
@@ -435,7 +500,11 @@ int cmd_run(const Args& args, std::ostream& out, std::ostream& err) {
     return 2;
   }
   const ObsOutputs obs_out = ObsOutputs::from(args);
+  const bool json = args.flag("--json");
+  const bool profile = args.flag("--profile");
   obs::Registry registry;
+  obs::Tracer tracer;
+  obs::Profiler profiler;
   rete::InterpreterOptions options;
   options.strategy = args.value("--strategy", "lex") == "mea"
                          ? rete::Strategy::Mea
@@ -443,13 +512,18 @@ int cmd_run(const Args& args, std::ostream& out, std::ostream& err) {
   options.max_cycles = static_cast<std::size_t>(
       parse_long_or(args.value("--max-cycles", "100000"), 100000));
   const bool quiet = args.flag("--quiet");
-  options.out = quiet ? nullptr : &out;
+  options.out = quiet || json ? nullptr : &out;
   options.watch =
       static_cast<int>(parse_long_or(args.value("--watch", "0"), 0));
   if (obs_out.any()) options.engine.metrics = &registry;
 
   const auto match_threads = static_cast<std::uint32_t>(
       parse_long_or(args.value("--match-threads", "0"), 0));
+  if (profile && match_threads == 0) {
+    throw UsageError(
+        "--profile requires --match-threads (it attributes the parallel "
+        "match engine's wall time)");
+  }
   if (match_threads > 0) {
     pmatch::ParallelOptions popts;
     popts.threads = match_threads;
@@ -458,6 +532,7 @@ int cmd_run(const Args& args, std::ostream& out, std::ostream& err) {
       popts.seed = static_cast<std::uint64_t>(
           parse_long_or(args.value("--seed", "1"), 1));
     }
+    if (profile) popts.profiler = &profiler;
     options.engine_factory = pmatch::parallel_engine_factory(popts);
   }
 
@@ -465,49 +540,73 @@ int cmd_run(const Args& args, std::ostream& out, std::ostream& err) {
   rete::Interpreter interp(ops5::parse_program(source), options);
   interp.load_initial_wmes();
   const rete::RunResult result = interp.run();
-  out << "outcome: "
-      << (result.outcome == rete::RunResult::Outcome::Halted ? "halted"
-          : result.outcome == rete::RunResult::Outcome::Quiescent
-              ? "quiescent"
-              : "cycle-limit")
-      << "\ncycles: " << result.cycles << "\nfirings: " << result.firings
-      << "\n";
-  if (!quiet) {
-    for (const auto& firing : interp.firings()) {
-      out << "  cycle " << firing.cycle << ": " << firing.production << "\n";
+  const char* outcome_name =
+      result.outcome == rete::RunResult::Outcome::Halted ? "halted"
+      : result.outcome == rete::RunResult::Outcome::Quiescent ? "quiescent"
+                                                              : "cycle-limit";
+  if (!json) {
+    out << "outcome: " << outcome_name << "\ncycles: " << result.cycles
+        << "\nfirings: " << result.firings << "\n";
+    if (!quiet) {
+      for (const auto& firing : interp.firings()) {
+        out << "  cycle " << firing.cycle << ": " << firing.production
+            << "\n";
+      }
     }
   }
 
+  std::vector<pmatch::WorkerStats> workers;
+  std::uint64_t engine_rounds = 0;
   if (match_threads > 0) {
     // Measured (wall-clock) behaviour of the parallel match engine — the
     // real-hardware counterpart of the simulated skew below / in `stats`.
     const auto& engine =
         dynamic_cast<const pmatch::ParallelEngine&>(interp.match_engine());
-    const std::vector<pmatch::WorkerStats> workers = engine.worker_stats();
+    workers = engine.worker_stats();
+    engine_rounds = engine.rounds();
     std::uint64_t total_busy = 0;
     std::uint64_t max_busy = 0;
-    out << "parallel match: " << workers.size() << " workers, "
-        << engine.rounds() << " activation rounds\n";
-    for (std::size_t i = 0; i < workers.size(); ++i) {
-      const pmatch::WorkerStats& w = workers[i];
+    for (const pmatch::WorkerStats& w : workers) {
       total_busy += w.busy_ns;
       max_busy = std::max(max_busy, w.busy_ns);
-      out << "  worker " << i << ": busy "
-          << static_cast<double>(w.busy_ns) / 1e6 << " ms, " << w.activations
-          << " activations, " << w.messages_sent << " messages sent, "
-          << w.local_deliveries << " local, max mailbox depth "
-          << w.max_mailbox_depth << "\n";
     }
-    const double mean_busy =
-        static_cast<double>(total_busy) /
-        static_cast<double>(workers.empty() ? 1 : workers.size());
-    const double skew =
-        mean_busy > 0.0 ? static_cast<double>(max_busy) / mean_busy : 1.0;
-    out << "measured busy skew: " << std::fixed << std::setprecision(2)
-        << skew << std::defaultfloat
-        << " (max/mean worker busy; `mpps stats` prints the simulated skew)\n";
+    if (!json) {
+      out << "parallel match: " << workers.size() << " workers, "
+          << engine_rounds << " activation rounds\n";
+      for (std::size_t i = 0; i < workers.size(); ++i) {
+        const pmatch::WorkerStats& w = workers[i];
+        out << "  worker " << i << ": busy "
+            << static_cast<double>(w.busy_ns) / 1e6 << " ms, "
+            << w.activations << " activations, " << w.messages_sent
+            << " messages sent, " << w.local_deliveries
+            << " local, max mailbox depth " << w.max_mailbox_depth << "\n";
+      }
+      const double mean_busy =
+          static_cast<double>(total_busy) /
+          static_cast<double>(workers.empty() ? 1 : workers.size());
+      const double skew =
+          mean_busy > 0.0 ? static_cast<double>(max_busy) / mean_busy : 1.0;
+      out << "measured busy skew: " << std::fixed << std::setprecision(2)
+          << skew << std::defaultfloat
+          << " (max/mean worker busy; `mpps stats` prints the simulated "
+             "skew)\n";
+    }
   }
 
+  obs::ProfileReport profile_report;
+  if (profile) {
+    profile_report = profiler.report();
+    if (!json) obs::print_profile_report(out, profile_report);
+    if (!obs_out.trace_path.empty()) {
+      // Measured worker timelines ride in the same Chrome trace as the
+      // simulated replay below, on tids clear of the simulator's lanes.
+      profiler.export_chrome_trace(tracer);
+    }
+  }
+
+  std::vector<std::uint32_t> procs_list;
+  std::vector<SweepOutcome> outcomes;
+  const int run_model = parse_run_model(args, 1);
   const std::string procs_raw = args.value("--procs", "");
   if (obs_out.any() || !procs_raw.empty()) {
     // Replay the program's match trace on the simulated machine and export
@@ -515,16 +614,15 @@ int cmd_run(const Args& args, std::ostream& out, std::ostream& err) {
     // the live engine; sim.* come from this replay).  With a --procs list
     // the entries fan out across --jobs worker threads; the exports
     // describe the first entry.
-    const std::vector<std::uint32_t> procs_list =
-        parse_u32_list(procs_raw.empty() ? "8" : procs_raw, "--procs");
+    procs_list = parse_u32_list(procs_raw.empty() ? "8" : procs_raw,
+                                "--procs");
     PipelineOptions pipeline;
     pipeline.interpreter.strategy = options.strategy;
     pipeline.interpreter.max_cycles = options.max_cycles;
     const PipelineResult recorded =
         record_trace(ops5::parse_program(source), path, pipeline);
     sim::SimConfig base_config;
-    base_config.costs = cost_model_for_run(parse_run_model(args, 1));
-    obs::Tracer tracer;
+    base_config.costs = cost_model_for_run(run_model);
     SweepOptions sweep_options;
     sweep_options.jobs = parse_jobs(args);
     if (obs_out.any()) {
@@ -542,14 +640,64 @@ int cmd_run(const Args& args, std::ostream& out, std::ostream& err) {
           recorded.trace.num_buckets, scenario.config.partitions());
       scenarios.push_back(std::move(scenario));
     }
-    const std::vector<SweepOutcome> outcomes =
-        SweepRunner(sweep_options).run(scenarios);
-    for (std::size_t i = 0; i < outcomes.size(); ++i) {
-      out << "simulated " << procs_list[i] << " match processors: "
-          << "makespan " << outcomes[i].result.makespan.micros()
-          << " us, speedup " << outcomes[i].speedup << "\n";
+    outcomes = SweepRunner(sweep_options).run(scenarios);
+    if (!json) {
+      for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        out << "simulated " << procs_list[i] << " match processors: "
+            << "makespan " << outcomes[i].result.makespan.micros()
+            << " us, speedup " << outcomes[i].speedup << "\n";
+      }
     }
-    obs_out.write(tracer, registry, outcomes.front().result, out);
+    obs_out.write(tracer, registry, outcomes.front().result,
+                  json ? err : out);
+  }
+
+  if (json) {
+    JsonWriter w(out);
+    w.begin_object();
+    w.field("schema_version", 1);
+    w.field("command", "run");
+    w.field("program", path);
+    w.field("outcome", outcome_name);
+    w.field("cycles", static_cast<std::uint64_t>(result.cycles));
+    w.field("firings", static_cast<std::uint64_t>(result.firings));
+    if (match_threads > 0) {
+      w.key("parallel");
+      w.begin_object();
+      w.field("threads", static_cast<std::uint64_t>(workers.size()));
+      w.field("rounds", engine_rounds);
+      w.key("workers");
+      w.begin_array();
+      for (std::size_t i = 0; i < workers.size(); ++i) {
+        const pmatch::WorkerStats& ws = workers[i];
+        w.begin_object();
+        w.field("worker", static_cast<std::uint64_t>(i));
+        w.field("busy_ns", ws.busy_ns);
+        w.field("idle_ns", ws.idle_ns);
+        w.field("activations", ws.activations);
+        w.field("messages_sent", ws.messages_sent);
+        w.field("local_deliveries", ws.local_deliveries);
+        w.field("max_mailbox_depth", ws.max_mailbox_depth);
+        w.field("mailbox_overflows", ws.mailbox_overflows);
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    if (profile) {
+      w.key("profile");
+      json_profile_report(w, profile_report);
+    }
+    if (!outcomes.empty()) {
+      w.key("simulated");
+      w.begin_array();
+      for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        json_sim_result(w, procs_list[i], run_model, outcomes[i].result,
+                        outcomes[i].speedup);
+      }
+      w.end_array();
+    }
+    w.end_object();
   }
   return 0;
 }

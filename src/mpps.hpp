@@ -30,6 +30,7 @@
 #include "src/core/pipeline.hpp"
 #include "src/core/sweep.hpp"
 #include "src/obs/metrics.hpp"
+#include "src/obs/profiler.hpp"
 #include "src/obs/tracer.hpp"
 #include "src/ops5/parser.hpp"
 #include "src/ops5/wme.hpp"
@@ -96,6 +97,11 @@ using core::SweepRunner;
 using core::SweepScenario;
 
 // --- Observability sinks ---------------------------------------------------
+using obs::print_profile_report;
+using obs::prof_category_name;
+using obs::ProfCategory;
+using obs::ProfileReport;
+using obs::Profiler;
 using obs::Registry;
 using obs::Tracer;
 
@@ -196,6 +202,13 @@ class ParallelOptionsBuilder {
   }
   ParallelOptionsBuilder& metrics(Registry* registry) {
     options_.metrics = registry;
+    return *this;
+  }
+  /// Wall-clock phase-attribution profiler (not owned; must outlive the
+  /// engine).  The engine attaches it at construction; pull
+  /// `profiler->report()` after the run for the Table 5-1-style split.
+  ParallelOptionsBuilder& profiler(Profiler* profiler) {
+    options_.profiler = profiler;
     return *this;
   }
   [[nodiscard]] ParallelOptions build() const { return options_; }

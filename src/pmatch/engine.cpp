@@ -56,11 +56,13 @@ sim::Assignment resolve_assignment(const ParallelOptions& options,
   return sim::Assignment::round_robin(num_buckets, threads);
 }
 
-std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point since) {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - since)
-          .count());
+std::uint64_t ns_between(std::chrono::steady_clock::time_point from,
+                         std::chrono::steady_clock::time_point to) {
+  return to <= from ? 0
+                    : static_cast<std::uint64_t>(
+                          std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              to - from)
+                              .count());
 }
 
 }  // namespace
@@ -83,6 +85,13 @@ ParallelEngine::ParallelEngine(const rete::Network& net,
   for (std::uint32_t i = 0; i < threads_; ++i) {
     workers_.push_back(
         std::make_unique<Worker>(i, num_buckets_, options_.mailbox_capacity));
+  }
+  if (options_.profiler != nullptr) {
+    options_.profiler->attach(threads_, num_buckets_);
+    for (std::uint32_t i = 0; i < threads_; ++i) {
+      workers_[i]->lane = options_.profiler->lane(i);
+    }
+    control_lane_ = options_.profiler->control_lane();
   }
   flushed_workers_.resize(threads_);
   if (options_.metrics != nullptr) {
@@ -145,7 +154,9 @@ void ParallelEngine::worker_main(Worker& w) {
 }
 
 void ParallelEngine::run_worker_phase(Worker& w) {
-  const auto phase_start = std::chrono::steady_clock::now();
+  using Clock = std::chrono::steady_clock;
+  obs::ProfLane* const lane = w.lane;
+  const auto phase_start = Clock::now();
   std::uint64_t idle_ns = 0;
   w.records.clear();
   w.deltas.clear();
@@ -161,8 +172,15 @@ void ParallelEngine::run_worker_phase(Worker& w) {
     w.error = std::current_exception();
     w.current.clear();
   }
+  // When profiling, every clock reading both ends one span and starts the
+  // next so the category spans tile the phase wall (the unattributed
+  // remainder is only loop glue).  When not profiling this loop takes
+  // exactly the same four clock readings per round it always has.
+  auto seg_start = phase_start;
+  auto phase_end = phase_start;
   while (true) {
     w.emit_seq = 0;
+    w.prof_enqueue_ns = 0;
     if (w.error == nullptr) {
       try {
         for (const WorkItem& item : w.current) process_item(w, item);
@@ -170,13 +188,28 @@ void ParallelEngine::run_worker_phase(Worker& w) {
         w.error = std::current_exception();
       }
     }
-    auto wait_start = std::chrono::steady_clock::now();
+    auto wait_start = Clock::now();
+    if (lane != nullptr) {
+      lane->span(obs::ProfCategory::Match, w.round, lane->stamp(seg_start),
+                 lane->stamp(wait_start), w.prof_enqueue_ns);
+    }
     round_barrier_.arrive_and_wait();
-    idle_ns += elapsed_ns(wait_start);
+    auto barrier_end = Clock::now();
+    idle_ns += ns_between(wait_start, barrier_end);
+    if (lane != nullptr) {
+      lane->span(obs::ProfCategory::BarrierWait, w.round,
+                 lane->stamp(wait_start), lane->stamp(barrier_end));
+    }
 
     w.next.clear();
     const std::size_t drained = w.mailbox.drain_into(w.next);
     w.drain_depths.push_back(drained);
+    auto drain_end = barrier_end;
+    if (lane != nullptr) {
+      drain_end = Clock::now();
+      lane->span(obs::ProfCategory::MailboxDequeue, w.round,
+                 lane->stamp(barrier_end), lane->stamp(drain_end), drained);
+    }
     for (WorkItem& item : w.self_next) w.next.push_back(std::move(item));
     w.self_next.clear();
     std::sort(w.next.begin(), w.next.end(),
@@ -186,16 +219,33 @@ void ParallelEngine::run_worker_phase(Worker& w) {
               });
     pending_total_.fetch_add(w.next.size(), std::memory_order_relaxed);
 
-    wait_start = std::chrono::steady_clock::now();
+    wait_start = Clock::now();
+    if (lane != nullptr) {
+      lane->span(obs::ProfCategory::RoundMerge, w.round,
+                 lane->stamp(drain_end), lane->stamp(wait_start),
+                 w.next.size());
+    }
     exchange_barrier_.arrive_and_wait();
-    idle_ns += elapsed_ns(wait_start);
-    if (phase_done_) break;
+    barrier_end = Clock::now();
+    idle_ns += ns_between(wait_start, barrier_end);
+    if (lane != nullptr) {
+      lane->span(obs::ProfCategory::BarrierWait, w.round,
+                 lane->stamp(wait_start), lane->stamp(barrier_end));
+    }
+    if (phase_done_) {
+      phase_end = barrier_end;
+      break;
+    }
     std::swap(w.current, w.next);
     ++w.round;
+    seg_start = barrier_end;
   }
-  const std::uint64_t phase_ns = elapsed_ns(phase_start);
+  const std::uint64_t phase_ns = ns_between(phase_start, phase_end);
   w.wstats.idle_ns += idle_ns;
   w.wstats.busy_ns += phase_ns > idle_ns ? phase_ns - idle_ns : 0;
+  if (lane != nullptr) {
+    lane->phase_span(lane->stamp(phase_start), lane->stamp(phase_end));
+  }
 }
 
 void ParallelEngine::on_exchange() noexcept {
@@ -232,11 +282,23 @@ void ParallelEngine::scan_roots(Worker& w) {
 }
 
 void ParallelEngine::process_item(Worker& w, const WorkItem& item) {
+  if (w.lane == nullptr) {
+    if (item.side == Side::Left) {
+      process_left(w, item);
+    } else {
+      process_right(w, item);
+    }
+    return;
+  }
+  // Per-bucket load accounting: tokens touched = opposite-memory
+  // candidates compared (comparisons delta) plus the activation itself.
+  const std::uint64_t before = w.stats.comparisons;
   if (item.side == Side::Left) {
     process_left(w, item);
   } else {
     process_right(w, item);
   }
+  w.lane->bucket_load(item.bucket, w.stats.comparisons - before + 1);
 }
 
 std::vector<Value> ParallelEngine::left_key(const BetaNode& node,
@@ -304,7 +366,16 @@ void ParallelEngine::route(Worker& w, WorkItem item) {
     w.self_next.push_back(std::move(item));
   } else {
     ++w.wstats.messages_sent;
-    workers_[owner]->mailbox.push(std::move(item));
+    if (w.lane == nullptr) {
+      workers_[owner]->mailbox.push(std::move(item));
+    } else {
+      // Cross-worker pushes nest inside the match loop; the accumulated
+      // time rides on the Match span's aux and reports re-attribute it
+      // to MailboxEnqueue so the categories stay disjoint.
+      const auto push_start = obs::ProfLane::now();
+      workers_[owner]->mailbox.push(std::move(item));
+      w.prof_enqueue_ns += ns_between(push_start, obs::ProfLane::now());
+    }
   }
 }
 
@@ -456,6 +527,7 @@ void ParallelEngine::process_change(const ops5::WmeChange& change) {
       update_conflict_set(pid, Token{{id}}, tag);
     }
   }
+  const std::uint64_t rounds_before = rounds_executed_;
   {
     std::unique_lock<std::mutex> lock(mu_);
     phase_change_ = &change;
@@ -472,7 +544,23 @@ void ParallelEngine::process_change(const ops5::WmeChange& change) {
     w->error = nullptr;
   }
   if (error != nullptr) std::rethrow_exception(error);
-  merge_phase();
+  if (control_lane_ == nullptr) {
+    merge_phase();
+  } else {
+    // Control-thread merge runs while the workers are parked, so it is
+    // reported on its own lane, on top of (not inside) the worker walls.
+    std::uint64_t merged = 0;
+    for (const auto& w : workers_) {
+      merged += w->records.size() + w->deltas.size();
+    }
+    const auto merge_start = obs::ProfLane::now();
+    merge_phase();
+    control_lane_->span(obs::ProfCategory::ConflictUpdate,
+                        static_cast<std::uint32_t>(rounds_before),
+                        control_lane_->stamp(merge_start),
+                        control_lane_->stamp(obs::ProfLane::now()), merged);
+    options_.profiler->add_phase(rounds_executed_ - rounds_before);
+  }
   if (tag == Tag::Minus) {
     wmes_.erase(id);
   }

@@ -34,6 +34,7 @@
 
 #include "src/common/ids.hpp"
 #include "src/obs/metrics.hpp"
+#include "src/obs/profiler.hpp"
 #include "src/ops5/wme.hpp"
 #include "src/pmatch/mailbox.hpp"
 #include "src/rete/conflict.hpp"
@@ -69,6 +70,14 @@ struct ParallelOptions {
   /// busy/idle nanoseconds, messages vs local deliveries, rounds, mailbox
   /// depth and overflows.  Null ⇒ no recording.
   obs::Registry* metrics = nullptr;
+  /// Optional phase-attribution profiler (not owned; must outlive the
+  /// engine).  The engine attaches it at construction (one profiler per
+  /// engine) and every worker records wall-clock category spans plus
+  /// per-bucket load into its own lane.  Null ⇒ profiling off: each
+  /// recording site reduces to one pointer test and takes no clock
+  /// readings (tests/pmatch_profile_test.cpp asserts results are
+  /// identical either way).
+  obs::Profiler* profiler = nullptr;
 };
 
 /// Measured (wall-clock) per-worker counters, cumulative over the run.
@@ -174,6 +183,8 @@ class ParallelEngine final : public rete::MatchEngine {
     std::uint32_t round = 0;
     rete::EngineStats stats;  // cumulative across phases
     WorkerStats wstats;       // cumulative across phases
+    obs::ProfLane* lane = nullptr;    // null ⇒ profiling off
+    std::uint64_t prof_enqueue_ns = 0;  // per-round mailbox-push time
     std::exception_ptr error;
     std::thread thread;
 
@@ -239,6 +250,7 @@ class ParallelEngine final : public rete::MatchEngine {
   std::uint32_t num_buckets_ = 256;
   sim::Assignment assignment_;
   std::vector<std::uint32_t> owner_map_;  // bucket → worker
+  obs::ProfLane* control_lane_ = nullptr;  // null ⇒ profiling off
   rete::ActivationListener* listener_ = nullptr;
   rete::ConflictSet conflict_;
   std::unordered_map<WmeId, ops5::Wme> wmes_;

@@ -111,6 +111,11 @@ TEST_F(CliFlags, EveryDocumentedFlagIsAccepted) {
             << cmd.name << " " << flag.name << ": value flag needs a sample";
         args.push_back(sample_for(cmd, flag));
       }
+      if (flag.name == "--profile") {
+        // --profile attributes the parallel engine's wall time, so it is
+        // a usage error without --match-threads.
+        args.insert(args.end(), {"--match-threads", "2"});
+      }
       const CliRun r = cli(args);
       EXPECT_EQ(r.err.find("unknown flag"), std::string::npos)
           << cmd.name << " rejected documented flag " << flag.name << ": "

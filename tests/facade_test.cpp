@@ -119,4 +119,39 @@ TEST(Facade, CliIsReachable) {
   EXPECT_NE(out.str().find("simulate"), std::string::npos);
 }
 
+TEST(Facade, ProfilerThroughBuilder) {
+  // The whole profiling surface through facade names only: Profiler
+  // wired via the builder, the report types, the category names, and
+  // the text renderer.
+  mpps::Profiler profiler;
+  const mpps::ParallelOptions popts = mpps::ParallelOptionsBuilder()
+                                          .threads(2)
+                                          .profiler(&profiler)
+                                          .build();
+  ASSERT_EQ(popts.profiler, &profiler);
+  mpps::InterpreterOptions options;
+  options.engine_factory = mpps::parallel_engine_factory(popts);
+  mpps::Interpreter interp(mpps::parse_program(kProgram), options);
+  interp.load_initial_wmes();
+  interp.run();
+
+  EXPECT_TRUE(profiler.attached());
+  const mpps::ProfileReport report = profiler.report();
+  ASSERT_EQ(report.workers.size(), 2u);
+  EXPECT_GE(report.min_attributed_pct(), 0.0);
+  EXPECT_GT(report.phases, 0u);
+  EXPECT_STREQ(mpps::prof_category_name(mpps::ProfCategory::BarrierWait),
+               "barrier_wait");
+  std::ostringstream os;
+  mpps::print_profile_report(os, report);
+  EXPECT_NE(os.str().find("wall-clock phase attribution"), std::string::npos);
+
+  // Measured lanes export through the facade's Tracer.
+  mpps::Tracer tracer;
+  profiler.export_chrome_trace(tracer);
+  std::ostringstream trace_json;
+  tracer.write_chrome_json(trace_json);
+  EXPECT_NE(trace_json.str().find("measured worker 0"), std::string::npos);
+}
+
 }  // namespace

@@ -1,0 +1,189 @@
+// The phase-attribution profiler in isolation: lane lifecycle errors,
+// the report() arithmetic (category sums, the Match→MailboxEnqueue aux
+// re-attribution, the unattributed remainder, skew, merge and hot-bucket
+// accounting) over synthetic spans with hand-checkable numbers, and the
+// wall-clock Chrome-trace export.  The engine-integration side (real
+// ParallelEngine runs) lives in tests/pmatch_profile_test.cpp.
+#include "src/obs/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "src/common/error.hpp"
+#include "src/obs/tracer.hpp"
+
+namespace mpps::obs {
+namespace {
+
+TEST(Profiler, CategoryNamesAreStable) {
+  EXPECT_STREQ(prof_category_name(ProfCategory::Match), "match");
+  EXPECT_STREQ(prof_category_name(ProfCategory::MailboxEnqueue),
+               "mailbox_enqueue");
+  EXPECT_STREQ(prof_category_name(ProfCategory::MailboxDequeue),
+               "mailbox_dequeue");
+  EXPECT_STREQ(prof_category_name(ProfCategory::BarrierWait), "barrier_wait");
+  EXPECT_STREQ(prof_category_name(ProfCategory::RoundMerge), "round_merge");
+  EXPECT_STREQ(prof_category_name(ProfCategory::ConflictUpdate),
+               "conflict_update");
+}
+
+TEST(Profiler, AttachLifecycleErrors) {
+  Profiler profiler;
+  EXPECT_FALSE(profiler.attached());
+  EXPECT_THROW(static_cast<void>(profiler.control_lane()), RuntimeError);
+  EXPECT_THROW(static_cast<void>(profiler.lane(0)), RuntimeError);
+  EXPECT_THROW(profiler.attach(0, 8), RuntimeError);
+
+  profiler.attach(2, 8);
+  EXPECT_TRUE(profiler.attached());
+  EXPECT_EQ(profiler.workers(), 2u);
+  EXPECT_NE(profiler.lane(0), nullptr);
+  EXPECT_NE(profiler.lane(1), nullptr);
+  EXPECT_NE(profiler.control_lane(), nullptr);
+  EXPECT_NE(profiler.lane(0), profiler.lane(1));
+  // The control lane is not addressable as a worker lane.
+  EXPECT_THROW(static_cast<void>(profiler.lane(2)), RuntimeError);
+  // One profiler profiles one engine.
+  EXPECT_THROW(profiler.attach(2, 8), RuntimeError);
+}
+
+TEST(Profiler, EmptyReport) {
+  const Profiler profiler;
+  const ProfileReport report = profiler.report();
+  EXPECT_TRUE(report.workers.empty());
+  EXPECT_EQ(report.total_wall_ns, 0u);
+  EXPECT_DOUBLE_EQ(report.min_attributed_pct(), 100.0);
+  EXPECT_DOUBLE_EQ(report.rounds_per_phase(), 0.0);
+}
+
+TEST(Profiler, ReportArithmetic) {
+  Profiler profiler;
+  profiler.attach(2, 8);
+
+  // Worker 0: a 1000 ns phase — 600 ns match (of which 100 ns were nested
+  // mailbox pushes), 300 ns barrier, 100 ns unexplained.
+  ProfLane* w0 = profiler.lane(0);
+  w0->phase_span(0, 1000);
+  w0->span(ProfCategory::Match, 0, 0, 600, /*aux=*/100);
+  w0->span(ProfCategory::BarrierWait, 0, 600, 900);
+
+  // Worker 1: a 2000 ns phase fully attributed to match.
+  ProfLane* w1 = profiler.lane(1);
+  w1->phase_span(0, 2000);
+  w1->span(ProfCategory::Match, 0, 0, 2000);
+
+  // Control: one merge of 7 records.
+  profiler.control_lane()->span(ProfCategory::ConflictUpdate, 0, 1000, 1050,
+                                /*aux=*/7);
+  profiler.add_phase(3);
+
+  const ProfileReport report = profiler.report();
+  ASSERT_EQ(report.workers.size(), 2u);
+  const auto cat = [](const ProfileReport::Worker& w, ProfCategory c) {
+    return w.category_ns[static_cast<std::size_t>(c)];
+  };
+
+  EXPECT_EQ(report.workers[0].wall_ns, 1000u);
+  // aux re-attribution: match keeps 500, enqueue gets the nested 100.
+  EXPECT_EQ(cat(report.workers[0], ProfCategory::Match), 500u);
+  EXPECT_EQ(cat(report.workers[0], ProfCategory::MailboxEnqueue), 100u);
+  EXPECT_EQ(cat(report.workers[0], ProfCategory::BarrierWait), 300u);
+  EXPECT_EQ(report.workers[0].unattributed_ns, 100u);
+  EXPECT_DOUBLE_EQ(report.workers[0].attributed_pct(), 90.0);
+
+  EXPECT_EQ(report.workers[1].wall_ns, 2000u);
+  EXPECT_EQ(cat(report.workers[1], ProfCategory::Match), 2000u);
+  EXPECT_EQ(report.workers[1].unattributed_ns, 0u);
+  EXPECT_DOUBLE_EQ(report.workers[1].attributed_pct(), 100.0);
+
+  EXPECT_DOUBLE_EQ(report.min_attributed_pct(), 90.0);
+  EXPECT_EQ(report.total_wall_ns, 3000u);
+  EXPECT_EQ(report.total_unattributed_ns, 100u);
+  EXPECT_EQ(report.conflict_update_ns, 50u);
+  EXPECT_EQ(
+      report.total_ns[static_cast<std::size_t>(ProfCategory::ConflictUpdate)],
+      50u);
+
+  // Skew: match times 500 and 2000 → max/mean = 2000/1250.
+  EXPECT_DOUBLE_EQ(report.match_skew, 1.6);
+
+  EXPECT_EQ(report.phases, 1u);
+  EXPECT_EQ(report.rounds, 3u);
+  EXPECT_DOUBLE_EQ(report.rounds_per_phase(), 3.0);
+}
+
+TEST(Profiler, MergeAndHotBucketAccounting) {
+  Profiler profiler;
+  profiler.attach(2, 8);
+
+  ProfLane* w0 = profiler.lane(0);
+  w0->phase_span(0, 100);
+  w0->span(ProfCategory::RoundMerge, 0, 0, 10, /*aux=*/4);
+  w0->span(ProfCategory::RoundMerge, 1, 10, 20, /*aux=*/6);
+  w0->bucket_load(3, 5);
+  w0->bucket_load(3, 5);
+  w0->bucket_load(0, 1);
+
+  ProfLane* w1 = profiler.lane(1);
+  w1->phase_span(0, 100);
+  w1->bucket_load(1, 2);
+
+  const ProfileReport report = profiler.report(/*top_k_buckets=*/2);
+  EXPECT_EQ(report.merge_rounds, 2u);
+  EXPECT_EQ(report.merged_items, 10u);
+  EXPECT_EQ(report.max_merge_items, 6u);
+
+  EXPECT_EQ(report.workers[0].activations, 3u);
+  EXPECT_EQ(report.workers[1].activations, 1u);
+
+  // Top-2 of three loaded buckets, ordered by activations descending.
+  ASSERT_EQ(report.hot_buckets.size(), 2u);
+  EXPECT_EQ(report.hot_buckets[0].bucket, 3u);
+  EXPECT_EQ(report.hot_buckets[0].worker, 0u);
+  EXPECT_EQ(report.hot_buckets[0].activations, 2u);
+  EXPECT_EQ(report.hot_buckets[0].tokens_touched, 10u);
+  EXPECT_DOUBLE_EQ(report.hot_buckets[0].share_pct, 50.0);
+  EXPECT_EQ(report.hot_buckets[1].activations, 1u);
+  // Equal activation counts break ties on bucket index: 0 before 1.
+  EXPECT_EQ(report.hot_buckets[1].bucket, 0u);
+}
+
+TEST(Profiler, ChromeTraceExport) {
+  Profiler profiler;
+  profiler.attach(1, 4);
+  profiler.lane(0)->phase_span(0, 1000);
+  profiler.lane(0)->span(ProfCategory::Match, 0, 0, 600);
+  profiler.control_lane()->span(ProfCategory::ConflictUpdate, 0, 1000, 1100);
+
+  Tracer tracer;
+  profiler.export_chrome_trace(tracer);
+  std::ostringstream os;
+  tracer.write_chrome_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("measured worker 0"), std::string::npos);
+  EXPECT_NE(json.find("measured control"), std::string::npos);
+  EXPECT_NE(json.find("\"match\""), std::string::npos);
+  EXPECT_NE(json.find("\"conflict_update\""), std::string::npos);
+  EXPECT_NE(json.find("\"phase\""), std::string::npos);
+}
+
+TEST(Profiler, PrintReportRendersTables) {
+  Profiler profiler;
+  profiler.attach(1, 4);
+  profiler.lane(0)->phase_span(0, 1000);
+  profiler.lane(0)->span(ProfCategory::Match, 0, 0, 600);
+  profiler.lane(0)->bucket_load(2, 3);
+  profiler.add_phase(1);
+
+  std::ostringstream os;
+  print_profile_report(os, profiler.report());
+  const std::string text = os.str();
+  EXPECT_NE(text.find("wall-clock phase attribution"), std::string::npos);
+  EXPECT_NE(text.find("match %"), std::string::npos);
+  EXPECT_NE(text.find("hottest buckets"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mpps::obs

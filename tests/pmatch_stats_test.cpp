@@ -1,0 +1,145 @@
+// WorkerStats accounting invariants for the parallel match engine, run
+// over the committed profiling workloads (examples/programs/bench_*.ops):
+// per-worker busy+idle must equal the profiler's measured phase wall,
+// mailbox depth can never exceed the configured capacity unless an
+// overflow was counted, per-worker activation counts must sum to the
+// engine totals, and all deterministic counters must merge bit-identically
+// across thread counts and across repeated runs.  scripts/ci.sh runs this
+// suite under TSan (it is part of pmatch_tests).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/profiler.hpp"
+#include "src/ops5/parser.hpp"
+#include "src/pmatch/engine.hpp"
+#include "src/rete/interp.hpp"
+#include "tests/pmatch_test_util.hpp"
+
+namespace mpps {
+namespace {
+
+using pmatch_test::load_program;
+
+struct RunOutcome {
+  rete::RunResult result;
+  rete::EngineStats stats;
+  std::vector<pmatch::WorkerStats> workers;
+  obs::ProfileReport profile;  // empty unless `profiled`
+};
+
+RunOutcome run_parallel(const std::string& source, std::uint32_t threads,
+                        obs::Profiler* profiler = nullptr,
+                        std::size_t mailbox_capacity = 1024) {
+  rete::InterpreterOptions options;
+  options.max_cycles = 2000;
+  pmatch::ParallelOptions popts;
+  popts.threads = threads;
+  popts.mailbox_capacity = mailbox_capacity;
+  popts.profiler = profiler;
+  options.engine_factory = pmatch::parallel_engine_factory(popts);
+  rete::Interpreter interp(ops5::parse_program(source), options);
+  interp.load_initial_wmes();
+  RunOutcome out;
+  out.result = interp.run();
+  const auto& engine =
+      dynamic_cast<const pmatch::ParallelEngine&>(interp.match_engine());
+  out.stats = engine.stats();
+  out.workers = engine.worker_stats();
+  if (profiler != nullptr) out.profile = profiler->report();
+  return out;
+}
+
+class WorkerStatsInvariants : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(WorkerStatsInvariants, BusyPlusIdleEqualsMeasuredWall) {
+  const std::string source = load_program(GetParam());
+  ASSERT_FALSE(source.empty());
+  for (const std::uint32_t threads : {1u, 2u, 4u}) {
+    obs::Profiler profiler;
+    const RunOutcome run = run_parallel(source, threads, &profiler);
+    ASSERT_EQ(run.workers.size(), threads);
+    ASSERT_EQ(run.profile.workers.size(), threads);
+    for (std::uint32_t w = 0; w < threads; ++w) {
+      // busy is defined as phase wall minus idle, and the profiler's
+      // per-worker wall is the sum of the same phase spans — so the
+      // engine's split must tile the measured wall exactly.
+      EXPECT_EQ(run.workers[w].busy_ns + run.workers[w].idle_ns,
+                run.profile.workers[w].wall_ns)
+          << "worker " << w << " at " << threads << " threads";
+    }
+  }
+}
+
+TEST_P(WorkerStatsInvariants, MailboxDepthBoundedByCapacity) {
+  const std::string source = load_program(GetParam());
+  ASSERT_FALSE(source.empty());
+  const std::size_t capacity = 64;
+  for (const std::uint32_t threads : {2u, 4u}) {
+    const RunOutcome run =
+        run_parallel(source, threads, nullptr, capacity);
+    for (const pmatch::WorkerStats& w : run.workers) {
+      if (w.mailbox_overflows == 0) {
+        EXPECT_LE(w.max_mailbox_depth, capacity);
+      }
+    }
+  }
+}
+
+TEST_P(WorkerStatsInvariants, PerWorkerActivationsSumToEngineTotals) {
+  const std::string source = load_program(GetParam());
+  ASSERT_FALSE(source.empty());
+  for (const std::uint32_t threads : {1u, 2u, 4u}) {
+    const RunOutcome run = run_parallel(source, threads);
+    std::uint64_t activations = 0;
+    for (const pmatch::WorkerStats& w : run.workers) {
+      activations += w.activations;
+    }
+    EXPECT_EQ(activations,
+              run.stats.left_activations + run.stats.right_activations)
+        << threads << " threads";
+  }
+}
+
+TEST_P(WorkerStatsInvariants, CountersMergeIdenticallyAcrossThreadCounts) {
+  const std::string source = load_program(GetParam());
+  ASSERT_FALSE(source.empty());
+  const RunOutcome base = run_parallel(source, 1);
+  for (const std::uint32_t threads : {2u, 4u}) {
+    const RunOutcome run = run_parallel(source, threads);
+    EXPECT_EQ(run.result.cycles, base.result.cycles);
+    EXPECT_EQ(run.result.firings, base.result.firings);
+    // The deterministic counters: the same match work happens no matter
+    // how the buckets are partitioned, so the merged totals are
+    // bit-identical (times and message routing of course are not).
+    EXPECT_EQ(run.stats.left_activations, base.stats.left_activations);
+    EXPECT_EQ(run.stats.right_activations, base.stats.right_activations);
+    EXPECT_EQ(run.stats.tokens_generated, base.stats.tokens_generated);
+    EXPECT_EQ(run.stats.comparisons, base.stats.comparisons);
+    EXPECT_EQ(run.stats.stale_deletes, base.stats.stale_deletes);
+  }
+}
+
+TEST_P(WorkerStatsInvariants, CountersStableAcrossRepeatedRuns) {
+  const std::string source = load_program(GetParam());
+  ASSERT_FALSE(source.empty());
+  const RunOutcome first = run_parallel(source, 2);
+  const RunOutcome second = run_parallel(source, 2);
+  ASSERT_EQ(first.workers.size(), second.workers.size());
+  for (std::size_t w = 0; w < first.workers.size(); ++w) {
+    EXPECT_EQ(first.workers[w].activations, second.workers[w].activations);
+    EXPECT_EQ(first.workers[w].messages_sent,
+              second.workers[w].messages_sent);
+    EXPECT_EQ(first.workers[w].local_deliveries,
+              second.workers[w].local_deliveries);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BenchWorkloads, WorkerStatsInvariants,
+                         ::testing::Values("bench_fanout.ops",
+                                           "bench_chain.ops"));
+
+}  // namespace
+}  // namespace mpps
