@@ -12,6 +12,21 @@
 //            join chain, so rounds are deep and narrow — the paper's
 //            bad case, and an honest lower bound for the engine.
 //
+// Every row feeds the *same* pre-generated WM-change stream through
+// `process_changes`, so rows differ only in the engine and its
+// `max_batch` (how many consecutive changes fuse into one BSP phase).
+// Parallel rows run at batch 1 (one change = one phase, the pre-batching
+// behaviour) and batch 16 (the round-batched mode), and each carries
+// `relative_to_serial` — the acceptance number is parallel@1T >= 0.9x
+// serial on both workloads.
+//
+// `relative_to_serial` compares *changes per second*, not activations
+// per second: batching can fuse a wme's add and delete into one phase,
+// where the transient sub-instantiations short-circuit and never ripple
+// (the multiple-modify saving the paper describes), so a batched row can
+// honestly do fewer activations for the same WM-change stream.  Both
+// rates are recorded; only changes/s compares equal work.
+//
 // Usage:
 //   pmatch_throughput [--smoke] [-o FILE]
 //
@@ -27,6 +42,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <span>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -49,8 +65,8 @@ struct Workload {
   std::string name;
   std::string source;                  // productions only
   std::vector<std::string> setup;      // wmes added once, untimed
-  // One timed iteration adds `per_iter(i)` wmes and then removes them
-  // again (so working-set size stays constant across iterations).
+  // One iteration adds `per_iter(i)` wmes and then removes them again
+  // (so working-set size stays constant across iterations).
   std::vector<std::string> (*per_iter)(std::uint64_t iter);
 };
 
@@ -100,13 +116,42 @@ Workload make_chain() {
   return w;
 }
 
+/// The pre-generated feed: `setup` is applied untimed, `timed` is the
+/// add+remove stream the clock runs over.  Identical across every row of
+/// a workload, so the engines are compared on the same work.
+struct ChangeStream {
+  std::vector<ops5::WmeChange> setup;
+  std::vector<ops5::WmeChange> timed;
+};
+
+ChangeStream build_stream(const Workload& w, std::uint64_t iterations) {
+  ChangeStream s;
+  ops5::WorkingMemory wm;
+  for (const std::string& wme : w.setup) {
+    wm.add(ops5::parse_wme(wme));
+  }
+  s.setup = wm.drain_changes();
+  for (std::uint64_t i = 0; i < iterations; ++i) {
+    std::vector<WmeId> added;
+    for (const std::string& wme : w.per_iter(i)) {
+      added.push_back(wm.add(ops5::parse_wme(wme)));
+    }
+    for (const WmeId id : added) wm.remove(id);
+  }
+  s.timed = wm.drain_changes();
+  return s;
+}
+
 struct Measurement {
   std::string workload;
   std::uint32_t threads = 0;  // 0 = the serial rete::Engine
+  std::uint32_t batch = 1;    // WM changes fused per BSP phase (parallel)
   std::uint64_t iterations = 0;
-  std::uint64_t activations = 0;  // total across the timed iterations
+  std::uint64_t changes = 0;      // timed WM-change stream length
+  std::uint64_t activations = 0;  // total across the timed stream
   double wall_ms = 0.0;
   double activations_per_sec = 0.0;
+  double changes_per_sec = 0.0;  // the cross-row comparable rate
   // Attribution pass (parallel rows only): a separate short profiled run
   // — the throughput numbers above stay uninstrumented.
   bool profiled = false;
@@ -117,69 +162,61 @@ std::uint64_t total_activations(const rete::MatchEngine& engine) {
   return engine.stats().left_activations + engine.stats().right_activations;
 }
 
-/// Runs `iterations` add+remove rounds through `engine` and returns the
-/// wall-clock milliseconds spent (activation counts read via stats()).
-double drive(rete::MatchEngine& engine, const Workload& w,
-             std::uint64_t iterations) {
-  ops5::WorkingMemory wm;
-  const auto feed = [&] {
-    for (const ops5::WmeChange& change : wm.drain_changes()) {
-      engine.process_change(change);
-    }
-  };
-  for (const std::string& wme : w.setup) {
-    wm.add(ops5::parse_wme(wme));
+std::unique_ptr<rete::MatchEngine> make_engine(const rete::Network& net,
+                                               std::uint32_t threads,
+                                               std::uint32_t batch,
+                                               obs::Profiler* profiler) {
+  if (threads == 0) {
+    return std::make_unique<rete::Engine>(net, rete::EngineOptions{});
   }
-  feed();
+  pmatch::ParallelOptions popts;
+  popts.threads = threads;
+  popts.max_batch = batch;
+  popts.profiler = profiler;
+  return std::make_unique<pmatch::ParallelEngine>(net, popts);
+}
 
+/// Feeds the timed stream through `process_changes` (the serial engine
+/// loops per change; the parallel engine fuses `max_batch` changes per
+/// BSP phase) and returns the wall-clock milliseconds spent.
+double drive(rete::MatchEngine& engine, const ChangeStream& stream) {
+  engine.process_changes(stream.setup);
   const auto start = std::chrono::steady_clock::now();
-  for (std::uint64_t i = 0; i < iterations; ++i) {
-    std::vector<WmeId> added;
-    for (const std::string& wme : w.per_iter(i)) {
-      added.push_back(wm.add(ops5::parse_wme(wme)));
-    }
-    feed();
-    for (const WmeId id : added) wm.remove(id);
-    feed();
-  }
+  engine.process_changes(stream.timed);
   const auto stop = std::chrono::steady_clock::now();
   return std::chrono::duration<double, std::milli>(stop - start).count();
 }
 
 Measurement measure(const rete::Network& net, const Workload& w,
-                    std::uint32_t threads, bool smoke) {
+                    std::uint32_t threads, std::uint32_t batch, bool smoke) {
   Measurement m;
   m.workload = w.name;
   m.threads = threads;
+  m.batch = batch;
 
   const double min_budget_ms = smoke ? 0.0 : 250.0;
   std::uint64_t iterations = smoke ? 20 : 64;
   for (;;) {
-    std::unique_ptr<rete::MatchEngine> engine;
-    if (threads == 0) {
-      engine = std::make_unique<rete::Engine>(net, rete::EngineOptions{});
-    } else {
-      pmatch::ParallelOptions popts;
-      popts.threads = threads;
-      engine = std::make_unique<pmatch::ParallelEngine>(net, popts);
-    }
+    const ChangeStream stream = build_stream(w, iterations);
+    std::unique_ptr<rete::MatchEngine> engine =
+        make_engine(net, threads, batch, nullptr);
     const std::uint64_t before = total_activations(*engine);
-    m.wall_ms = drive(*engine, w, iterations);
+    m.wall_ms = drive(*engine, stream);
     m.iterations = iterations;
+    m.changes = stream.timed.size();
     m.activations = total_activations(*engine) - before;
     if (m.wall_ms >= min_budget_ms || smoke) break;
     iterations *= 2;
   }
   m.activations_per_sec =
       static_cast<double>(m.activations) / (m.wall_ms / 1000.0);
+  m.changes_per_sec = static_cast<double>(m.changes) / (m.wall_ms / 1000.0);
 
   if (threads > 0) {
     obs::Profiler profiler;
-    pmatch::ParallelOptions popts;
-    popts.threads = threads;
-    popts.profiler = &profiler;
-    pmatch::ParallelEngine engine(net, popts);
-    drive(engine, w, smoke ? 5 : 32);
+    std::unique_ptr<rete::MatchEngine> engine =
+        make_engine(net, threads, batch, &profiler);
+    drive(*engine, build_stream(w, smoke ? 5 : 512));
     m.profile = profiler.report();
     m.profiled = true;
   }
@@ -205,29 +242,44 @@ int main(int argc, char** argv) {
 
   const unsigned hardware = std::thread::hardware_concurrency();
   const std::vector<Workload> workloads = {make_fanout(), make_chain()};
-  const std::vector<std::uint32_t> thread_counts = {0, 1, 2, 4, 8};
+  const std::vector<std::uint32_t> thread_counts = {1, 2, 4, 8};
+  const std::vector<std::uint32_t> batches = {1, 16, 64};
 
   std::vector<Measurement> measurements;
   for (const Workload& w : workloads) {
     const ops5::Program program = ops5::parse_program(w.source);
     const rete::Network net = rete::Network::compile(program);
-    double base_aps = 0.0;  // the 1-thread parallel engine
-    for (const std::uint32_t threads : thread_counts) {
-      Measurement m = measure(net, w, threads, smoke);
-      if (threads == 1) base_aps = m.activations_per_sec;
-      std::cout << m.workload << " @ "
-                << (m.threads == 0 ? "serial"
-                                   : std::to_string(m.threads) + " threads")
-                << ": "
-                << static_cast<std::uint64_t>(m.activations_per_sec)
-                << " activations/s (" << m.iterations << " iters, "
-                << m.wall_ms << " ms)";
-      if (m.threads > 1 && base_aps > 0.0) {
-        std::cout << " speedup vs 1 thread "
-                  << m.activations_per_sec / base_aps;
+
+    Measurement serial = measure(net, w, 0, 1, smoke);
+    const double serial_cps = serial.changes_per_sec;
+    std::cout << serial.workload << " @ serial: "
+              << static_cast<std::uint64_t>(serial.changes_per_sec)
+              << " changes/s, "
+              << static_cast<std::uint64_t>(serial.activations_per_sec)
+              << " activations/s (" << serial.iterations << " iters, "
+              << serial.wall_ms << " ms)\n";
+    measurements.push_back(std::move(serial));
+
+    for (const std::uint32_t batch : batches) {
+      double base_cps = 0.0;  // the 1-thread parallel engine at this batch
+      for (const std::uint32_t threads : thread_counts) {
+        Measurement m = measure(net, w, threads, batch, smoke);
+        if (threads == 1) base_cps = m.changes_per_sec;
+        std::cout << m.workload << " @ " << m.threads << " threads, batch "
+                  << m.batch << ": "
+                  << static_cast<std::uint64_t>(m.changes_per_sec)
+                  << " changes/s (" << m.iterations << " iters, "
+                  << m.wall_ms << " ms)";
+        if (serial_cps > 0.0) {
+          std::cout << " vs serial " << m.changes_per_sec / serial_cps << "x";
+        }
+        if (m.threads > 1 && base_cps > 0.0) {
+          std::cout << ", speedup vs 1 thread "
+                    << m.changes_per_sec / base_cps;
+        }
+        std::cout << "\n";
+        measurements.push_back(std::move(m));
       }
-      std::cout << "\n";
-      measurements.push_back(std::move(m));
     }
   }
 
@@ -243,41 +295,57 @@ int main(int argc, char** argv) {
   j.field("hardware_concurrency", static_cast<std::uint64_t>(hardware));
   j.key("workloads");
   j.begin_array();
-  double base_aps = 0.0;
+  double serial_cps = 0.0;
+  double base_cps = 0.0;
   for (const Measurement& m : measurements) {
-    if (m.threads == 1) base_aps = m.activations_per_sec;
+    if (m.threads == 0) serial_cps = m.changes_per_sec;
+    if (m.threads == 1) base_cps = m.changes_per_sec;
     j.begin_object();
     j.field("name", m.workload);
     j.field("engine", m.threads == 0 ? "serial" : "parallel");
     j.field("threads", m.threads);
+    if (m.threads > 0) j.field("batch", m.batch);
     j.field("iterations", m.iterations);
+    j.field("changes", m.changes);
     j.field("activations", m.activations);
     j.field("wall_ms", m.wall_ms);
     j.field("activations_per_sec", m.activations_per_sec);
-    if (m.threads >= 1 && base_aps > 0.0) {
-      j.field("speedup_vs_1_thread", m.activations_per_sec / base_aps);
+    j.field("changes_per_sec", m.changes_per_sec);
+    if (m.threads > 0 && serial_cps > 0.0) {
+      j.field("relative_to_serial", m.changes_per_sec / serial_cps);
+    }
+    if (m.threads >= 1 && base_cps > 0.0) {
+      j.field("speedup_vs_1_thread", m.changes_per_sec / base_cps);
     }
     if (m.profiled) {
       // Where the wall time went (from the separate profiled pass): the
-      // measured Table 5-1-style split, as % of summed worker wall time.
+      // measured Table 5-1-style split.  Worker categories are % of
+      // summed worker wall time; the control thread's conflict-set merge
+      // is % of the *engine* wall (its own denominator — dividing it by
+      // worker time is how the old >100% figures happened).  All
+      // percentages go through obs::safe_pct, so they sit in [0, 100].
       const obs::ProfileReport& p = m.profile;
-      const auto pct = [&](std::uint64_t ns) {
-        return p.total_wall_ns == 0 ? 0.0
-                                    : 100.0 * static_cast<double>(ns) /
-                                          static_cast<double>(p.total_wall_ns);
-      };
       j.key("attribution");
       j.begin_object();
       j.field("min_attributed_pct", p.min_attributed_pct());
-      j.field("rounds_per_change", p.rounds_per_phase());
+      j.field("phases", p.phases);
+      j.field("changes", p.changes);
+      j.field("rounds_per_phase", p.rounds_per_phase());
+      j.field("rounds_per_change", p.rounds_per_change());
       j.field("match_skew", p.match_skew);
       for (std::size_t c = 0; c < obs::kProfCategories; ++c) {
-        j.field(std::string(obs::prof_category_name(
-                    static_cast<obs::ProfCategory>(c))) +
-                    "_pct",
-                pct(p.total_ns[c]));
+        const auto cat = static_cast<obs::ProfCategory>(c);
+        if (cat == obs::ProfCategory::ConflictUpdate) continue;
+        j.field(std::string(obs::prof_category_name(cat)) + "_pct",
+                obs::safe_pct(p.total_ns[c], p.total_wall_ns));
       }
-      j.field("unattributed_pct", pct(p.total_unattributed_ns));
+      j.field("unattributed_pct",
+              obs::safe_pct(p.total_unattributed_ns, p.total_wall_ns));
+      j.field("engine_wall_ms",
+              static_cast<double>(p.engine_wall_ns) / 1e6);
+      j.field("conflict_update_ms",
+              static_cast<double>(p.conflict_update_ns) / 1e6);
+      j.field("conflict_update_pct", p.conflict_update_pct());
       j.key("merge");
       j.begin_object();
       j.field("rounds", p.merge_rounds);

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Percentage-range gate for emitted JSON artifacts.
+
+Walks every JSON file given on the command line and fails (exit 1) if any
+field whose key ends in ``_pct`` — at any nesting depth, including inside
+arrays — holds a value outside [0, 100] or a non-finite number.  This is
+the smoke-level backstop for the profiler's clamped ``safe_pct`` plumbing:
+tests/obs_profiler_test.cpp proves the property on synthetic lanes, and
+this gate proves no emission path (bench attribution objects, the CLI's
+``run --profile --json`` report) bypasses it — the conflict_update_pct
+field once read 110.7 in BENCH_pmatch.json because the control thread's
+merge time was divided by a worker-wall denominator.
+
+Usage: check_pct.py FILE.json [FILE.json ...]
+"""
+import json
+import math
+import sys
+
+
+def walk(node, path, violations):
+    if isinstance(node, dict):
+        for key, value in node.items():
+            where = f"{path}.{key}" if path else key
+            if key.endswith("_pct"):
+                if not isinstance(value, (int, float)) or isinstance(value, bool):
+                    violations.append(f"{where}: not a number ({value!r})")
+                elif not math.isfinite(value):
+                    violations.append(f"{where}: non-finite ({value!r})")
+                elif not 0.0 <= value <= 100.0:
+                    violations.append(f"{where}: {value} outside [0, 100]")
+            walk(value, where, violations)
+    elif isinstance(node, list):
+        for i, item in enumerate(node):
+            walk(item, f"{path}[{i}]", violations)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = False
+    for fname in argv[1:]:
+        try:
+            with open(fname, encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, ValueError) as exc:
+            print(f"{fname}: cannot read/parse: {exc}", file=sys.stderr)
+            failed = True
+            continue
+        violations = []
+        walk(doc, "", violations)
+        if violations:
+            failed = True
+            for v in violations:
+                print(f"{fname}: {v}", file=sys.stderr)
+        else:
+            print(f"{fname}: all *_pct fields in [0, 100]")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -77,9 +77,16 @@ echo "=== tier-1: profiler smoke report (PROFILE_pmatch.json) ==="
 # tests/pmatch_profile_test.cpp, this smoke just keeps the end-to-end
 # `run --profile --json` path exercised and archived.
 ./build/tools/mpps run examples/programs/bench_fanout.ops \
-  --match-threads 2 --profile --json --quiet > PROFILE_pmatch.json
+  --match-threads 2 --match-batch 16 --profile --json --quiet \
+  > PROFILE_pmatch.json
 test -s PROFILE_pmatch.json
 grep -q '"min_attributed_pct"' PROFILE_pmatch.json
+
+echo "=== tier-1: attribution percentage range gate ==="
+# Every *_pct field any artifact emits must sit in [0, 100]; the >100%
+# conflict_update_pct regression (wrong denominator) is exactly what this
+# catches (scripts/check_pct.py).
+python3 scripts/check_pct.py BENCH_pmatch.json PROFILE_pmatch.json
 
 if [ "$FAST" -eq 1 ]; then
   echo "=== tier-1 passed (sanitizer + coverage passes skipped via --fast) ==="
@@ -101,9 +108,12 @@ echo "=== sanitizers: TSan rebuild of the threaded code + its tests (build-tsan/
 # tree; only the multi-threaded code (SweepRunner, BaselineCache, the
 # pmatch worker pool) and its tests need the pass, so build and run just
 # those targets.  pmatch_tests includes the differential oracle at
-# 1/2/4/8 worker threads plus the profiler integration and WorkerStats
-# suites (pmatch_profile_test / pmatch_stats_test), so this is where
-# engine races — including profiler-lane writes — would surface.
+# 1/2/4/8 worker threads, the round-batched oracle and mailbox suites
+# (pmatch_batch_test / pmatch_mailbox_test — fused phases stress the
+# sharded mailbox and the cross-round merge paths hardest), plus the
+# profiler integration and WorkerStats suites (pmatch_profile_test /
+# pmatch_stats_test), so this is where engine races — including
+# profiler-lane writes — would surface.
 TSAN_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
 cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=Debug \

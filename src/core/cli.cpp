@@ -87,6 +87,12 @@ const std::vector<CommandSpec>& commands() {
             "match with N parallel worker threads (default: serial)"},
            {"--match-assign", "rr|random", "random",
             "bucket partition across match workers (default rr)"},
+           {"--match-batch", "N", "16",
+            "fuse up to N WM changes into one BSP phase (default 1;\n"
+            "requires --match-threads)"},
+           {"--match-mailbox", "N", "1024",
+            "per-worker mailbox backpressure threshold (default 1024;\n"
+            "requires --match-threads)"},
            {"--profile", nullptr, nullptr,
             "attribute each worker's wall time to match/mailbox/barrier/"
             "merge categories (requires --match-threads)"},
@@ -327,6 +333,20 @@ std::vector<std::uint32_t> parse_u32_list(const std::string& s,
   return out;
 }
 
+/// A flag whose explicit value must be a positive integer (`--match-batch
+/// 0`, `--match-mailbox 0` and garbage are usage errors, not a silent
+/// coercion to some default); returns `fallback` when the flag is absent.
+std::uint64_t parse_positive_or(const Args& args, const std::string& flag,
+                                std::uint64_t fallback) {
+  const std::string raw = args.value(flag, "");
+  if (raw.empty()) return fallback;
+  long v = 0;
+  if (!parse_int(raw, v) || v <= 0) {
+    throw UsageError(flag + ": '" + raw + "' is not a positive integer");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
 /// The `--jobs N` worker-thread count; 0 (auto) when absent.  An explicit
 /// value must be a positive integer — `--jobs 0` and garbage are usage
 /// errors, not a silent fallback to auto.
@@ -438,13 +458,19 @@ void json_sim_result(JsonWriter& w, std::uint32_t procs, int run,
 void json_profile_report(JsonWriter& w, const obs::ProfileReport& report) {
   w.begin_object();
   w.field("phases", report.phases);
+  w.field("changes", report.changes);
   w.field("rounds", report.rounds);
-  w.field("rounds_per_change", report.rounds_per_phase());
+  w.field("rounds_per_phase", report.rounds_per_phase());
+  w.field("rounds_per_change", report.rounds_per_change());
   w.field("min_attributed_pct", report.min_attributed_pct());
   w.field("match_skew", report.match_skew);
   w.field("total_wall_ns", report.total_wall_ns);
   w.field("total_unattributed_ns", report.total_unattributed_ns);
+  w.field("engine_wall_ns", report.engine_wall_ns);
   w.field("conflict_update_ns", report.conflict_update_ns);
+  // Normalized against the engine wall (the control lane's phase spans),
+  // not the summed worker walls — in [0, 100] by construction.
+  w.field("conflict_update_pct", report.conflict_update_pct());
   w.key("category_totals_ns");
   w.begin_object();
   for (std::size_t c = 0; c < obs::kProfCategories; ++c) {
@@ -524,7 +550,15 @@ int cmd_run(const Args& args, std::ostream& out, std::ostream& err) {
         "--profile requires --match-threads (it attributes the parallel "
         "match engine's wall time)");
   }
-  if (match_threads > 0) {
+  if (match_threads == 0) {
+    for (const char* flag : {"--match-batch", "--match-mailbox"}) {
+      if (!args.value(flag, "").empty()) {
+        throw UsageError(std::string(flag) +
+                         " requires --match-threads (it configures the "
+                         "parallel match engine)");
+      }
+    }
+  } else {
     pmatch::ParallelOptions popts;
     popts.threads = match_threads;
     if (args.value("--match-assign", "rr") == "random") {
@@ -532,6 +566,10 @@ int cmd_run(const Args& args, std::ostream& out, std::ostream& err) {
       popts.seed = static_cast<std::uint64_t>(
           parse_long_or(args.value("--seed", "1"), 1));
     }
+    popts.max_batch = static_cast<std::uint32_t>(
+        parse_positive_or(args, "--match-batch", 1));
+    popts.mailbox_capacity = static_cast<std::size_t>(
+        parse_positive_or(args, "--match-mailbox", 1024));
     if (profile) popts.profiler = &profiler;
     options.engine_factory = pmatch::parallel_engine_factory(popts);
   }
@@ -572,7 +610,8 @@ int cmd_run(const Args& args, std::ostream& out, std::ostream& err) {
     }
     if (!json) {
       out << "parallel match: " << workers.size() << " workers, "
-          << engine_rounds << " activation rounds\n";
+          << engine.phases() << " BSP phases covering " << engine.changes()
+          << " WM changes, " << engine_rounds << " activation rounds\n";
       for (std::size_t i = 0; i < workers.size(); ++i) {
         const pmatch::WorkerStats& w = workers[i];
         out << "  worker " << i << ": busy "

@@ -26,6 +26,7 @@
 //       .threads(4).random_partition(7).build();
 #pragma once
 
+#include "src/common/error.hpp"
 #include "src/core/cli.hpp"
 #include "src/core/pipeline.hpp"
 #include "src/core/sweep.hpp"
@@ -196,8 +197,21 @@ class ParallelOptionsBuilder {
     options_.assignment = std::move(map);
     return *this;
   }
+  /// Mailbox backpressure threshold.  Zero is rejected here, at the
+  /// builder layer, rather than silently coerced downstream.
   ParallelOptionsBuilder& mailbox_capacity(std::size_t n) {
+    if (n == 0) {
+      throw RuntimeError(
+          "ParallelOptionsBuilder: mailbox_capacity must be positive");
+    }
     options_.mailbox_capacity = n;
+    return *this;
+  }
+  /// WM changes fused per BSP phase by `process_changes`: 1 (default)
+  /// keeps one-change-one-phase; 0 means unbounded (one phase per act
+  /// batch).  docs/PARALLEL_MATCH.md, "Batching WM changes".
+  ParallelOptionsBuilder& max_batch(std::uint32_t n) {
+    options_.max_batch = n;
     return *this;
   }
   ParallelOptionsBuilder& metrics(Registry* registry) {

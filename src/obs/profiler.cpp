@@ -28,6 +28,17 @@ const char* prof_category_name(ProfCategory category) {
   return "unknown";
 }
 
+double safe_pct(std::uint64_t part, std::uint64_t whole) {
+  if (whole == 0) return 0.0;
+  const double pct =
+      100.0 * static_cast<double>(part) / static_cast<double>(whole);
+  return std::clamp(pct, 0.0, 100.0);
+}
+
+double ProfileReport::conflict_update_pct() const {
+  return safe_pct(conflict_update_ns, engine_wall_ns);
+}
+
 double ProfileReport::Worker::attributed_pct() const {
   if (wall_ns == 0) return 100.0;
   return 100.0 *
@@ -74,6 +85,7 @@ ProfileReport Profiler::report(std::size_t top_k_buckets) const {
   ProfileReport report;
   report.phases = phases_;
   report.rounds = rounds_;
+  report.changes = changes_;
   if (lanes_.empty()) return report;
 
   const std::size_t n_workers = lanes_.size() - 1;
@@ -119,11 +131,17 @@ ProfileReport Profiler::report(std::size_t top_k_buckets) const {
 
   // Control lane: conflict-set merge time (runs while workers are parked,
   // so it is engine time on top of the worker walls, not inside them).
+  // Its phase spans cover each whole BSP phase (handshake → merge end)
+  // and sum to the engine wall — the only denominator the merge time may
+  // be expressed as a percentage of.
   for (const ProfSpan& span : lanes_.back()->spans()) {
     report.total_ns[static_cast<std::size_t>(span.category)] += span.dur_ns;
     if (span.category == ProfCategory::ConflictUpdate) {
       report.conflict_update_ns += span.dur_ns;
     }
+  }
+  for (std::uint64_t dur : lanes_.back()->phase_durs()) {
+    report.engine_wall_ns += dur;
   }
 
   // Measured match skew: max/mean of per-worker match-compute time.
@@ -204,21 +222,12 @@ void Profiler::export_chrome_trace(Tracer& tracer,
   }
 }
 
-namespace {
-
-double pct_of(std::uint64_t part, std::uint64_t whole) {
-  return whole == 0
-             ? 0.0
-             : 100.0 * static_cast<double>(part) / static_cast<double>(whole);
-}
-
-}  // namespace
-
 void print_profile_report(std::ostream& os, const ProfileReport& report) {
   print_banner(os, "wall-clock phase attribution (measured, Table 5-1 style)");
   os << report.workers.size() << " workers, " << report.phases
-     << " WM-change phases, " << report.rounds << " BSP rounds ("
-     << std::fixed << std::setprecision(2) << report.rounds_per_phase()
+     << " BSP phases covering " << report.changes << " WM changes, "
+     << report.rounds << " BSP rounds (" << std::fixed
+     << std::setprecision(2) << report.rounds_per_change()
      << std::defaultfloat << " rounds per change)\n";
 
   TextTable table({"worker", "wall ms", "match %", "enqueue %", "dequeue %",
@@ -231,12 +240,12 @@ void print_profile_report(std::ostream& os, const ProfileReport& report) {
     table.row()
         .cell(static_cast<unsigned long>(i))
         .cell(static_cast<double>(w.wall_ns) / 1e6, 3)
-        .cell(pct_of(cat(w, ProfCategory::Match), w.wall_ns), 1)
-        .cell(pct_of(cat(w, ProfCategory::MailboxEnqueue), w.wall_ns), 1)
-        .cell(pct_of(cat(w, ProfCategory::MailboxDequeue), w.wall_ns), 1)
-        .cell(pct_of(cat(w, ProfCategory::BarrierWait), w.wall_ns), 1)
-        .cell(pct_of(cat(w, ProfCategory::RoundMerge), w.wall_ns), 1)
-        .cell(pct_of(w.unattributed_ns, w.wall_ns), 1)
+        .cell(safe_pct(cat(w, ProfCategory::Match), w.wall_ns), 1)
+        .cell(safe_pct(cat(w, ProfCategory::MailboxEnqueue), w.wall_ns), 1)
+        .cell(safe_pct(cat(w, ProfCategory::MailboxDequeue), w.wall_ns), 1)
+        .cell(safe_pct(cat(w, ProfCategory::BarrierWait), w.wall_ns), 1)
+        .cell(safe_pct(cat(w, ProfCategory::RoundMerge), w.wall_ns), 1)
+        .cell(safe_pct(w.unattributed_ns, w.wall_ns), 1)
         .cell(static_cast<unsigned long>(w.activations));
   }
   table.print(os);
@@ -248,7 +257,13 @@ void print_profile_report(std::ostream& os, const ProfileReport& report) {
      << " (max/mean worker match time)\n";
   os << "conflict-set update (control thread): " << std::setprecision(3)
      << static_cast<double>(report.conflict_update_ns) / 1e6 << " ms across "
-     << std::defaultfloat << report.phases << " phases\n";
+     << std::defaultfloat << report.phases << " phases";
+  if (report.engine_wall_ns > 0) {
+    os << " (" << std::fixed << std::setprecision(1)
+       << report.conflict_update_pct() << std::defaultfloat
+       << " % of engine wall)";
+  }
+  os << "\n";
   os << "round merges: " << report.merge_rounds << " rounds, "
      << report.merged_items << " items merged, largest round "
      << report.max_merge_items << " items\n";

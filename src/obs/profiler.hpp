@@ -52,6 +52,13 @@ inline constexpr std::size_t kProfCategories = 6;
 /// the text report, the JSON schema and the Chrome-trace export.
 const char* prof_category_name(ProfCategory category);
 
+/// 100 * part / whole, clamped to [0, 100] (0 when whole == 0).  Every
+/// percentage the profiler, the CLI JSON and the bench attribution
+/// objects emit goes through this, so no report can show the impossible
+/// >100% figures the unclamped ratios once produced
+/// (tests/obs_profiler_test.cpp asserts the range property).
+[[nodiscard]] double safe_pct(std::uint64_t part, std::uint64_t whole);
+
 /// One attributed wall-clock interval, relative to the profiler epoch.
 struct ProfSpan {
   ProfCategory category = ProfCategory::Match;
@@ -155,7 +162,14 @@ struct ProfileReport {
   std::uint64_t total_wall_ns = 0;          // sum of worker walls
   std::uint64_t total_unattributed_ns = 0;  // sum of worker remainders
   std::uint64_t conflict_update_ns = 0;     // control lane (== ConflictUpdate)
-  std::uint64_t phases = 0;                 // WM changes profiled
+  /// Sum of the control lane's phase spans: handshake start → merge end,
+  /// one per BSP phase.  This is engine time (the merge is inside it), so
+  /// it is the denominator conflict_update_pct() normalizes against —
+  /// dividing the control-thread merge by a *worker* wall is how the
+  /// >100% conflict_update_pct bug happened.
+  std::uint64_t engine_wall_ns = 0;
+  std::uint64_t phases = 0;                 // BSP phases profiled
+  std::uint64_t changes = 0;                // WM changes covered (>= phases)
   std::uint64_t rounds = 0;                 // BSP rounds across all phases
   /// max worker Match time / mean worker Match time (1.0 = balanced) —
   /// the measured analogue of the simulated busy skew `mpps stats` prints.
@@ -172,6 +186,17 @@ struct ProfileReport {
                        : static_cast<double>(rounds) /
                              static_cast<double>(phases);
   }
+  /// Rounds per WM change — under batching this is the amortized figure
+  /// (a fused phase's rounds are shared by all its changes).
+  [[nodiscard]] double rounds_per_change() const {
+    return changes == 0 ? 0.0
+                        : static_cast<double>(rounds) /
+                              static_cast<double>(changes);
+  }
+  /// Control-thread conflict-update share of the engine wall, in
+  /// [0, 100] by construction (the merge is contained in the control
+  /// phase spans).  0 when no control phase spans were recorded.
+  [[nodiscard]] double conflict_update_pct() const;
   /// The worst worker's attribution — the acceptance number (>= 95
   /// means the profiler explains where the wall time went).
   [[nodiscard]] double min_attributed_pct() const;
@@ -203,9 +228,13 @@ class Profiler {
   [[nodiscard]] ProfLane* control_lane();
 
   /// Called by the engine's control thread after each profiled phase.
-  void add_phase(std::uint64_t rounds_in_phase) {
+  /// `changes_in_phase` is the number of WM changes the phase fused
+  /// (1 without batching).
+  void add_phase(std::uint64_t rounds_in_phase,
+                 std::uint64_t changes_in_phase = 1) {
     ++phases_;
     rounds_ += rounds_in_phase;
+    changes_ += changes_in_phase;
   }
 
   /// Aggregates every lane into the Table 5-1-style breakdown.
@@ -223,6 +252,7 @@ class Profiler {
   std::vector<std::unique_ptr<ProfLane>> lanes_;  // workers..., control
   std::uint64_t phases_ = 0;
   std::uint64_t rounds_ = 0;
+  std::uint64_t changes_ = 0;
 };
 
 /// Renders the breakdown as the boxed tables `mpps run --profile` prints.

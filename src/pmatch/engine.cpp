@@ -81,10 +81,13 @@ ParallelEngine::ParallelEngine(const rete::Network& net,
       round_barrier_(static_cast<std::ptrdiff_t>(threads_)),
       exchange_barrier_(static_cast<std::ptrdiff_t>(threads_),
                         ExchangeCompletion{this}) {
+  if (options_.mailbox_capacity == 0) {
+    throw RuntimeError("ParallelEngine: mailbox_capacity must be positive");
+  }
   workers_.reserve(threads_);
   for (std::uint32_t i = 0; i < threads_; ++i) {
-    workers_.push_back(
-        std::make_unique<Worker>(i, num_buckets_, options_.mailbox_capacity));
+    workers_.push_back(std::make_unique<Worker>(
+        i, num_buckets_, options_.mailbox_capacity, threads_));
   }
   if (options_.profiler != nullptr) {
     options_.profiler->attach(threads_, num_buckets_);
@@ -106,6 +109,7 @@ ParallelEngine::ParallelEngine(const rete::Network& net,
     instr_.local = &reg.counter("pmatch.local_deliveries");
     instr_.rounds = &reg.counter("pmatch.rounds");
     instr_.phases = &reg.counter("pmatch.phases");
+    instr_.changes = &reg.counter("pmatch.changes");
     instr_.overflows = &reg.counter("pmatch.mailbox_overflows");
     instr_.mailbox_depth = &reg.histogram(
         "pmatch.mailbox_depth", obs::Histogram::exponential_bounds(1, 2.0, 12));
@@ -161,9 +165,9 @@ void ParallelEngine::run_worker_phase(Worker& w) {
   w.records.clear();
   w.deltas.clear();
   w.drain_depths.clear();
-  w.current.clear();
-  w.next.clear();
-  w.self_next.clear();
+  recycle_items(w, w.current);
+  recycle_items(w, w.next);
+  recycle_items(w, w.self_next);
   w.provisional_counter = 0;
   w.round = 0;
   try {
@@ -201,7 +205,7 @@ void ParallelEngine::run_worker_phase(Worker& w) {
                  lane->stamp(wait_start), lane->stamp(barrier_end));
     }
 
-    w.next.clear();
+    recycle_items(w, w.next);
     const std::size_t drained = w.mailbox.drain_into(w.next);
     w.drain_depths.push_back(drained);
     auto drain_end = barrier_end;
@@ -254,29 +258,54 @@ void ParallelEngine::on_exchange() noexcept {
   ++rounds_executed_;
 }
 
+ParallelEngine::WorkItem ParallelEngine::take_item(Worker& w) {
+  if (w.pool.empty()) return WorkItem{};
+  WorkItem item = std::move(w.pool.back());
+  w.pool.pop_back();
+  item.token.wmes.clear();
+  item.key.clear();
+  item.parent = 0;
+  item.seq = 0;
+  return item;
+}
+
+void ParallelEngine::recycle_items(Worker& w, std::vector<WorkItem>& items) {
+  for (WorkItem& item : items) w.pool.push_back(std::move(item));
+  items.clear();
+}
+
 void ParallelEngine::scan_roots(Worker& w) {
-  const ops5::WmeChange& change = *phase_change_;
-  const Tag tag = phase_tag_;
-  const WmeId id = change.wme.id();
-  for (const AlphaNode& alpha : net_.alphas()) {
-    if (!alpha.matches(change.wme)) continue;
-    for (const AlphaSuccessor& succ : alpha.successors) {
-      const BetaNode& dest = net_.beta(succ.beta);
-      WorkItem item;
-      item.sender = w.index;
-      item.node = succ.beta;
-      item.side = succ.side;
-      item.tag = tag;
-      if (succ.side == Side::Left) {
-        item.token = Token{{id}};
-        item.key = left_key(dest, item.token);
-      } else {
-        item.wme = id;
-        item.key = right_key(dest, change.wme);
+  // Round 0 of a fused phase holds the roots of EVERY change in the
+  // batch, in change order — the same order the serial engine would have
+  // seeded them across its per-change drains.
+  for (std::size_t c = 0; c < phase_change_count_; ++c) {
+    const ops5::WmeChange& change = phase_changes_[c];
+    const Tag tag =
+        change.kind == ops5::WmeChange::Kind::Add ? Tag::Plus : Tag::Minus;
+    const WmeId id = change.wme.id();
+    for (const AlphaNode& alpha : net_.alphas()) {
+      if (!alpha.matches(change.wme)) continue;
+      for (const AlphaSuccessor& succ : alpha.successors) {
+        const BetaNode& dest = net_.beta(succ.beta);
+        WorkItem item = take_item(w);
+        item.sender = w.index;
+        item.node = succ.beta;
+        item.side = succ.side;
+        item.tag = tag;
+        if (succ.side == Side::Left) {
+          item.token.wmes.push_back(id);
+          left_key_into(dest, item.token, item.key);
+        } else {
+          item.wme = id;
+          right_key_into(dest, change.wme, item.key);
+        }
+        item.bucket = rete::bucket_index(succ.beta, item.key, num_buckets_);
+        if (owner_map_[item.bucket] != w.index) {
+          w.pool.push_back(std::move(item));
+          continue;
+        }
+        w.current.push_back(std::move(item));
       }
-      item.bucket = rete::bucket_index(succ.beta, item.key, num_buckets_);
-      if (owner_map_[item.bucket] != w.index) continue;
-      w.current.push_back(std::move(item));
     }
   }
 }
@@ -301,25 +330,23 @@ void ParallelEngine::process_item(Worker& w, const WorkItem& item) {
   w.lane->bucket_load(item.bucket, w.stats.comparisons - before + 1);
 }
 
-std::vector<Value> ParallelEngine::left_key(const BetaNode& node,
-                                            const Token& t) const {
-  std::vector<Value> key;
-  key.reserve(node.n_eq_tests);
+void ParallelEngine::left_key_into(const BetaNode& node, const Token& t,
+                                   std::vector<Value>& out) const {
+  out.clear();
+  out.reserve(node.n_eq_tests);
   for (std::uint32_t i = 0; i < node.n_eq_tests; ++i) {
     const JoinTest& test = node.tests[i];
-    key.push_back(wmes_.at(t.wmes[test.left_pos]).get(test.left_attr));
+    out.push_back(wmes_.at(t.wmes[test.left_pos]).get(test.left_attr));
   }
-  return key;
 }
 
-std::vector<Value> ParallelEngine::right_key(const BetaNode& node,
-                                             const ops5::Wme& w) const {
-  std::vector<Value> key;
-  key.reserve(node.n_eq_tests);
+void ParallelEngine::right_key_into(const BetaNode& node, const ops5::Wme& w,
+                                    std::vector<Value>& out) const {
+  out.clear();
+  out.reserve(node.n_eq_tests);
   for (std::uint32_t i = 0; i < node.n_eq_tests; ++i) {
-    key.push_back(w.get(node.tests[i].right_attr));
+    out.push_back(w.get(node.tests[i].right_attr));
   }
-  return key;
 }
 
 bool ParallelEngine::non_eq_tests_pass(const BetaNode& node, const Token& t,
@@ -344,15 +371,15 @@ void ParallelEngine::emit(Worker& w, const BetaNode& node, const Token& token,
     } else {
       ++successors;
       const BetaNode& dest = net_.beta(succ.beta);
-      WorkItem child;
+      WorkItem child = take_item(w);
       child.parent = provisional_parent;
       child.seq = w.emit_seq++;
       child.sender = w.index;
       child.node = succ.beta;
       child.side = Side::Left;  // two-input node outputs feed left inputs only
       child.tag = tag;
-      child.token = token;
-      child.key = left_key(dest, token);
+      child.token = token;  // copy-assign reuses the recycled capacity
+      left_key_into(dest, token, child.key);
       child.bucket = rete::bucket_index(succ.beta, child.key, num_buckets_);
       route(w, std::move(child));
     }
@@ -367,13 +394,13 @@ void ParallelEngine::route(Worker& w, WorkItem item) {
   } else {
     ++w.wstats.messages_sent;
     if (w.lane == nullptr) {
-      workers_[owner]->mailbox.push(std::move(item));
+      workers_[owner]->mailbox.push(w.index, std::move(item));
     } else {
       // Cross-worker pushes nest inside the match loop; the accumulated
       // time rides on the Match span's aux and reports re-attribute it
       // to MailboxEnqueue so the categories stay disjoint.
       const auto push_start = obs::ProfLane::now();
-      workers_[owner]->mailbox.push(std::move(item));
+      workers_[owner]->mailbox.push(w.index, std::move(item));
       w.prof_enqueue_ns += ns_between(push_start, obs::ProfLane::now());
     }
   }
@@ -407,9 +434,12 @@ void ParallelEngine::process_left(Worker& w, const WorkItem& item) {
       ++w.stats.comparisons;
       const ops5::Wme& wme = wmes_.at(e->token.wmes[0]);
       if (!non_eq_tests_pass(node, item.token, wme)) continue;
-      Token child = item.token;
-      child.wmes.push_back(e->token.wmes[0]);
-      emit(w, node, child, item.tag, prov, pr.rec.successors,
+      // Build the join child in the worker's scratch token: emit copies
+      // it into recycled WorkItems / the delta list, so no fresh vector
+      // is allocated per candidate.
+      w.scratch.wmes.assign(item.token.wmes.begin(), item.token.wmes.end());
+      w.scratch.wmes.push_back(e->token.wmes[0]);
+      emit(w, node, w.scratch, item.tag, prov, pr.rec.successors,
            pr.rec.instantiations);
     }
   } else {  // Negative node
@@ -450,7 +480,8 @@ void ParallelEngine::process_right(Worker& w, const WorkItem& item) {
   ++w.stats.right_activations;
   ++w.wstats.activations;
   const ops5::Wme& wme = wmes_.at(item.wme);
-  const Token wme_token{{item.wme}};
+  w.scratch_wme.wmes.assign(1, item.wme);
+  const Token& wme_token = w.scratch_wme;
   const std::uint64_t prov =
       (static_cast<std::uint64_t>(w.index + 1) << 40) |
       ++w.provisional_counter;
@@ -474,9 +505,9 @@ void ParallelEngine::process_right(Worker& w, const WorkItem& item) {
     for (HashedMemory::Entry* e : candidates) {
       ++w.stats.comparisons;
       if (!non_eq_tests_pass(node, e->token, wme)) continue;
-      Token child = e->token;
-      child.wmes.push_back(item.wme);
-      emit(w, node, child, item.tag, prov, pr.rec.successors,
+      w.scratch.wmes.assign(e->token.wmes.begin(), e->token.wmes.end());
+      w.scratch.wmes.push_back(item.wme);
+      emit(w, node, w.scratch, item.tag, prov, pr.rec.successors,
            pr.rec.instantiations);
     }
   } else {  // Negative node
@@ -511,32 +542,82 @@ void ParallelEngine::process_right(Worker& w, const WorkItem& item) {
 }
 
 void ParallelEngine::process_change(const ops5::WmeChange& change) {
-  if (listener_ != nullptr) listener_->on_wme_change(change);
-  const Tag tag =
-      change.kind == ops5::WmeChange::Kind::Add ? Tag::Plus : Tag::Minus;
-  const WmeId id = change.wme.id();
-  if (tag == Tag::Plus) {
-    wmes_.emplace(id, change.wme);
+  if (batching_) {
+    pending_batch_.push_back(change);
+    return;
   }
-  // Constant-test phase, control side: single-positive-CE productions
-  // update the conflict set directly (same scan order as the serial
-  // engine); everything else is seeded by the workers' own alpha scans.
-  for (const AlphaNode& alpha : net_.alphas()) {
-    if (!alpha.matches(change.wme)) continue;
-    for (ProductionId pid : alpha.direct_productions) {
-      update_conflict_set(pid, Token{{id}}, tag);
+  run_phase(&change, 1);
+}
+
+void ParallelEngine::process_changes(std::span<const ops5::WmeChange> changes) {
+  if (batching_) {
+    pending_batch_.insert(pending_batch_.end(), changes.begin(),
+                          changes.end());
+    return;
+  }
+  if (changes.empty()) return;
+  const std::size_t chunk =
+      options_.max_batch == 0 ? changes.size() : options_.max_batch;
+  for (std::size_t i = 0; i < changes.size(); i += chunk) {
+    run_phase(changes.data() + i, std::min(chunk, changes.size() - i));
+  }
+}
+
+void ParallelEngine::begin_batch() {
+  if (batching_) {
+    throw RuntimeError("ParallelEngine: a batch is already open");
+  }
+  batching_ = true;
+}
+
+void ParallelEngine::flush() {
+  if (!batching_) {
+    throw RuntimeError("ParallelEngine: no open batch to flush");
+  }
+  batching_ = false;
+  if (pending_batch_.empty()) return;
+  run_phase(pending_batch_.data(), pending_batch_.size());
+  pending_batch_.clear();
+}
+
+void ParallelEngine::run_phase(const ops5::WmeChange* changes,
+                               std::size_t count) {
+  // Per-change pre-work, in change order: the listener sees every change
+  // before any of the batch's activations; adds enter the wme table so
+  // worker-side key building can resolve them; and single-positive-CE
+  // productions update the conflict set directly (same scan order as the
+  // serial engine).  Everything else is seeded by the workers' own alpha
+  // scans over the whole batch.
+  for (std::size_t c = 0; c < count; ++c) {
+    const ops5::WmeChange& change = changes[c];
+    if (listener_ != nullptr) listener_->on_wme_change(change);
+    const Tag tag =
+        change.kind == ops5::WmeChange::Kind::Add ? Tag::Plus : Tag::Minus;
+    const WmeId id = change.wme.id();
+    if (tag == Tag::Plus) {
+      wmes_.emplace(id, change.wme);
+    }
+    for (const AlphaNode& alpha : net_.alphas()) {
+      if (!alpha.matches(change.wme)) continue;
+      for (ProductionId pid : alpha.direct_productions) {
+        update_conflict_set(pid, Token{{id}}, tag);
+      }
     }
   }
   const std::uint64_t rounds_before = rounds_executed_;
+  const auto phase_wall_start = control_lane_ == nullptr
+                                    ? obs::ProfLane::Clock::time_point{}
+                                    : obs::ProfLane::now();
   {
     std::unique_lock<std::mutex> lock(mu_);
-    phase_change_ = &change;
-    phase_tag_ = tag;
+    phase_changes_ = changes;
+    phase_change_count_ = count;
     ++phase_gen_;
     start_cv_.notify_all();
     done_cv_.wait(lock, [&] { return workers_done_ == threads_; });
     workers_done_ = 0;
-    phase_change_ = nullptr;
+    phase_changes_ = nullptr;
+    phase_change_count_ = 0;
   }
   std::exception_ptr error;
   for (auto& w : workers_) {
@@ -549,22 +630,32 @@ void ParallelEngine::process_change(const ops5::WmeChange& change) {
   } else {
     // Control-thread merge runs while the workers are parked, so it is
     // reported on its own lane, on top of (not inside) the worker walls.
+    // The control lane's phase spans (handshake start → merge end) are
+    // the engine-wall denominator percentage reports normalize the
+    // conflict-update time against — which is why conflict_update_pct
+    // can no longer exceed 100.
     std::uint64_t merged = 0;
     for (const auto& w : workers_) {
       merged += w->records.size() + w->deltas.size();
     }
     const auto merge_start = obs::ProfLane::now();
     merge_phase();
+    const auto merge_end = obs::ProfLane::now();
     control_lane_->span(obs::ProfCategory::ConflictUpdate,
                         static_cast<std::uint32_t>(rounds_before),
                         control_lane_->stamp(merge_start),
-                        control_lane_->stamp(obs::ProfLane::now()), merged);
-    options_.profiler->add_phase(rounds_executed_ - rounds_before);
+                        control_lane_->stamp(merge_end), merged);
+    control_lane_->phase_span(control_lane_->stamp(phase_wall_start),
+                              control_lane_->stamp(merge_end));
+    options_.profiler->add_phase(rounds_executed_ - rounds_before, count);
   }
-  if (tag == Tag::Minus) {
-    wmes_.erase(id);
+  for (std::size_t c = 0; c < count; ++c) {
+    if (changes[c].kind == ops5::WmeChange::Kind::Delete) {
+      wmes_.erase(changes[c].wme.id());
+    }
   }
   ++phases_;
+  changes_ += count;
   collect_stats();
   flush_metrics();
 }
@@ -674,6 +765,7 @@ void ParallelEngine::flush_metrics() {
   instr_.overflows->add(overflows);
   instr_.rounds->add(rounds_executed_ - flushed_rounds_);
   instr_.phases->add(phases_ - flushed_phases_);
+  instr_.changes->add(changes_ - flushed_changes_);
   for (const auto& w : workers_) {
     for (std::uint64_t depth : w->drain_depths) {
       instr_.mailbox_depth->observe(static_cast<std::int64_t>(depth));
@@ -683,6 +775,7 @@ void ParallelEngine::flush_metrics() {
   flushed_workers_ = current;
   flushed_rounds_ = rounds_executed_;
   flushed_phases_ = phases_;
+  flushed_changes_ = changes_;
 }
 
 rete::MatchEngineFactory parallel_engine_factory(ParallelOptions options) {

@@ -8,16 +8,28 @@
 // conflict set back to the Interpreter's match-resolve-act loop.
 //
 // Execution model (docs/PARALLEL_MATCH.md has the full walkthrough):
-// every WM change runs as one bulk-synchronous phase.  Workers process
-// activation rounds — round 0 holds the constant-test roots, round r+1
-// holds the tokens round r generated — with a barrier between rounds at
-// which mailboxes are drained and the next round is sorted by
+// WM changes run as bulk-synchronous phases.  Workers process activation
+// rounds — round 0 holds the constant-test roots, round r+1 holds the
+// tokens round r generated — with a barrier between rounds at which
+// mailboxes are drained and the next round is sorted by
 // (sender, sequence).  Because an activation touches exactly one
 // left/right bucket pair and each pair has one owner, per-bucket state
 // never needs a lock; because rounds are merged in deterministic order,
 // the conflict set, trace records and activation ids are reproducible for
-// a fixed thread count — and at 1 thread they are byte-identical to the
-// serial `rete::Engine` (asserted in tests/pmatch_determinism_test.cpp).
+// a fixed thread count — and at 1 thread with max_batch == 1 (the
+// default) they are byte-identical to the serial `rete::Engine` (asserted
+// in tests/pmatch_determinism_test.cpp).
+//
+// Batching (the paper's multiple-modify effect, §4): with
+// `ParallelOptions::max_batch > 1`, `process_changes` runs up to
+// max_batch consecutive WM changes as ONE phase — their constant-test
+// roots all seed round 0 in change order, so the batch shares the
+// per-round barriers and the (sender, seq) sorts instead of paying them
+// once per change.  The conflict set after a batched phase equals the
+// serial engine's after the same changes (as a set: join candidates
+// share a bucket, so the +/- deltas of any one instantiation come from
+// one worker in emission order and the round-major merge preserves it) —
+// asserted against the serial oracle in tests/pmatch_batch_test.cpp.
 #pragma once
 
 #include <atomic>
@@ -28,6 +40,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -63,8 +76,17 @@ struct ParallelOptions {
   /// the cycle-0 map is used: tokens live in worker-owned memories across
   /// cycles, so the partition cannot migrate mid-run.
   std::optional<sim::Assignment> assignment;
-  /// Mailbox backpressure threshold (see mailbox.hpp).
+  /// Mailbox backpressure threshold (see mailbox.hpp).  Must be positive;
+  /// zero is rejected at construction (and earlier, with a UsageError, by
+  /// the CLI / ParallelOptionsBuilder layers).
   std::size_t mailbox_capacity = 1024;
+  /// Upper bound on WM changes fused into one BSP phase by
+  /// `process_changes`.  1 (default) keeps the legacy one-change-one-phase
+  /// behaviour (and byte-identical traces to the serial engine at one
+  /// thread); 0 means "no bound" — a whole act-phase batch runs as a
+  /// single phase.  `begin_batch()`/`flush()` ignore this bound: an
+  /// explicit batch is always one phase.
+  std::uint32_t max_batch = 1;
   /// Optional metrics registry (not owned).  Mirrors the serial engine's
   /// rete.* counters and adds pmatch.* measured counters: per-worker
   /// busy/idle nanoseconds, messages vs local deliveries, rounds, mailbox
@@ -107,8 +129,22 @@ class ParallelEngine final : public rete::MatchEngine {
     listener_ = listener;
   }
 
-  /// Runs one WM change as a bulk-synchronous phase across the workers.
+  /// Runs one WM change as a bulk-synchronous phase across the workers
+  /// (or, inside `begin_batch()`, defers it until `flush()`).
   void process_change(const ops5::WmeChange& change) override;
+
+  /// Runs the changes in chunks of `ParallelOptions::max_batch` fused
+  /// phases (see the header comment).  The interpreter hands each act
+  /// phase's WM deltas here in one call.
+  void process_changes(std::span<const ops5::WmeChange> changes) override;
+
+  /// Explicit transaction API: between `begin_batch()` and `flush()`,
+  /// `process_change` only queues.  `flush()` runs everything queued as
+  /// ONE fused phase (regardless of max_batch) and leaves batch mode.
+  /// The conflict set, `wme()` and stats are stale while a batch is open.
+  void begin_batch();
+  void flush();
+  [[nodiscard]] bool batching() const { return batching_; }
 
   [[nodiscard]] rete::ConflictSet& conflict_set() override {
     return conflict_;
@@ -133,6 +169,10 @@ class ParallelEngine final : public rete::MatchEngine {
   [[nodiscard]] std::vector<WorkerStats> worker_stats() const;
   /// Total BSP rounds executed across all phases.
   [[nodiscard]] std::uint64_t rounds() const { return rounds_executed_; }
+  /// Physical BSP phases run (<= changes() when batching).
+  [[nodiscard]] std::uint64_t phases() const { return phases_; }
+  /// WM changes processed (each phase covers >= 1 of them).
+  [[nodiscard]] std::uint64_t changes() const { return changes_; }
 
  private:
   /// One activation in flight: the unit a mailbox carries.
@@ -175,6 +215,10 @@ class ParallelEngine final : public rete::MatchEngine {
     std::vector<WorkItem> current;
     std::vector<WorkItem> next;
     std::vector<WorkItem> self_next;  // children staying on this worker
+    std::vector<WorkItem> pool;  // retired items recycled to kill per-
+                                 // activation token/key allocations
+    rete::Token scratch;         // join-child token built in place
+    rete::Token scratch_wme;     // right-activation single-wme token
     std::vector<PendingRecord> records;
     std::vector<ConflictDelta> deltas;
     std::vector<std::uint64_t> drain_depths;  // one sample per round
@@ -189,11 +233,11 @@ class ParallelEngine final : public rete::MatchEngine {
     std::thread thread;
 
     Worker(std::uint32_t idx, std::uint32_t num_buckets,
-           std::size_t mailbox_capacity)
+           std::size_t mailbox_capacity, std::uint32_t producers)
         : index(idx),
           left(num_buckets),
           right(num_buckets),
-          mailbox(mailbox_capacity) {}
+          mailbox(mailbox_capacity, producers) {}
   };
 
   struct ExchangeCompletion {
@@ -212,6 +256,7 @@ class ParallelEngine final : public rete::MatchEngine {
     obs::Counter* local = nullptr;
     obs::Counter* rounds = nullptr;
     obs::Counter* phases = nullptr;
+    obs::Counter* changes = nullptr;
     obs::Counter* overflows = nullptr;
     obs::Histogram* mailbox_depth = nullptr;
     std::vector<obs::Counter*> busy;  // per worker
@@ -219,8 +264,17 @@ class ParallelEngine final : public rete::MatchEngine {
   };
 
   void worker_main(Worker& w);
+  /// Runs `count` consecutive WM changes as one fused BSP phase (the
+  /// single control-side path behind process_change / process_changes /
+  /// flush).
+  void run_phase(const ops5::WmeChange* changes, std::size_t count);
   void run_worker_phase(Worker& w);
   void scan_roots(Worker& w);
+  /// Pops a recycled WorkItem (token/key capacity intact) or default-
+  /// constructs one.
+  [[nodiscard]] WorkItem take_item(Worker& w);
+  /// Moves every item of `items` into the worker's pool and clears it.
+  void recycle_items(Worker& w, std::vector<WorkItem>& items);
   void process_item(Worker& w, const WorkItem& item);
   void process_left(Worker& w, const WorkItem& item);
   void process_right(Worker& w, const WorkItem& item);
@@ -230,10 +284,13 @@ class ParallelEngine final : public rete::MatchEngine {
   void route(Worker& w, WorkItem item);
   void on_exchange() noexcept;
 
-  [[nodiscard]] std::vector<rete::Value> left_key(const rete::BetaNode& node,
-                                                  const rete::Token& t) const;
-  [[nodiscard]] std::vector<rete::Value> right_key(const rete::BetaNode& node,
-                                                   const ops5::Wme& w) const;
+  /// Fill-in key builders: clear `out` and append, reusing its capacity
+  /// (the allocating by-value forms were the per-activation hot-path
+  /// allocation the batching PR removed).
+  void left_key_into(const rete::BetaNode& node, const rete::Token& t,
+                     std::vector<rete::Value>& out) const;
+  void right_key_into(const rete::BetaNode& node, const ops5::Wme& w,
+                      std::vector<rete::Value>& out) const;
   [[nodiscard]] bool non_eq_tests_pass(const rete::BetaNode& node,
                                        const rete::Token& t,
                                        const ops5::Wme& w) const;
@@ -265,8 +322,9 @@ class ParallelEngine final : public rete::MatchEngine {
   std::uint64_t phase_gen_ = 0;
   std::uint32_t workers_done_ = 0;
   bool stop_ = false;
-  const ops5::WmeChange* phase_change_ = nullptr;
-  rete::Tag phase_tag_ = rete::Tag::Plus;
+  // The fused batch the workers scan at round 0 (valid during a phase).
+  const ops5::WmeChange* phase_changes_ = nullptr;
+  std::size_t phase_change_count_ = 0;
 
   // Round machinery.  `phase_done_`/`rounds_executed_` are written only by
   // the exchange barrier's completion step, which std::barrier runs
@@ -286,6 +344,11 @@ class ParallelEngine final : public rete::MatchEngine {
   std::uint64_t flushed_rounds_ = 0;
   std::uint64_t phases_ = 0;
   std::uint64_t flushed_phases_ = 0;
+  std::uint64_t changes_ = 0;
+  std::uint64_t flushed_changes_ = 0;
+  // Explicit-transaction state (begin_batch/flush).
+  bool batching_ = false;
+  std::vector<ops5::WmeChange> pending_batch_;
   Instruments instr_;
 };
 

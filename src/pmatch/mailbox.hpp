@@ -7,13 +7,31 @@
 // beyond capacity is admitted and counted as an overflow.  Overflow and
 // peak-depth counts surface through the obs registry so a mailbox sized
 // too small for a workload is visible rather than fatal.
+//
+// Internally the box is sharded into per-producer slots so two producers
+// pushing into the same mailbox never contend on one mutex — the BSP hot
+// path is push-only during a round (the consumer drains at the barrier),
+// so the only cross-thread state is an atomic total depth.  Because
+// pushes are the only mutation during a round and the depth counter is a
+// plain sum, the overflow count and peak depth are independent of thread
+// interleaving: stats are bit-identical run to run for a fixed workload.
+//
+// Each slot pre-reserves `capacity / producers` entries (its share of the
+// backpressure threshold) and, after a drain that left it oversized,
+// shrinks its buffer back to that reserve so one traffic spike does not
+// pin peak memory for the engine's lifetime.  Shrinks are counted in
+// `Stats::shrinks`.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <utility>
 #include <vector>
+
+#include "src/common/error.hpp"
 
 namespace mpps::pmatch {
 
@@ -22,44 +40,102 @@ class Mailbox {
  public:
   struct Stats {
     std::uint64_t pushes = 0;
-    std::uint64_t overflows = 0;    // pushes that found the box at capacity
-    std::uint64_t max_depth = 0;    // peak depth ever observed
+    std::uint64_t overflows = 0;  // pushes that found the box at capacity
+    std::uint64_t max_depth = 0;  // peak total depth ever observed
+    std::uint64_t shrinks = 0;    // oversized buffers released after drain
   };
 
-  explicit Mailbox(std::size_t capacity)
-      : capacity_(capacity == 0 ? 1 : capacity) {}
-
-  [[nodiscard]] std::size_t capacity() const { return capacity_; }
-
-  /// Never blocks; see the header comment for the overflow contract.
-  void push(T item) {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (items_.size() >= capacity_) ++stats_.overflows;
-    items_.push_back(std::move(item));
-    ++stats_.pushes;
-    if (items_.size() > stats_.max_depth) stats_.max_depth = items_.size();
+  /// `capacity` is the backpressure threshold (must be positive: a zero
+  /// capacity is a configuration error, not a request for a tiny box);
+  /// `producers` shards the internal buffer (one slot per producer).
+  explicit Mailbox(std::size_t capacity, std::uint32_t producers = 1) {
+    if (capacity == 0) {
+      throw RuntimeError("Mailbox: capacity must be positive");
+    }
+    if (producers == 0) {
+      throw RuntimeError("Mailbox: producer count must be positive");
+    }
+    capacity_ = capacity;
+    slot_reserve_ = (capacity + producers - 1) / producers;
+    slots_.reserve(producers);
+    for (std::uint32_t p = 0; p < producers; ++p) {
+      slots_.push_back(std::make_unique<Slot>());
+      slots_.back()->items.reserve(slot_reserve_);
+    }
   }
 
-  /// Moves every queued item onto the back of `out`; returns the number
-  /// drained.  Consumer-side only.
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint32_t producers() const {
+    return static_cast<std::uint32_t>(slots_.size());
+  }
+
+  /// Never blocks; see the header comment for the overflow contract.
+  /// `producer` selects the slot — distinct producers never share one.
+  void push(std::uint32_t producer, T item) {
+    const std::size_t depth =
+        depth_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (depth > capacity_) overflows_.fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t prev = max_depth_.load(std::memory_order_relaxed);
+    while (depth > prev &&
+           !max_depth_.compare_exchange_weak(prev, depth,
+                                             std::memory_order_relaxed)) {
+    }
+    Slot& slot = *slots_[producer % slots_.size()];
+    std::lock_guard<std::mutex> lock(slot.mu);
+    slot.items.push_back(std::move(item));
+    ++slot.pushes;
+  }
+
+  /// Moves every queued item onto the back of `out` (slot-major, FIFO
+  /// within a slot — the engine re-sorts by (sender, seq) anyway) and
+  /// returns the number drained.  Consumer-side only.  A slot whose
+  /// buffer grew past twice its reserve during a spike is shrunk back to
+  /// the reserve here.
   std::size_t drain_into(std::vector<T>& out) {
-    std::lock_guard<std::mutex> lock(mu_);
-    const std::size_t n = items_.size();
-    for (T& item : items_) out.push_back(std::move(item));
-    items_.clear();
+    std::size_t n = 0;
+    for (auto& slot_ptr : slots_) {
+      Slot& slot = *slot_ptr;
+      std::lock_guard<std::mutex> lock(slot.mu);
+      n += slot.items.size();
+      for (T& item : slot.items) out.push_back(std::move(item));
+      slot.items.clear();
+      if (slot.items.capacity() > 2 * slot_reserve_) {
+        slot.items.shrink_to_fit();
+        slot.items.reserve(slot_reserve_);
+        ++slot.shrinks;
+      }
+    }
+    depth_.store(0, std::memory_order_relaxed);
     return n;
   }
 
   [[nodiscard]] Stats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return stats_;
+    Stats s;
+    for (const auto& slot_ptr : slots_) {
+      const Slot& slot = *slot_ptr;
+      std::lock_guard<std::mutex> lock(slot.mu);
+      s.pushes += slot.pushes;
+      s.shrinks += slot.shrinks;
+    }
+    s.overflows = overflows_.load(std::memory_order_relaxed);
+    s.max_depth = max_depth_.load(std::memory_order_relaxed);
+    return s;
   }
 
  private:
-  std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::vector<T> items_;
-  Stats stats_;
+  struct Slot {
+    mutable std::mutex mu;
+    std::vector<T> items;
+    std::uint64_t pushes = 0;
+    std::uint64_t shrinks = 0;
+  };
+
+  std::size_t capacity_ = 0;
+  std::size_t slot_reserve_ = 0;
+  std::atomic<std::size_t> depth_{0};
+  std::atomic<std::uint64_t> max_depth_{0};
+  std::atomic<std::uint64_t> overflows_{0};
+  std::vector<std::unique_ptr<Slot>> slots_;
 };
 
 }  // namespace mpps::pmatch

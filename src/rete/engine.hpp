@@ -9,6 +9,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -82,6 +83,14 @@ class MatchEngine {
 
   /// Pushes one WM change (add or delete) fully through the network.
   virtual void process_change(const ops5::WmeChange& change) = 0;
+
+  /// Pushes a whole act-phase's worth of WM changes through the network,
+  /// in order.  The default is the per-change loop; engines that can
+  /// amortize work across changes (pmatch batched BSP phases) override
+  /// it.  The resulting conflict set is identical either way.
+  virtual void process_changes(std::span<const ops5::WmeChange> changes) {
+    for (const ops5::WmeChange& change : changes) process_change(change);
+  }
 
   [[nodiscard]] virtual ConflictSet& conflict_set() = 0;
 

@@ -58,15 +58,18 @@ void Interpreter::load_initial_wmes() {
 }
 
 void Interpreter::match() {
-  for (const auto& change : wm_.drain_changes()) {
-    if (options_.watch >= 2 && options_.out != nullptr) {
+  const std::vector<ops5::WmeChange> changes = wm_.drain_changes();
+  if (options_.watch >= 2 && options_.out != nullptr) {
+    for (const auto& change : changes) {
       *options_.out << (change.kind == ops5::WmeChange::Kind::Add ? "=>WM: "
                                                                   : "<=WM: ")
                     << change.wme.id().value() << ": "
                     << change.wme.to_string() << "\n";
     }
-    engine_->process_change(change);
   }
+  // The whole act-phase batch goes to the engine in one call so batching
+  // engines (pmatch with max_batch > 1) can share BSP phases across it.
+  engine_->process_changes(changes);
 }
 
 bool Interpreter::step() {

@@ -111,9 +111,10 @@ TEST_F(CliFlags, EveryDocumentedFlagIsAccepted) {
             << cmd.name << " " << flag.name << ": value flag needs a sample";
         args.push_back(sample_for(cmd, flag));
       }
-      if (flag.name == "--profile") {
-        // --profile attributes the parallel engine's wall time, so it is
-        // a usage error without --match-threads.
+      if (flag.name == "--profile" || flag.name == "--match-batch" ||
+          flag.name == "--match-mailbox") {
+        // These configure the parallel engine, so each is a usage error
+        // without --match-threads.
         args.insert(args.end(), {"--match-threads", "2"});
       }
       const CliRun r = cli(args);
@@ -216,6 +217,38 @@ TEST_F(CliFlags, RunMatchThreadsWithSimulatedReplay) {
       << r.out;
   EXPECT_NE(r.out.find("simulated 4 match processors"), std::string::npos)
       << r.out;
+}
+
+TEST_F(CliFlags, RunMatchBatchFusesPhases) {
+  const CliRun r = cli({"run", *program_, "--quiet", "--match-threads", "2",
+                        "--match-batch", "8", "--match-mailbox", "64"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("parallel match: 2 workers"), std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("BSP phases covering"), std::string::npos) << r.out;
+}
+
+TEST_F(CliFlags, MatchBatchRequiresMatchThreads) {
+  for (const char* flag : {"--match-batch", "--match-mailbox"}) {
+    const CliRun r = cli({"run", *program_, flag, "4"});
+    EXPECT_EQ(r.code, 2) << flag << ": " << r.err;
+    EXPECT_NE(r.err.find("requires --match-threads"), std::string::npos)
+        << flag << ": " << r.err;
+  }
+}
+
+TEST_F(CliFlags, MatchBatchRejectsNonPositiveValues) {
+  // Zero used to be silently coerced downstream (the Mailbox(0) bug);
+  // now every invalid size is a usage error at the CLI boundary.
+  for (const char* flag : {"--match-batch", "--match-mailbox"}) {
+    for (const char* bad : {"0", "-3", "abc", "4x"}) {
+      const CliRun r =
+          cli({"run", *program_, "--match-threads", "2", flag, bad});
+      EXPECT_EQ(r.code, 2) << flag << "=" << bad << ": " << r.err;
+      EXPECT_NE(r.err.find("not a positive integer"), std::string::npos)
+          << flag << "=" << bad << ": " << r.err;
+    }
+  }
 }
 
 TEST_F(CliFlags, SweepAcceptsTraceOut) {

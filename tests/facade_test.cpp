@@ -56,6 +56,32 @@ TEST(Facade, ParallelEngineThroughBuilder) {
   EXPECT_EQ(engine.worker_stats().size(), 2u);
 }
 
+TEST(Facade, BatchedParallelEngineThroughBuilder) {
+  const mpps::ParallelOptions popts = mpps::ParallelOptionsBuilder()
+                                          .threads(2)
+                                          .max_batch(16)
+                                          .mailbox_capacity(64)
+                                          .build();
+  EXPECT_EQ(popts.max_batch, 16u);
+  mpps::InterpreterOptions options;
+  options.engine_factory = mpps::parallel_engine_factory(popts);
+  mpps::Interpreter interp(mpps::parse_program(kProgram), options);
+  interp.load_initial_wmes();
+  const auto result = interp.run();
+  EXPECT_EQ(result.firings, 2u);
+  const auto& engine =
+      dynamic_cast<const mpps::ParallelEngine&>(interp.match_engine());
+  // Batching fuses phases, so the engine ran no more phases than changes.
+  EXPECT_LE(engine.phases(), engine.changes());
+}
+
+TEST(Facade, BuilderRejectsZeroMailboxCapacity) {
+  // The Mailbox(0) silent-coercion bug is now a loud configuration error
+  // at every layer, starting with the public builder.
+  EXPECT_THROW(mpps::ParallelOptionsBuilder().mailbox_capacity(0),
+               mpps::RuntimeError);
+}
+
 TEST(Facade, CollectTraceSimulateAndSweep) {
   // Record a trace through the facade's Collector...
   const mpps::Program program = mpps::parse_program(kProgram);

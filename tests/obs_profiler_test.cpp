@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
 #include <sstream>
 #include <string>
 
@@ -112,6 +113,120 @@ TEST(Profiler, ReportArithmetic) {
   EXPECT_EQ(report.phases, 1u);
   EXPECT_EQ(report.rounds, 3u);
   EXPECT_DOUBLE_EQ(report.rounds_per_phase(), 3.0);
+}
+
+TEST(SafePct, ClampsToValidRange) {
+  EXPECT_DOUBLE_EQ(safe_pct(0, 0), 0.0);     // no denominator → 0, not NaN
+  EXPECT_DOUBLE_EQ(safe_pct(50, 0), 0.0);
+  EXPECT_DOUBLE_EQ(safe_pct(0, 100), 0.0);
+  EXPECT_DOUBLE_EQ(safe_pct(25, 100), 25.0);
+  EXPECT_DOUBLE_EQ(safe_pct(100, 100), 100.0);
+  // part > whole (the old >100% bug shape) clamps instead of overflowing.
+  EXPECT_DOUBLE_EQ(safe_pct(1107, 1000), 100.0);
+}
+
+TEST(Profiler, BatchedPhaseAccounting) {
+  Profiler profiler;
+  profiler.attach(1, 4);
+  profiler.add_phase(/*rounds_in_phase=*/3, /*changes_in_phase=*/4);
+  profiler.add_phase(/*rounds_in_phase=*/1);  // defaults to one change
+  const ProfileReport report = profiler.report();
+  EXPECT_EQ(report.phases, 2u);
+  EXPECT_EQ(report.rounds, 4u);
+  EXPECT_EQ(report.changes, 5u);
+  EXPECT_DOUBLE_EQ(report.rounds_per_phase(), 2.0);
+  EXPECT_DOUBLE_EQ(report.rounds_per_change(), 0.8);
+}
+
+TEST(Profiler, ConflictUpdatePctUsesEngineWall) {
+  // The regression shape behind the >100% bug: a tiny worker wall (the
+  // workers parked almost instantly) but a control thread that spent
+  // longer merging than any worker was ever awake.  Normalized against
+  // the control lane's own phase spans (the engine wall), the share is
+  // well-defined and <= 100 by construction.
+  Profiler profiler;
+  profiler.attach(1, 4);
+  profiler.lane(0)->phase_span(0, 100);  // worker awake 100 ns
+  profiler.lane(0)->span(ProfCategory::Match, 0, 0, 100);
+  // Engine phase span 0..1000, merge 400..950 inside it.
+  profiler.control_lane()->phase_span(0, 1000);
+  profiler.control_lane()->span(ProfCategory::ConflictUpdate, 0, 400, 950);
+  profiler.add_phase(1);
+
+  const ProfileReport report = profiler.report();
+  EXPECT_EQ(report.engine_wall_ns, 1000u);
+  EXPECT_EQ(report.conflict_update_ns, 550u);
+  // Against the worker wall this would have read 550%.
+  EXPECT_DOUBLE_EQ(report.conflict_update_pct(), 55.0);
+}
+
+TEST(Profiler, ConflictUpdatePctClampsOnAdversarialSpans) {
+  // Hand-built lanes can violate the containment invariant; the report
+  // must still never print an impossible percentage.
+  Profiler profiler;
+  profiler.attach(1, 4);
+  profiler.control_lane()->phase_span(0, 100);
+  profiler.control_lane()->span(ProfCategory::ConflictUpdate, 0, 0, 500);
+  const ProfileReport report = profiler.report();
+  EXPECT_DOUBLE_EQ(report.conflict_update_pct(), 100.0);
+}
+
+TEST(Profiler, AllReportPercentagesInRangeOnRandomLanes) {
+  // Property: whatever spans the lanes hold — including spans that
+  // overlap, exceed their phase, or sit outside any phase — every
+  // percentage the report exposes lands in [0, 100].
+  std::mt19937_64 rng(20260807);
+  for (int trial = 0; trial < 50; ++trial) {
+    Profiler profiler;
+    const std::uint32_t workers = 1 + static_cast<std::uint32_t>(rng() % 4);
+    profiler.attach(workers, 8);
+    auto fill_lane = [&](ProfLane* lane) {
+      const int phases = static_cast<int>(rng() % 4);
+      for (int p = 0; p < phases; ++p) {
+        const std::uint64_t start = rng() % 1000;
+        lane->phase_span(start, start + rng() % 2000);
+      }
+      const int spans = static_cast<int>(rng() % 12);
+      for (int s = 0; s < spans; ++s) {
+        const auto category =
+            static_cast<ProfCategory>(rng() % kProfCategories);
+        const std::uint64_t start = rng() % 3000;
+        lane->span(category, static_cast<std::uint32_t>(rng() % 4), start,
+                   start + rng() % 4000, rng() % 100);
+      }
+    };
+    for (std::uint32_t w = 0; w < workers; ++w) {
+      fill_lane(profiler.lane(w));
+      for (int b = 0; b < 3; ++b) {
+        profiler.lane(w)->bucket_load(static_cast<std::uint32_t>(rng() % 8),
+                                      rng() % 10);
+      }
+    }
+    fill_lane(profiler.control_lane());
+    profiler.add_phase(rng() % 5, 1 + rng() % 8);
+
+    const ProfileReport report = profiler.report();
+    const auto in_range = [&](double pct, const char* what) {
+      EXPECT_GE(pct, 0.0) << what << " trial " << trial;
+      EXPECT_LE(pct, 100.0) << what << " trial " << trial;
+    };
+    in_range(report.min_attributed_pct(), "min_attributed_pct");
+    in_range(report.conflict_update_pct(), "conflict_update_pct");
+    for (const ProfileReport::Worker& w : report.workers) {
+      in_range(w.attributed_pct(), "attributed_pct");
+      for (std::size_t c = 0; c < kProfCategories; ++c) {
+        in_range(safe_pct(w.category_ns[c], w.wall_ns), "category pct");
+      }
+      in_range(safe_pct(w.unattributed_ns, w.wall_ns), "unattributed pct");
+    }
+    for (std::size_t c = 0; c < kProfCategories; ++c) {
+      in_range(safe_pct(report.total_ns[c], report.total_wall_ns),
+               "total category pct");
+    }
+    for (const ProfileReport::HotBucket& b : report.hot_buckets) {
+      in_range(b.share_pct, "hot bucket share");
+    }
+  }
 }
 
 TEST(Profiler, MergeAndHotBucketAccounting) {

@@ -1,0 +1,112 @@
+// Unit tests for the sharded MPSC mailbox: constructor validation (zero
+// capacity / zero producers are configuration errors), the non-blocking
+// overflow contract, peak-depth tracking, FIFO-within-a-slot draining,
+// and the capacity-release behaviour after oversized drains (counted in
+// Stats::shrinks — the fix for drain_into never returning spike memory).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/pmatch/mailbox.hpp"
+
+namespace mpps {
+namespace {
+
+TEST(Mailbox, ZeroCapacityThrows) {
+  EXPECT_THROW(pmatch::Mailbox<int> box(0), RuntimeError);
+  EXPECT_THROW(pmatch::Mailbox<int> box(0, 4), RuntimeError);
+}
+
+TEST(Mailbox, ZeroProducersThrows) {
+  EXPECT_THROW(pmatch::Mailbox<int> box(8, 0), RuntimeError);
+}
+
+TEST(Mailbox, CapacityOneIsHonoured) {
+  // The old mailbox silently coerced capacity 0 to 1; the new one rejects
+  // 0 outright, and an explicit 1 behaves as a real threshold.
+  pmatch::Mailbox<int> box(1);
+  EXPECT_EQ(box.capacity(), 1u);
+  box.push(0, 10);
+  box.push(0, 11);  // second push exceeds the threshold
+  const auto stats = box.stats();
+  EXPECT_EQ(stats.pushes, 2u);
+  EXPECT_EQ(stats.overflows, 1u);
+  EXPECT_EQ(stats.max_depth, 2u);
+}
+
+TEST(Mailbox, DrainPreservesSlotFifoOrder) {
+  pmatch::Mailbox<int> box(16);
+  for (int i = 0; i < 5; ++i) box.push(0, i);
+  std::vector<int> out;
+  EXPECT_EQ(box.drain_into(out), 5u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3, 4}));
+  // Drained box is empty; a second drain moves nothing.
+  EXPECT_EQ(box.drain_into(out), 0u);
+  EXPECT_EQ(out.size(), 5u);
+}
+
+TEST(Mailbox, PerProducerSlotsDoNotInterleave) {
+  pmatch::Mailbox<int> box(16, 2);
+  box.push(0, 1);
+  box.push(1, 100);
+  box.push(0, 2);
+  box.push(1, 200);
+  std::vector<int> out;
+  box.drain_into(out);
+  // Slot-major: producer 0's items first (FIFO), then producer 1's.
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 100, 200}));
+}
+
+TEST(Mailbox, OverflowCountsPushesBeyondCapacity) {
+  pmatch::Mailbox<int> box(4, 2);
+  for (int i = 0; i < 10; ++i) box.push(static_cast<std::uint32_t>(i % 2), i);
+  const auto stats = box.stats();
+  EXPECT_EQ(stats.pushes, 10u);
+  EXPECT_EQ(stats.overflows, 6u);  // pushes 5..10 found depth > 4
+  EXPECT_EQ(stats.max_depth, 10u);
+  std::vector<int> out;
+  EXPECT_EQ(box.drain_into(out), 10u);
+}
+
+TEST(Mailbox, OversizedDrainReleasesCapacity) {
+  // Slot reserve is capacity/producers = 8.  A spike of 100 items grows
+  // the slot buffer far past 2x the reserve, so the drain shrinks it
+  // back and counts the release.
+  pmatch::Mailbox<int> box(8);
+  for (int i = 0; i < 100; ++i) box.push(0, i);
+  std::vector<int> out;
+  EXPECT_EQ(box.drain_into(out), 100u);
+  EXPECT_EQ(box.stats().shrinks, 1u);
+
+  // A small drain leaves the right-sized buffer alone.
+  box.push(0, 1);
+  out.clear();
+  box.drain_into(out);
+  EXPECT_EQ(box.stats().shrinks, 1u);
+}
+
+TEST(Mailbox, ConcurrentProducersLoseNothing) {
+  // Two producers hammer their own slots while no drain runs (the BSP
+  // contract: drains happen at barriers).  Every item must come out.
+  pmatch::Mailbox<std::uint64_t> box(64, 2);
+  const std::uint64_t per_producer = 5000;
+  std::thread a([&] {
+    for (std::uint64_t i = 0; i < per_producer; ++i) box.push(0, i);
+  });
+  std::thread b([&] {
+    for (std::uint64_t i = 0; i < per_producer; ++i) box.push(1, i);
+  });
+  a.join();
+  b.join();
+  std::vector<std::uint64_t> out;
+  EXPECT_EQ(box.drain_into(out), 2 * per_producer);
+  const auto stats = box.stats();
+  EXPECT_EQ(stats.pushes, 2 * per_producer);
+  EXPECT_EQ(stats.max_depth, 2 * per_producer);
+}
+
+}  // namespace
+}  // namespace mpps
