@@ -18,6 +18,8 @@
 #   src/trace/ >= 80%  — trace schema + IO (round-trip and truncation
 #                        suites in tests/trace_io_test.cpp)
 #   src/rete/  >= 75%  — match engine, TREAT rival and the naive oracle
+#   src/pmatch/ >= 85% — BSP parallel matcher; the model checker drives
+#                        every mailbox/merge ordering the seam exposes
 # Raise them when coverage improves; never lower them to make a change
 # pass — add tests instead (docs/TESTING.md).
 #
@@ -51,6 +53,19 @@ echo "=== tier-1: simulator differential self-check ==="
 if ./build/tools/mpps selfcheck --rounds 5 --seed 1 \
     --fault left-token-undercharge > /dev/null 2>&1; then
   echo "selfcheck failed to catch an injected fault" >&2
+  exit 1
+fi
+
+echo "=== tier-1: pmatch model checker (exhaustive corpus + planted fault) ==="
+# Every distinguishable mailbox/merge ordering of every corpus scenario
+# must agree with the serial engine (docs/TESTING.md, "Model checker").
+./build/tools/mpps check --exhaustive
+# The checker must also CATCH a planted merge-order fault (exit 1) — the
+# same must-fail discipline the selfcheck gate uses above.  If this
+# passes, the checker is blind and the gate has failed.
+if ./build/tools/mpps check --exhaustive --fault merge-order \
+    > /dev/null 2>&1; then
+  echo "model checker failed to catch an injected merge-order fault" >&2
   exit 1
 fi
 
@@ -138,6 +153,6 @@ cmake --build build-cov -j
 ctest --test-dir build-cov --output-on-failure -j "$(nproc)" --timeout 240
 ./build-cov/tools/mpps selfcheck --rounds 20 --seed 1
 python3 scripts/coverage_gate.py build-cov \
-  src/sim=90 src/core=80 src/trace=80 src/rete=75
+  src/sim=90 src/core=80 src/trace=80 src/rete=75 src/pmatch=85
 
 echo "=== tier-1 + sanitizers + coverage passed ==="

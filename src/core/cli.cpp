@@ -14,6 +14,9 @@
 #include "src/core/pipeline.hpp"
 #include "src/core/selfcheck.hpp"
 #include "src/core/sweep.hpp"
+#include "src/mc/checker.hpp"
+#include "src/mc/controller.hpp"
+#include "src/mc/scenario.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/profiler.hpp"
 #include "src/obs/summary.hpp"
@@ -171,6 +174,32 @@ const std::vector<CommandSpec>& commands() {
            kSeed,
            {"--fault", "none|left-token-undercharge|free-remote-send", "none",
             "inject a known bug to prove the oracle catches it"},
+           kMetricsOut,
+       }},
+      {"check", nullptr,
+       "model-check the parallel match engine: explore the mailbox-drain\n"
+       "and merge orderings of every BSP round (partial-order reduced)\n"
+       "and assert conflict-set equality against the serial engine on\n"
+       "every explored schedule (exit 0 clean, 1 on any mismatch or a\n"
+       "truncated exploration)",
+       {
+           {"--exhaustive", nullptr, nullptr,
+            "DFS every distinguishable schedule (the default mode)"},
+           {"--schedules", "N", "8",
+            "fuzz N seeded random schedules instead of the DFS; every\n"
+            "run gets a replayable schedule ID"},
+           kSeed,
+           {"--scenario", "NAME", "fused-add-delete",
+            "check one corpus scenario (default: all; see --list)"},
+           {"--replay", "ID", "-",
+            "replay one recorded schedule ID (requires --scenario)"},
+           {"--fault", "none|merge-order|drain-fifo", "none",
+            "inject a known engine bug to prove the checker catches it"},
+           {"--max-schedules", "N", "4096",
+            "exhaustive-mode safety cap; hitting it fails the scenario\n"
+            "(default 1048576)"},
+           {"--list", nullptr, nullptr,
+            "list the corpus scenarios and exit"},
            kMetricsOut,
        }},
       {"sections", nullptr,
@@ -1183,6 +1212,93 @@ int cmd_selfcheck(const Args& args, std::ostream& out, std::ostream& err) {
   return result.ok() ? 0 : 1;
 }
 
+/// `check` — the pmatch model checker (docs/TESTING.md): schedule-
+/// controlled runs of the parallel engine against the serial oracle.
+int cmd_check(const Args& args, std::ostream& out, std::ostream& err) {
+  const std::vector<mc::Scenario> corpus = mc::builtin_corpus();
+  if (args.flag("--list")) {
+    for (const mc::Scenario& s : corpus) {
+      out << s.name << ": " << s.description << " (" << s.phases.size()
+          << " phases, " << s.change_count() << " changes, " << s.threads
+          << " threads)\n";
+    }
+    return 0;
+  }
+
+  mc::CheckOptions options;
+  const std::string schedules_raw = args.value("--schedules", "");
+  if (args.flag("--exhaustive") && !schedules_raw.empty()) {
+    throw UsageError(
+        "check: --exhaustive and --schedules are mutually exclusive");
+  }
+  if (!schedules_raw.empty()) {
+    options.mode = mc::CheckOptions::Mode::Random;
+    options.schedules = parse_positive_or(args, "--schedules", 64);
+  }
+  options.seed = static_cast<std::uint64_t>(
+      parse_long_or(args.value("--seed", "1"), 1));
+  options.max_schedules =
+      parse_positive_or(args, "--max-schedules", options.max_schedules);
+  try {
+    options.fault = mc::parse_fault(args.value("--fault", "none"));
+  } catch (const RuntimeError& e) {
+    throw UsageError(std::string("--fault: ") + e.what());
+  }
+
+  const std::string scenario_name = args.value("--scenario", "");
+  std::vector<mc::Scenario> selected;
+  if (!scenario_name.empty()) {
+    const mc::Scenario* s = mc::find_scenario(corpus, scenario_name);
+    if (s == nullptr) {
+      throw UsageError("check: unknown scenario '" + scenario_name +
+                       "' (see 'mpps check --list')");
+    }
+    selected.push_back(*s);
+  } else {
+    selected = corpus;
+  }
+
+  const std::string replay_raw = args.value("--replay", "");
+  if (!replay_raw.empty()) {
+    if (scenario_name.empty()) {
+      throw UsageError(
+          "check: --replay needs --scenario (a schedule ID only means "
+          "something relative to one scenario)");
+    }
+    options.mode = mc::CheckOptions::Mode::Replay;
+    try {
+      options.replay = mc::ScheduleId::parse(replay_raw);
+    } catch (const RuntimeError& e) {
+      throw UsageError(std::string("--replay: ") + e.what());
+    }
+    out << "replaying schedule " << options.replay.to_string() << " on "
+        << scenario_name << "\n";
+  }
+
+  obs::Registry registry;
+  const std::string metrics_path = args.value("--metrics-out", "");
+  if (!metrics_path.empty()) options.metrics = &registry;
+
+  const mc::CheckReport report = mc::check_corpus(selected, options);
+  mc::print_report(report, out);
+  if (options.fault != mc::Fault::None) {
+    out << "fault '" << mc::to_string(options.fault)
+        << "' injected: a failure above is the expected outcome\n";
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream sink(metrics_path);
+    if (!sink) throw RuntimeError("cannot write '" + metrics_path + "'");
+    registry.write_csv(sink);
+    out << "wrote metrics to " << metrics_path << "\n";
+  }
+  if (!report.ok()) {
+    err << "check: " << (selected.size() == 1 ? "scenario" : "corpus")
+        << " FAILED (see replay hints above)\n";
+    return 1;
+  }
+  return 0;
+}
+
 int cmd_slice(const Args& args, std::ostream& out, std::ostream& err) {
   const std::string path = args.positional();
   if (path.empty()) {
@@ -1278,6 +1394,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     if (command == "simulate") return cmd_simulate(cursor, out, err);
     if (command == "sweep") return cmd_sweep(cursor, out, err);
     if (command == "selfcheck") return cmd_selfcheck(cursor, out, err);
+    if (command == "check") return cmd_check(cursor, out, err);
     if (command == "sections") return cmd_sections(cursor, out, err);
     return cmd_slice(cursor, out, err);
   } catch (const UsageError& e) {

@@ -1,0 +1,331 @@
+#include "src/mc/checker.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "src/common/error.hpp"
+#include "src/ops5/parser.hpp"
+#include "src/pmatch/engine.hpp"
+#include "src/rete/engine.hpp"
+#include "src/rete/network.hpp"
+
+namespace mpps::mc {
+
+namespace {
+
+/// Order-free conflict-set view: (production, wme ids), sorted.
+using Flat = std::vector<std::pair<std::uint32_t, std::vector<std::uint64_t>>>;
+
+Flat flatten(const rete::ConflictSet& cs) {
+  Flat out;
+  for (const rete::Instantiation& inst : cs.all()) {
+    std::vector<std::uint64_t> wmes;
+    wmes.reserve(inst.token.wmes.size());
+    for (WmeId w : inst.token.wmes) wmes.push_back(w.value());
+    out.emplace_back(inst.production.value(), std::move(wmes));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string format_inst(const rete::Network& net, const Flat::value_type& e) {
+  std::string out = net.production(ProductionId{e.first}).name + "(";
+  for (std::size_t i = 0; i < e.second.size(); ++i) {
+    if (i != 0) out += ' ';
+    out += std::to_string(e.second[i]);
+  }
+  out += ')';
+  return out;
+}
+
+std::string describe_divergence(const rete::Network& net, const Flat& serial,
+                                const Flat& parallel) {
+  std::ostringstream os;
+  os << "conflict set diverges from the serial engine:";
+  int shown = 0;
+  for (const auto& e : serial) {
+    if (shown >= 4) break;
+    if (!std::binary_search(parallel.begin(), parallel.end(), e)) {
+      os << " missing " << format_inst(net, e);
+      ++shown;
+    }
+  }
+  for (const auto& e : parallel) {
+    if (shown >= 4) break;
+    if (!std::binary_search(serial.begin(), serial.end(), e)) {
+      os << " extra " << format_inst(net, e);
+      ++shown;
+    }
+  }
+  os << " (serial " << serial.size() << " vs parallel " << parallel.size()
+     << " instantiations)";
+  return os.str();
+}
+
+/// Per-phase conflict sets of the serial oracle over the same script.
+std::vector<Flat> serial_reference(const rete::Network& net,
+                                   const Scenario& s) {
+  rete::Engine engine(net);
+  std::vector<Flat> ref;
+  ref.reserve(s.phases.size());
+  for (const auto& phase : s.phases) {
+    for (const ops5::WmeChange& change : phase) engine.process_change(change);
+    ref.push_back(flatten(engine.conflict_set()));
+  }
+  return ref;
+}
+
+/// One schedule-controlled run, compared phase by phase.
+std::optional<Mismatch> run_one(const rete::Network& net, const Scenario& s,
+                                std::span<const Flat> ref, Chooser& chooser,
+                                Fault fault, PorStats* stats) {
+  PorController controller(chooser, fault);
+  pmatch::ParallelOptions popt;
+  popt.threads = s.threads;
+  popt.num_buckets = s.buckets;
+  popt.max_batch = 0;  // one phase per script phase, however many changes
+  popt.schedule = &controller;
+  pmatch::ParallelEngine engine(net, popt);
+  std::optional<Mismatch> mismatch;
+  for (std::size_t p = 0; p < s.phases.size(); ++p) {
+    engine.process_changes(s.phases[p]);
+    const Flat flat = flatten(engine.conflict_set());
+    if (flat != ref[p]) {
+      mismatch = Mismatch{p, describe_divergence(net, ref[p], flat)};
+      break;
+    }
+  }
+  if (stats != nullptr) *stats = controller.stats();
+  return mismatch;
+}
+
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t n) {
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ull * (n + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+ScenarioReport check_scenario(const Scenario& scenario,
+                              const CheckOptions& options) {
+  ScenarioReport report;
+  report.name = scenario.name;
+  const rete::Network net =
+      rete::Network::compile(ops5::parse_program(scenario.program));
+  const std::vector<Flat> ref = serial_reference(net, scenario);
+
+  auto record = [&](const PorStats& stats) {
+    ++report.explored;
+    if (report.explored == 1) {
+      report.naive = stats.naive_schedules;
+      report.naive_saturated = stats.naive_saturated;
+    }
+    report.branch_sites += stats.branch_sites;
+    report.sleep_skips += stats.sleep_skips;
+  };
+
+  switch (options.mode) {
+    case CheckOptions::Mode::Exhaustive: {
+      DfsChooser dfs;
+      while (true) {
+        PorStats stats;
+        const auto mismatch =
+            run_one(net, scenario, ref, dfs, options.fault, &stats);
+        record(stats);
+        if (mismatch.has_value()) {
+          report.failures.push_back(ScheduleFailure{dfs.id(), *mismatch});
+          break;
+        }
+        if (!dfs.advance()) break;
+        if (report.explored >= options.max_schedules) {
+          report.truncated = true;
+          break;
+        }
+      }
+      break;
+    }
+    case CheckOptions::Mode::Random: {
+      for (std::uint64_t n = 0; n < options.schedules; ++n) {
+        RandomChooser random(mix_seed(options.seed, n));
+        PorStats stats;
+        const auto mismatch =
+            run_one(net, scenario, ref, random, options.fault, &stats);
+        record(stats);
+        if (mismatch.has_value()) {
+          report.failures.push_back(ScheduleFailure{random.id(), *mismatch});
+          break;
+        }
+      }
+      break;
+    }
+    case CheckOptions::Mode::Replay: {
+      ReplayChooser replay(options.replay);
+      PorStats stats;
+      const auto mismatch =
+          run_one(net, scenario, ref, replay, options.fault, &stats);
+      record(stats);
+      if (mismatch.has_value()) {
+        report.failures.push_back(ScheduleFailure{replay.id(), *mismatch});
+      }
+      break;
+    }
+  }
+
+  if (!report.failures.empty() && options.shrink) {
+    report.minimized = shrink(scenario, options, &report.shrink_steps);
+  }
+  return report;
+}
+
+CheckReport check_corpus(std::span<const Scenario> corpus,
+                         const CheckOptions& options) {
+  CheckReport report;
+  report.scenarios.reserve(corpus.size());
+  for (const Scenario& scenario : corpus) {
+    report.scenarios.push_back(check_scenario(scenario, options));
+  }
+  if (options.metrics != nullptr) {
+    obs::Registry& reg = *options.metrics;
+    std::uint64_t explored = 0;
+    std::uint64_t pruned = 0;
+    std::uint64_t branch_sites = 0;
+    std::uint64_t sleep_skips = 0;
+    std::uint64_t failures = 0;
+    for (const ScenarioReport& s : report.scenarios) {
+      explored += s.explored;
+      pruned += s.pruned();
+      branch_sites += s.branch_sites;
+      sleep_skips += s.sleep_skips;
+      failures += s.failures.size();
+    }
+    reg.counter("mc.scenarios").add(report.scenarios.size());
+    reg.counter("mc.schedules_explored").add(explored);
+    reg.counter("mc.schedules_pruned").add(pruned);
+    reg.counter("mc.branch_sites").add(branch_sites);
+    reg.counter("mc.sleep_skips").add(sleep_skips);
+    reg.counter("mc.failures").add(failures);
+  }
+  return report;
+}
+
+std::optional<Mismatch> run_schedule(const Scenario& scenario,
+                                     const ScheduleId& id, Fault fault,
+                                     ScheduleId* executed) {
+  const rete::Network net =
+      rete::Network::compile(ops5::parse_program(scenario.program));
+  const std::vector<Flat> ref = serial_reference(net, scenario);
+  ReplayChooser replay(id);
+  const auto mismatch = run_one(net, scenario, ref, replay, fault, nullptr);
+  if (executed != nullptr) *executed = replay.id();
+  return mismatch;
+}
+
+Scenario shrink(const Scenario& failing, const CheckOptions& options,
+                std::uint64_t* steps) {
+  std::uint64_t tried = 0;
+  auto still_fails = [&](const Scenario& candidate) {
+    ++tried;
+    if (candidate.change_count() == 0) return false;
+    CheckOptions opt = options;
+    opt.shrink = false;
+    opt.metrics = nullptr;
+    opt.max_schedules = std::min<std::uint64_t>(opt.max_schedules, 4096);
+    try {
+      return !check_scenario(candidate, opt).failures.empty();
+    } catch (...) {
+      // A candidate edit can orphan a delete (its add dropped) and make
+      // the engines throw — that is not the failure being minimized.
+      return false;
+    }
+  };
+
+  Scenario best = failing;
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    // Drop whole phases.
+    for (std::size_t p = 0; p < best.phases.size();) {
+      Scenario candidate = best;
+      candidate.phases.erase(candidate.phases.begin() +
+                             static_cast<std::ptrdiff_t>(p));
+      if (still_fails(candidate)) {
+        best = std::move(candidate);
+        improved = true;
+      } else {
+        ++p;
+      }
+    }
+    // Drop individual changes.
+    for (std::size_t p = 0; p < best.phases.size(); ++p) {
+      for (std::size_t c = 0; c < best.phases[p].size();) {
+        Scenario candidate = best;
+        candidate.phases[p].erase(candidate.phases[p].begin() +
+                                  static_cast<std::ptrdiff_t>(c));
+        if (still_fails(candidate)) {
+          best = std::move(candidate);
+          improved = true;
+        } else {
+          ++c;
+        }
+      }
+    }
+    // Phases emptied by change-dropping are no-ops; drop them outright.
+    std::erase_if(best.phases,
+                  [](const std::vector<ops5::WmeChange>& phase) {
+                    return phase.empty();
+                  });
+    // Fewer workers, if the failure survives.
+    while (best.threads > 1) {
+      Scenario candidate = best;
+      candidate.threads = best.threads - 1;
+      if (!still_fails(candidate)) break;
+      best = std::move(candidate);
+      improved = true;
+    }
+  }
+  if (steps != nullptr) *steps = tried;
+  return best;
+}
+
+void print_report(const CheckReport& report, std::ostream& out) {
+  std::uint64_t explored = 0;
+  for (const ScenarioReport& s : report.scenarios) explored += s.explored;
+  out << "model check: " << report.scenarios.size() << " scenario"
+      << (report.scenarios.size() == 1 ? "" : "s") << ", " << explored
+      << " schedule" << (explored == 1 ? "" : "s") << " explored\n";
+  for (const ScenarioReport& s : report.scenarios) {
+    out << "  " << s.name << ": explored " << s.explored << ", naive "
+        << s.naive << (s.naive_saturated ? "+" : "") << ", pruned "
+        << s.pruned() << ", branch sites " << s.branch_sites
+        << ", sleep skips " << s.sleep_skips;
+    if (!s.failures.empty()) {
+      out << "  FAIL\n";
+      for (const ScheduleFailure& f : s.failures) {
+        out << "    schedule " << f.schedule.to_string() << " phase "
+            << f.mismatch.phase << ": " << f.mismatch.detail << "\n";
+        out << "    replay: mpps check --scenario " << s.name << " --replay "
+            << f.schedule.to_string() << "\n";
+      }
+      if (s.minimized.has_value()) {
+        out << "    minimized repro: " << s.minimized->phases.size()
+            << " phase" << (s.minimized->phases.size() == 1 ? "" : "s")
+            << " / " << s.minimized->change_count() << " change"
+            << (s.minimized->change_count() == 1 ? "" : "s") << " at "
+            << s.minimized->threads << " thread"
+            << (s.minimized->threads == 1 ? "" : "s") << " ("
+            << s.shrink_steps << " shrink candidates tried)\n";
+      }
+    } else if (s.truncated) {
+      out << "  TRUNCATED (schedule space exceeds --max-schedules)\n";
+    } else {
+      out << "  OK\n";
+    }
+  }
+}
+
+}  // namespace mpps::mc

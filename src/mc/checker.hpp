@@ -1,0 +1,127 @@
+// The model checker: explores the parallel engine's schedule space over a
+// scenario and asserts conflict-set equality against the serial rete
+// engine after every phase of every explored schedule.
+//
+// Exploration modes:
+//   * Exhaustive — DFS over every distinguishable schedule the
+//     PorController exposes (partial-order reduced; see controller.hpp
+//     for the argument that the pruned interleavings are equivalent).
+//   * Random — `schedules` runs with seeded random choices; every run
+//     prints a replayable ScheduleId.
+//   * Replay — one run following a recorded ScheduleId.
+//
+// On a mismatch the checker reports the schedule ID, the failing phase
+// and a conflict-set diff, then (unless disabled) greedily shrinks the
+// scenario — dropping phases, then individual changes, then threads —
+// to a minimal script that still fails, mirroring the PR 3 selfcheck
+// shrinker.  Shrinking is deterministic: the same failing scenario always
+// minimizes to the same repro (asserted in tests/mc_checker_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/mc/controller.hpp"
+#include "src/mc/scenario.hpp"
+#include "src/mc/schedule.hpp"
+#include "src/obs/metrics.hpp"
+
+namespace mpps::mc {
+
+struct CheckOptions {
+  enum class Mode : std::uint8_t { Exhaustive, Random, Replay };
+  Mode mode = Mode::Exhaustive;
+  /// Random mode: how many schedules to fuzz.
+  std::uint64_t schedules = 64;
+  std::uint64_t seed = 1;
+  /// Exhaustive safety cap; hitting it marks the scenario `truncated`
+  /// (and not OK — an unexplored space is not a verified one).
+  std::uint64_t max_schedules = 1u << 20;
+  /// Replay mode: the schedule to follow.
+  ScheduleId replay;
+  Fault fault = Fault::None;
+  /// Shrink failing scenarios to minimal repros.
+  bool shrink = true;
+  /// Optional mc.* counters (not owned).
+  obs::Registry* metrics = nullptr;
+};
+
+/// One conflict-set divergence.
+struct Mismatch {
+  std::size_t phase = 0;
+  std::string detail;
+};
+
+struct ScheduleFailure {
+  ScheduleId schedule;
+  Mismatch mismatch;
+};
+
+struct ScenarioReport {
+  std::string name;
+  std::uint64_t explored = 0;
+  /// Reduction-free schedule count of the canonical (first) schedule
+  /// (saturating; schedules can differ in shape, so this is the baseline
+  /// of the representative run).
+  std::uint64_t naive = 0;
+  bool naive_saturated = false;
+  std::uint64_t branch_sites = 0;  // cumulative over explored schedules
+  std::uint64_t sleep_skips = 0;   // cumulative over explored schedules
+  bool truncated = false;          // exhaustive mode hit max_schedules
+  std::vector<ScheduleFailure> failures;
+  /// Shrunk repro for failures[0], when shrinking ran.
+  std::optional<Scenario> minimized;
+  std::uint64_t shrink_steps = 0;
+
+  [[nodiscard]] std::uint64_t pruned() const {
+    return naive > explored ? naive - explored : 0;
+  }
+  [[nodiscard]] bool ok() const { return failures.empty() && !truncated; }
+};
+
+struct CheckReport {
+  std::vector<ScenarioReport> scenarios;
+
+  [[nodiscard]] bool ok() const {
+    for (const ScenarioReport& s : scenarios) {
+      if (!s.ok()) return false;
+    }
+    return true;
+  }
+};
+
+/// Runs one scenario under `options`.  Throws mpps::RuntimeError on a
+/// malformed scenario (program errors, unreplayable schedule IDs).
+ScenarioReport check_scenario(const Scenario& scenario,
+                              const CheckOptions& options);
+
+/// Runs every scenario; also flushes mc.* counters into
+/// `options.metrics` when set.
+CheckReport check_corpus(std::span<const Scenario> corpus,
+                         const CheckOptions& options);
+
+/// Runs exactly one schedule.  Returns the divergence, or nullopt when
+/// every phase matched the serial oracle.  `executed`, when non-null,
+/// receives the branch choices actually taken (useful when `id` is a
+/// prefix).
+std::optional<Mismatch> run_schedule(const Scenario& scenario,
+                                     const ScheduleId& id,
+                                     Fault fault = Fault::None,
+                                     ScheduleId* executed = nullptr);
+
+/// Greedy deterministic minimizer: returns the smallest derived scenario
+/// that still fails under `options` (phases dropped, then single changes,
+/// then thread count).  `steps`, when non-null, receives the number of
+/// candidate scenarios tried.
+Scenario shrink(const Scenario& failing, const CheckOptions& options,
+                std::uint64_t* steps = nullptr);
+
+/// Human-readable per-scenario lines plus failure details and replay
+/// hints.
+void print_report(const CheckReport& report, std::ostream& out);
+
+}  // namespace mpps::mc

@@ -1,0 +1,154 @@
+#include "src/mc/controller.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <string>
+
+#include "src/common/error.hpp"
+
+namespace mpps::mc {
+
+namespace {
+
+constexpr std::uint64_t kSat = std::numeric_limits<std::uint64_t>::max();
+
+std::uint64_t sat_mul(std::uint64_t a, std::uint64_t b, bool* saturated) {
+  if (a != 0 && b > kSat / a) {
+    *saturated = true;
+    return kSat;
+  }
+  return a * b;
+}
+
+/// Number of interleavings of streams with the given sizes that keep each
+/// stream's internal order: the multinomial (sum n_i)! / prod(n_i!),
+/// computed as a product of binomials, saturating.
+std::uint64_t interleaving_count(const std::vector<std::uint64_t>& sizes,
+                                 bool* saturated) {
+  // After placing k items of the current stream among `placed` total, the
+  // running product equals the multinomial of (done streams..., k) — an
+  // integer at every step, so the division below is exact.
+  std::uint64_t placed = 0;
+  std::uint64_t count = 1;
+  for (std::uint64_t n : sizes) {
+    for (std::uint64_t k = 1; k <= n; ++k) {
+      ++placed;
+      if (count > kSat / placed) {
+        *saturated = true;
+        return kSat;
+      }
+      count = count * placed / k;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+Fault parse_fault(std::string_view name) {
+  if (name == "none") return Fault::None;
+  if (name == "merge-order") return Fault::MergeOrder;
+  if (name == "drain-fifo") return Fault::DrainFifo;
+  throw RuntimeError("unknown fault '" + std::string(name) +
+                     "' (expected none, merge-order or drain-fifo)");
+}
+
+const char* to_string(Fault fault) {
+  switch (fault) {
+    case Fault::MergeOrder:
+      return "merge-order";
+    case Fault::DrainFifo:
+      return "drain-fifo";
+    case Fault::None:
+    default:
+      return "none";
+  }
+}
+
+void PorController::interleave(std::span<const pmatch::ScheduledOp> ops,
+                               bool reverse_streams,
+                               std::vector<std::uint32_t>& order) {
+  order.clear();
+  order.reserve(ops.size());
+
+  // Naive baseline: FIFO-respecting interleavings of the per-sender
+  // streams over the WHOLE span (no bucket independence).
+  {
+    std::map<std::uint32_t, std::uint64_t> sender_sizes;
+    for (const pmatch::ScheduledOp& op : ops) ++sender_sizes[op.sender];
+    std::vector<std::uint64_t> sizes;
+    sizes.reserve(sender_sizes.size());
+    for (const auto& [sender, n] : sender_sizes) sizes.push_back(n);
+    bool saturated = false;
+    const std::uint64_t naive = interleaving_count(sizes, &saturated);
+    stats_.naive_schedules =
+        sat_mul(stats_.naive_schedules, naive, &stats_.naive_saturated);
+    if (saturated) stats_.naive_saturated = true;
+  }
+
+  // Dependence classes in ascending class id; within a class, per-sender
+  // FIFO queues in ascending sender id.
+  std::map<std::uint32_t, std::map<std::uint32_t, std::vector<std::uint32_t>>>
+      classes;
+  for (std::uint32_t i = 0; i < ops.size(); ++i) {
+    classes[ops[i].bucket][ops[i].sender].push_back(i);
+  }
+  std::vector<std::uint32_t> heads;  // candidate senders at this step
+  for (auto& [cls, streams] : classes) {
+    if (reverse_streams) {
+      for (auto& [sender, queue] : streams) {
+        std::reverse(queue.begin(), queue.end());
+      }
+    }
+    std::map<std::uint32_t, std::size_t> cursor;
+    std::size_t remaining = 0;
+    for (const auto& [sender, queue] : streams) remaining += queue.size();
+    while (remaining > 0) {
+      heads.clear();
+      for (const auto& [sender, queue] : streams) {
+        if (cursor[sender] >= queue.size()) continue;
+        const std::uint64_t head_hash = ops[queue[cursor[sender]]].op_hash;
+        bool duplicate = false;
+        for (std::uint32_t other : heads) {
+          if (ops[streams[other][cursor[other]]].op_hash == head_hash) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (duplicate) {
+          // Sleep-set pruning: an identical operation is pending on an
+          // earlier candidate stream; taking this one first reaches the
+          // same state, so the alternative is not offered.
+          ++stats_.sleep_skips;
+          continue;
+        }
+        heads.push_back(sender);
+      }
+      // The first non-empty stream is always accepted (it has no earlier
+      // candidate to duplicate), so `heads` is never empty here.
+      if (heads.size() > 1) ++stats_.branch_sites;
+      const std::uint32_t pick =
+          heads[chooser_.choose(static_cast<std::uint32_t>(heads.size()))];
+      order.push_back(streams[pick][cursor[pick]++]);
+      --remaining;
+    }
+  }
+}
+
+void PorController::order_round(std::uint32_t worker, std::uint32_t round,
+                                std::span<const pmatch::ScheduledOp> ops,
+                                std::vector<std::uint32_t>& order) {
+  (void)worker;
+  (void)round;
+  interleave(ops, fault_ == Fault::DrainFifo, order);
+}
+
+void PorController::order_merge(std::uint32_t round,
+                                std::span<const pmatch::ScheduledOp> ops,
+                                std::vector<std::uint32_t>& order) {
+  (void)round;
+  interleave(ops, fault_ == Fault::MergeOrder, order);
+}
+
+}  // namespace mpps::mc

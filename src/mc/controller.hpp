@@ -1,0 +1,81 @@
+// The partial-order-reducing schedule controller: the bridge between the
+// engine's scheduler seam and a Chooser.
+//
+// Dependence relation.  Two operations of one round conflict only when
+// they land in the same dependence class (`ScheduledOp::bucket`): a
+// worker's per-bucket memories are disjoint, so cross-bucket operations
+// commute and their relative order is never explored — classes are
+// processed in ascending class id (the canonical representative of every
+// Mazurkiewicz trace that only differs across classes).  Within a class,
+// the controller enumerates the FIFO-respecting interleavings of the
+// per-sender streams: per-sender order is load-bearing (a delete
+// overtaking its own add is a genuinely different outcome), cross-sender
+// order is the scheduler freedom being model-checked.
+//
+// Sleep-set pruning.  When two candidate streams head with operations of
+// identical content (`op_hash`), running either first reaches the same
+// state — the controller keeps only the first such candidate and counts
+// the collapsed ones in `PorStats::sleep_skips`.
+//
+// Naive baseline.  For every decision span the controller also counts the
+// schedules a reduction-free enumerator would visit — the full multinomial
+// interleaving count of the per-sender streams, ignoring bucket
+// independence — and accumulates their product (saturating at 2^64-1)
+// into `PorStats::naive_schedules`.  explored-vs-naive is the measure of
+// how much POR bought.
+//
+// Fault injection.  Mirroring the selfcheck driver's planted faults, the
+// controller can deliberately return harmful orders so the checker can
+// prove it detects real bugs: `Fault::DrainFifo` reverses every sender's
+// round stream (deletes overtake adds), `Fault::MergeOrder` reverses
+// every worker's conflict-delta stream inside the round merge (the
+// remove of a fused add+delete pair applies before its add).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "src/mc/schedule.hpp"
+#include "src/pmatch/schedule.hpp"
+
+namespace mpps::mc {
+
+enum class Fault : std::uint8_t { None, MergeOrder, DrainFifo };
+
+/// Parses none|merge-order|drain-fifo; throws mpps::RuntimeError.
+Fault parse_fault(std::string_view name);
+[[nodiscard]] const char* to_string(Fault fault);
+
+struct PorStats {
+  std::uint64_t branch_sites = 0;     // choose() sites with >1 alternative
+  std::uint64_t sleep_skips = 0;      // identical-head candidates collapsed
+  std::uint64_t naive_schedules = 1;  // reduction-free count (saturating)
+  bool naive_saturated = false;
+};
+
+class PorController final : public pmatch::ScheduleControl {
+ public:
+  explicit PorController(Chooser& chooser, Fault fault = Fault::None)
+      : chooser_(chooser), fault_(fault) {}
+
+  void order_round(std::uint32_t worker, std::uint32_t round,
+                   std::span<const pmatch::ScheduledOp> ops,
+                   std::vector<std::uint32_t>& order) override;
+  void order_merge(std::uint32_t round,
+                   std::span<const pmatch::ScheduledOp> ops,
+                   std::vector<std::uint32_t>& order) override;
+
+  [[nodiscard]] const PorStats& stats() const { return stats_; }
+
+ private:
+  void interleave(std::span<const pmatch::ScheduledOp> ops,
+                  bool reverse_streams, std::vector<std::uint32_t>& order);
+
+  Chooser& chooser_;
+  Fault fault_;
+  PorStats stats_;
+};
+
+}  // namespace mpps::mc

@@ -1,0 +1,172 @@
+#include <utility>
+
+#include "src/common/symbol.hpp"
+#include "src/mc/scenario.hpp"
+#include "src/ops5/value.hpp"
+
+namespace mpps::mc {
+
+namespace {
+
+/// Script builder: stages adds/deletes through a real WorkingMemory so
+/// the recorded WmeChanges carry proper timetags, then snapshots each
+/// phase with `end_phase`.
+class Script {
+ public:
+  WmeId add(std::string_view cls,
+            std::vector<std::pair<std::string_view, ops5::Value>> attrs) {
+    std::vector<std::pair<Symbol, ops5::Value>> named;
+    named.reserve(attrs.size());
+    for (auto& [attr, value] : attrs) {
+      named.emplace_back(Symbol::intern(attr), value);
+    }
+    return wm_.add(ops5::Wme(Symbol::intern(cls), std::move(named)));
+  }
+
+  void del(WmeId id) { wm_.remove(id); }
+
+  void end_phase(Scenario& s) { s.phases.push_back(wm_.drain_changes()); }
+
+ private:
+  ops5::WorkingMemory wm_;
+};
+
+ops5::Value num(long v) { return ops5::Value(v); }
+ops5::Value sym(std::string_view s) { return ops5::Value::sym(s); }
+
+/// Fused add+delete of the same wme inside one phase.  The +/- of the
+/// instantiation it transiently creates travel as one sender's FIFO pair
+/// into the second join and as an ordered delta pair into the round
+/// merge — exactly what the drain-fifo and merge-order planted faults
+/// break, so this is the entry the CI must-fail gate runs.
+Scenario fused_add_delete() {
+  Scenario s;
+  s.name = "fused-add-delete";
+  s.description =
+      "add+delete of one wme fused into a single phase; the transient "
+      "instantiation's +/- pair must stay in FIFO order";
+  s.program =
+      "(p pair (a ^k <x>) (b ^k <x>) (ctx ^tag on) --> (remove 1))\n";
+  Script script;
+  script.add("ctx", {{"tag", sym("on")}});
+  script.end_phase(s);
+  const WmeId a = script.add("a", {{"k", num(1)}});
+  script.add("b", {{"k", num(1)}});
+  script.del(a);
+  script.end_phase(s);
+  return s;
+}
+
+/// Two workers concurrently send fresh join children into one shared
+/// second-level bucket (+/+): every interleaving must yield the same
+/// three instantiations.
+Scenario send_send() {
+  Scenario s;
+  s.name = "send-send";
+  s.description =
+      "two senders race +tokens into one second-level join bucket";
+  s.program =
+      "(p pair (a ^k <x>) (b ^k <x>) (ctx ^tag on) --> (remove 1))\n";
+  Script script;
+  script.add("ctx", {{"tag", sym("on")}});
+  script.end_phase(s);
+  for (long k = 1; k <= 3; ++k) {
+    script.add("a", {{"k", num(k)}});
+    script.add("b", {{"k", num(k)}});
+  }
+  script.end_phase(s);
+  return s;
+}
+
+/// A -token from one worker races a +token from another into the same
+/// bucket: the orders are NOT step-wise equivalent (one creates a
+/// transient pair, the other does not) but must be confluent for the
+/// final conflict set.
+Scenario send_delete() {
+  Scenario s;
+  s.name = "send-delete";
+  s.description =
+      "a delete's -token races another worker's +token into one bucket";
+  s.program =
+      "(p pair (a ^k <x>) (b ^k <x>) (ctx ^tag on) --> (remove 1))\n";
+  Script script;
+  script.add("ctx", {{"tag", sym("on")}});
+  const WmeId a1 = script.add("a", {{"k", num(1)}});
+  script.add("b", {{"k", num(1)}});
+  script.end_phase(s);
+  script.del(a1);
+  script.add("a", {{"k", num(2)}});
+  script.add("b", {{"k", num(2)}});
+  script.end_phase(s);
+  return s;
+}
+
+/// Second-level join keyed on its own variable: round-1 items spread over
+/// several destination buckets, so the naive interleaving count (which
+/// ignores bucket independence) exceeds what POR explores.
+Scenario two_keys() {
+  Scenario s;
+  s.name = "two-keys";
+  s.description =
+      "round-1 traffic split across independent buckets: POR prunes the "
+      "cross-bucket orders";
+  s.program =
+      "(p chain (a ^k <x>) (b ^k <x> ^m <y>) (c ^m <y>) --> (remove 1))\n";
+  Script script;
+  script.add("c", {{"m", num(1)}});
+  script.add("c", {{"m", num(2)}});
+  script.end_phase(s);
+  for (long k = 1; k <= 4; ++k) {
+    script.add("a", {{"k", num(k)}});
+    script.add("b", {{"k", num(k)}, {"m", num(1 + k % 2)}});
+  }
+  script.end_phase(s);
+  return s;
+}
+
+/// Negated second CE with deletes flipping the negation count: covers the
+/// negative-node paths under controlled execution (the races here are
+/// sequenced by the round structure; the entry guards semantics, not
+/// interleavings).
+Scenario negated() {
+  Scenario s;
+  s.name = "negated";
+  s.description =
+      "negation count flips via deletes; exercises negative-node "
+      "controlled execution";
+  s.program =
+      "(p lone (a ^k <x>) (ctx ^tag on) - (blocker ^v <x>) -->"
+      " (remove 1))\n";
+  Script script;
+  script.add("ctx", {{"tag", sym("on")}});
+  const WmeId blocker = script.add("blocker", {{"v", num(1)}});
+  script.end_phase(s);
+  script.add("a", {{"k", num(1)}});
+  script.add("a", {{"k", num(2)}});
+  script.end_phase(s);
+  script.del(blocker);
+  script.end_phase(s);
+  return s;
+}
+
+}  // namespace
+
+std::vector<Scenario> builtin_corpus() {
+  std::vector<Scenario> corpus;
+  corpus.push_back(fused_add_delete());
+  corpus.push_back(send_send());
+  corpus.push_back(send_delete());
+  corpus.push_back(two_keys());
+  corpus.push_back(negated());
+  return corpus;
+}
+
+const Scenario* find_scenario(std::span<const Scenario> corpus,
+                              std::string_view name) {
+  for (const Scenario& s : corpus) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace mpps::mc

@@ -1,0 +1,50 @@
+// Model-checking scenarios: a tiny production system plus a scripted
+// sequence of working-memory phases.  Each phase is fed to the engine
+// under test as ONE fused batch (`max_batch = 0`), so every cross-sender
+// race the script sets up actually lands inside a single BSP phase where
+// the scheduler has freedom; the serial `rete::Engine` processes the same
+// changes one at a time and its conflict set after each phase is the
+// oracle.
+//
+// The built-in corpus is hand-minimized around the races the BSP engine
+// can actually exhibit — cross-bucket send/send, send/delete, fused
+// add+delete pairs, negated joins — with deliberately tiny bucket counts
+// so traffic crosses workers (docs/TESTING.md walks through each entry).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/ops5/wme.hpp"
+
+namespace mpps::mc {
+
+struct Scenario {
+  std::string name;
+  std::string description;
+  /// OPS5 source of the rule base (LHS matching is all that runs; the
+  /// RHS never fires inside the checker).
+  std::string program;
+  /// WM-change phases; each inner vector runs as one fused BSP phase.
+  std::vector<std::vector<ops5::WmeChange>> phases;
+  std::uint32_t threads = 2;
+  std::uint32_t buckets = 4;
+
+  [[nodiscard]] std::size_t change_count() const {
+    std::size_t n = 0;
+    for (const auto& phase : phases) n += phase.size();
+    return n;
+  }
+};
+
+/// The hand-built race corpus (see the header comment).
+[[nodiscard]] std::vector<Scenario> builtin_corpus();
+
+/// Finds a scenario by name, or nullptr.
+[[nodiscard]] const Scenario* find_scenario(std::span<const Scenario> corpus,
+                                            std::string_view name);
+
+}  // namespace mpps::mc

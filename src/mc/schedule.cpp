@@ -1,0 +1,105 @@
+#include "src/mc/schedule.hpp"
+
+#include <charconv>
+
+#include "src/common/error.hpp"
+
+namespace mpps::mc {
+
+std::string ScheduleId::to_string() const {
+  if (choices.empty()) return "-";
+  std::string out;
+  for (std::size_t i = 0; i < choices.size(); ++i) {
+    if (i != 0) out += '.';
+    out += std::to_string(choices[i]);
+  }
+  return out;
+}
+
+ScheduleId ScheduleId::parse(std::string_view text) {
+  ScheduleId id;
+  if (text == "-") return id;
+  if (text.empty()) {
+    throw RuntimeError(
+        "malformed schedule ID '': expected dot-separated decimals (or '-' "
+        "for the canonical schedule)");
+  }
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t dot = text.find('.', start);
+    const std::string_view field =
+        text.substr(start, dot == std::string_view::npos ? dot : dot - start);
+    std::uint32_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(field.data(), field.data() + field.size(), value);
+    if (ec != std::errc{} || ptr != field.data() + field.size() ||
+        field.empty()) {
+      throw RuntimeError("malformed schedule ID '" + std::string(text) +
+                         "': expected dot-separated decimals (or '-')");
+    }
+    id.choices.push_back(value);
+    if (dot == std::string_view::npos) break;
+    start = dot + 1;
+  }
+  return id;
+}
+
+std::uint32_t DfsChooser::choose(std::uint32_t n) {
+  if (n <= 1) return 0;
+  if (pos_ < stack_.size()) {
+    Site& site = stack_[pos_];
+    if (site.arity != n) {
+      throw RuntimeError(
+          "DfsChooser: the schedule tree is not deterministic (branch site " +
+          std::to_string(pos_) + " had arity " + std::to_string(site.arity) +
+          ", now " + std::to_string(n) + ")");
+    }
+    return stack_[pos_++].chosen;
+  }
+  stack_.push_back(Site{0, n});
+  ++pos_;
+  return 0;
+}
+
+ScheduleId DfsChooser::id() const {
+  ScheduleId out;
+  out.choices.reserve(stack_.size());
+  for (const Site& site : stack_) out.choices.push_back(site.chosen);
+  return out;
+}
+
+bool DfsChooser::advance() {
+  while (!stack_.empty() && stack_.back().chosen + 1 >= stack_.back().arity) {
+    stack_.pop_back();
+  }
+  if (stack_.empty()) return false;
+  ++stack_.back().chosen;
+  pos_ = 0;
+  return true;
+}
+
+std::uint32_t RandomChooser::choose(std::uint32_t n) {
+  if (n <= 1) return 0;
+  std::uniform_int_distribution<std::uint32_t> dist(0, n - 1);
+  const std::uint32_t pick = dist(rng_);
+  taken_.choices.push_back(pick);
+  return pick;
+}
+
+std::uint32_t ReplayChooser::choose(std::uint32_t n) {
+  if (n <= 1) return 0;
+  std::uint32_t pick = 0;
+  if (pos_ < id_.choices.size()) {
+    pick = id_.choices[pos_++];
+    if (pick >= n) {
+      throw RuntimeError("schedule ID " + id_.to_string() +
+                         " does not fit this scenario: choice " +
+                         std::to_string(pick) + " at a site with " +
+                         std::to_string(n) + " alternatives");
+    }
+  }
+  taken_.choices.push_back(pick);
+  return pick;
+}
+
+}  // namespace mpps::mc

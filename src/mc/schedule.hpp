@@ -1,0 +1,95 @@
+// Schedule identities and decision sources for the pmatch model checker.
+//
+// A *schedule* is one complete resolution of every ordering decision the
+// engine's scheduler seam exposes during a run (src/pmatch/schedule.hpp).
+// The checker identifies a schedule by the choices taken at *branch
+// sites* only — decision points that actually offered more than one
+// alternative.  Sites with a single admissible alternative are not
+// recorded: they carry no information, and leaving them out makes IDs
+// stable under partial-order reduction (a pruned site simply never
+// appears).  The printable form is dot-separated decimals ("0.2.1"), or
+// "-" for the canonical schedule that never faced a branch.
+//
+// Replaying an ID whose recorded choices run out before the run does is
+// legal and continues canonically (choice 0 everywhere) — DFS IDs are
+// prefixes by construction.  A recorded choice that is out of range for
+// its site is an error: the ID belongs to a different scenario.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mpps::mc {
+
+/// A replayable schedule identity: the branch-site choices, in order.
+struct ScheduleId {
+  std::vector<std::uint32_t> choices;
+
+  [[nodiscard]] std::string to_string() const;
+  /// Parses the printable form; throws mpps::RuntimeError on junk.
+  static ScheduleId parse(std::string_view text);
+
+  friend bool operator==(const ScheduleId&, const ScheduleId&) = default;
+};
+
+/// A source of ordering decisions.  `choose(n)` picks one of n >= 1
+/// alternatives; sites with n == 1 return 0 without recording anything.
+class Chooser {
+ public:
+  virtual ~Chooser() = default;
+  virtual std::uint32_t choose(std::uint32_t n) = 0;
+  /// The branch choices taken so far — the (partial) schedule ID.
+  [[nodiscard]] virtual ScheduleId id() const = 0;
+};
+
+/// Depth-first enumeration of the whole schedule tree.  Run a schedule,
+/// call `advance()`, rerun from scratch: the chooser replays the common
+/// prefix and takes the next untried alternative at the deepest
+/// non-exhausted site.  `advance()` returns false once every schedule has
+/// been explored.
+class DfsChooser final : public Chooser {
+ public:
+  std::uint32_t choose(std::uint32_t n) override;
+  [[nodiscard]] ScheduleId id() const override;
+  bool advance();
+
+ private:
+  struct Site {
+    std::uint32_t chosen = 0;
+    std::uint32_t arity = 1;
+  };
+  std::vector<Site> stack_;
+  std::size_t pos_ = 0;  // replay cursor within the current run
+};
+
+/// Uniformly random decisions from a fixed seed; the taken choices are
+/// recorded so any fuzzed schedule prints a replayable ID.
+class RandomChooser final : public Chooser {
+ public:
+  explicit RandomChooser(std::uint64_t seed) : rng_(seed) {}
+  std::uint32_t choose(std::uint32_t n) override;
+  [[nodiscard]] ScheduleId id() const override { return taken_; }
+
+ private:
+  std::mt19937_64 rng_;
+  ScheduleId taken_;
+};
+
+/// Replays a recorded ScheduleId (see the header comment for the
+/// exhaustion and range rules).
+class ReplayChooser final : public Chooser {
+ public:
+  explicit ReplayChooser(ScheduleId id) : id_(std::move(id)) {}
+  std::uint32_t choose(std::uint32_t n) override;
+  [[nodiscard]] ScheduleId id() const override { return taken_; }
+
+ private:
+  ScheduleId id_;
+  ScheduleId taken_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace mpps::mc

@@ -14,6 +14,7 @@
 //   Collector                                         // records a Trace
 //   SimResult r = simulate(trace, config, assign);    // simulated MPC
 //   SweepRunner(opts).run(scenarios)                  // parallel sweeps
+//   check_corpus(builtin_corpus(), CheckOptions{})    // model checker
 //
 // Builders (each `build()` returns the plain options struct):
 //
@@ -30,6 +31,10 @@
 #include "src/core/cli.hpp"
 #include "src/core/pipeline.hpp"
 #include "src/core/sweep.hpp"
+#include "src/mc/checker.hpp"
+#include "src/mc/controller.hpp"
+#include "src/mc/scenario.hpp"
+#include "src/mc/schedule.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/profiler.hpp"
 #include "src/obs/tracer.hpp"
@@ -51,6 +56,7 @@ namespace mpps {
 // --- OPS5 front end --------------------------------------------------------
 using ops5::parse_program;
 using ops5::Program;
+using ops5::Value;
 using ops5::Wme;
 using ops5::WmeChange;
 using ops5::WorkingMemory;
@@ -96,6 +102,17 @@ using core::SweepOptions;
 using core::SweepOutcome;
 using core::SweepRunner;
 using core::SweepScenario;
+
+// --- Model checker ---------------------------------------------------------
+using mc::builtin_corpus;
+using mc::check_corpus;
+using mc::check_scenario;
+using mc::CheckOptions;
+using mc::CheckReport;
+using mc::run_schedule;
+using mc::Scenario;
+using mc::ScenarioReport;
+using mc::ScheduleId;
 
 // --- Observability sinks ---------------------------------------------------
 using obs::print_profile_report;

@@ -65,6 +65,44 @@ std::uint64_t ns_between(std::chrono::steady_clock::time_point from,
                               .count());
 }
 
+constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ull;
+
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h = (h ^ (v & 0xFF)) * kFnvPrime;
+    v >>= 8;
+  }
+  return h;
+}
+
+/// A controller-returned order must be a permutation of [0, n).
+void require_permutation(std::span<const std::uint32_t> order, std::size_t n,
+                         const char* hook) {
+  if (order.size() != n) {
+    throw RuntimeError(std::string("ParallelEngine: ") + hook +
+                       " returned " + std::to_string(order.size()) +
+                       " indices for " + std::to_string(n) + " operations");
+  }
+  std::vector<char> seen(n, 0);
+  for (std::uint32_t idx : order) {
+    if (idx >= n || seen[idx] != 0) {
+      throw RuntimeError(std::string("ParallelEngine: ") + hook +
+                         " returned an invalid permutation");
+    }
+    seen[idx] = 1;
+  }
+}
+
+template <typename T>
+void reorder_by(std::vector<T>& items,
+                std::span<const std::uint32_t> order) {
+  std::vector<T> tmp;
+  tmp.reserve(items.size());
+  for (std::uint32_t idx : order) tmp.push_back(std::move(items[idx]));
+  items.swap(tmp);
+}
+
 }  // namespace
 
 ParallelEngine::ParallelEngine(const rete::Network& net,
@@ -83,6 +121,12 @@ ParallelEngine::ParallelEngine(const rete::Network& net,
                         ExchangeCompletion{this}) {
   if (options_.mailbox_capacity == 0) {
     throw RuntimeError("ParallelEngine: mailbox_capacity must be positive");
+  }
+  if (options_.schedule != nullptr && options_.profiler != nullptr) {
+    throw RuntimeError(
+        "ParallelEngine: schedule-controlled mode is single-threaded and "
+        "cooperative; the wall-clock profiler would attribute nothing "
+        "meaningful (drop one of schedule/profiler)");
   }
   workers_.reserve(threads_);
   for (std::uint32_t i = 0; i < threads_; ++i) {
@@ -122,9 +166,11 @@ ParallelEngine::ParallelEngine(const rete::Network& net,
                                          {{"worker", std::to_string(i)}}));
     }
   }
-  for (auto& worker : workers_) {
-    Worker* w = worker.get();
-    w->thread = std::thread([this, w] { worker_main(*w); });
+  if (options_.schedule == nullptr) {
+    for (auto& worker : workers_) {
+      Worker* w = worker.get();
+      w->thread = std::thread([this, w] { worker_main(*w); });
+    }
   }
 }
 
@@ -256,6 +302,91 @@ void ParallelEngine::on_exchange() noexcept {
   phase_done_ = pending_total_.load(std::memory_order_relaxed) == 0;
   pending_total_.store(0, std::memory_order_relaxed);
   ++rounds_executed_;
+}
+
+std::uint64_t ParallelEngine::item_hash(const WorkItem& item) {
+  std::uint64_t h = kFnvOffset;
+  h = fnv_mix(h, item.node.value());
+  h = fnv_mix(h, static_cast<std::uint64_t>(item.side));
+  h = fnv_mix(h, static_cast<std::uint64_t>(item.tag));
+  h = fnv_mix(h, item.wme.value());
+  for (WmeId w : item.token.wmes) h = fnv_mix(h, w.value());
+  return h;
+}
+
+std::uint64_t ParallelEngine::delta_dependence_hash(const ConflictDelta& d) {
+  std::uint64_t h = kFnvOffset;
+  h = fnv_mix(h, d.pid.value());
+  for (WmeId w : d.token.wmes) h = fnv_mix(h, w.value());
+  return h;
+}
+
+std::uint64_t ParallelEngine::delta_identity_hash(const ConflictDelta& d) {
+  return fnv_mix(delta_dependence_hash(d), static_cast<std::uint64_t>(d.tag));
+}
+
+void ParallelEngine::run_controlled_phase() {
+  // The cooperative mirror of worker_main/run_worker_phase: one loop
+  // iteration per BSP round, every worker stepped in index order.  Within
+  // a round the workers only touch disjoint per-bucket state (that is the
+  // engine's whole ownership story), so stepping them sequentially in any
+  // fixed order is equivalent to the threaded execution — the orderings
+  // that can matter are exactly the ones delegated to the controller:
+  // mailbox slot drains and the incoming item order, which replaces the
+  // free-running path's (sender, seq) sort.
+  ScheduleControl& sched = *options_.schedule;
+  for (auto& wp : workers_) {
+    Worker& w = *wp;
+    w.records.clear();
+    w.deltas.clear();
+    w.drain_depths.clear();
+    recycle_items(w, w.current);
+    recycle_items(w, w.next);
+    recycle_items(w, w.self_next);
+    w.provisional_counter = 0;
+    w.round = 0;
+    scan_roots(w);  // round 0 = constant-test scan in change order: the
+                    // real machine has no scheduler freedom here
+  }
+  std::vector<std::uint32_t> slot_order;
+  std::vector<std::uint32_t> order;
+  std::vector<ScheduledOp> ops;
+  while (true) {
+    for (auto& wp : workers_) {
+      Worker& w = *wp;
+      w.emit_seq = 0;
+      for (const WorkItem& item : w.current) process_item(w, item);
+    }
+    ++rounds_executed_;
+    std::size_t pending = 0;
+    for (auto& wp : workers_) {
+      Worker& w = *wp;
+      recycle_items(w, w.next);
+      sched.drain_order(w.index, w.round, threads_, slot_order);
+      require_permutation(slot_order, threads_, "drain_order");
+      const std::size_t drained = w.mailbox.drain_into(w.next, slot_order);
+      w.drain_depths.push_back(drained);
+      for (WorkItem& item : w.self_next) w.next.push_back(std::move(item));
+      w.self_next.clear();
+      if (!w.next.empty()) {
+        ops.clear();
+        ops.reserve(w.next.size());
+        for (const WorkItem& it : w.next) {
+          ops.push_back(ScheduledOp{it.sender, it.seq, it.bucket,
+                                    item_hash(it)});
+        }
+        sched.order_round(w.index, w.round + 1, ops, order);
+        require_permutation(order, w.next.size(), "order_round");
+        reorder_by(w.next, order);
+      }
+      pending += w.next.size();
+    }
+    if (pending == 0) break;
+    for (auto& wp : workers_) {
+      std::swap(wp->current, wp->next);
+      ++wp->round;
+    }
+  }
 }
 
 ParallelEngine::WorkItem ParallelEngine::take_item(Worker& w) {
@@ -608,23 +739,38 @@ void ParallelEngine::run_phase(const ops5::WmeChange* changes,
   const auto phase_wall_start = control_lane_ == nullptr
                                     ? obs::ProfLane::Clock::time_point{}
                                     : obs::ProfLane::now();
-  {
-    std::unique_lock<std::mutex> lock(mu_);
+  if (options_.schedule != nullptr) {
     phase_changes_ = changes;
     phase_change_count_ = count;
-    ++phase_gen_;
-    start_cv_.notify_all();
-    done_cv_.wait(lock, [&] { return workers_done_ == threads_; });
-    workers_done_ = 0;
+    options_.schedule->begin_phase(phases_);
+    try {
+      run_controlled_phase();
+    } catch (...) {
+      phase_changes_ = nullptr;
+      phase_change_count_ = 0;
+      throw;
+    }
     phase_changes_ = nullptr;
     phase_change_count_ = 0;
+  } else {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      phase_changes_ = changes;
+      phase_change_count_ = count;
+      ++phase_gen_;
+      start_cv_.notify_all();
+      done_cv_.wait(lock, [&] { return workers_done_ == threads_; });
+      workers_done_ = 0;
+      phase_changes_ = nullptr;
+      phase_change_count_ = 0;
+    }
+    std::exception_ptr error;
+    for (auto& w : workers_) {
+      if (w->error != nullptr && error == nullptr) error = w->error;
+      w->error = nullptr;
+    }
+    if (error != nullptr) std::rethrow_exception(error);
   }
-  std::exception_ptr error;
-  for (auto& w : workers_) {
-    if (w->error != nullptr && error == nullptr) error = w->error;
-    w->error = nullptr;
-  }
-  if (error != nullptr) std::rethrow_exception(error);
   if (control_lane_ == nullptr) {
     merge_phase();
   } else {
@@ -690,12 +836,44 @@ void ParallelEngine::merge_phase() {
         if (listener_ != nullptr) listener_->on_activation(rec);
       }
     }
-    for (std::uint32_t i = 0; i < threads_; ++i) {
-      auto& deltas = workers_[i]->deltas;
-      while (delta_cursor[i] < deltas.size() &&
-             deltas[delta_cursor[i]].round == round) {
-        ConflictDelta& d = deltas[delta_cursor[i]++];
-        update_conflict_set(d.pid, d.token, d.tag);
+    if (options_.schedule == nullptr) {
+      for (std::uint32_t i = 0; i < threads_; ++i) {
+        auto& deltas = workers_[i]->deltas;
+        while (delta_cursor[i] < deltas.size() &&
+               deltas[delta_cursor[i]].round == round) {
+          ConflictDelta& d = deltas[delta_cursor[i]++];
+          update_conflict_set(d.pid, d.token, d.tag);
+        }
+      }
+    } else {
+      // Controlled mode: the controller picks the application order of
+      // this round's deltas (the free path's worker-minor order is just
+      // one admissible linearization).  Records above stay round-major /
+      // worker-minor in both modes — parents must be remapped before
+      // their children regardless of schedule.
+      std::vector<const ConflictDelta*> group;
+      std::vector<ScheduledOp> ops;
+      for (std::uint32_t i = 0; i < threads_; ++i) {
+        auto& deltas = workers_[i]->deltas;
+        std::uint64_t seq = 0;
+        while (delta_cursor[i] < deltas.size() &&
+               deltas[delta_cursor[i]].round == round) {
+          const ConflictDelta& d = deltas[delta_cursor[i]++];
+          ops.push_back(ScheduledOp{
+              i, seq++,
+              static_cast<std::uint32_t>(delta_dependence_hash(d)),
+              delta_identity_hash(d)});
+          group.push_back(&d);
+        }
+      }
+      if (!group.empty()) {
+        std::vector<std::uint32_t> order;
+        options_.schedule->order_merge(round, ops, order);
+        require_permutation(order, group.size(), "order_merge");
+        for (std::uint32_t idx : order) {
+          update_conflict_set(group[idx]->pid, group[idx]->token,
+                              group[idx]->tag);
+        }
       }
     }
   }

@@ -50,6 +50,7 @@
 #include "src/obs/profiler.hpp"
 #include "src/ops5/wme.hpp"
 #include "src/pmatch/mailbox.hpp"
+#include "src/pmatch/schedule.hpp"
 #include "src/rete/conflict.hpp"
 #include "src/rete/engine.hpp"
 #include "src/rete/memory.hpp"
@@ -100,6 +101,15 @@ struct ParallelOptions {
   /// readings (tests/pmatch_profile_test.cpp asserts results are
   /// identical either way).
   obs::Profiler* profiler = nullptr;
+  /// Optional schedule controller (not owned; must outlive the engine).
+  /// Non-null switches the engine into schedule-controlled mode: no worker
+  /// threads are spawned, no barriers are taken, and the control thread
+  /// runs every worker's rounds cooperatively, asking the controller for
+  /// each admissible ordering decision (src/pmatch/schedule.hpp).  This is
+  /// the seam the `src/mc` model checker drives.  Controlled mode is for
+  /// exploring orderings, not for measurement: busy/idle worker stats stay
+  /// zero, and combining it with `profiler` throws at construction.
+  ScheduleControl* schedule = nullptr;
 };
 
 /// Measured (wall-clock) per-worker counters, cumulative over the run.
@@ -142,6 +152,9 @@ class ParallelEngine final : public rete::MatchEngine {
   /// `process_change` only queues.  `flush()` runs everything queued as
   /// ONE fused phase (regardless of max_batch) and leaves batch mode.
   /// The conflict set, `wme()` and stats are stale while a batch is open.
+  /// Misuse is loud: `begin_batch()` with a batch already open and
+  /// `flush()` without one both throw mpps::RuntimeError, and the engine
+  /// stays fully usable after the throw.
   void begin_batch();
   void flush();
   [[nodiscard]] bool batching() const { return batching_; }
@@ -269,6 +282,10 @@ class ParallelEngine final : public rete::MatchEngine {
   /// flush).
   void run_phase(const ops5::WmeChange* changes, std::size_t count);
   void run_worker_phase(Worker& w);
+  /// Schedule-controlled counterpart of the threaded round loop: runs
+  /// every worker's rounds cooperatively on the calling thread, with the
+  /// controller choosing drain and processing orders.
+  void run_controlled_phase();
   void scan_roots(Worker& w);
   /// Pops a recycled WorkItem (token/key capacity intact) or default-
   /// constructs one.
@@ -296,6 +313,16 @@ class ParallelEngine final : public rete::MatchEngine {
                                        const ops5::Wme& w) const;
 
   void merge_phase();
+  /// Content hashes feeding ScheduledOp: `item_hash` identifies a round
+  /// item's full effect (node, side, tag, payload); the delta hashes
+  /// identify a conflict delta with (`identity`) and without
+  /// (`dependence`) its +/- tag — deltas sharing the dependence hash are
+  /// the add/remove pair of one instantiation and must stay ordered.
+  [[nodiscard]] static std::uint64_t item_hash(const WorkItem& item);
+  [[nodiscard]] static std::uint64_t delta_identity_hash(
+      const ConflictDelta& d);
+  [[nodiscard]] static std::uint64_t delta_dependence_hash(
+      const ConflictDelta& d);
   void update_conflict_set(ProductionId pid, const rete::Token& token,
                            rete::Tag tag);
   void collect_stats();

@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -93,18 +94,30 @@ class Mailbox {
   /// the reserve here.
   std::size_t drain_into(std::vector<T>& out) {
     std::size_t n = 0;
-    for (auto& slot_ptr : slots_) {
-      Slot& slot = *slot_ptr;
-      std::lock_guard<std::mutex> lock(slot.mu);
-      n += slot.items.size();
-      for (T& item : slot.items) out.push_back(std::move(item));
-      slot.items.clear();
-      if (slot.items.capacity() > 2 * slot_reserve_) {
-        slot.items.shrink_to_fit();
-        slot.items.reserve(slot_reserve_);
-        ++slot.shrinks;
-      }
+    for (auto& slot_ptr : slots_) n += drain_slot(*slot_ptr, out);
+    depth_.store(0, std::memory_order_relaxed);
+    return n;
+  }
+
+  /// Drain with a caller-chosen slot order (the schedule-controlled
+  /// engine's seam; see src/pmatch/schedule.hpp).  `slot_order` must be a
+  /// permutation of [0, producers()) — anything else raises RuntimeError.
+  /// FIFO within each slot and the shrink accounting are unchanged: only
+  /// the slot visiting order moves.
+  std::size_t drain_into(std::vector<T>& out,
+                         std::span<const std::uint32_t> slot_order) {
+    if (slot_order.size() != slots_.size()) {
+      throw RuntimeError("Mailbox: slot order must cover every producer");
     }
+    std::vector<char> seen(slots_.size(), 0);
+    for (std::uint32_t s : slot_order) {
+      if (s >= slots_.size() || seen[s] != 0) {
+        throw RuntimeError("Mailbox: slot order is not a permutation");
+      }
+      seen[s] = 1;
+    }
+    std::size_t n = 0;
+    for (std::uint32_t s : slot_order) n += drain_slot(*slots_[s], out);
     depth_.store(0, std::memory_order_relaxed);
     return n;
   }
@@ -129,6 +142,19 @@ class Mailbox {
     std::uint64_t pushes = 0;
     std::uint64_t shrinks = 0;
   };
+
+  std::size_t drain_slot(Slot& slot, std::vector<T>& out) {
+    std::lock_guard<std::mutex> lock(slot.mu);
+    const std::size_t n = slot.items.size();
+    for (T& item : slot.items) out.push_back(std::move(item));
+    slot.items.clear();
+    if (slot.items.capacity() > 2 * slot_reserve_) {
+      slot.items.shrink_to_fit();
+      slot.items.reserve(slot_reserve_);
+      ++slot.shrinks;
+    }
+    return n;
+  }
 
   std::size_t capacity_ = 0;
   std::size_t slot_reserve_ = 0;

@@ -274,5 +274,63 @@ TEST(Cli, SelfCheckBadFlagsAreUsageErrors) {
   EXPECT_NE(fault.err.find("--fault"), std::string::npos);
 }
 
+TEST(Cli, CheckExhaustiveCorpusExitsZero) {
+  const std::string metrics_path =
+      std::string(::testing::TempDir()) + "check.metrics.csv";
+  const CliRun r = cli({"check", "--exhaustive", "--metrics-out",
+                        metrics_path});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("fused-add-delete"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("explored"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("OK"), std::string::npos) << r.out;
+  std::ifstream csv(metrics_path);
+  std::ostringstream contents;
+  contents << csv.rdbuf();
+  EXPECT_NE(contents.str().find("mc.schedules_explored"), std::string::npos);
+  std::remove(metrics_path.c_str());
+}
+
+TEST(Cli, CheckPlantedFaultExitsNonzeroWithReplayHint) {
+  const CliRun r = cli({"check", "--exhaustive", "--fault", "merge-order"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("FAILED"), std::string::npos) << r.err;
+  EXPECT_NE(r.out.find("FAIL"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("replay: mpps check"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("expected outcome"), std::string::npos) << r.out;
+}
+
+TEST(Cli, CheckReplaySingleSchedule) {
+  const CliRun r = cli({"check", "--scenario", "fused-add-delete",
+                        "--replay", "-"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("replaying schedule - on fused-add-delete"),
+            std::string::npos)
+      << r.out;
+}
+
+TEST(Cli, CheckListEnumeratesCorpus) {
+  const CliRun r = cli({"check", "--list"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("fused-add-delete"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("two-keys"), std::string::npos) << r.out;
+}
+
+TEST(Cli, CheckBadFlagsAreUsageErrors) {
+  const CliRun modes = cli({"check", "--exhaustive", "--schedules", "4"});
+  EXPECT_EQ(modes.code, 2);
+  EXPECT_NE(modes.err.find("--exhaustive"), std::string::npos) << modes.err;
+  const CliRun replay = cli({"check", "--replay", "0"});
+  EXPECT_EQ(replay.code, 2);
+  EXPECT_NE(replay.err.find("--scenario"), std::string::npos) << replay.err;
+  const CliRun scenario = cli({"check", "--scenario", "no-such-scenario"});
+  EXPECT_EQ(scenario.code, 2);
+  const CliRun fault = cli({"check", "--fault", "bogus"});
+  EXPECT_EQ(fault.code, 2);
+  const CliRun id = cli({"check", "--scenario", "send-send", "--replay",
+                         "not.a.number"});
+  EXPECT_EQ(id.code, 2);
+  EXPECT_NE(id.err.find("malformed"), std::string::npos) << id.err;
+}
+
 }  // namespace
 }  // namespace mpps::core

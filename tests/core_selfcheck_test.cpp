@@ -11,6 +11,7 @@
 #include "src/common/error.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/sim/simulator.hpp"
+#include "src/trace/io.hpp"
 #include "src/trace/synth.hpp"
 
 namespace mpps::core {
@@ -111,6 +112,34 @@ TEST(SelfCheck, ShrinkKeepsScenarioValidAndMinimal) {
   EXPECT_EQ(minimal.assign, AssignKind::RoundRobin);
   EXPECT_FALSE(
       check_scenario(minimal, FaultInjection::LeftTokenUndercharge).empty());
+}
+
+TEST(SelfCheck, ShrinkIsByteDeterministic) {
+  // Two shrinks of the same failing scenario must agree byte for byte —
+  // the repro a CI log prints today has to be the one a developer
+  // reproduces tomorrow.
+  Scenario scenario;
+  scenario.trace = trace::make_weaver_section();
+  scenario.config.match_processors = 16;
+  scenario.config.termination = sim::TerminationModel::AckCounting;
+  scenario.config.costs = sim::CostModel::paper_run(2);
+  scenario.assign = AssignKind::PerCycle;
+  ASSERT_NE(check_scenario(scenario, FaultInjection::LeftTokenUndercharge),
+            "");
+  const auto serialize = [](const Scenario& s) {
+    std::ostringstream os;
+    trace::write_trace(os, s.trace);
+    os << s.describe() << " assign_seed=" << s.assign_seed;
+    return os.str();
+  };
+  std::uint64_t steps_a = 0;
+  std::uint64_t steps_b = 0;
+  const Scenario a = shrink_scenario(
+      scenario, FaultInjection::LeftTokenUndercharge, &steps_a);
+  const Scenario b = shrink_scenario(
+      scenario, FaultInjection::LeftTokenUndercharge, &steps_b);
+  EXPECT_EQ(serialize(a), serialize(b));
+  EXPECT_EQ(steps_a, steps_b);
 }
 
 TEST(SelfCheck, ParseFault) {

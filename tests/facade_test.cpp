@@ -75,6 +75,45 @@ TEST(Facade, BatchedParallelEngineThroughBuilder) {
   EXPECT_LE(engine.phases(), engine.changes());
 }
 
+TEST(Facade, BatchMisuseThrowsDocumentedErrors) {
+  // The begin_batch()/flush() contract holds at the facade layer too:
+  // flush without an open batch and a double begin_batch both raise
+  // mpps::RuntimeError, and the engine stays usable after the throw.
+  const mpps::Program program = mpps::parse_program(kProgram);
+  const mpps::Network net = mpps::Network::compile(program);
+  const mpps::ParallelOptions popts =
+      mpps::ParallelOptionsBuilder().threads(2).build();
+  mpps::ParallelEngine engine(net, popts);
+  EXPECT_THROW(engine.flush(), mpps::RuntimeError);
+  engine.begin_batch();
+  EXPECT_THROW(engine.begin_batch(), mpps::RuntimeError);
+  // Still inside the (single) open batch: flushing works and the engine
+  // processes changes normally afterwards.
+  engine.flush();
+  EXPECT_FALSE(engine.batching());
+  mpps::WorkingMemory wm;
+  wm.add(mpps::Wme(mpps::Symbol::intern("job"),
+                   {{mpps::Symbol::intern("id"), mpps::Value(9L)}}));
+  for (const mpps::WmeChange& change : wm.drain_changes()) {
+    engine.process_change(change);
+  }
+  EXPECT_EQ(engine.changes(), 1u);
+}
+
+TEST(Facade, ModelCheckerIsReachable) {
+  // The model checker's supported surface: corpus, exhaustive check,
+  // schedule IDs and single-schedule replay.
+  const std::vector<mpps::Scenario> corpus = mpps::builtin_corpus();
+  ASSERT_FALSE(corpus.empty());
+  mpps::CheckOptions options;
+  const mpps::ScenarioReport report =
+      mpps::check_scenario(corpus.front(), options);
+  EXPECT_TRUE(report.ok());
+  EXPECT_FALSE(
+      mpps::run_schedule(corpus.front(), mpps::ScheduleId::parse("-"))
+          .has_value());
+}
+
 TEST(Facade, BuilderRejectsZeroMailboxCapacity) {
   // The Mailbox(0) silent-coercion bug is now a loud configuration error
   // at every layer, starting with the public builder.

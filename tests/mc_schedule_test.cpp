@@ -1,0 +1,135 @@
+// Unit tests for the model checker's schedule identities and decision
+// sources: ScheduleId parse/print round trips, full-tree DFS enumeration
+// (including trees whose shape depends on earlier choices), seeded random
+// determinism, and the replay rules (lenient on exhaustion — DFS IDs are
+// prefixes — strict on out-of-range choices).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/mc/schedule.hpp"
+
+namespace mpps::mc {
+namespace {
+
+TEST(ScheduleId, PrintsCanonicalAsDash) {
+  EXPECT_EQ(ScheduleId{}.to_string(), "-");
+}
+
+TEST(ScheduleId, RoundTripsThroughText) {
+  const ScheduleId id{{0, 2, 1, 10}};
+  EXPECT_EQ(id.to_string(), "0.2.1.10");
+  EXPECT_EQ(ScheduleId::parse("0.2.1.10"), id);
+  EXPECT_EQ(ScheduleId::parse("-"), ScheduleId{});
+}
+
+TEST(ScheduleId, RejectsJunk) {
+  EXPECT_THROW(ScheduleId::parse(""), RuntimeError);
+  EXPECT_THROW(ScheduleId::parse("1..2"), RuntimeError);
+  EXPECT_THROW(ScheduleId::parse("1.x"), RuntimeError);
+  EXPECT_THROW(ScheduleId::parse("1.2."), RuntimeError);
+  EXPECT_THROW(ScheduleId::parse("-1"), RuntimeError);
+}
+
+/// A synthetic schedule tree: fixed site arities consumed in order.
+std::vector<std::uint32_t> run_tree(Chooser& chooser,
+                                    const std::vector<std::uint32_t>& arities) {
+  std::vector<std::uint32_t> taken;
+  taken.reserve(arities.size());
+  for (std::uint32_t n : arities) taken.push_back(chooser.choose(n));
+  return taken;
+}
+
+TEST(DfsChooser, EnumeratesEverySchedule) {
+  DfsChooser dfs;
+  std::set<std::vector<std::uint32_t>> seen;
+  std::uint64_t runs = 0;
+  do {
+    seen.insert(run_tree(dfs, {2, 1, 3}));
+    ++runs;
+    ASSERT_LE(runs, 7u) << "DFS failed to terminate";
+  } while (dfs.advance());
+  EXPECT_EQ(runs, 6u);  // 2 * 1 * 3
+  EXPECT_EQ(seen.size(), 6u);
+  for (const auto& schedule : seen) {
+    EXPECT_LT(schedule[0], 2u);
+    EXPECT_EQ(schedule[1], 0u);
+    EXPECT_LT(schedule[2], 3u);
+  }
+}
+
+TEST(DfsChooser, HandlesShapeDependentTrees) {
+  // Choosing 1 at the root opens an extra site — the tree is not a grid.
+  DfsChooser dfs;
+  std::set<std::string> seen;
+  do {
+    std::string path;
+    const std::uint32_t first = dfs.choose(2);
+    path += std::to_string(first);
+    if (first == 1) path += "." + std::to_string(dfs.choose(2));
+    seen.insert(path);
+  } while (dfs.advance());
+  EXPECT_EQ(seen, (std::set<std::string>{"0", "1.0", "1.1"}));
+}
+
+TEST(DfsChooser, IdRecordsBranchSitesOnly) {
+  DfsChooser dfs;
+  run_tree(dfs, {1, 3, 1, 2});
+  EXPECT_EQ(dfs.id().to_string(), "0.0");
+  ASSERT_TRUE(dfs.advance());
+  run_tree(dfs, {1, 3, 1, 2});
+  EXPECT_EQ(dfs.id().to_string(), "0.1");
+}
+
+TEST(DfsChooser, DetectsNondeterministicTrees) {
+  DfsChooser dfs;
+  run_tree(dfs, {2, 2});
+  ASSERT_TRUE(dfs.advance());
+  // Replaying the prefix against a different arity is a structural bug in
+  // the caller, not a schedule to silently mangle.
+  EXPECT_THROW(dfs.choose(3), RuntimeError);
+}
+
+TEST(RandomChooser, SameSeedSameSchedule) {
+  RandomChooser a(42);
+  RandomChooser b(42);
+  EXPECT_EQ(run_tree(a, {4, 4, 4, 4}), run_tree(b, {4, 4, 4, 4}));
+  EXPECT_EQ(a.id(), b.id());
+}
+
+TEST(RandomChooser, IdIsReplayable) {
+  RandomChooser random(7);
+  const auto taken = run_tree(random, {3, 1, 5, 2});
+  ReplayChooser replay(random.id());
+  EXPECT_EQ(run_tree(replay, {3, 1, 5, 2}), taken);
+  EXPECT_EQ(replay.id(), random.id());
+}
+
+TEST(ReplayChooser, ContinuesCanonicallyPastRecordedChoices) {
+  ReplayChooser replay(ScheduleId{{1}});
+  EXPECT_EQ(replay.choose(2), 1u);
+  EXPECT_EQ(replay.choose(5), 0u);  // exhausted: canonical choice
+  EXPECT_EQ(replay.id().to_string(), "1.0");
+}
+
+TEST(ReplayChooser, RejectsOutOfRangeChoices) {
+  ReplayChooser replay(ScheduleId{{3}});
+  EXPECT_THROW(replay.choose(2), RuntimeError);
+}
+
+TEST(ReplayChooser, SingleAlternativeSitesAreFree) {
+  // n == 1 sites consume nothing from the recorded ID.
+  ReplayChooser replay(ScheduleId{{1, 1}});
+  EXPECT_EQ(replay.choose(1), 0u);
+  EXPECT_EQ(replay.choose(2), 1u);
+  EXPECT_EQ(replay.choose(1), 0u);
+  EXPECT_EQ(replay.choose(2), 1u);
+  EXPECT_EQ(replay.id().to_string(), "1.1");
+}
+
+}  // namespace
+}  // namespace mpps::mc

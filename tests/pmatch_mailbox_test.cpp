@@ -5,6 +5,7 @@
 // Stats::shrinks — the fix for drain_into never returning spike memory).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <thread>
 #include <vector>
@@ -86,6 +87,64 @@ TEST(Mailbox, OversizedDrainReleasesCapacity) {
   out.clear();
   box.drain_into(out);
   EXPECT_EQ(box.stats().shrinks, 1u);
+}
+
+TEST(Mailbox, PermutedDrainHoldsFifoUnderEveryOrder) {
+  // Property (satellite of the model-checker PR): for EVERY slot
+  // permutation the scheduler seam can request, the drain yields all
+  // items grouped by the requested slot order with per-producer FIFO
+  // intact, and leaves the box empty.
+  std::vector<std::uint32_t> perm{0, 1, 2};
+  std::sort(perm.begin(), perm.end());
+  do {
+    pmatch::Mailbox<int> box(16, 3);
+    for (std::uint32_t s = 0; s < 3; ++s) {
+      for (int i = 0; i < 3; ++i) {
+        box.push(s, static_cast<int>(s) * 100 + i);
+      }
+    }
+    std::vector<int> out;
+    EXPECT_EQ(box.drain_into(out, perm), 9u);
+    std::vector<int> expected;
+    for (std::uint32_t s : perm) {
+      for (int i = 0; i < 3; ++i) {
+        expected.push_back(static_cast<int>(s) * 100 + i);
+      }
+    }
+    EXPECT_EQ(out, expected) << "slot order " << perm[0] << perm[1] << perm[2];
+    out.clear();
+    EXPECT_EQ(box.drain_into(out), 0u);  // drained and depth reset
+  } while (std::next_permutation(perm.begin(), perm.end()));
+}
+
+TEST(Mailbox, PermutedDrainRejectsNonPermutations) {
+  pmatch::Mailbox<int> box(16, 3);
+  box.push(0, 1);
+  std::vector<int> out;
+  const std::vector<std::uint32_t> too_short{0, 1};
+  const std::vector<std::uint32_t> duplicate{0, 1, 1};
+  const std::vector<std::uint32_t> out_of_range{0, 1, 3};
+  EXPECT_THROW(box.drain_into(out, too_short), RuntimeError);
+  EXPECT_THROW(box.drain_into(out, duplicate), RuntimeError);
+  EXPECT_THROW(box.drain_into(out, out_of_range), RuntimeError);
+  // The box is untouched by the rejected drains.
+  EXPECT_EQ(box.drain_into(out), 1u);
+}
+
+TEST(Mailbox, ShrinkAccountingHoldsUnderEveryPermutation) {
+  // The oversized-drain release logic is per slot, so the shrink count
+  // must not depend on which order the slots are visited in.
+  std::vector<std::uint32_t> perm{0, 1};
+  std::sort(perm.begin(), perm.end());
+  do {
+    pmatch::Mailbox<int> box(8, 2);  // reserve 4 per slot
+    for (int i = 0; i < 100; ++i) box.push(1, i);  // slot 1 spikes
+    box.push(0, -1);
+    std::vector<int> out;
+    EXPECT_EQ(box.drain_into(out, perm), 101u);
+    EXPECT_EQ(box.stats().shrinks, 1u)
+        << "slot order " << perm[0] << perm[1];
+  } while (std::next_permutation(perm.begin(), perm.end()));
 }
 
 TEST(Mailbox, ConcurrentProducersLoseNothing) {
