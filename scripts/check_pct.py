@@ -11,6 +11,11 @@ this gate proves no emission path (bench attribution objects, the CLI's
 field once read 110.7 in BENCH_pmatch.json because the control thread's
 merge time was divided by a worker-wall denominator.
 
+Fields ending in ``_speedup`` get the analogous gate: finite and
+strictly positive.  BENCH_topology.json reports the per-topology speedup
+grid this way; a zero, negative, NaN or infinite speedup means the
+simulated baseline or makespan went bad, never a legitimate data point.
+
 Usage: check_pct.py FILE.json [FILE.json ...]
 """
 import json
@@ -29,6 +34,13 @@ def walk(node, path, violations):
                     violations.append(f"{where}: non-finite ({value!r})")
                 elif not 0.0 <= value <= 100.0:
                     violations.append(f"{where}: {value} outside [0, 100]")
+            elif key.endswith("_speedup"):
+                if not isinstance(value, (int, float)) or isinstance(value, bool):
+                    violations.append(f"{where}: not a number ({value!r})")
+                elif not math.isfinite(value):
+                    violations.append(f"{where}: non-finite ({value!r})")
+                elif value <= 0.0:
+                    violations.append(f"{where}: {value} not positive")
             walk(value, where, violations)
     elif isinstance(node, list):
         for i, item in enumerate(node):

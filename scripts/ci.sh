@@ -55,6 +55,14 @@ if ./build/tools/mpps selfcheck --rounds 5 --seed 1 \
   echo "selfcheck failed to catch an injected fault" >&2
   exit 1
 fi
+# Same discipline for the network layer: the free-remote-hop fault is
+# invisible on the flat wire, so catching it proves the selfcheck really
+# randomizes multi-hop topologies AND that the net-hop-latency law bites.
+if ./build/tools/mpps selfcheck --rounds 5 --seed 1 \
+    --fault free-remote-hop > /dev/null 2>&1; then
+  echo "selfcheck failed to catch an injected free-remote-hop fault" >&2
+  exit 1
+fi
 
 echo "=== tier-1: pmatch model checker (exhaustive corpus + planted fault) ==="
 # Every distinguishable mailbox/merge ordering of every corpus scenario
@@ -78,6 +86,14 @@ echo "=== tier-1: simulator kernel throughput smoke (BENCH_simkernel.json) ==="
 ./build/bench/simkernel_throughput --smoke -o BENCH_simkernel.json
 test -s BENCH_simkernel.json
 
+echo "=== tier-1: topology speedup smoke (BENCH_topology.json) ==="
+# The speedup grid per interconnection topology (flat wire / mesh /
+# torus / fat-tree); smoke mode trims the processor grid but runs every
+# topology, so routing + contention + auto-geometry stay exercised on
+# every build (docs/SIMULATOR.md, "Network models").
+./build/bench/topology_speedup --smoke -o BENCH_topology.json
+test -s BENCH_topology.json
+
 echo "=== tier-1: parallel match throughput smoke (BENCH_pmatch.json) ==="
 # Measured (wall-clock) counterpart of the simulated curves above; the
 # JSON records hardware_concurrency — on a 1-CPU runner the speedup
@@ -98,10 +114,12 @@ test -s PROFILE_pmatch.json
 grep -q '"min_attributed_pct"' PROFILE_pmatch.json
 
 echo "=== tier-1: attribution percentage range gate ==="
-# Every *_pct field any artifact emits must sit in [0, 100]; the >100%
+# Every *_pct field any artifact emits must sit in [0, 100] and every
+# *_speedup field must be finite and positive; the >100%
 # conflict_update_pct regression (wrong denominator) is exactly what this
 # catches (scripts/check_pct.py).
-python3 scripts/check_pct.py BENCH_pmatch.json PROFILE_pmatch.json
+python3 scripts/check_pct.py BENCH_pmatch.json PROFILE_pmatch.json \
+  BENCH_topology.json
 
 if [ "$FAST" -eq 1 ]; then
   echo "=== tier-1 passed (sanitizer + coverage passes skipped via --fast) ==="
@@ -134,9 +152,14 @@ cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=Debug \
   -DCMAKE_CXX_FLAGS="$TSAN_FLAGS" \
   -DCMAKE_EXE_LINKER_FLAGS="$TSAN_FLAGS"
-cmake --build build-tsan -j --target sweep_tests pmatch_tests mpps
+cmake --build build-tsan -j --target sweep_tests pmatch_tests network_tests mpps
 ./build-tsan/tests/sweep_tests
 ./build-tsan/tests/pmatch_tests
+# The network layer itself is single-threaded, but the sweep engine
+# replays topology configurations across worker threads (shared
+# BaselineCache, per-run NetworkModel instances) — run the suite here so
+# a future shared-state shortcut in a model surfaces as a race.
+./build-tsan/tests/network_tests
 ./build-tsan/tools/mpps selfcheck --rounds 10 --seed 1
 
 echo "=== coverage: gcov rebuild + line-coverage floors (build-cov/) ==="

@@ -71,6 +71,20 @@ constexpr FlagSpec kMapping{"--mapping", "merged|pairs", "pairs",
 constexpr FlagSpec kAssign{"--assign", "rr|random|greedy", "greedy",
                            "bucket-to-processor assignment policy"};
 constexpr FlagSpec kSeed{"--seed", "S", "7", "seed for randomized choices"};
+constexpr FlagSpec kNet{"--net", "constant|mesh|torus|fattree", "mesh",
+                        "interconnect model messages are charged on "
+                        "(default constant: the paper's flat wire)"};
+constexpr FlagSpec kNetDims{"--net-dims", "AxB[xC..]", "6x6",
+                            "mesh/torus geometry (default: near-square 2-d "
+                            "grid covering the machine)"};
+constexpr FlagSpec kNetArity{"--net-arity", "K", "4",
+                             "fat-tree switch arity (default 2)"};
+constexpr FlagSpec kNetLevels{"--net-levels", "L", "6",
+                              "fat-tree depth (default: smallest whose "
+                              "leaves cover the machine)"};
+constexpr FlagSpec kNetHopNs{"--net-hop-ns", "NS", "250",
+                             "per-hop wire latency in ns (default: the cost "
+                             "model's wire latency)"};
 
 const std::vector<CommandSpec>& commands() {
   static const std::vector<CommandSpec> kCommands = {
@@ -122,6 +136,11 @@ const std::vector<CommandSpec>& commands() {
             "simulated match-processor counts (default 16)"},
            kRunModel,
            {"--top", "K", "4", "hottest buckets to list (default 8)"},
+           kNet,
+           kNetDims,
+           kNetArity,
+           kNetLevels,
+           kNetHopNs,
            kJobs,
            kJson,
            kTraceOut,
@@ -142,6 +161,11 @@ const std::vector<CommandSpec>& commands() {
            {"--cs", "M", "1", "dedicated conflict-set processors"},
            {"--termination", "none|ack|poll", "ack",
             "cycle-termination detection model"},
+           kNet,
+           kNetDims,
+           kNetArity,
+           kNetLevels,
+           kNetHopNs,
            kJobs,
            kJson,
            kTraceOut,
@@ -155,6 +179,11 @@ const std::vector<CommandSpec>& commands() {
            {"--procs", "P[,P...]", "2,4",
             "processor counts (default 2,4,8,16,32)"},
            {"--runs", "R[,R...]", "1,2", "overhead runs (default 1,2,3,4)"},
+           kNet,
+           kNetDims,
+           kNetArity,
+           kNetLevels,
+           kNetHopNs,
            kJobs,
            kMapping,
            kAssign,
@@ -172,8 +201,9 @@ const std::vector<CommandSpec>& commands() {
        {
            {"--rounds", "N", "3", "scenarios to run (default 200)"},
            kSeed,
-           {"--fault", "none|left-token-undercharge|free-remote-send", "none",
-            "inject a known bug to prove the oracle catches it"},
+           {"--fault",
+            "none|left-token-undercharge|free-remote-send|free-remote-hop",
+            "none", "inject a known bug to prove the oracle catches it"},
            kMetricsOut,
        }},
       {"check", nullptr,
@@ -452,6 +482,99 @@ struct ObsOutputs {
   }
 };
 
+/// The shared `--net*` flag group → a validated NetworkConfig.  Geometry
+/// is checked against the LARGEST machine the command will simulate
+/// (`total_nodes`), so an undersized grid is a usage error (exit 2)
+/// before any run starts.
+sim::NetworkConfig parse_network(const Args& args, std::uint32_t total_nodes) {
+  sim::NetworkConfig net;
+  const std::string kind = args.value("--net", "");
+  if (!kind.empty()) {
+    try {
+      net.kind = sim::parse_net_kind(kind);
+    } catch (const RuntimeError& e) {
+      throw UsageError(std::string("--net: ") + e.what());
+    }
+  }
+  const std::string dims = args.value("--net-dims", "");
+  if (!dims.empty()) {
+    if (net.kind != sim::NetKind::Mesh && net.kind != sim::NetKind::Torus) {
+      throw UsageError("--net-dims only applies to --net mesh|torus");
+    }
+    std::size_t start = 0;
+    while (start <= dims.size()) {
+      const std::size_t sep = dims.find('x', start);
+      const std::size_t len =
+          (sep == std::string::npos ? dims.size() : sep) - start;
+      long v = 0;
+      if (!parse_int(dims.substr(start, len), v) || v <= 0) {
+        throw UsageError("--net-dims: '" + dims.substr(start, len) +
+                         "' is not a positive dimension (in '" + dims + "')");
+      }
+      net.dims.push_back(static_cast<std::uint32_t>(v));
+      if (sep == std::string::npos) break;
+      start = sep + 1;
+    }
+  }
+  for (const char* flag : {"--net-arity", "--net-levels"}) {
+    if (!args.value(flag, "").empty() &&
+        net.kind != sim::NetKind::FatTree) {
+      throw UsageError(std::string(flag) + " only applies to --net fattree");
+    }
+  }
+  net.arity =
+      static_cast<std::uint32_t>(parse_positive_or(args, "--net-arity", 2));
+  net.levels =
+      static_cast<std::uint32_t>(parse_positive_or(args, "--net-levels", 0));
+  net.hop_latency = SimTime::ns(static_cast<std::int64_t>(
+      parse_positive_or(args, "--net-hop-ns", 0)));
+  try {
+    sim::validate_network(net, total_nodes);
+  } catch (const RuntimeError& e) {
+    throw UsageError(std::string("--net: ") + e.what());
+  }
+  return net;
+}
+
+/// Resolved geometry as one token: "wire", "4x8", "a2 l3".
+std::string net_geometry(const sim::NetStats& net) {
+  switch (net.kind) {
+    case sim::NetKind::Constant:
+      return "wire";
+    case sim::NetKind::Mesh:
+    case sim::NetKind::Torus: {
+      std::string out;
+      for (std::size_t i = 0; i < net.dims.size(); ++i) {
+        if (i != 0) out += 'x';
+        out += std::to_string(net.dims[i]);
+      }
+      return out;
+    }
+    case sim::NetKind::FatTree:
+      return "a" + std::to_string(net.arity) + " l" +
+             std::to_string(net.levels);
+  }
+  return "?";
+}
+
+/// One-line topology traffic summary (silent on the flat wire, whose
+/// numbers already appear in the main table).
+void print_network_line(std::ostream& out, const sim::NetStats& net) {
+  if (net.kind == sim::NetKind::Constant) return;
+  out << "network: " << sim::net_kind_name(net.kind) << " "
+      << net_geometry(net) << ", " << net.messages << " charged messages, "
+      << "avg " << std::fixed << std::setprecision(2) << net.avg_hops()
+      << std::defaultfloat << " hops (max " << net.max_hops()
+      << "), contention delay " << net.total_delay.micros() << " us";
+  const std::size_t hot = net.hottest_link();
+  if (hot < net.links.size()) {
+    out << ", hottest link " << sim::net_link_name(net, hot) << " ("
+        << net.links[hot].messages << " msgs, " << net.links[hot].busy.micros()
+        << " us busy)";
+  }
+  out << "\n";
+}
+
 int parse_run_model(const Args& args, int fallback) {
   return static_cast<int>(
       parse_long_or(args.value("--run", std::to_string(fallback)), fallback));
@@ -460,6 +583,31 @@ int parse_run_model(const Args& args, int fallback) {
 sim::CostModel cost_model_for_run(int run) {
   return run == 0 ? sim::CostModel::zero_overhead()
                   : sim::CostModel::paper_run(run);
+}
+
+/// The `--json` network object of one run: resolved geometry plus the
+/// charged-traffic aggregates (shared by every command emitting results).
+void json_network(JsonWriter& w, const sim::NetStats& net) {
+  w.begin_object();
+  w.field("kind", sim::net_kind_name(net.kind));
+  w.field("geometry", net_geometry(net));
+  w.field("hop_latency_ns",
+          static_cast<std::uint64_t>(net.hop_latency.nanos()));
+  w.field("charged_messages", net.messages);
+  w.field("total_latency_us", net.total_latency.micros());
+  w.field("contention_delay_us", net.total_delay.micros());
+  w.field("avg_hops", net.avg_hops());
+  w.field("max_hops", static_cast<std::uint64_t>(net.max_hops()));
+  const std::size_t hot = net.hottest_link();
+  if (hot < net.links.size()) {
+    w.key("hottest_link");
+    w.begin_object();
+    w.field("link", sim::net_link_name(net, hot));
+    w.field("messages", net.links[hot].messages);
+    w.field("busy_us", net.links[hot].busy.micros());
+    w.end_object();
+  }
+  w.end_object();
 }
 
 /// One simulated-run result object of the `--json` schema (shared by
@@ -475,6 +623,8 @@ void json_sim_result(JsonWriter& w, std::uint32_t procs, int run,
   w.field("local_deliveries", result.local_deliveries);
   w.field("network_idle_pct", 100.0 * (1.0 - result.network_utilization()));
   w.field("avg_proc_util_pct", 100.0 * result.avg_processor_utilization());
+  w.key("network");
+  json_network(w, result.net);
   w.end_object();
 }
 
@@ -812,6 +962,8 @@ int cmd_stats(const Args& args, std::ostream& out, std::ostream& err) {
   const int run = parse_run_model(args, 1);
   const auto top_k =
       static_cast<std::size_t>(parse_long_or(args.value("--top", "8"), 8));
+  const sim::NetworkConfig network = parse_network(
+      args, 1 + *std::max_element(procs_list.begin(), procs_list.end()));
   const ObsOutputs obs_out = ObsOutputs::from(args);
   obs::Registry registry;
   obs::Tracer tracer;
@@ -828,6 +980,7 @@ int cmd_stats(const Args& args, std::ostream& out, std::ostream& err) {
     scenario.trace = &t;
     scenario.config.match_processors = procs;
     scenario.config.costs = cost_model_for_run(run);
+    scenario.config.network = network;
     scenario.assignment = sim::Assignment::round_robin(
         t.num_buckets, scenario.config.partitions());
     scenarios.push_back(std::move(scenario));
@@ -880,6 +1033,8 @@ int cmd_stats(const Args& args, std::ostream& out, std::ostream& err) {
         w.end_object();
       }
       w.end_array();
+      w.key("network");
+      json_network(w, result.net);
       w.end_object();
     }
     w.end_array();
@@ -902,6 +1057,7 @@ int cmd_stats(const Args& args, std::ostream& out, std::ostream& err) {
       const obs::RunSummary summary =
           obs::summarize_run(t, outcomes[i].result, top_k);
       obs::print_run_summary(out, summary);
+      print_network_line(out, outcomes[i].result.net);
     }
   }
   obs_out.write_merged(tracer, registry, json ? err : out);
@@ -938,6 +1094,10 @@ int cmd_simulate(const Args& args, std::ostream& out, std::ostream& err) {
   } else if (termination == "poll") {
     config.termination = sim::TerminationModel::BarrierPoll;
   }
+  config.network = parse_network(
+      args, 1 + *std::max_element(procs_list.begin(), procs_list.end()) +
+                config.constant_test_processors +
+                config.conflict_set_processors);
 
   const std::string assign = args.value("--assign", "rr");
   const auto seed = static_cast<std::uint64_t>(
@@ -998,6 +1158,7 @@ int cmd_simulate(const Args& args, std::ostream& out, std::ostream& err) {
           .cell(100.0 * (1.0 - result.network_utilization()), 1)
           .cell(100.0 * result.avg_processor_utilization(), 1);
       table.print(out);
+      print_network_line(out, result.net);
     }
     obs_out.write(tracer, registry, result, json ? err : out);
     return 0;
@@ -1047,6 +1208,12 @@ int cmd_simulate(const Args& args, std::ostream& out, std::ostream& err) {
           .cell(100.0 * result.avg_processor_utilization(), 1);
     }
     table.print(out);
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      if (outcomes[i].result.net.kind != sim::NetKind::Constant) {
+        out << "p" << procs_list[i] << " ";
+        print_network_line(out, outcomes[i].result.net);
+      }
+    }
     out << "swept " << outcomes.size() << " configurations on "
         << runner.jobs() << " worker thread(s)\n";
   }
@@ -1092,18 +1259,23 @@ int cmd_sweep(const Args& args, std::ostream& out, std::ostream& err) {
   const std::string assign = args.value("--assign", "rr");
   const auto seed = static_cast<std::uint64_t>(
       parse_long_or(args.value("--seed", "1"), 1));
+  const sim::NetworkConfig network = parse_network(
+      args, 1 + *std::max_element(procs.begin(), procs.end()));
 
   std::vector<SweepScenario> scenarios;
   scenarios.reserve(procs.size() * runs.size());
   for (std::uint32_t p : procs) {
     for (int run : runs) {
       SweepScenario scenario;
-      scenario.label =
-          "p" + std::to_string(p) + "/r" + std::to_string(run);
+      scenario.label = "p";
+      scenario.label += std::to_string(p);
+      scenario.label += "/r";
+      scenario.label += std::to_string(run);
       scenario.trace = &t;
       scenario.config.match_processors = p;
       if (pairs) scenario.config.mapping = sim::MappingMode::ProcessorPairs;
       scenario.config.costs = cost_model_for_run(run);
+      scenario.config.network = network;
       scenario.assignment =
           assign == "random"
               ? sim::Assignment::random(t.num_buckets,

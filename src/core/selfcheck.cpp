@@ -27,6 +27,8 @@ sim::CostModel apply_fault(sim::CostModel costs, FaultInjection fault) {
     case FaultInjection::FreeRemoteSend:
       costs.send_overhead = SimTime{};
       break;
+    case FaultInjection::FreeRemoteHop:
+      break;  // applied to the network configuration, not the cost model
   }
   return costs;
 }
@@ -37,6 +39,7 @@ const char* fault_name(FaultInjection fault) {
     case FaultInjection::LeftTokenUndercharge:
       return "left-token-undercharge";
     case FaultInjection::FreeRemoteSend: return "free-remote-send";
+    case FaultInjection::FreeRemoteHop: return "free-remote-hop";
   }
   return "?";
 }
@@ -68,6 +71,9 @@ OracleRun run_oracle(const Scenario& scenario, FaultInjection fault) {
   clean.tracer = nullptr;
   sim::SimConfig faulted = clean;
   faulted.costs = apply_fault(clean.costs, fault);
+  if (fault == FaultInjection::FreeRemoteHop) {
+    faulted.network.free_remote_hop_fault = true;
+  }
   out.fast = sim::simulate(scenario.trace, faulted, assignment);
   out.ref = sim::ref_simulate(scenario.trace, clean, assignment);
   out.problem = sim::describe_divergence(out.fast, out.ref);
@@ -120,9 +126,10 @@ FaultInjection parse_fault(const std::string& name) {
     return FaultInjection::LeftTokenUndercharge;
   }
   if (name == "free-remote-send") return FaultInjection::FreeRemoteSend;
+  if (name == "free-remote-hop") return FaultInjection::FreeRemoteHop;
   throw RuntimeError("unknown fault '" + name +
-                     "' (expected none, left-token-undercharge or "
-                     "free-remote-send)");
+                     "' (expected none, left-token-undercharge, "
+                     "free-remote-send or free-remote-hop)");
 }
 
 std::string Scenario::describe() const {
@@ -142,6 +149,9 @@ std::string Scenario::describe() const {
     case sim::TerminationModel::None: break;
     case sim::TerminationModel::AckCounting: out += ", ack-counting"; break;
     case sim::TerminationModel::BarrierPoll: out += ", barrier-poll"; break;
+  }
+  if (config.network.kind != sim::NetKind::Constant) {
+    out += ", net=" + config.network.describe();
   }
   out += std::string(", ") + assign_name(assign) + " assignment";
   out += ", send=" + std::to_string(config.costs.send_overhead.nanos()) +
@@ -291,6 +301,11 @@ Scenario shrink_scenario(Scenario failing, FaultInjection fault,
         s.config.constant_test_processors = 0;
       });
     }
+    if (failing.config.network.kind != sim::NetKind::Constant) {
+      try_simplify([](Scenario& s) {
+        s.config.network = sim::NetworkConfig{};
+      });
+    }
     if (failing.assign != AssignKind::RoundRobin) {
       try_simplify([](Scenario& s) { s.assign = AssignKind::RoundRobin; });
     }
@@ -317,7 +332,8 @@ std::string SelfCheckResult::summary() const {
                     " invariant evaluation(s), " +
                     std::to_string(failures.size()) + " failure(s)";
   for (const SelfCheckFailure& failure : failures) {
-    out += "\n" + failure.describe();
+    out += '\n';
+    out += failure.describe();
   }
   return out;
 }
@@ -364,6 +380,37 @@ SelfCheckResult run_selfcheck(const SelfCheckOptions& options) {
     shape.termination =
         static_cast<sim::TerminationModel>(rng.below(3));
     shape.charge_instantiation_messages = rng.below(4) != 0;
+    // Three rounds in eight keep the flat wire; the rest run a routed
+    // topology so the grid exercises multi-hop charging (and so the
+    // free-remote-hop fault gate has hops to trip on).  Explicit
+    // geometries are sized for the largest possible machine here
+    // (1 control + 16 match + 2 ct + 2 cs = 21 nodes).
+    switch (rng.below(8)) {
+      case 0:
+        shape.network.kind = sim::NetKind::Mesh;  // auto near-square dims
+        break;
+      case 1:
+        shape.network.kind = sim::NetKind::Mesh;
+        shape.network.dims = {4, 8};
+        break;
+      case 2:
+        shape.network.kind = sim::NetKind::Torus;
+        break;
+      case 3:
+        shape.network.kind = sim::NetKind::Torus;
+        shape.network.dims = {3, 3, 4};
+        break;
+      case 4:
+        shape.network.kind = sim::NetKind::FatTree;
+        shape.network.arity = 2 + static_cast<std::uint32_t>(rng.below(2));
+        break;
+      default:
+        break;  // flat constant-latency wire
+    }
+    if (shape.network.kind != sim::NetKind::Constant && rng.below(3) == 0) {
+      shape.network.hop_latency = SimTime::ns(
+          250 * (1 + static_cast<std::int64_t>(rng.below(4))));
+    }
     const bool hardware_broadcast = rng.below(2) == 0;
     const std::uint64_t assign_seed = rng();
 
@@ -388,6 +435,17 @@ SelfCheckResult run_selfcheck(const SelfCheckOptions& options) {
           if (kind == AssignKind::RoundRobin) {
             grid_results.push_back(std::move(oracle.fast));
             grid_configs.push_back(scenario.config);
+            if (options.fault == FaultInjection::None &&
+                scenario.config.network.kind != sim::NetKind::Constant) {
+              // Flat-wire twin of the same run: identical routing,
+              // constant network — its presence in the grid feeds the
+              // cross-run hop-monotonicity law.
+              sim::SimConfig flat = scenario.config;
+              flat.network = sim::NetworkConfig{};
+              grid_results.push_back(
+                  sim::simulate(trace, flat, make_assignment(scenario)));
+              grid_configs.push_back(flat);
+            }
           }
           continue;
         }

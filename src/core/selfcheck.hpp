@@ -7,10 +7,10 @@
 // scenario is greedily shrunk to a minimal reproduction before it is
 // reported (docs/TESTING.md walks through the workflow).
 //
-// A test-only fault hook (FaultInjection) perturbs the cost model handed
-// to the OPTIMIZED engine only, so tests can prove the oracle actually
-// catches cost-model bugs and that the shrinker reduces them to a
-// handful of activations.
+// A test-only fault hook (FaultInjection) perturbs the configuration
+// (cost model or network charging) handed to the OPTIMIZED engine only,
+// so tests can prove the oracle actually catches cost-model bugs and
+// that the shrinker reduces them to a handful of activations.
 #pragma once
 
 #include <cstdint>
@@ -33,10 +33,15 @@ enum class FaultInjection : std::uint8_t {
   LeftTokenUndercharge,
   /// The fast engine forgets the send overhead on remote messages.
   FreeRemoteSend,
+  /// The fast engine's network charges multi-hop routes as a single hop
+  /// (sim::NetworkConfig::free_remote_hop_fault) — invisible on the flat
+  /// network, caught by the net-hop-latency invariant law (and the
+  /// reference engine) on every multi-hop topology.
+  FreeRemoteHop,
 };
 
-/// Parses "none" / "left-token-undercharge" / "free-remote-send";
-/// throws mpps::RuntimeError on anything else.
+/// Parses "none" / "left-token-undercharge" / "free-remote-send" /
+/// "free-remote-hop"; throws mpps::RuntimeError on anything else.
 FaultInjection parse_fault(const std::string& name);
 
 /// How the bucket assignment of a scenario is derived.

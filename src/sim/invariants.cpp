@@ -158,6 +158,59 @@ InvariantReport check_run_invariants(const trace::Trace& trace,
                       " left)");
   }
 
+  // Network accounting: the wire time the run reports, the model's own
+  // view of it, the hop histogram and the per-link traffic must all
+  // describe the same traffic.
+  {
+    const NetStats& net = result.net;
+    checker.check("net-busy-equality",
+                  result.network_busy != net.total_latency,
+                  ns_pair(net.total_latency.nanos(),
+                          result.network_busy.nanos()));
+
+    std::uint64_t hist_messages = 0;
+    std::uint64_t hist_hops = 0;     // route length summed over messages
+    std::uint64_t hist_remote = 0;   // messages with at least one hop
+    for (std::size_t h = 0; h < net.hop_histogram.size(); ++h) {
+      hist_messages += net.hop_histogram[h];
+      hist_hops += net.hop_histogram[h] * h;
+      if (h > 0) hist_remote += net.hop_histogram[h];
+    }
+    // The histogram records TRUE routes, so charged latency must be
+    // hop_latency x total route hops — an undercharged multi-hop send
+    // (the free-remote-hop fault) breaks exactly this equation.
+    const SimTime expected_latency =
+        net.hop_latency * static_cast<std::int64_t>(hist_hops);
+    checker.check(
+        "net-hop-latency",
+        net.messages != hist_messages || net.total_latency != expected_latency,
+        "histogram holds " + std::to_string(hist_messages) + " messages over " +
+            std::to_string(hist_hops) + " hops; " +
+            ns_pair(expected_latency.nanos(), net.total_latency.nanos()));
+
+    std::uint64_t link_messages = 0;
+    bool per_link_ok = true;
+    for (const NetLinkStats& link : net.links) {
+      link_messages += link.messages;
+      if (link.busy !=
+          net.hop_latency * static_cast<std::int64_t>(link.messages)) {
+        per_link_ok = false;
+      }
+    }
+    // Grid and constant networks record one link traversal per route
+    // hop; the fat tree attributes each injected message to its source
+    // uplink once.
+    const std::uint64_t expected_traversals =
+        net.kind == NetKind::FatTree ? hist_remote : hist_hops;
+    checker.check("net-link-conservation",
+                  link_messages != expected_traversals || !per_link_ok,
+                  "links saw " + std::to_string(link_messages) +
+                      " traversals, expected " +
+                      std::to_string(expected_traversals) +
+                      (per_link_ok ? "" : "; a link's busy time is not "
+                                          "hop_latency x its traversals"));
+  }
+
   if (plain_merged(config)) {
     // Token conservation: children either stay local or become messages;
     // instantiation messages come on top when charged.
@@ -292,6 +345,9 @@ InvariantReport check_cross_run_invariants(const trace::Trace& trace,
            a.conflict_select_cost == b.conflict_select_cost &&
            a.termination == b.termination &&
            a.charge_instantiation_messages == b.charge_instantiation_messages &&
+           // Topology changes shift routes, not just costs, so the
+           // monotonicity claim only holds within one network.
+           a.network == b.network &&
            // Only the message costs may differ; the law says nothing about
            // runs whose compute costs changed too.
            a.costs.constant_tests == b.costs.constant_tests &&
@@ -318,6 +374,37 @@ InvariantReport check_cross_run_invariants(const trace::Trace& trace,
                       runs[i].result->makespan.nanos()) +
               " at " + std::to_string(runs[i].config.match_processors) +
               " processors");
+    }
+  }
+
+  // Hop monotonicity: the flat one-hop network is the floor of the
+  // topology family.  When a topology run charged the same number of
+  // messages at the same per-hop latency as a constant-network run, its
+  // total charged wire time cannot be smaller — every route is >= 1 hop.
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    for (std::size_t j = 0; j < runs.size(); ++j) {
+      const ObservedRun& topo = runs[i];
+      const ObservedRun& flat = runs[j];
+      if (topo.config.network.kind == NetKind::Constant ||
+          flat.config.network.kind != NetKind::Constant) {
+        continue;
+      }
+      if (topo.config.network.free_remote_hop_fault ||
+          flat.config.network.free_remote_hop_fault) {
+        continue;
+      }
+      if (topo.result->net.hop_latency != flat.result->net.hop_latency ||
+          topo.result->net.messages != flat.result->net.messages) {
+        continue;
+      }
+      checker.check(
+          "hop-monotonicity",
+          topo.result->net.total_latency < flat.result->net.total_latency,
+          topo.config.network.describe() + " charged less wire time than " +
+              "the flat network for the same " +
+              std::to_string(topo.result->net.messages) + " messages: " +
+              ns_pair(flat.result->net.total_latency.nanos(),
+                      topo.result->net.total_latency.nanos()));
     }
   }
 

@@ -22,7 +22,17 @@
 //   * zero-overhead laws: with all message costs zero, one processor
 //     reproduces the analytic sequential sum exactly, and P processors
 //     never exceed it (speedup >= 1) nor beat work conservation
-//     (speedup <= P).
+//     (speedup <= P);
+//   * network accounting (any network model): the run's network_busy
+//     equals the model's total charged latency (net-busy-equality); the
+//     charged latency equals hop_latency x the hop-histogram-weighted
+//     hop count (net-hop-latency — this is the law that catches the
+//     free-remote-hop fault, whose histogram records the true route
+//     while the charge is capped at one hop); and per-link message
+//     conservation — every link's busy time is hop_latency x its
+//     traversal count, and the traversals across links sum to the
+//     histogram's route hops (grid/constant) or its remote messages
+//     (fat-tree, one uplink per injection).
 //
 // Cross-run laws (check_cross_run_invariants), over several runs of the
 // SAME trace:
@@ -36,7 +46,13 @@
 //   * message-cost monotonicity: if two runs differ only in their
 //     message costs and one dominates component-wise (send, receive and
 //     wire latency all >=), its makespan is >= the other's — the
-//     Table 5-1 grid is ordered this way by construction.
+//     Table 5-1 grid is ordered this way by construction (the two runs
+//     must share one network configuration; topology changes shift
+//     routes, not just costs);
+//   * hop monotonicity: a topology run whose charged message count and
+//     per-hop latency match a constant-network run's can never charge
+//     LESS total wire time — every route is at least one hop, so the
+//     flat network is the floor of the topology family.
 //
 // Each check is counted into an optional obs::Registry
 // ("sim.invariants.checked"/"sim.invariants.violated", plus per-law

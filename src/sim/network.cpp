@@ -1,0 +1,436 @@
+#include "src/sim/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "src/common/error.hpp"
+
+namespace mpps::sim {
+namespace {
+
+SimTime hop_latency_of(const NetworkConfig& config, const CostModel& costs) {
+  return config.hop_latency == kZeroTime ? costs.wire_latency
+                                         : config.hop_latency;
+}
+
+// ---------------------------------------------------------------------------
+// ConstantNet: every remote message is one hop on one shared "wire" link.
+
+class ConstantNet final : public NetworkModel {
+ public:
+  ConstantNet(SimTime hop_latency, bool fault) : fault_(fault) {
+    stats_.kind = NetKind::Constant;
+    stats_.hop_latency = hop_latency;
+    stats_.links.resize(1);
+  }
+
+  std::uint32_t hops(std::uint32_t src, std::uint32_t dst) const override {
+    return src == dst ? 0u : 1u;
+  }
+
+  SimTime latency(std::uint32_t src, std::uint32_t dst) const override {
+    return stats_.hop_latency * static_cast<std::int64_t>(hops(src, dst));
+  }
+
+  NetCharge cost(std::uint32_t src, std::uint32_t dst,
+                 SimTime /*ready*/) override {
+    return {kZeroTime, charge(hops(src, dst))};
+  }
+
+  SimTime charge_flood(std::uint32_t src, std::uint32_t far_dst) override {
+    return charge(hops(src, far_dst));
+  }
+
+ private:
+  SimTime charge(std::uint32_t h) {
+    record_hops(stats_, h);
+    // The single pseudo-link sees every charged traversal.
+    SimTime charged =
+        stats_.hop_latency *
+        static_cast<std::int64_t>(fault_ ? std::min(h, 1u) : h);
+    stats_.links[0].messages += 1;
+    stats_.links[0].busy = stats_.links[0].busy + charged;
+    stats_.total_latency = stats_.total_latency + charged;
+    return charged;
+  }
+
+  static void record_hops(NetStats& s, std::uint32_t h) {
+    s.messages += 1;
+    if (s.hop_histogram.size() <= h) s.hop_histogram.resize(h + 1, 0);
+    s.hop_histogram[h] += 1;
+  }
+
+  bool fault_;
+};
+
+// ---------------------------------------------------------------------------
+// GridNet: k-ary d-dimensional mesh or torus.  Nodes carry mixed-radix
+// coordinates over `dims` (innermost dimension first); the hop count is
+// the per-dimension distance sum (wrapped for the torus) and messages are
+// routed dimension-order (all of dim 0, then dim 1, ...) for link
+// attribution.  Directed link ids: (node * ndims + dim) * 2 + direction,
+// direction 0 = increasing coordinate.
+
+class GridNet final : public NetworkModel {
+ public:
+  GridNet(NetKind kind, std::vector<std::uint32_t> dims, SimTime hop_latency,
+          bool fault)
+      : wrap_(kind == NetKind::Torus), fault_(fault) {
+    stats_.kind = kind;
+    stats_.dims = std::move(dims);
+    stats_.hop_latency = hop_latency;
+    std::size_t nodes = 1;
+    for (std::uint32_t d : stats_.dims) nodes *= d;
+    stats_.links.resize(nodes * stats_.dims.size() * 2);
+  }
+
+  std::uint32_t hops(std::uint32_t src, std::uint32_t dst) const override {
+    std::uint32_t total = 0;
+    std::uint32_t s = src;
+    std::uint32_t d = dst;
+    for (std::uint32_t k : stats_.dims) {
+      auto sc = s % k;
+      auto dc = d % k;
+      std::uint32_t dist =
+          sc > dc ? sc - dc : dc - sc;  // mesh: Manhattan per dimension
+      if (wrap_) dist = std::min(dist, k - dist);
+      total += dist;
+      s /= k;
+      d /= k;
+    }
+    return total;
+  }
+
+  SimTime latency(std::uint32_t src, std::uint32_t dst) const override {
+    return stats_.hop_latency * static_cast<std::int64_t>(hops(src, dst));
+  }
+
+  NetCharge cost(std::uint32_t src, std::uint32_t dst,
+                 SimTime /*ready*/) override {
+    return {kZeroTime, charge(src, dst)};
+  }
+
+  SimTime charge_flood(std::uint32_t src, std::uint32_t far_dst) override {
+    return charge(src, far_dst);
+  }
+
+ private:
+  // Walks the dimension-order route, attributing one traversal of
+  // `hop_latency` to each directed link crossed.
+  SimTime charge(std::uint32_t src, std::uint32_t dst) {
+    std::uint32_t h = hops(src, dst);
+    stats_.messages += 1;
+    if (stats_.hop_histogram.size() <= h)
+      stats_.hop_histogram.resize(h + 1, 0);
+    stats_.hop_histogram[h] += 1;
+
+    const SimTime per_hop = stats_.hop_latency;
+    std::uint32_t at = src;
+    std::uint32_t stride = 1;
+    for (std::size_t dim = 0; dim < stats_.dims.size(); ++dim) {
+      const std::uint32_t k = stats_.dims[dim];
+      std::uint32_t cur = (at / stride) % k;
+      const std::uint32_t want = (dst / stride) % k;
+      while (cur != want) {
+        // Step toward `want`; the torus takes the shorter way around
+        // (ties go the increasing direction, matching hops()'s min).
+        const std::uint32_t up_dist = (want + k - cur) % k;
+        const std::uint32_t down_dist = (cur + k - want) % k;
+        const bool up = wrap_ ? up_dist <= down_dist : want > cur;
+        const std::size_t link =
+            (static_cast<std::size_t>(at) * stats_.dims.size() + dim) * 2 +
+            (up ? 0 : 1);
+        stats_.links[link].messages += 1;
+        stats_.links[link].busy = stats_.links[link].busy + per_hop;
+        const std::uint32_t next = up ? (cur + 1) % k : (cur + k - 1) % k;
+        at = at - cur * stride + next * stride;
+        cur = next;
+      }
+      stride *= k;
+    }
+    SimTime total =
+        per_hop * static_cast<std::int64_t>(fault_ ? std::min(h, 1u) : h);
+    stats_.total_latency = stats_.total_latency + total;
+    return total;
+  }
+
+  bool wrap_;
+  bool fault_;
+};
+
+// ---------------------------------------------------------------------------
+// FatTreeNet: `arity`-way tree with nodes at the leaves.  The distance
+// between distinct leaves is 2m hops, where m is the lowest level at
+// which they share an ancestor (m in [1, levels]).  Contention: each
+// leaf's uplink into the tree serializes its injections — a message
+// entering at `ready` waits until the previous one from the same source
+// has occupied the uplink for one hop time.  Keying the state by SOURCE
+// only keeps the model order-independent across engines (see header).
+// Link ids: one uplink per leaf.
+
+class FatTreeNet final : public NetworkModel {
+ public:
+  FatTreeNet(std::uint32_t arity, std::uint32_t levels, std::uint32_t nodes,
+             SimTime hop_latency, bool fault)
+      : fault_(fault) {
+    stats_.kind = NetKind::FatTree;
+    stats_.arity = arity;
+    stats_.levels = levels;
+    stats_.hop_latency = hop_latency;
+    stats_.links.resize(nodes);
+    uplink_busy_until_.assign(nodes, kZeroTime);
+  }
+
+  std::uint32_t hops(std::uint32_t src, std::uint32_t dst) const override {
+    if (src == dst) return 0;
+    std::uint32_t m = 0;
+    std::uint32_t s = src;
+    std::uint32_t d = dst;
+    while (s != d) {
+      s /= stats_.arity;
+      d /= stats_.arity;
+      ++m;
+    }
+    return 2 * m;  // m hops up to the common ancestor, m back down
+  }
+
+  SimTime latency(std::uint32_t src, std::uint32_t dst) const override {
+    return stats_.hop_latency * static_cast<std::int64_t>(hops(src, dst));
+  }
+
+  NetCharge cost(std::uint32_t src, std::uint32_t dst,
+                 SimTime ready) override {
+    std::uint32_t h = hops(src, dst);
+    SimTime charged = record(src, h);
+    SimTime delay = kZeroTime;
+    if (h > 0) {
+      SimTime busy = uplink_busy_until_[src];
+      if (busy > ready) delay = busy - ready;
+      // The uplink is occupied for one hop time per injected message.
+      uplink_busy_until_[src] = ready + delay + stats_.hop_latency;
+      stats_.total_delay = stats_.total_delay + delay;
+    }
+    return {delay, charged};
+  }
+
+  SimTime charge_flood(std::uint32_t src, std::uint32_t far_dst) override {
+    // Broadcast floods use the dedicated control channel: charged and
+    // recorded, but no uplink contention.
+    return record(src, hops(src, far_dst));
+  }
+
+ private:
+  SimTime record(std::uint32_t src, std::uint32_t h) {
+    stats_.messages += 1;
+    if (stats_.hop_histogram.size() <= h)
+      stats_.hop_histogram.resize(h + 1, 0);
+    stats_.hop_histogram[h] += 1;
+    if (h > 0) {
+      stats_.links[src].messages += 1;
+      stats_.links[src].busy = stats_.links[src].busy + stats_.hop_latency;
+    }
+    SimTime charged = stats_.hop_latency *
+                      static_cast<std::int64_t>(fault_ ? std::min(h, 1u) : h);
+    stats_.total_latency = stats_.total_latency + charged;
+    return charged;
+  }
+
+  std::vector<SimTime> uplink_busy_until_;
+  bool fault_;
+};
+
+}  // namespace
+
+std::vector<std::uint32_t> resolved_dims(const NetworkConfig& config,
+                                         std::uint32_t total_nodes) {
+  if (!config.dims.empty()) return config.dims;
+  // Near-square 2-d grid covering the node count.
+  auto a = static_cast<std::uint32_t>(
+      std::ceil(std::sqrt(static_cast<double>(total_nodes))));
+  if (a == 0) a = 1;
+  std::uint32_t b = (total_nodes + a - 1) / a;
+  if (b == 0) b = 1;
+  return {a, b};
+}
+
+std::uint32_t resolved_levels(const NetworkConfig& config,
+                              std::uint32_t total_nodes) {
+  if (config.levels != 0) return config.levels;
+  std::uint32_t levels = 1;
+  std::uint64_t leaves = config.arity;
+  while (leaves < total_nodes && levels < 32) {
+    leaves *= config.arity;
+    ++levels;
+  }
+  return levels;
+}
+
+void validate_network(const NetworkConfig& config,
+                      std::uint32_t total_nodes) {
+  switch (config.kind) {
+    case NetKind::Constant:
+      return;
+    case NetKind::Mesh:
+    case NetKind::Torus: {
+      auto dims = resolved_dims(config, total_nodes);
+      if (dims.empty())
+        throw RuntimeError("network geometry: no dimensions");
+      std::uint64_t nodes = 1;
+      for (std::uint32_t d : dims) {
+        if (d == 0)
+          throw RuntimeError("network geometry: zero-sized dimension");
+        nodes *= d;
+        if (nodes > (1ull << 32))
+          throw RuntimeError("network geometry: grid too large");
+      }
+      if (nodes < total_nodes)
+        throw RuntimeError("network geometry: " + std::to_string(nodes) +
+                           "-node grid cannot host " +
+                           std::to_string(total_nodes) +
+                           " processors (control + match + ct + cs)");
+      return;
+    }
+    case NetKind::FatTree: {
+      if (config.arity < 2)
+        throw RuntimeError("network geometry: fat-tree arity must be >= 2");
+      std::uint32_t levels = resolved_levels(config, total_nodes);
+      if (levels == 0 || levels > 32)
+        throw RuntimeError("network geometry: fat-tree levels out of range");
+      std::uint64_t leaves = 1;
+      for (std::uint32_t i = 0; i < levels; ++i) {
+        leaves *= config.arity;
+        if (leaves > (1ull << 32)) break;
+      }
+      if (leaves < total_nodes)
+        throw RuntimeError("network geometry: fat-tree with arity " +
+                           std::to_string(config.arity) + " and " +
+                           std::to_string(levels) + " levels has " +
+                           std::to_string(leaves) +
+                           " leaves, cannot host " +
+                           std::to_string(total_nodes) + " processors");
+      return;
+    }
+  }
+  throw RuntimeError("network geometry: unknown network kind");
+}
+
+std::unique_ptr<NetworkModel> make_network(const NetworkConfig& config,
+                                           const CostModel& costs,
+                                           std::uint32_t total_nodes) {
+  validate_network(config, total_nodes);
+  const SimTime hop = hop_latency_of(config, costs);
+  const bool fault = config.free_remote_hop_fault;
+  switch (config.kind) {
+    case NetKind::Constant:
+      return std::make_unique<ConstantNet>(hop, fault);
+    case NetKind::Mesh:
+    case NetKind::Torus:
+      return std::make_unique<GridNet>(
+          config.kind, resolved_dims(config, total_nodes), hop, fault);
+    case NetKind::FatTree:
+      return std::make_unique<FatTreeNet>(
+          config.arity, resolved_levels(config, total_nodes), total_nodes,
+          hop, fault);
+  }
+  throw RuntimeError("network geometry: unknown network kind");
+}
+
+std::size_t NetStats::hottest_link() const {
+  std::size_t best = static_cast<std::size_t>(-1);
+  SimTime best_busy = kZeroTime;
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    if (links[i].messages == 0) continue;
+    if (best == static_cast<std::size_t>(-1) || links[i].busy > best_busy) {
+      best = i;
+      best_busy = links[i].busy;
+    }
+  }
+  return best;
+}
+
+double NetStats::avg_hops() const {
+  if (messages == 0) return 0.0;
+  std::uint64_t weighted = 0;
+  for (std::size_t h = 0; h < hop_histogram.size(); ++h)
+    weighted += hop_histogram[h] * h;
+  return static_cast<double>(weighted) / static_cast<double>(messages);
+}
+
+std::uint32_t NetStats::max_hops() const {
+  for (std::size_t h = hop_histogram.size(); h > 0; --h)
+    if (hop_histogram[h - 1] != 0) return static_cast<std::uint32_t>(h - 1);
+  return 0;
+}
+
+std::string net_link_name(const NetStats& stats, std::size_t index) {
+  switch (stats.kind) {
+    case NetKind::Constant:
+      return "wire";
+    case NetKind::Mesh:
+    case NetKind::Torus: {
+      std::size_t ndims = stats.dims.empty() ? 1 : stats.dims.size();
+      std::size_t node = index / (ndims * 2);
+      std::size_t dim = (index / 2) % ndims;
+      bool up = index % 2 == 0;
+      std::string name = "n";
+      name += std::to_string(node);
+      name += up ? "+d" : "-d";
+      name += std::to_string(dim);
+      return name;
+    }
+    case NetKind::FatTree:
+      return "up n" + std::to_string(index);
+  }
+  return "link " + std::to_string(index);
+}
+
+std::string NetworkConfig::describe() const {
+  switch (kind) {
+    case NetKind::Constant:
+      return "constant";
+    case NetKind::Mesh:
+    case NetKind::Torus: {
+      std::string out = kind == NetKind::Mesh ? "mesh" : "torus";
+      if (!dims.empty()) {
+        out += ' ';
+        for (std::size_t i = 0; i < dims.size(); ++i) {
+          if (i) out += 'x';
+          out += std::to_string(dims[i]);
+        }
+      } else {
+        out += " auto";
+      }
+      return out;
+    }
+    case NetKind::FatTree:
+      return "fat-tree a" + std::to_string(arity) + " l" +
+             std::to_string(levels);
+  }
+  return "?";
+}
+
+NetKind parse_net_kind(const std::string& name) {
+  if (name == "constant") return NetKind::Constant;
+  if (name == "mesh") return NetKind::Mesh;
+  if (name == "torus") return NetKind::Torus;
+  if (name == "fattree" || name == "fat-tree") return NetKind::FatTree;
+  throw RuntimeError("unknown network model '" + name +
+                     "' (expected constant, mesh, torus or fattree)");
+}
+
+const char* net_kind_name(NetKind kind) {
+  switch (kind) {
+    case NetKind::Constant:
+      return "constant";
+    case NetKind::Mesh:
+      return "mesh";
+    case NetKind::Torus:
+      return "torus";
+    case NetKind::FatTree:
+      return "fattree";
+  }
+  return "?";
+}
+
+}  // namespace mpps::sim

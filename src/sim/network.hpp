@@ -1,0 +1,180 @@
+// Pluggable interconnection-network cost models for the simulator.
+//
+// The paper charges a flat per-message wire latency (Nectar: 0.5 us) on
+// top of the send/receive overheads; real message-passing machines route
+// over a topology where distance and link contention matter.  This layer
+// makes the network a model the simulator charges through:
+//
+//   * ConstantNet — every remote message takes one hop of `hop_latency`
+//     (the paper's flat wire; the degenerate case every other model is
+//     differentially tested against);
+//   * MeshNet / TorusNet — k-ary d-dimensional grid, hop count is the
+//     (wrapped) Manhattan distance over mixed-radix node coordinates,
+//     latency is hops x hop_latency, and dimension-order routing
+//     attributes per-link message/busy statistics;
+//   * FatTreeNet — leaves at the bottom of an `arity`-way tree; the
+//     distance between two leaves is 2m hops where m is the lowest level
+//     of their common ancestor, and each leaf's UPLINK serializes
+//     injections (per-source busy-until), modelling finite injection
+//     bandwidth as a departure delay.
+//
+// Node numbering: node 0 is the control processor; simulator processor p
+// (match processors first, then constant-test, then conflict-set) is
+// node 1 + p.  Geometry must cover 1 + match + ct + cs nodes.
+//
+// Charging semantics (both engines follow it identically):
+//   * a unicast message ready at time t is charged
+//     `cost(src, dst, t) -> {departure_delay, latency}`; it arrives at
+//     t + departure_delay + latency and the run's network_busy grows by
+//     `latency`;
+//   * a hardware broadcast reaches destination d at
+//     t + latency(src, d) (pure, no contention: the broadcast tree is a
+//     dedicated control channel) and is charged ONCE, as a single flood
+//     to the farthest destination — this is the fix for the historical
+//     per-destination double-charge of the flat model;
+//   * a serialized broadcast is ordinary unicasts, one per destination;
+//   * the analytic termination-detection tails keep the flat wire
+//     latency (they model a protocol, not routed data messages).
+//
+// Contention state is keyed per SOURCE node only, and every source emits
+// its messages at non-decreasing ready times in both engines, so the
+// optimized and reference engines may interleave charge calls from
+// different sources freely and still agree bit-for-bit — the property
+// the differential oracle checks on every topology.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/simtime.hpp"
+#include "src/sim/costs.hpp"
+
+namespace mpps::sim {
+
+enum class NetKind : std::uint8_t { Constant, Mesh, Torus, FatTree };
+
+/// Value-type network description carried by SimConfig (copyable, so
+/// sweep scenarios and shrinkers can clone configurations freely; each
+/// engine run builds its own stateful model instance from it).
+struct NetworkConfig {
+  NetKind kind = NetKind::Constant;
+  /// Mesh/torus dimension sizes (mixed-radix, innermost first).  Empty ⇒
+  /// an auto-derived near-square 2-d grid covering the node count.
+  std::vector<std::uint32_t> dims;
+  /// Fat-tree branching factor (>= 2).
+  std::uint32_t arity = 2;
+  /// Fat-tree levels; 0 ⇒ the smallest depth whose leaf count covers the
+  /// node count.
+  std::uint32_t levels = 0;
+  /// Per-hop wire latency; zero ⇒ CostModel::wire_latency (which keeps
+  /// the constant model bit-identical to the pre-topology simulator).
+  SimTime hop_latency{};
+  /// Selfcheck fault: charge multi-hop routes as if they were one hop
+  /// (arrivals and network_busy undercharged) while the hop histogram
+  /// and link statistics keep recording the true route — the planted bug
+  /// the hop-latency-consistency invariant law must catch.
+  bool free_remote_hop_fault = false;
+
+  friend bool operator==(const NetworkConfig&, const NetworkConfig&) =
+      default;
+
+  /// One short token, e.g. "constant", "mesh 4x4", "fat-tree a2 l3".
+  [[nodiscard]] std::string describe() const;
+};
+
+/// What one message charge costs.
+struct NetCharge {
+  SimTime departure_delay{};  // contention wait before entering the wire
+  SimTime latency{};          // time on the wire (charged)
+};
+
+struct NetLinkStats {
+  std::uint64_t messages = 0;
+  SimTime busy{};  // cumulative occupancy charged to this link
+
+  friend bool operator==(const NetLinkStats&, const NetLinkStats&) = default;
+};
+
+/// Aggregate network observations of one run.  Carries the RESOLVED
+/// geometry (auto-derived dims/levels filled in) so consumers can name
+/// links without re-deriving the model.
+struct NetStats {
+  NetKind kind = NetKind::Constant;
+  std::vector<std::uint32_t> dims;  // resolved mesh/torus geometry
+  std::uint32_t arity = 0;          // resolved fat-tree arity
+  std::uint32_t levels = 0;         // resolved fat-tree depth
+  SimTime hop_latency{};            // the per-hop latency actually used
+  std::uint64_t messages = 0;       // charged traversals (incl. floods)
+  SimTime total_latency{};          // == SimResult::network_busy
+  SimTime total_delay{};            // contention waits (fat-tree uplinks)
+  std::vector<std::uint64_t> hop_histogram;  // index = true hop count
+  std::vector<NetLinkStats> links;
+
+  friend bool operator==(const NetStats&, const NetStats&) = default;
+
+  /// Index of the busiest link (ties: lowest index); SIZE_MAX when no
+  /// link carried traffic.
+  [[nodiscard]] std::size_t hottest_link() const;
+  /// Mean true hop count per charged message (0 when idle).
+  [[nodiscard]] double avg_hops() const;
+  /// Largest hop count observed.
+  [[nodiscard]] std::uint32_t max_hops() const;
+};
+
+/// Human-readable name of link `index` of a run's network
+/// ("wire", "n5+d0", "n5-d1", "up n3", ...).
+std::string net_link_name(const NetStats& stats, std::size_t index);
+
+/// The model interface both engines charge through.  Stateful (fat-tree
+/// link busy-until times, statistics), so each engine run builds its own
+/// instance via make_network.
+class NetworkModel {
+ public:
+  virtual ~NetworkModel() = default;
+
+  /// True routing distance in hops (pure; 0 iff src == dst).
+  [[nodiscard]] virtual std::uint32_t hops(std::uint32_t src,
+                                           std::uint32_t dst) const = 0;
+  /// Pure wire latency of a src -> dst message (no contention, no fault).
+  [[nodiscard]] virtual SimTime latency(std::uint32_t src,
+                                        std::uint32_t dst) const = 0;
+  /// Charges one unicast message entering the network at `ready`:
+  /// updates contention state and statistics, returns the delay/latency
+  /// the caller must apply to the arrival time and network_busy.
+  virtual NetCharge cost(std::uint32_t src, std::uint32_t dst,
+                         SimTime ready) = 0;
+  /// Charges one hardware broadcast as a single flood along the route to
+  /// `far_dst` (the farthest destination); returns the charged latency.
+  virtual SimTime charge_flood(std::uint32_t src, std::uint32_t far_dst) = 0;
+
+  [[nodiscard]] const NetStats& stats() const { return stats_; }
+
+ protected:
+  NetStats stats_;
+};
+
+/// Resolved mesh/torus dims (auto-derived when `config.dims` is empty).
+std::vector<std::uint32_t> resolved_dims(const NetworkConfig& config,
+                                         std::uint32_t total_nodes);
+/// Resolved fat-tree depth (auto-derived when `config.levels` is 0).
+std::uint32_t resolved_levels(const NetworkConfig& config,
+                              std::uint32_t total_nodes);
+
+/// Throws mpps::RuntimeError when the geometry cannot host `total_nodes`
+/// nodes (dims too small, arity < 2, zero-sized dimension, ...).
+void validate_network(const NetworkConfig& config, std::uint32_t total_nodes);
+
+/// Builds a fresh model instance for one engine run over `total_nodes`
+/// nodes.  Validates the geometry (see validate_network).
+std::unique_ptr<NetworkModel> make_network(const NetworkConfig& config,
+                                           const CostModel& costs,
+                                           std::uint32_t total_nodes);
+
+/// Parses "constant" / "mesh" / "torus" / "fattree" (also "fat-tree");
+/// throws mpps::RuntimeError on anything else.
+NetKind parse_net_kind(const std::string& name);
+const char* net_kind_name(NetKind kind);
+
+}  // namespace mpps::sim

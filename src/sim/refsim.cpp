@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <list>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -45,11 +46,12 @@ struct RefProcessor {
 class RefCycle {
  public:
   RefCycle(const Trace& trace, const SimConfig& config,
-           const Assignment& assignment, std::size_t cycle_no,
-           SimTime cycle_start)
+           const Assignment& assignment, NetworkModel* net,
+           std::size_t cycle_no, SimTime cycle_start)
       : cycle_(trace.cycles[cycle_no]),
         config_(config),
         assignment_(assignment),
+        net_(net),
         cycle_no_(cycle_no),
         n_match_(config.match_processors),
         n_ct_(config.constant_test_processors),
@@ -139,6 +141,21 @@ class RefCycle {
     return pair_mapping() ? 2 * partition + 1 : partition;
   }
 
+  /// Network node of a processor (node 0 is the control processor).
+  [[nodiscard]] static std::uint32_t node_of(std::uint32_t proc) {
+    return proc + 1;
+  }
+  static constexpr std::uint32_t kControlNode = 0;
+
+  /// Charges one unicast leaving `src_node` at `departure`; returns the
+  /// arrival time at `dst_node`.
+  SimTime charge_unicast(std::uint32_t src_node, std::uint32_t dst_node,
+                         SimTime departure) {
+    const NetCharge c = net_->cost(src_node, dst_node, departure);
+    wire_time_ += c.latency;
+    return departure + c.departure_delay + c.latency;
+  }
+
   void post(bool is_arrival, std::uint32_t proc, RefTask task, SimTime at) {
     Posted p;
     p.is_arrival = is_arrival;
@@ -152,12 +169,10 @@ class RefCycle {
   void distribute_wme_changes(SimTime t0) {
     const CostModel& costs = config_.costs;
     const std::uint32_t destinations = n_ct_ > 0 ? n_ct_ : n_match_;
+    std::uint32_t far = 0;
+    std::uint32_t far_hops = 0;
     for (std::uint32_t d = 0; d < destinations; ++d) {
-      const SimTime leaves =
-          costs.hardware_broadcast
-              ? t0 + costs.send_overhead
-              : t0 + costs.send_overhead * static_cast<std::int64_t>(d + 1);
-      wire_time_ += costs.wire_latency;
+      const std::uint32_t dest = n_ct_ > 0 ? n_match_ + d : d;
       RefTask task;
       if (n_ct_ > 0) {
         task.work = RefWork::ConstantTests;
@@ -166,8 +181,26 @@ class RefCycle {
         task.work = RefWork::Roots;
       }
       task.charged_receive = true;
-      const std::uint32_t dest = n_ct_ > 0 ? n_match_ + d : d;
-      post(true, dest, task, leaves + costs.wire_latency);
+      if (costs.hardware_broadcast) {
+        // One physical broadcast: pure route latency per destination,
+        // charged once as a flood to the farthest destination below.
+        const std::uint32_t h = net_->hops(kControlNode, node_of(dest));
+        if (d == 0 || h > far_hops) {
+          far = dest;
+          far_hops = h;
+        }
+        post(true, dest, task,
+             t0 + costs.send_overhead +
+                 net_->latency(kControlNode, node_of(dest)));
+      } else {
+        const SimTime leaves =
+            t0 + costs.send_overhead * static_cast<std::int64_t>(d + 1);
+        post(true, dest, task,
+             charge_unicast(kControlNode, node_of(dest), leaves));
+      }
+    }
+    if (costs.hardware_broadcast) {
+      wire_time_ += net_->charge_flood(kControlNode, node_of(far));
     }
   }
 
@@ -236,28 +269,30 @@ class RefCycle {
   /// (roots are dealt round-robin over the constant-test processors).
   SimTime do_constant_tests(std::uint32_t proc_id, std::uint32_t share,
                             SimTime t) {
-    (void)proc_id;
     const CostModel& costs = config_.costs;
     t += SimTime::ns((costs.constant_tests.nanos() + n_ct_ - 1) / n_ct_);
     std::uint32_t dealt = 0;
     for (std::size_t root : roots_) {
       if (dealt++ % n_ct_ != share) continue;
       t += costs.send_overhead;
-      wire_time_ += costs.wire_latency;
       ++metrics_.messages;
-      deliver_token(root, t + costs.wire_latency);
+      deliver_token(proc_id, root, t);
     }
     return t;
   }
 
-  /// A token message lands on the processor that stores its bucket.
-  void deliver_token(std::size_t act_index, SimTime arrival) {
+  /// A token message lands on the processor that stores its bucket,
+  /// charged through the network from `src_proc`.
+  void deliver_token(std::uint32_t src_proc, std::size_t act_index,
+                     SimTime departure) {
     const std::uint32_t part = partition_of(act(act_index).bucket);
+    const std::uint32_t dest = storing_proc(part);
     RefTask task;
     task.work = pair_mapping() ? RefWork::PairLeft : RefWork::Activation;
     task.act = act_index;
     task.charged_receive = true;
-    post(true, storing_proc(part), task, arrival);
+    post(true, dest, task,
+         charge_unicast(node_of(src_proc), node_of(dest), departure));
   }
 
   /// Pair mapping, storing-side processor: forward the token to the
@@ -265,14 +300,15 @@ class RefCycle {
   SimTime do_pair_left(std::uint32_t proc_id, std::size_t act_index,
                        SimTime t) {
     t += config_.costs.send_overhead;
-    wire_time_ += config_.costs.wire_latency;
     ++metrics_.messages;
     RefTask partner;
     partner.work = RefWork::PairRight;
     partner.act = act_index;
     partner.charged_receive = true;
-    post(true, partner_proc(partition_of(act(act_index).bucket)), partner,
-         t + config_.costs.wire_latency);
+    const std::uint32_t dest =
+        partner_proc(partition_of(act(act_index).bucket));
+    post(true, dest, partner,
+         charge_unicast(node_of(proc_id), node_of(dest), t));
     return act(act_index).side == Side::Left
                ? do_store(proc_id, act_index, t)
                : do_generate(proc_id, act_index, t);
@@ -317,26 +353,26 @@ class RefCycle {
         post(true, dest, task, t);
       } else {
         t += costs.send_overhead;
-        wire_time_ += costs.wire_latency;
         ++metrics_.messages;
-        deliver_token(child, t + costs.wire_latency);
+        deliver_token(proc_id, child, t);
       }
     }
     for (std::uint32_t i = 0; i < a.instantiations; ++i) {
       t += costs.per_successor;
       if (!config_.charge_instantiation_messages) continue;
       t += costs.send_overhead;
-      wire_time_ += costs.wire_latency;
       ++metrics_.messages;
-      const SimTime arrival = t + costs.wire_latency;
       if (n_cs_ > 0) {
         const std::uint32_t slot = a.bucket % n_cs_;
+        const std::uint32_t cs = n_match_ + n_ct_ + slot;
         ++cs_received_[slot];
         RefTask task;
         task.work = RefWork::Instantiation;
         task.charged_receive = true;
-        post(true, n_match_ + n_ct_ + slot, task, arrival);
+        post(true, cs, task, charge_unicast(node_of(proc_id), node_of(cs), t));
       } else {
+        const SimTime arrival =
+            charge_unicast(node_of(proc_id), kControlNode, t);
         const SimTime begin = std::max(control_free_at_, arrival);
         control_free_at_ = begin + costs.recv_overhead;
       }
@@ -352,10 +388,10 @@ class RefCycle {
       if (cs_received_[j] == 0) continue;
       RefProcessor& cs = procs_[n_match_ + n_ct_ + j];
       cs.done_at += costs.send_overhead;
-      wire_time_ += costs.wire_latency;
       ++metrics_.messages;
-      const SimTime begin =
-          std::max(control_free_at_, cs.done_at + costs.wire_latency);
+      const SimTime arrival = charge_unicast(node_of(n_match_ + n_ct_ + j),
+                                             kControlNode, cs.done_at);
+      const SimTime begin = std::max(control_free_at_, arrival);
       control_free_at_ = begin + costs.recv_overhead;
     }
   }
@@ -390,6 +426,7 @@ class RefCycle {
   const TraceCycle& cycle_;
   const SimConfig& config_;
   const Assignment& assignment_;
+  NetworkModel* net_;  // owned by ref_simulate(); one instance per run
   const std::size_t cycle_no_;
   const std::uint32_t n_match_;
   const std::uint32_t n_ct_;
@@ -429,8 +466,13 @@ SimResult ref_simulate(const Trace& trace, const SimConfig& config,
   SimResult result;
   result.match_processors = config.match_processors;
   SimTime clock{};
+  const std::uint32_t total_nodes = 1 + config.match_processors +
+                                    config.constant_test_processors +
+                                    config.conflict_set_processors;
+  std::unique_ptr<NetworkModel> net =
+      make_network(config.network, config.costs, total_nodes);
   for (std::size_t c = 0; c < trace.cycles.size(); ++c) {
-    RefCycle cycle(trace, config, assignment, c, clock);
+    RefCycle cycle(trace, config, assignment, net.get(), c, clock);
     CycleMetrics metrics = cycle.run();
     clock = metrics.end;
     result.messages += metrics.messages;
@@ -441,6 +483,7 @@ SimResult ref_simulate(const Trace& trace, const SimConfig& config,
     result.cycles.push_back(std::move(metrics));
   }
   result.makespan = clock;
+  result.net = net->stats();
   return result;
 }
 
@@ -483,6 +526,24 @@ std::string describe_divergence(const SimResult& fast, const SimResult& ref) {
   if (fast.match_processors != ref.match_processors) {
     return diverged_count("match processors", fast.match_processors,
                           ref.match_processors);
+  }
+  if (fast.net.messages != ref.net.messages) {
+    return diverged_count("net charged messages", fast.net.messages,
+                          ref.net.messages);
+  }
+  if (fast.net.total_latency != ref.net.total_latency) {
+    return diverged_time("net total latency", fast.net.total_latency,
+                         ref.net.total_latency);
+  }
+  if (fast.net.total_delay != ref.net.total_delay) {
+    return diverged_time("net contention delay", fast.net.total_delay,
+                         ref.net.total_delay);
+  }
+  if (fast.net.hop_histogram != ref.net.hop_histogram) {
+    return "net hop histogram diverged";
+  }
+  if (fast.net != ref.net) {
+    return "net stats (per-link traffic or geometry) diverged";
   }
   if (fast.cycles.size() != ref.cycles.size()) {
     return diverged_count("cycle count", fast.cycles.size(),

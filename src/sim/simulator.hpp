@@ -44,6 +44,7 @@
 #include "src/obs/tracer.hpp"
 #include "src/sim/assignment.hpp"
 #include "src/sim/costs.hpp"
+#include "src/sim/network.hpp"
 #include "src/trace/record.hpp"
 
 namespace mpps::sim {
@@ -86,6 +87,10 @@ struct SimConfig {
   SimTime conflict_select_cost{};
   TerminationModel termination = TerminationModel::None;
   CostModel costs;
+  /// Interconnection network charged for every remote message (default:
+  /// the paper's flat wire — see src/sim/network.hpp for the semantics
+  /// and the node numbering).
+  NetworkConfig network;
   /// Charge send overhead + latency + receive overhead for instantiation
   /// messages.
   bool charge_instantiation_messages = true;
@@ -129,10 +134,14 @@ struct SimResult {
   /// (compared bit-exactly against refsim) and as the denominator-free
   /// throughput unit reported by bench/simkernel_throughput.
   std::uint64_t events = 0;
-  SimTime network_busy{};              // sum of per-message wire latencies
+  SimTime network_busy{};              // sum of charged message latencies
   SimTime termination_overhead{};      // total charged by TerminationModel
   std::vector<CycleMetrics> cycles;
   std::uint32_t match_processors = 1;
+  /// Network observations (hop histogram, per-link traffic, contention);
+  /// always == network model's view, so `network_busy == net.total_latency`
+  /// is an invariant law.
+  NetStats net;
 
   /// Fraction of aggregate link capacity (P links × makespan) in use.
   [[nodiscard]] double network_utilization() const;

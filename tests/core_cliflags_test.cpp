@@ -121,6 +121,13 @@ TEST_F(CliFlags, EveryDocumentedFlagIsAccepted) {
         // A schedule ID only means something relative to one scenario.
         args.insert(args.end(), {"--scenario", "fused-add-delete"});
       }
+      if (flag.name == "--net-dims") {
+        // Geometry flags are usage errors on a non-matching topology.
+        args.insert(args.end(), {"--net", "mesh"});
+      }
+      if (flag.name == "--net-arity" || flag.name == "--net-levels") {
+        args.insert(args.end(), {"--net", "fattree"});
+      }
       const CliRun r = cli(args);
       EXPECT_EQ(r.err.find("unknown flag"), std::string::npos)
           << cmd.name << " rejected documented flag " << flag.name << ": "

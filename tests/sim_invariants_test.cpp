@@ -57,14 +57,14 @@ TEST(Invariants, ZeroOverheadLawsApply) {
   InvariantReport report = check_run_invariants(trace, config, one);
   EXPECT_TRUE(report.ok()) << report.summary();
   // serial-sum only fires for one processor at zero overhead; its
-  // evaluation shows up in the count (5 shared laws + 3 zero-overhead).
-  EXPECT_EQ(report.checked, 8u);
+  // evaluation shows up in the count (8 shared laws + 3 zero-overhead).
+  EXPECT_EQ(report.checked, 11u);
 
   config.match_processors = 8;
   const SimResult eight = simulate(trace, config, rr(trace, config));
   report = check_run_invariants(trace, config, eight);
   EXPECT_TRUE(report.ok()) << report.summary();
-  EXPECT_EQ(report.checked, 7u);  // no serial-sum
+  EXPECT_EQ(report.checked, 10u);  // no serial-sum
 }
 
 TEST(Invariants, PairMappingSkipsMergedOnlyLaws) {
@@ -74,7 +74,9 @@ TEST(Invariants, PairMappingSkipsMergedOnlyLaws) {
   const SimResult result = simulate(trace, config, rr(trace, config));
   const InvariantReport report = check_run_invariants(trace, config, result);
   EXPECT_TRUE(report.ok()) << report.summary();
-  EXPECT_EQ(report.checked, 3u);  // tiling, span, attribution only
+  // tiling, span, attribution + the three network-accounting laws; the
+  // merged-only conservation laws are skipped.
+  EXPECT_EQ(report.checked, 6u);
 }
 
 TEST(Invariants, CorruptedResultsAreCaughtByName) {

@@ -1,0 +1,166 @@
+// ConstantNet fixpoint regression: routing the simulator's every message
+// charge through the pluggable network layer must leave the flat-wire
+// behaviour bit-identical to the pre-topology engine.  The table below
+// pins the three synthetic paper sections x the four overhead runs x
+// both broadcast modes x two machine sizes, captured from the engine
+// BEFORE the network layer existed.
+//
+// One deliberate divergence is folded in below instead of re-pinned
+// silently: the old engine charged a hardware broadcast's wire latency
+// once PER DESTINATION, double-counting a single flood of the dedicated
+// broadcast channel.  The network layer charges one flood per broadcast,
+// so in hardware mode the expected network_busy is the pinned value
+// minus (destinations - 1) x cycles x wire_latency.  Everything else —
+// makespans, message counts, event counts — is unchanged, which is the
+// proof that the fix touched accounting only, never timing.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "src/sim/network.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/trace/record.hpp"
+#include "src/trace/synth.hpp"
+
+namespace mpps::sim {
+namespace {
+
+struct PinnedRun {
+  const char* section;
+  int run;             // paper overhead run 1..4
+  bool hardware;       // costs.hardware_broadcast
+  std::uint32_t procs;
+  std::int64_t makespan_ns;
+  std::uint64_t messages;
+  std::uint64_t local_deliveries;
+  std::uint64_t events;
+  std::int64_t network_busy_ns;  // pre-fix value; hw rows adjusted below
+  std::int64_t termination_ns;
+};
+
+constexpr PinnedRun kPinned[] = {
+    {"rubik", 1, false, 2, 107690000, 1065, 1103, 4312, 536500, 0},
+    {"rubik", 1, false, 8, 32683000, 1903, 265, 4360, 967500, 0},
+    {"rubik", 1, true, 2, 107690000, 1065, 1103, 4312, 536500, 0},
+    {"rubik", 1, true, 8, 32683000, 1903, 265, 4360, 967500, 0},
+    {"rubik", 2, false, 2, 111992000, 1065, 1103, 4312, 536500, 0},
+    {"rubik", 2, false, 8, 35202000, 1903, 265, 4360, 967500, 0},
+    {"rubik", 2, true, 2, 111977000, 1065, 1103, 4312, 536500, 0},
+    {"rubik", 2, true, 8, 35097000, 1903, 265, 4360, 967500, 0},
+    {"rubik", 3, false, 2, 116294000, 1065, 1103, 4312, 536500, 0},
+    {"rubik", 3, false, 8, 37721000, 1903, 265, 4360, 967500, 0},
+    {"rubik", 3, true, 2, 116264000, 1065, 1103, 4312, 536500, 0},
+    {"rubik", 3, true, 8, 37511000, 1903, 265, 4360, 967500, 0},
+    {"rubik", 4, false, 2, 124898000, 1065, 1103, 4312, 536500, 0},
+    {"rubik", 4, false, 8, 42759000, 1903, 265, 4360, 967500, 0},
+    {"rubik", 4, true, 2, 124838000, 1065, 1103, 4312, 536500, 0},
+    {"rubik", 4, true, 8, 42339000, 1903, 265, 4360, 967500, 0},
+    {"tourney", 1, false, 2, 268233500, 6692, 3966, 21274, 3351000, 0},
+    {"tourney", 1, false, 8, 204827000, 8523, 2135, 21334, 4281500, 0},
+    {"tourney", 1, true, 2, 268233500, 6692, 3966, 21274, 3351000, 0},
+    {"tourney", 1, true, 8, 204827000, 8523, 2135, 21334, 4281500, 0},
+    {"tourney", 2, false, 2, 299609500, 6692, 3966, 21274, 3351000, 0},
+    {"tourney", 2, false, 8, 238130000, 8523, 2135, 21334, 4281500, 0},
+    {"tourney", 2, true, 2, 299589500, 6692, 3966, 21274, 3351000, 0},
+    {"tourney", 2, true, 8, 238005500, 8523, 2135, 21334, 4281500, 0},
+    {"tourney", 3, false, 2, 330985500, 6692, 3966, 21274, 3351000, 0},
+    {"tourney", 3, false, 8, 271434500, 8523, 2135, 21334, 4281500, 0},
+    {"tourney", 3, true, 2, 330945500, 6692, 3966, 21274, 3351000, 0},
+    {"tourney", 3, true, 8, 271184500, 8523, 2135, 21334, 4281500, 0},
+    {"tourney", 4, false, 2, 393737500, 6692, 3966, 21274, 3351000, 0},
+    {"tourney", 4, false, 8, 338013000, 8523, 2135, 21334, 4281500, 0},
+    {"tourney", 4, true, 2, 393657500, 6692, 3966, 21274, 3351000, 0},
+    {"tourney", 4, true, 8, 337542500, 8523, 2135, 21334, 4281500, 0},
+    {"weaver", 1, false, 2, 9290000, 167, 129, 598, 87500, 0},
+    {"weaver", 1, false, 8, 3691500, 263, 33, 646, 147500, 0},
+    {"weaver", 1, true, 2, 9290000, 167, 129, 598, 87500, 0},
+    {"weaver", 1, true, 8, 3691500, 263, 33, 646, 147500, 0},
+    {"weaver", 2, false, 2, 10015000, 167, 129, 598, 87500, 0},
+    {"weaver", 2, false, 8, 4370500, 263, 33, 646, 147500, 0},
+    {"weaver", 2, true, 2, 10005000, 167, 129, 598, 87500, 0},
+    {"weaver", 2, true, 8, 4250500, 263, 33, 646, 147500, 0},
+    {"weaver", 3, false, 2, 10740000, 167, 129, 598, 87500, 0},
+    {"weaver", 3, false, 8, 5018500, 263, 33, 646, 147500, 0},
+    {"weaver", 3, true, 2, 10720000, 167, 129, 598, 87500, 0},
+    {"weaver", 3, true, 8, 4778500, 263, 33, 646, 147500, 0},
+    {"weaver", 4, false, 2, 12222000, 167, 129, 598, 87500, 0},
+    {"weaver", 4, false, 8, 6327000, 263, 33, 646, 147500, 0},
+    {"weaver", 4, true, 2, 12162000, 167, 129, 598, 87500, 0},
+    {"weaver", 4, true, 8, 5834500, 263, 33, 646, 147500, 0},
+};
+
+trace::Trace section_by_name(const std::string& name) {
+  if (name == "rubik") return trace::make_rubik_section();
+  if (name == "tourney") return trace::make_tourney_section();
+  return trace::make_weaver_section();
+}
+
+TEST(NetworkFixpoint, ConstantNetMatchesThePreTopologyEngine) {
+  std::string cached_name;
+  trace::Trace trace;
+  for (const PinnedRun& pin : kPinned) {
+    if (cached_name != pin.section) {
+      trace = section_by_name(pin.section);
+      cached_name = pin.section;
+    }
+    SimConfig config;
+    config.match_processors = pin.procs;
+    config.costs = CostModel::paper_run(pin.run);
+    config.costs.hardware_broadcast = pin.hardware;
+    const Assignment assignment =
+        Assignment::round_robin(trace.num_buckets, config.partitions());
+    const SimResult result = simulate(trace, config, assignment);
+
+    const std::string label = std::string(pin.section) + " run " +
+                              std::to_string(pin.run) +
+                              (pin.hardware ? " hw " : " serial ") +
+                              std::to_string(pin.procs) + "p";
+    EXPECT_EQ(result.makespan.nanos(), pin.makespan_ns) << label;
+    EXPECT_EQ(result.messages, pin.messages) << label;
+    EXPECT_EQ(result.local_deliveries, pin.local_deliveries) << label;
+    EXPECT_EQ(result.events, pin.events) << label;
+    EXPECT_EQ(result.termination_overhead.nanos(), pin.termination_ns)
+        << label;
+
+    // Hardware mode: the old engine charged the broadcast wire once per
+    // destination; the network layer charges one flood per cycle.
+    std::int64_t expected_busy = pin.network_busy_ns;
+    if (pin.hardware) {
+      expected_busy -=
+          static_cast<std::int64_t>(pin.procs - 1) *
+          static_cast<std::int64_t>(trace.cycles.size()) *
+          config.costs.wire_latency.nanos();
+    }
+    EXPECT_EQ(result.network_busy.nanos(), expected_busy) << label;
+
+    // The flat wire is the degenerate network model, and the two views
+    // of the charged wire time must agree exactly.
+    EXPECT_EQ(result.net.kind, NetKind::Constant) << label;
+    EXPECT_EQ(result.net.total_latency, result.network_busy) << label;
+    EXPECT_EQ(result.net.total_delay, SimTime{}) << label;
+    EXPECT_EQ(result.net.max_hops(), 1u) << label;
+  }
+}
+
+TEST(NetworkFixpoint, ExplicitConstantConfigIsTheDefault) {
+  // A default-constructed NetworkConfig and a fully spelled-out constant
+  // one are the same machine.
+  const trace::Trace trace = trace::make_weaver_section();
+  SimConfig config;
+  config.match_processors = 4;
+  config.costs = CostModel::paper_run(2);
+  const Assignment assignment =
+      Assignment::round_robin(trace.num_buckets, config.partitions());
+  const SimResult implicit = simulate(trace, config, assignment);
+
+  config.network.kind = NetKind::Constant;
+  config.network.hop_latency = config.costs.wire_latency;
+  const SimResult explicit_net = simulate(trace, config, assignment);
+  EXPECT_EQ(implicit.makespan, explicit_net.makespan);
+  EXPECT_EQ(implicit.network_busy, explicit_net.network_busy);
+  EXPECT_EQ(implicit.net, explicit_net.net);
+}
+
+}  // namespace
+}  // namespace mpps::sim

@@ -1,0 +1,252 @@
+// Property tests for the topology layer: the hop count of every network
+// model must be a metric (identity, symmetry, triangle inequality) with
+// the model-specific bounds on top, and — the load-bearing property —
+// the optimized engine and the naive reference engine must agree
+// bit-for-bit on randomized workloads across the whole topology grid,
+// with every invariant law holding.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/core/selfcheck.hpp"
+#include "src/sim/invariants.hpp"
+#include "src/sim/network.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/trace/record.hpp"
+#include "src/trace/synth.hpp"
+
+namespace mpps::sim {
+namespace {
+
+std::vector<std::uint32_t> random_dims(Rng& rng) {
+  const std::size_t ndims = 1 + rng.below(3);
+  std::vector<std::uint32_t> dims(ndims);
+  for (auto& d : dims) d = 2 + static_cast<std::uint32_t>(rng.below(4));
+  return dims;
+}
+
+std::uint32_t node_count(const std::vector<std::uint32_t>& dims) {
+  std::uint32_t n = 1;
+  for (const std::uint32_t d : dims) n *= d;
+  return n;
+}
+
+TEST(NetworkProperty, GridHopCountIsAMetric) {
+  Rng rng(11);
+  for (int trial = 0; trial < 40; ++trial) {
+    const NetKind kind = rng.below(2) == 0 ? NetKind::Mesh : NetKind::Torus;
+    NetworkConfig net;
+    net.kind = kind;
+    net.dims = random_dims(rng);
+    net.hop_latency = SimTime::ns(100);
+    const std::uint32_t nodes = node_count(net.dims);
+    const auto model = make_network(net, CostModel{}, nodes);
+
+    // Diameter bound: full extent per dimension (mesh), half (torus).
+    std::uint32_t diameter = 0;
+    for (const std::uint32_t d : net.dims) {
+      diameter += kind == NetKind::Mesh ? d - 1 : d / 2;
+    }
+    const std::string label = net.describe();
+    for (std::uint32_t p = 0; p < nodes; ++p) {
+      EXPECT_EQ(model->hops(p, p), 0u) << label;
+    }
+    for (int sample = 0; sample < 24; ++sample) {
+      const auto a = static_cast<std::uint32_t>(rng.below(nodes));
+      const auto b = static_cast<std::uint32_t>(rng.below(nodes));
+      const auto c = static_cast<std::uint32_t>(rng.below(nodes));
+      EXPECT_EQ(model->hops(a, b), model->hops(b, a)) << label;
+      EXPECT_LE(model->hops(a, b), diameter) << label;
+      EXPECT_LE(model->hops(a, b), model->hops(a, c) + model->hops(c, b))
+          << label << " " << a << " " << b << " via " << c;
+      if (a != b) {
+        EXPECT_GE(model->hops(a, b), 1u) << label;
+      }
+      // Latency is exactly hops x hop_latency on every grid.
+      EXPECT_EQ(model->latency(a, b).nanos(),
+                static_cast<std::int64_t>(model->hops(a, b)) * 100)
+          << label;
+    }
+  }
+}
+
+TEST(NetworkProperty, TorusIsNeverFartherThanMesh) {
+  Rng rng(12);
+  for (int trial = 0; trial < 20; ++trial) {
+    NetworkConfig net;
+    net.dims = random_dims(rng);
+    const std::uint32_t nodes = node_count(net.dims);
+    net.kind = NetKind::Mesh;
+    const auto mesh = make_network(net, CostModel{}, nodes);
+    net.kind = NetKind::Torus;
+    const auto torus = make_network(net, CostModel{}, nodes);
+    for (std::uint32_t a = 0; a < nodes; ++a) {
+      for (std::uint32_t b = 0; b < nodes; ++b) {
+        EXPECT_LE(torus->hops(a, b), mesh->hops(a, b))
+            << net.describe() << " " << a << "->" << b;
+      }
+    }
+  }
+}
+
+TEST(NetworkProperty, FatTreeHopCountIsAnEvenTreeMetric) {
+  Rng rng(13);
+  for (int trial = 0; trial < 20; ++trial) {
+    NetworkConfig net;
+    net.kind = NetKind::FatTree;
+    net.arity = 2 + static_cast<std::uint32_t>(rng.below(3));
+    net.hop_latency = SimTime::ns(100);
+    const auto nodes = static_cast<std::uint32_t>(2 + rng.below(30));
+    const std::uint32_t levels = resolved_levels(net, nodes);
+    const auto model = make_network(net, CostModel{}, nodes);
+    for (int sample = 0; sample < 32; ++sample) {
+      const auto a = static_cast<std::uint32_t>(rng.below(nodes));
+      const auto b = static_cast<std::uint32_t>(rng.below(nodes));
+      const auto c = static_cast<std::uint32_t>(rng.below(nodes));
+      const std::uint32_t d = model->hops(a, b);
+      EXPECT_EQ(d % 2, 0u);                      // up then down, same count
+      EXPECT_LE(d, 2 * levels);                  // at worst via the root
+      EXPECT_EQ(d, model->hops(b, a));
+      EXPECT_EQ(a == b, d == 0);
+      EXPECT_LE(d, model->hops(a, c) + model->hops(c, b));
+    }
+  }
+}
+
+TEST(NetworkProperty, AutoGeometryIsAlwaysValid) {
+  // Whatever machine size the sweep asks for, the auto-derived geometry
+  // must pass validation — this is what lets the CLI default to "mesh"
+  // without the user counting nodes.
+  for (const NetKind kind : {NetKind::Mesh, NetKind::Torus, NetKind::FatTree}) {
+    for (std::uint32_t nodes = 2; nodes <= 70; ++nodes) {
+      NetworkConfig net;
+      net.kind = kind;
+      EXPECT_NO_THROW(make_network(net, CostModel{}, nodes))
+          << net.describe() << " nodes=" << nodes;
+    }
+  }
+}
+
+core::Scenario random_scenario(Rng& rng) {
+  trace::RandomTraceSpec spec;
+  spec.cycles = 2 + static_cast<std::uint32_t>(rng.below(3));
+  spec.num_buckets = 32;
+  spec.nodes = 12;
+  spec.roots_per_cycle = 10 + static_cast<std::uint32_t>(rng.below(12));
+  spec.instantiation_prob = 0.05;
+
+  core::Scenario scenario;
+  scenario.trace = trace::make_random_trace(spec, 100 + rng.below(1000));
+  scenario.config.match_processors =
+      static_cast<std::uint32_t>(2 + rng.below(7));
+  scenario.config.costs =
+      CostModel::paper_run(1 + static_cast<int>(rng.below(4)));
+  scenario.config.costs.hardware_broadcast = rng.below(2) == 0;
+  if (rng.below(3) == 0) {
+    scenario.config.constant_test_processors =
+        static_cast<std::uint32_t>(1 + rng.below(2));
+  }
+  if (rng.below(3) == 0) {
+    scenario.config.conflict_set_processors = 1;
+  }
+  scenario.assign =
+      rng.below(2) == 0 ? core::AssignKind::RoundRobin : core::AssignKind::Random;
+  scenario.assign_seed = rng.below(1u << 20);
+  return scenario;
+}
+
+NetworkConfig random_topology(Rng& rng) {
+  NetworkConfig net;
+  switch (rng.below(4)) {
+    case 0:
+      net.kind = NetKind::Mesh;  // auto geometry
+      break;
+    case 1:
+      net.kind = NetKind::Torus;
+      net.dims = {3, 4};  // 12 >= 1 + 7 + 2 + 1 worst case
+      break;
+    case 2:
+      net.kind = NetKind::FatTree;
+      net.arity = 2 + static_cast<std::uint32_t>(rng.below(2));
+      break;
+    default:
+      break;  // constant
+  }
+  if (net.kind != NetKind::Constant && rng.below(2) == 0) {
+    net.hop_latency = SimTime::ns(250);
+  }
+  return net;
+}
+
+TEST(NetworkProperty, EnginesAgreeAcrossRandomTopologyScenarioGrid) {
+  // The tentpole property: for random workloads x machine shapes x
+  // topologies, the optimized engine, the reference engine and the
+  // invariant laws all agree.  check_scenario returns the first
+  // divergence or violated law as a one-line diagnosis.
+  Rng rng(2026);
+  for (int round = 0; round < 24; ++round) {
+    core::Scenario scenario = random_scenario(rng);
+    scenario.config.network = random_topology(rng);
+    const std::string verdict = core::check_scenario(scenario);
+    EXPECT_TRUE(verdict.empty())
+        << scenario.describe() << ": " << verdict;
+  }
+}
+
+TEST(NetworkProperty, FlatWireIsTheFloorOfEveryTopology) {
+  // Hop monotonicity, end to end: with the same per-hop latency, a
+  // multi-hop topology can only charge MORE wire time than the flat
+  // wire, never less, and the cross-run checker accepts the pair.
+  Rng rng(31);
+  for (int round = 0; round < 8; ++round) {
+    const core::Scenario base = random_scenario(rng);
+    const Assignment assignment = core::make_assignment(base);
+
+    SimConfig flat = base.config;
+    flat.network = NetworkConfig{};
+    const SimResult flat_result = simulate(base.trace, flat, assignment);
+
+    for (const NetKind kind :
+         {NetKind::Mesh, NetKind::Torus, NetKind::FatTree}) {
+      SimConfig topo = base.config;
+      topo.network.kind = kind;
+      topo.network.hop_latency = topo.costs.wire_latency;
+      const SimResult topo_result = simulate(base.trace, topo, assignment);
+
+      EXPECT_EQ(topo_result.net.messages, flat_result.net.messages)
+          << topo.network.describe();
+      EXPECT_GE(topo_result.network_busy.nanos(),
+                flat_result.network_busy.nanos())
+          << topo.network.describe();
+      // Routing never changes the event stream, only its timing.
+      EXPECT_EQ(topo_result.events, flat_result.events)
+          << topo.network.describe();
+
+      const InvariantReport cross = check_cross_run_invariants(
+          base.trace, {{flat, &flat_result}, {topo, &topo_result}});
+      EXPECT_TRUE(cross.ok())
+          << topo.network.describe() << ": " << cross.summary();
+    }
+  }
+}
+
+TEST(NetworkProperty, SingleRunLawsHoldOnRandomTopologies) {
+  Rng rng(47);
+  for (int round = 0; round < 16; ++round) {
+    core::Scenario scenario = random_scenario(rng);
+    scenario.config.network = random_topology(rng);
+    const SimResult result = simulate(scenario.trace, scenario.config,
+                                      core::make_assignment(scenario));
+    const InvariantReport report =
+        check_run_invariants(scenario.trace, scenario.config, result);
+    EXPECT_TRUE(report.ok())
+        << scenario.describe() << ": " << report.summary();
+    EXPECT_GT(report.checked, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace mpps::sim

@@ -1,0 +1,381 @@
+// The topology-aware network models: hand-computed hop counts, routing
+// attribution, fat-tree uplink contention, the broadcast single-flood
+// charge, geometry validation, and proof that the planted
+// free-remote-hop fault is caught by the net-hop-latency invariant law
+// and by the reference engine.
+#include "src/sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "src/common/error.hpp"
+#include "src/sim/invariants.hpp"
+#include "src/sim/refsim.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/trace/record.hpp"
+#include "src/trace/synth.hpp"
+
+namespace mpps::sim {
+namespace {
+
+NetworkConfig grid(NetKind kind, std::vector<std::uint32_t> dims) {
+  NetworkConfig net;
+  net.kind = kind;
+  net.dims = std::move(dims);
+  net.hop_latency = SimTime::ns(100);
+  return net;
+}
+
+TEST(Network, ConstantIsOneHopForEveryRemotePair) {
+  CostModel costs;  // wire_latency 0.5 us
+  NetworkConfig net;  // constant, hop_latency 0 => wire latency
+  const auto model = make_network(net, costs, 9);
+  EXPECT_EQ(model->hops(3, 3), 0u);
+  EXPECT_EQ(model->hops(0, 8), 1u);
+  EXPECT_EQ(model->latency(3, 3), SimTime{});
+  EXPECT_EQ(model->latency(0, 8), SimTime::half_us(1));
+  const NetCharge charge = model->cost(0, 8, SimTime::us(7));
+  EXPECT_EQ(charge.departure_delay, SimTime{});
+  EXPECT_EQ(charge.latency, SimTime::half_us(1));
+  ASSERT_EQ(model->stats().links.size(), 1u);  // the single shared wire
+  EXPECT_EQ(model->stats().links[0].messages, 1u);
+}
+
+TEST(Network, MeshHopCountIsManhattanOverMixedRadixCoords) {
+  const auto model = make_network(grid(NetKind::Mesh, {3, 3}), CostModel{}, 9);
+  // Node n has coords (n % 3, n / 3): 0=(0,0), 4=(1,1), 8=(2,2).
+  EXPECT_EQ(model->hops(0, 8), 4u);
+  EXPECT_EQ(model->hops(0, 4), 2u);
+  EXPECT_EQ(model->hops(1, 5), 2u);  // (1,0) -> (2,1)
+  EXPECT_EQ(model->hops(6, 2), 4u);  // (0,2) -> (2,0)
+  EXPECT_EQ(model->hops(8, 0), model->hops(0, 8));  // symmetric
+  EXPECT_EQ(model->hops(5, 5), 0u);
+  EXPECT_EQ(model->latency(0, 8), SimTime::ns(400));
+}
+
+TEST(Network, TorusWrapsEachDimension) {
+  const auto ring = make_network(grid(NetKind::Torus, {4}), CostModel{}, 4);
+  EXPECT_EQ(ring->hops(0, 3), 1u);  // around the back
+  EXPECT_EQ(ring->hops(0, 2), 2u);  // tie: both ways are 2
+  const auto torus =
+      make_network(grid(NetKind::Torus, {3, 3}), CostModel{}, 9);
+  EXPECT_EQ(torus->hops(0, 2), 1u);  // (0,0) -> (2,0) wraps
+  EXPECT_EQ(torus->hops(0, 8), 2u);  // (0,0) -> (2,2) wraps both dims
+}
+
+TEST(Network, TorusNeverExceedsMeshOnTheSameGeometry) {
+  const auto mesh =
+      make_network(grid(NetKind::Mesh, {3, 4}), CostModel{}, 12);
+  const auto torus =
+      make_network(grid(NetKind::Torus, {3, 4}), CostModel{}, 12);
+  for (std::uint32_t a = 0; a < 12; ++a) {
+    for (std::uint32_t b = 0; b < 12; ++b) {
+      EXPECT_LE(torus->hops(a, b), mesh->hops(a, b)) << a << "->" << b;
+    }
+  }
+}
+
+TEST(Network, MeshRoutingAttributesEachDirectedLinkOnce) {
+  const auto model = make_network(grid(NetKind::Mesh, {3, 3}), CostModel{}, 9);
+  model->cost(0, 8, SimTime{});
+  // Dimension-order: 0 -> 1 -> 2 (dim 0), then 2 -> 5 -> 8 (dim 1).
+  // Link id = (node * ndims + dim) * 2 + direction (0 = increasing).
+  const NetStats& stats = model->stats();
+  EXPECT_EQ(stats.links[(0 * 2 + 0) * 2 + 0].messages, 1u);  // n0+d0
+  EXPECT_EQ(stats.links[(1 * 2 + 0) * 2 + 0].messages, 1u);  // n1+d0
+  EXPECT_EQ(stats.links[(2 * 2 + 1) * 2 + 0].messages, 1u);  // n2+d1
+  EXPECT_EQ(stats.links[(5 * 2 + 1) * 2 + 0].messages, 1u);  // n5+d1
+  std::uint64_t crossed = 0;
+  for (const NetLinkStats& link : stats.links) crossed += link.messages;
+  EXPECT_EQ(crossed, 4u);  // exactly the route, nothing else
+  EXPECT_EQ(net_link_name(stats, (1 * 2 + 0) * 2 + 0), "n1+d0");
+  EXPECT_EQ(net_link_name(stats, (2 * 2 + 1) * 2 + 1), "n2-d1");
+}
+
+TEST(Network, FatTreeDistanceIsTwiceTheCommonAncestorLevel) {
+  NetworkConfig net;
+  net.kind = NetKind::FatTree;
+  net.arity = 2;
+  net.levels = 2;
+  net.hop_latency = SimTime::ns(100);
+  const auto model = make_network(net, CostModel{}, 4);
+  EXPECT_EQ(model->hops(0, 0), 0u);
+  EXPECT_EQ(model->hops(0, 1), 2u);  // siblings: one switch up, one down
+  EXPECT_EQ(model->hops(2, 3), 2u);
+  EXPECT_EQ(model->hops(0, 2), 4u);  // across the root
+  EXPECT_EQ(model->hops(1, 3), 4u);
+  EXPECT_EQ(model->latency(0, 2), SimTime::ns(400));
+}
+
+TEST(Network, FatTreeUplinkSerializesSameSourceInjections) {
+  NetworkConfig net;
+  net.kind = NetKind::FatTree;
+  net.arity = 2;
+  net.hop_latency = SimTime::ns(100);
+  const auto model = make_network(net, CostModel{}, 4);
+  const SimTime t = SimTime::us(1);
+  const NetCharge first = model->cost(1, 2, t);
+  EXPECT_EQ(first.departure_delay, SimTime{});
+  EXPECT_EQ(first.latency, SimTime::ns(400));
+  // Same source, same ready time: waits one hop for the uplink.
+  const NetCharge second = model->cost(1, 3, t);
+  EXPECT_EQ(second.departure_delay, SimTime::ns(100));
+  // A different source is unaffected.
+  const NetCharge other = model->cost(2, 1, t);
+  EXPECT_EQ(other.departure_delay, SimTime{});
+  EXPECT_EQ(model->stats().total_delay, SimTime::ns(100));
+  EXPECT_EQ(model->stats().links[1].messages, 2u);  // leaf 1's uplink
+}
+
+TEST(Network, FloodChargesTheFarthestRouteOnce) {
+  const auto model = make_network(grid(NetKind::Mesh, {3, 3}), CostModel{}, 9);
+  const SimTime charged = model->charge_flood(0, 8);
+  EXPECT_EQ(charged, SimTime::ns(400));
+  EXPECT_EQ(model->stats().messages, 1u);
+  EXPECT_EQ(model->stats().total_latency, SimTime::ns(400));
+}
+
+TEST(Network, HardwareBroadcastIsChargedOncePerCycle) {
+  // Weaver, 8 processors, run 1: 263 routed messages over 4 cycles.
+  // Hardware broadcast charges ONE 0.5 us flood per cycle:
+  //   (263 + 4) x 500 ns = 133500 ns.
+  // Serialized broadcast sends 8 unicasts per cycle instead:
+  //   (263 + 32) x 500 ns = 147500 ns.
+  const trace::Trace trace = trace::make_weaver_section();
+  SimConfig config;
+  config.match_processors = 8;
+  config.costs = CostModel::paper_run(1);
+  const Assignment assignment =
+      Assignment::round_robin(trace.num_buckets, config.partitions());
+
+  config.costs.hardware_broadcast = true;
+  const SimResult hw = simulate(trace, config, assignment);
+  EXPECT_EQ(hw.network_busy.nanos(), 133500);
+  EXPECT_EQ(hw.net.messages, 267u);
+
+  config.costs.hardware_broadcast = false;
+  const SimResult serial = simulate(trace, config, assignment);
+  EXPECT_EQ(serial.network_busy.nanos(), 147500);
+  EXPECT_EQ(serial.net.messages, 295u);
+}
+
+TEST(Network, AutoGeometryCoversTheMachine) {
+  NetworkConfig net;
+  net.kind = NetKind::Mesh;
+  const std::vector<std::uint32_t> nine = resolved_dims(net, 9);
+  ASSERT_EQ(nine.size(), 2u);
+  EXPECT_GE(nine[0] * nine[1], 9u);
+  EXPECT_LE(nine[0] * nine[1], 16u);  // near-square, not degenerate
+  const std::vector<std::uint32_t> twenty_one = resolved_dims(net, 21);
+  EXPECT_GE(twenty_one[0] * twenty_one[1], 21u);
+
+  NetworkConfig tree;
+  tree.kind = NetKind::FatTree;
+  tree.arity = 2;
+  EXPECT_EQ(resolved_levels(tree, 9), 4u);   // 2^4 = 16 >= 9
+  EXPECT_EQ(resolved_levels(tree, 16), 4u);
+  EXPECT_EQ(resolved_levels(tree, 17), 5u);
+  tree.arity = 3;
+  EXPECT_EQ(resolved_levels(tree, 9), 2u);
+}
+
+TEST(Network, InvalidGeometryThrows) {
+  CostModel costs;
+  EXPECT_THROW(make_network(grid(NetKind::Mesh, {2, 2}), costs, 9),
+               RuntimeError);
+  EXPECT_THROW(make_network(grid(NetKind::Torus, {0, 4}), costs, 2),
+               RuntimeError);
+  NetworkConfig tree;
+  tree.kind = NetKind::FatTree;
+  tree.arity = 1;
+  EXPECT_THROW(make_network(tree, costs, 4), RuntimeError);
+  tree.arity = 2;
+  tree.levels = 2;  // 4 leaves < 5 nodes
+  EXPECT_THROW(make_network(tree, costs, 5), RuntimeError);
+}
+
+TEST(Network, ParseAndNameRoundTrip) {
+  EXPECT_EQ(parse_net_kind("constant"), NetKind::Constant);
+  EXPECT_EQ(parse_net_kind("mesh"), NetKind::Mesh);
+  EXPECT_EQ(parse_net_kind("torus"), NetKind::Torus);
+  EXPECT_EQ(parse_net_kind("fattree"), NetKind::FatTree);
+  EXPECT_EQ(parse_net_kind("fat-tree"), NetKind::FatTree);
+  EXPECT_THROW(parse_net_kind("hypercube"), RuntimeError);
+  for (const NetKind kind : {NetKind::Constant, NetKind::Mesh, NetKind::Torus,
+                             NetKind::FatTree}) {
+    EXPECT_EQ(parse_net_kind(net_kind_name(kind)), kind);
+  }
+}
+
+TEST(Network, StatsAggregatesAreConsistent) {
+  const auto model = make_network(grid(NetKind::Mesh, {3, 3}), CostModel{}, 9);
+  model->cost(0, 8, SimTime{});  // 4 hops
+  model->cost(0, 1, SimTime{});  // 1 hop
+  model->cost(4, 4, SimTime{});  // local, 0 hops
+  const NetStats& stats = model->stats();
+  EXPECT_EQ(stats.messages, 3u);
+  EXPECT_DOUBLE_EQ(stats.avg_hops(), 5.0 / 3.0);
+  EXPECT_EQ(stats.max_hops(), 4u);
+  EXPECT_EQ(stats.total_latency, SimTime::ns(500));
+  const std::size_t hot = stats.hottest_link();
+  ASSERT_LT(hot, stats.links.size());
+  EXPECT_EQ(hot, (0 * 2 + 0) * 2 + 0u);  // n0+d0 carried both messages
+  EXPECT_EQ(stats.links[hot].messages, 2u);
+}
+
+TEST(Network, FreeRemoteHopFaultIsCaughtByTheHopLatencyLaw) {
+  const trace::Trace trace = trace::make_weaver_section();
+  SimConfig config;
+  config.match_processors = 4;
+  config.costs = CostModel::paper_run(2);
+  config.network = grid(NetKind::Mesh, {3, 2});
+  const Assignment assignment =
+      Assignment::round_robin(trace.num_buckets, config.partitions());
+
+  const InvariantReport clean = check_run_invariants(
+      trace, config, simulate(trace, config, assignment));
+  EXPECT_TRUE(clean.ok()) << clean.summary();
+
+  config.network.free_remote_hop_fault = true;
+  const SimResult faulted = simulate(trace, config, assignment);
+  const InvariantReport report =
+      check_run_invariants(trace, config, faulted);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.summary().find("net-hop-latency"), std::string::npos)
+      << report.summary();
+
+  // The reference engine (which keeps the true model) disagrees too.
+  config.network.free_remote_hop_fault = false;
+  const SimResult ref = ref_simulate(trace, config, assignment);
+  EXPECT_FALSE(describe_divergence(faulted, ref).empty());
+}
+
+TEST(Network, DescribeNamesTheGeometry) {
+  NetworkConfig net;
+  EXPECT_EQ(net.describe(), "constant");
+  net.kind = NetKind::Mesh;
+  EXPECT_EQ(net.describe(), "mesh auto");
+  net.dims = {4, 4};
+  EXPECT_EQ(net.describe(), "mesh 4x4");
+  net.kind = NetKind::Torus;
+  net.dims = {3, 3, 4};
+  EXPECT_EQ(net.describe(), "torus 3x3x4");
+  net.kind = NetKind::FatTree;
+  net.arity = 2;
+  net.levels = 3;
+  EXPECT_EQ(net.describe(), "fat-tree a2 l3");
+}
+
+TEST(Network, ConfigEqualityDistinguishesEveryTopologyField) {
+  const NetworkConfig base;
+  NetworkConfig other = base;
+  EXPECT_TRUE(base == other);
+  other.kind = NetKind::Mesh;
+  EXPECT_FALSE(base == other);
+  other = base;
+  other.dims = {4, 4};
+  EXPECT_FALSE(base == other);
+  other = base;
+  other.arity = 3;
+  EXPECT_FALSE(base == other);
+  other = base;
+  other.levels = 2;
+  EXPECT_FALSE(base == other);
+  other = base;
+  other.hop_latency = SimTime::ns(100);
+  EXPECT_FALSE(base == other);
+  other = base;
+  other.free_remote_hop_fault = true;
+  EXPECT_FALSE(base == other);
+}
+
+TEST(Network, IdleStatsHaveNoHotLinkAndZeroAverages) {
+  const auto model = make_network(grid(NetKind::Mesh, {3, 3}), CostModel{}, 9);
+  const NetStats& stats = model->stats();
+  EXPECT_EQ(stats.messages, 0u);
+  EXPECT_EQ(stats.hottest_link(), SIZE_MAX);
+  EXPECT_DOUBLE_EQ(stats.avg_hops(), 0.0);
+  EXPECT_EQ(stats.max_hops(), 0u);
+}
+
+TEST(Network, ThreeDimensionalMeshRoutes) {
+  // Node n in a 2x3x2 mesh has coords (n % 2, (n / 2) % 3, n / 6).
+  const auto model =
+      make_network(grid(NetKind::Mesh, {2, 3, 2}), CostModel{}, 12);
+  EXPECT_EQ(model->hops(0, 11), 1u + 2u + 1u);  // (0,0,0) -> (1,2,1)
+  EXPECT_EQ(model->hops(5, 6), 1u + 2u + 1u);   // (1,2,0) -> (0,0,1)
+  EXPECT_EQ(model->latency(0, 11), SimTime::ns(400));
+  model->cost(0, 11, SimTime{});
+  std::uint64_t crossed = 0;
+  for (const NetLinkStats& link : model->stats().links)
+    crossed += link.messages;
+  EXPECT_EQ(crossed, 4u);  // one traversal per hop of the route
+}
+
+TEST(Network, TorusWrapRouteUsesTheBackLink) {
+  const auto ring = make_network(grid(NetKind::Torus, {4}), CostModel{}, 4);
+  ring->cost(0, 3, SimTime{});
+  // The shorter way from 0 to 3 is the decreasing direction: one hop
+  // over node 0's down link (id = (0*1+0)*2 + 1).
+  EXPECT_EQ(ring->stats().links[1].messages, 1u);
+  // A tie (distance 2 both ways) goes the increasing direction, matching
+  // hops(): 0 -> 1 -> 2 over the up links of nodes 0 and 1.
+  ring->cost(0, 2, SimTime{});
+  EXPECT_EQ(ring->stats().links[0].messages, 1u);
+  EXPECT_EQ(ring->stats().links[2].messages, 1u);
+}
+
+TEST(Network, SerializedBroadcastRoutesPerDestinationOnAMesh) {
+  const trace::Trace trace = trace::make_weaver_section();
+  SimConfig config;
+  config.match_processors = 8;
+  config.costs = CostModel::paper_run(1);
+  config.network = grid(NetKind::Mesh, {3, 3});
+  const Assignment assignment =
+      Assignment::round_robin(trace.num_buckets, config.partitions());
+
+  config.costs.hardware_broadcast = true;
+  const SimResult hw = simulate(trace, config, assignment);
+  config.costs.hardware_broadcast = false;
+  const SimResult serial = simulate(trace, config, assignment);
+
+  // Hardware mode floods once per cycle; serialized mode routes one
+  // unicast per match processor per cycle.
+  const std::uint64_t cycles = trace.cycles.size();
+  EXPECT_EQ(serial.net.messages, hw.net.messages + (8 - 1) * cycles);
+  EXPECT_GE(serial.network_busy.nanos(), hw.network_busy.nanos());
+  EXPECT_GE(serial.makespan.nanos(), hw.makespan.nanos());
+}
+
+TEST(Network, FatTreeSpacedInjectionsDoNotContend) {
+  NetworkConfig net;
+  net.kind = NetKind::FatTree;
+  net.arity = 2;
+  net.hop_latency = SimTime::ns(100);
+  const auto model = make_network(net, CostModel{}, 4);
+  // Injections spaced by at least one hop time find the uplink free.
+  EXPECT_EQ(model->cost(1, 2, SimTime::us(1)).departure_delay, SimTime{});
+  EXPECT_EQ(model->cost(1, 3, SimTime::us(2)).departure_delay, SimTime{});
+  EXPECT_EQ(model->cost(1, 0, SimTime::us(3)).departure_delay, SimTime{});
+  EXPECT_EQ(model->stats().total_delay, SimTime{});
+}
+
+TEST(Network, FaultIsInvisibleOnTheFlatWire) {
+  // Every constant-network route is at most one hop, so capping the
+  // charge at one hop changes nothing — the fault only exists on
+  // multi-hop topologies, which is why the selfcheck must randomize them.
+  const trace::Trace trace = trace::make_weaver_section();
+  SimConfig config;
+  config.match_processors = 4;
+  config.costs = CostModel::paper_run(2);
+  const Assignment assignment =
+      Assignment::round_robin(trace.num_buckets, config.partitions());
+  const SimResult clean = simulate(trace, config, assignment);
+  config.network.free_remote_hop_fault = true;
+  const SimResult faulted = simulate(trace, config, assignment);
+  EXPECT_TRUE(describe_divergence(faulted, clean).empty());
+}
+
+}  // namespace
+}  // namespace mpps::sim
