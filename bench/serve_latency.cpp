@@ -1,0 +1,208 @@
+// Serving-engine latency under concurrent tenants: wall-clock
+// per-transaction p50/p95/p99 of serve::ServeEngine as the session count
+// grows (1..16 closed-loop clients through ONE shared engine) and as the
+// match-thread count grows at a fixed 8 sessions, written to
+// BENCH_serve.json.  docs/SERVING.md explains how to read the report;
+// the companion throughput benchmark is bench/pmatch_throughput.
+//
+// Workload: a 16-slot trigger/item join base.  Each client session first
+// installs its own item wmes (the per-tenant working set), then each
+// timed transaction asserts a trigger into one slot and retracts its
+// beyond-window triggers from earlier transactions — so every
+// transaction does real beta-network work against the session's own
+// partition, working-set size stays constant, and concurrent sessions'
+// transactions fuse into shared BSP phases at the admission queue.
+//
+// Every row reports the engine's own LatencyReport (histogram-bucket
+// percentiles; docs/OBSERVABILITY.md) plus the serve counters that
+// explain it: fused-phase count, max transaction fan-in, max queue
+// depth, and cross_session_deltas (always 0 — nonzero means partition
+// isolation broke, and the adversarial suite in
+// tests/serve_isolation_test.cpp pins that independently).
+//
+// Usage:
+//   serve_latency [--smoke] [-o FILE]
+//
+// `--smoke` runs a tiny transaction count (seconds, not minutes) for CI
+// bit-rot checking; absolute numbers from smoke mode are noise.  The
+// JSON records hardware_concurrency: latency holding flat as sessions
+// grow needs actual spare cores.
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "src/core/jsonw.hpp"
+#include "src/ops5/parser.hpp"
+#include "src/ops5/wme.hpp"
+#include "src/serve/serve.hpp"
+
+namespace {
+
+using namespace mpps;
+
+constexpr int kSlots = 16;
+constexpr int kItemsPerSlot = 2;
+
+ops5::Program workload_program() {
+  std::ostringstream src;
+  for (int s = 0; s < kSlots; ++s) {
+    src << "(p match" << s << " (trigger ^slot " << s
+        << " ^g <g>) (item ^slot " << s << " ^g <g>) --> (halt))\n";
+  }
+  return ops5::parse_program(src.str());
+}
+
+struct Row {
+  std::uint32_t sessions = 0;
+  std::uint32_t threads = 0;
+  serve::ServeStats stats;
+  serve::LatencyReport latency;
+};
+
+/// One serving run: `sessions` closed-loop clients, each submitting
+/// `transactions` timed trigger transactions with a live window of 8.
+Row run_row(const ops5::Program& program, std::uint32_t sessions,
+            std::uint32_t threads, std::uint64_t transactions) {
+  serve::ServeOptions options;
+  options.match.threads = threads;
+  options.admission_batch = sessions;
+  serve::ServeEngine engine(program, options);
+
+  std::vector<std::thread> clients;
+  clients.reserve(sessions);
+  for (std::uint32_t c = 0; c < sessions; ++c) {
+    clients.emplace_back([&engine, c, transactions] {
+      serve::Session session = engine.open_session(
+          {.label = "tenant" + std::to_string(c), .max_live_wmes = 0});
+      // The tenant's working set, installed untimed relative to the row
+      // (it still goes through the queue, but is a tiny fraction of the
+      // timed transactions).
+      serve::Transaction setup;
+      for (int s = 0; s < kSlots; ++s) {
+        for (int i = 0; i < kItemsPerSlot; ++i) {
+          setup.add(ops5::parse_wme("(item ^slot " + std::to_string(s) +
+                                    " ^g 0)"));
+        }
+      }
+      session.transact(std::move(setup));
+
+      constexpr std::size_t kWindow = 8;
+      std::vector<WmeId> live;
+      for (std::uint64_t t = 0; t < transactions; ++t) {
+        serve::Transaction tx;
+        if (live.size() >= kWindow) {
+          tx.remove(live.front());
+          live.erase(live.begin());
+        }
+        tx.add(ops5::parse_wme("(trigger ^slot " +
+                               std::to_string(t % kSlots) + " ^g 0)"));
+        const serve::TxResult r = session.transact(std::move(tx));
+        live.insert(live.end(), r.added.begin(), r.added.end());
+      }
+      session.close();
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  Row row;
+  row.sessions = sessions;
+  row.threads = threads;
+  row.stats = engine.stats();
+  row.latency = engine.latency_report();
+  engine.shutdown();
+  return row;
+}
+
+void emit_row(core::JsonWriter& j, const Row& row) {
+  j.begin_object();
+  j.field("sessions", row.sessions);
+  j.field("threads", row.threads);
+  j.field("transactions", row.stats.transactions);
+  j.field("changes", row.stats.changes);
+  j.field("batches", row.stats.batches);
+  j.field("max_fused", row.stats.max_fused);
+  j.field("max_queue_depth", row.stats.max_queue_depth);
+  j.field("activations", row.stats.activations);
+  j.field("retractions", row.stats.retractions);
+  j.field("cross_session_deltas", row.stats.cross_session_deltas);
+  j.key("latency");
+  j.begin_object();
+  j.field("wall_s", row.latency.wall_s);
+  j.field("p50_us", row.latency.p50_us);
+  j.field("p95_us", row.latency.p95_us);
+  j.field("p99_us", row.latency.p99_us);
+  j.field("mean_us", row.latency.mean_us);
+  j.field("max_us", row.latency.max_us);
+  j.field("tx_per_s", row.latency.tx_per_s);
+  j.field("changes_per_s", row.latency.changes_per_s);
+  j.field("activations_per_s", row.latency.activations_per_s);
+  j.end_object();
+  j.end_object();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_serve.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "-o" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: serve_latency [--smoke] [-o FILE]\n";
+      return 2;
+    }
+  }
+
+  const unsigned hardware = std::thread::hardware_concurrency();
+  const std::uint64_t transactions = smoke ? 25 : 500;
+  const ops5::Program program = workload_program();
+
+  std::vector<Row> rows;
+  // Tenant scaling at a fixed engine: does p99 hold as 1 -> 16 sessions
+  // share one rule base?  (The >= 8 sessions row is the acceptance bar.)
+  for (const std::uint32_t sessions : {1u, 2u, 4u, 8u, 16u}) {
+    rows.push_back(run_row(program, sessions, 4, transactions));
+  }
+  // Worker scaling at a fixed 8 tenants: what the match threads buy.
+  for (const std::uint32_t threads : {1u, 2u, 8u}) {
+    rows.push_back(run_row(program, 8, threads, transactions));
+  }
+
+  for (const Row& row : rows) {
+    std::cout << row.sessions << " sessions @ " << row.threads
+              << " threads: p50 " << row.latency.p50_us << " us, p95 "
+              << row.latency.p95_us << " us, p99 " << row.latency.p99_us
+              << " us, " << static_cast<std::uint64_t>(row.latency.tx_per_s)
+              << " tx/s, " << row.stats.batches << " phases (max fan-in "
+              << row.stats.max_fused << "), cross-session deltas "
+              << row.stats.cross_session_deltas << "\n";
+  }
+
+  std::ofstream file(out_path);
+  if (!file) {
+    std::cerr << "cannot write '" << out_path << "'\n";
+    return 1;
+  }
+  core::JsonWriter j(file);
+  j.begin_object();
+  j.field("benchmark", "serve_latency");
+  j.field("smoke", smoke);
+  j.field("hardware_concurrency", static_cast<std::uint64_t>(hardware));
+  j.field("transactions_per_session", transactions);
+  j.key("rows");
+  j.begin_array();
+  for (const Row& row : rows) emit_row(j, row);
+  j.end_array();
+  j.end_object();
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

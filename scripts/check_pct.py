@@ -16,6 +16,13 @@ strictly positive.  BENCH_topology.json reports the per-topology speedup
 grid this way; a zero, negative, NaN or infinite speedup means the
 simulated baseline or makespan went bad, never a legitimate data point.
 
+Latency percentile triples get an ordering gate: whenever one dict holds
+``p50<suffix>``, ``p95<suffix>`` and ``p99<suffix>`` keys with a shared
+suffix (``p50_us``/``p95_us``/``p99_us`` in BENCH_serve.json and the
+serve CLI's ``latency`` object), each value must be a finite number
+>= 0 and the triple must be monotone: p50 <= p95 <= p99.  An inversion
+means the histogram/rank math regressed, never a legitimate workload.
+
 Usage: check_pct.py FILE.json [FILE.json ...]
 """
 import json
@@ -23,8 +30,39 @@ import math
 import sys
 
 
+def check_percentile_triples(node, path, violations):
+    """Gate p50*/p95*/p99* key triples sharing a suffix within one dict."""
+    for key, p50 in node.items():
+        if not key.startswith("p50"):
+            continue
+        suffix = key[len("p50"):]
+        p95 = node.get("p95" + suffix)
+        p99 = node.get("p99" + suffix)
+        if p95 is None or p99 is None:
+            continue
+        where = f"{path}." if path else ""
+        triple = [("p50" + suffix, p50), ("p95" + suffix, p95),
+                  ("p99" + suffix, p99)]
+        ok = True
+        for name, value in triple:
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                violations.append(f"{where}{name}: not a number ({value!r})")
+                ok = False
+            elif not math.isfinite(value):
+                violations.append(f"{where}{name}: non-finite ({value!r})")
+                ok = False
+            elif value < 0.0:
+                violations.append(f"{where}{name}: {value} negative")
+                ok = False
+        if ok and not p50 <= p95 <= p99:
+            violations.append(
+                f"{where}p50{suffix}: percentiles not monotone "
+                f"({p50} / {p95} / {p99})")
+
+
 def walk(node, path, violations):
     if isinstance(node, dict):
+        check_percentile_triples(node, path, violations)
         for key, value in node.items():
             where = f"{path}.{key}" if path else key
             if key.endswith("_pct"):
@@ -67,7 +105,7 @@ def main(argv):
             for v in violations:
                 print(f"{fname}: {v}", file=sys.stderr)
         else:
-            print(f"{fname}: all *_pct fields in [0, 100]")
+            print(f"{fname}: all *_pct / *_speedup / percentile gates pass")
     return 1 if failed else 0
 
 

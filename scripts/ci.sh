@@ -20,6 +20,9 @@
 #   src/rete/  >= 75%  — match engine, TREAT rival and the naive oracle
 #   src/pmatch/ >= 85% — BSP parallel matcher; the model checker drives
 #                        every mailbox/merge ordering the seam exposes
+#   src/serve/ >= 75%  — serving engine; the engine/isolation suites and
+#                        the CLI smoke cover the hot paths, some shutdown
+#                        and rejection plumbing is cold
 # Raise them when coverage improves; never lower them to make a change
 # pass — add tests instead (docs/TESTING.md).
 #
@@ -113,13 +116,35 @@ echo "=== tier-1: profiler smoke report (PROFILE_pmatch.json) ==="
 test -s PROFILE_pmatch.json
 grep -q '"min_attributed_pct"' PROFILE_pmatch.json
 
-echo "=== tier-1: attribution percentage range gate ==="
-# Every *_pct field any artifact emits must sit in [0, 100] and every
-# *_speedup field must be finite and positive; the >100%
+echo "=== tier-1: serve latency smoke (BENCH_serve.json) ==="
+# Multi-tenant serving engine latency/fusion grid (docs/SERVING.md);
+# smoke mode trims the per-session transaction count but still runs the
+# full sessions x threads grid, so admission batching, phase fusion and
+# cross-session isolation counters stay exercised on every build.
+./build/bench/serve_latency --smoke -o BENCH_serve.json
+test -s BENCH_serve.json
+
+echo "=== tier-1: serve soak (bounded RSS, ~30s) ==="
+# Closed-loop soak through the real CLI: 8 concurrent sessions replaying
+# sliding-window transactions for 30 seconds with a hard peak-RSS
+# ceiling — a leak in session eviction, the admission queue or the
+# per-transaction promise plumbing shows up here as either a ceiling
+# breach (exit 1) or unbounded queue depth.  The window keeps live wmes
+# bounded, so memory must be flat.
+./build/tools/mpps serve examples/programs/bench_fanout.ops \
+  --sessions 8 --seconds 30 --wm-window 8 --match-threads 2 \
+  --rss-ceiling-mb 512 --json > SOAK_serve.json
+test -s SOAK_serve.json
+grep -q '"cross_session_deltas": 0' SOAK_serve.json
+
+echo "=== tier-1: attribution percentage + latency percentile gate ==="
+# Every *_pct field any artifact emits must sit in [0, 100], every
+# *_speedup field must be finite and positive, and every p50/p95/p99
+# triple must be finite, non-negative and monotone; the >100%
 # conflict_update_pct regression (wrong denominator) is exactly what this
 # catches (scripts/check_pct.py).
 python3 scripts/check_pct.py BENCH_pmatch.json PROFILE_pmatch.json \
-  BENCH_topology.json
+  BENCH_topology.json BENCH_serve.json SOAK_serve.json
 
 if [ "$FAST" -eq 1 ]; then
   echo "=== tier-1 passed (sanitizer + coverage passes skipped via --fast) ==="
@@ -146,15 +171,21 @@ echo "=== sanitizers: TSan rebuild of the threaded code + its tests (build-tsan/
 # sharded mailbox and the cross-round merge paths hardest), plus the
 # profiler integration and WorkerStats suites (pmatch_profile_test /
 # pmatch_stats_test), so this is where engine races — including
-# profiler-lane writes — would surface.
+# profiler-lane writes — would surface.  serve_tests adds the serving
+# engine on top: concurrent client threads racing through the admission
+# queue into fused phases, including the adversarial isolation suite at
+# 1/2/4/8 match threads (tests/serve_isolation_test.cpp requires a
+# TSan-clean run as part of its acceptance).
 TSAN_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
 cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=Debug \
   -DCMAKE_CXX_FLAGS="$TSAN_FLAGS" \
   -DCMAKE_EXE_LINKER_FLAGS="$TSAN_FLAGS"
-cmake --build build-tsan -j --target sweep_tests pmatch_tests network_tests mpps
+cmake --build build-tsan -j --target sweep_tests pmatch_tests network_tests \
+  serve_tests mpps
 ./build-tsan/tests/sweep_tests
 ./build-tsan/tests/pmatch_tests
+./build-tsan/tests/serve_tests
 # The network layer itself is single-threaded, but the sweep engine
 # replays topology configurations across worker threads (shared
 # BaselineCache, per-run NetworkModel instances) — run the suite here so
@@ -176,6 +207,6 @@ cmake --build build-cov -j
 ctest --test-dir build-cov --output-on-failure -j "$(nproc)" --timeout 240
 ./build-cov/tools/mpps selfcheck --rounds 20 --seed 1
 python3 scripts/coverage_gate.py build-cov \
-  src/sim=90 src/core=80 src/trace=80 src/rete=75 src/pmatch=85
+  src/sim=90 src/core=80 src/trace=80 src/rete=75 src/pmatch=85 src/serve=75
 
 echo "=== tier-1 + sanitizers + coverage passed ==="

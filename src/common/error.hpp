@@ -36,4 +36,13 @@ class RuntimeError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Invalid caller-supplied configuration: a bad CLI flag value or an
+/// option-builder setter given an out-of-range argument.  The message
+/// names the offending field.  Derives from RuntimeError so call sites
+/// that only distinguish "configuration vs. IO" keep working; the CLI
+/// maps it to exit code 2 (usage) instead of 1 (runtime failure).
+class UsageError : public RuntimeError {
+  using RuntimeError::RuntimeError;
+};
+
 }  // namespace mpps

@@ -1,10 +1,14 @@
 #include "src/core/cli.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <deque>
 #include <fstream>
 #include <iomanip>
 #include <ostream>
+#include <random>
 #include <sstream>
+#include <thread>
 
 #include "src/common/error.hpp"
 #include "src/common/strings.hpp"
@@ -25,6 +29,7 @@
 #include "src/ops5/parser.hpp"
 #include "src/pmatch/engine.hpp"
 #include "src/rete/interp.hpp"
+#include "src/serve/serve.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/trace/io.hpp"
 #include "src/trace/synth.hpp"
@@ -38,6 +43,11 @@ namespace {
 // cli_commands() exposes it so tests can assert that every documented
 // flag really parses.  `sample` is a valid example value for those tests.
 // ---------------------------------------------------------------------------
+
+/// Version stamp every `--json` document carries.  v2 added the `serve`
+/// command with its "serve"/"latency" objects (docs/API.md has the
+/// v1 → v2 delta).
+constexpr int kSchemaVersion = 2;
 
 struct FlagSpec {
   const char* name;    // "--procs", "-o", ...
@@ -61,7 +71,7 @@ constexpr FlagSpec kTraceOut{
 constexpr FlagSpec kMetricsOut{"--metrics-out", "FILE", "mpps_cli.metrics.csv",
                                "write the metrics-registry CSV"};
 constexpr FlagSpec kJson{"--json", nullptr, nullptr,
-                         "machine-readable output (\"schema_version\": 1)"};
+                         "machine-readable output (\"schema_version\": 2)"};
 constexpr FlagSpec kRunModel{"--run", "0..4", "2",
                              "overhead cost model: 0 zero-overhead, 1..4 the "
                              "paper's runs (default 1)"};
@@ -120,6 +130,37 @@ const std::vector<CommandSpec>& commands() {
            kRunModel,
            kJobs,
            kTraceOut,
+           kMetricsOut,
+       }},
+      {"serve", "<file.ops>",
+       "serve the rule base to concurrent client sessions through the\n"
+       "Session/Transaction API: each session is an isolated WM\n"
+       "partition, the admission queue fuses different sessions'\n"
+       "transactions into shared BSP phases, and the run ends with the\n"
+       "latency report (docs/SERVING.md)",
+       {
+           {"--sessions", "N", "2", "concurrent client sessions (default 8)"},
+           {"--transactions", "N", "8",
+            "transactions each client submits (default 64)"},
+           {"--seconds", "S", "1",
+            "time-bound the run instead: clients submit until S seconds\n"
+            "elapse (the soak mode; overrides --transactions)"},
+           {"--wm-window", "W", "4",
+            "live wmes retained per session -- each transaction retracts\n"
+            "beyond-window wmes it submitted earlier, keeping WM and RSS\n"
+            "flat (default 32)"},
+           {"--match-threads", "N", "2",
+            "parallel match worker threads (default 2)"},
+           {"--admission-batch", "N", "4",
+            "max transactions (one per session) fused into one BSP phase\n"
+            "(default 16)"},
+           {"--queue-capacity", "N", "32",
+            "admission-queue bound; submits block while full (default 256)"},
+           {"--rss-ceiling-mb", "M", "4096",
+            "fail (exit 1) if peak RSS exceeds M MiB -- the soak\n"
+            "assertion (default: unchecked)"},
+           kSeed,
+           kJson,
            kMetricsOut,
        }},
       {"trace", "<file.ops>",
@@ -253,9 +294,10 @@ constexpr const char* kUsageTrailer =
     "`--trace-out` writes a Chrome trace_event JSON timeline (load it in\n"
     "chrome://tracing or https://ui.perfetto.dev); `--metrics-out` writes\n"
     "the metrics registry (plus per-cycle busy/idle for single runs) as\n"
-    "CSV; `--json` output carries \"schema_version\": 1.\n"
+    "CSV; `--json` output carries \"schema_version\": 2.\n"
     "docs/OBSERVABILITY.md documents the export formats; docs/SIMULATOR.md\n"
-    "the sweep engine; docs/PARALLEL_MATCH.md the --match-threads engine.\n";
+    "the sweep engine; docs/PARALLEL_MATCH.md the --match-threads engine;\n"
+    "docs/SERVING.md the `serve` session/transaction engine.\n";
 
 std::string usage_text() {
   std::ostringstream os;
@@ -289,11 +331,9 @@ std::string usage_text() {
   return os.str();
 }
 
-/// Bad command-line input: reported with usage exit code 2, unlike
-/// runtime failures (exit 1).
-class UsageError : public std::runtime_error {
-  using std::runtime_error::runtime_error;
-};
+// Bad command-line input is an mpps::UsageError (common/error.hpp) —
+// reported with usage exit code 2, unlike runtime failures (exit 1).
+// The builders in mpps.hpp throw the same type for the same contract.
 
 /// Flag cursor over one subcommand's argument vector, validated against
 /// the command's spec on construction: an undeclared flag, a missing
@@ -873,7 +913,7 @@ int cmd_run(const Args& args, std::ostream& out, std::ostream& err) {
   if (json) {
     JsonWriter w(out);
     w.begin_object();
-    w.field("schema_version", 1);
+    w.field("schema_version", kSchemaVersion);
     w.field("command", "run");
     w.field("program", path);
     w.field("outcome", outcome_name);
@@ -916,6 +956,208 @@ int cmd_run(const Args& args, std::ostream& out, std::ostream& err) {
       w.end_array();
     }
     w.end_object();
+  }
+  return 0;
+}
+
+/// Peak resident set (VmHWM) in MiB, or -1 where /proc is unavailable.
+double peak_rss_mb() {
+#ifdef __linux__
+  std::ifstream status("/proc/self/status");
+  for (std::string line; std::getline(status, line);) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      long kb = 0;
+      std::istringstream fields(line.substr(6));
+      fields >> kb;
+      return static_cast<double>(kb) / 1024.0;
+    }
+  }
+#endif
+  return -1.0;
+}
+
+/// The serve load generator's payload: the program's top-level
+/// `(make ...)` forms with constant slots — the wmes `load_initial_wmes`
+/// would assert once, here re-asserted per transaction per session so the
+/// workload actually exercises the program's own alpha/beta network.
+std::vector<ops5::Wme> serve_payloads(const ops5::Program& program) {
+  std::vector<ops5::Wme> out;
+  for (const auto& make : program.initial_wmes) {
+    std::vector<std::pair<Symbol, ops5::Value>> attrs;
+    bool constant = true;
+    for (const auto& [attr, term] : make.slots) {
+      if (term.kind != ops5::Term::Kind::Constant) {
+        constant = false;
+        break;
+      }
+      attrs.emplace_back(attr, term.constant);
+    }
+    if (constant) out.emplace_back(make.wme_class, std::move(attrs));
+  }
+  return out;
+}
+
+int cmd_serve(const Args& args, std::ostream& out, std::ostream& err) {
+  const std::string path = args.positional();
+  if (path.empty()) {
+    err << "serve: missing program file\n";
+    return 2;
+  }
+  const bool json = args.flag("--json");
+  const auto sessions =
+      static_cast<std::uint32_t>(parse_positive_or(args, "--sessions", 8));
+  const std::uint64_t transactions =
+      parse_positive_or(args, "--transactions", 64);
+  const std::uint64_t seconds = parse_positive_or(args, "--seconds", 0);
+  const auto window =
+      static_cast<std::size_t>(parse_positive_or(args, "--wm-window", 32));
+  const std::uint64_t rss_ceiling =
+      parse_positive_or(args, "--rss-ceiling-mb", 0);
+  const auto seed =
+      static_cast<std::uint64_t>(parse_long_or(args.value("--seed", "1"), 1));
+  const std::string metrics_path = args.value("--metrics-out", "");
+
+  obs::Registry registry;
+  serve::ServeOptions sopts;
+  sopts.match.threads = static_cast<std::uint32_t>(
+      parse_positive_or(args, "--match-threads", 2));
+  sopts.admission_batch = static_cast<std::uint32_t>(
+      parse_positive_or(args, "--admission-batch", 16));
+  sopts.queue_capacity = static_cast<std::size_t>(
+      parse_positive_or(args, "--queue-capacity", 256));
+  sopts.max_sessions = sessions;
+  sopts.metrics = &registry;
+
+  const ops5::Program program = ops5::parse_program(read_file(path));
+  std::vector<ops5::Wme> payloads = serve_payloads(program);
+  if (payloads.empty()) {
+    // No top-level makes: drive the queue anyway with an inert wme so the
+    // latency path is still measured (it just matches nothing).
+    payloads.emplace_back(
+        Symbol::intern("mpps-serve-load"),
+        std::vector<std::pair<Symbol, ops5::Value>>{
+            {Symbol::intern("payload"), ops5::Value{1L}}});
+  }
+
+  serve::ServeEngine engine(program, sopts);
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::seconds(static_cast<std::int64_t>(seconds));
+  std::vector<std::string> failures(sessions);
+  {
+    // Closed-loop clients: each thread owns one session and submits its
+    // next transaction when the previous one completes; fusion across
+    // sessions comes from their natural overlap at the admission queue.
+    std::vector<std::thread> clients;
+    clients.reserve(sessions);
+    for (std::uint32_t c = 0; c < sessions; ++c) {
+      clients.emplace_back([&, c] {
+        try {
+          serve::SessionOptions sess;
+          sess.label = "client" + std::to_string(c);
+          serve::Session session = engine.open_session(sess);
+          std::mt19937_64 rng(seed * 7919 + c);
+          std::deque<WmeId> live;
+          for (std::uint64_t t = 0;
+               seconds > 0 ? std::chrono::steady_clock::now() < deadline
+                           : t < transactions;
+               ++t) {
+            serve::Transaction tx;
+            while (live.size() >= window) {
+              tx.remove(live.front());
+              live.pop_front();
+            }
+            tx.add(payloads[rng() % payloads.size()]);
+            const serve::TxResult r = session.transact(std::move(tx));
+            live.insert(live.end(), r.added.begin(), r.added.end());
+          }
+          session.close();
+        } catch (const std::exception& e) {
+          failures[c] = e.what();
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  }
+  const serve::ServeStats stats = engine.stats();
+  const serve::LatencyReport latency = engine.latency_report();
+  engine.shutdown();
+
+  for (std::uint32_t c = 0; c < sessions; ++c) {
+    if (!failures[c].empty()) {
+      err << "serve: client" << c << " failed: " << failures[c] << "\n";
+      return 1;
+    }
+  }
+  const double rss_mb = peak_rss_mb();
+  if (!json) {
+    out << "served " << stats.sessions_opened << " sessions: "
+        << stats.transactions << " transactions, " << stats.changes
+        << " WM changes in " << stats.batches
+        << " fused phases (max fan-in " << stats.max_fused
+        << ", max queue depth " << stats.max_queue_depth << ")\n"
+        << "activations: " << stats.activations << " (+"
+        << stats.retractions << " retractions), cross-session deltas: "
+        << stats.cross_session_deltas << "\n"
+        << std::fixed << std::setprecision(1) << "latency: p50 "
+        << latency.p50_us << " us, p95 " << latency.p95_us << " us, p99 "
+        << latency.p99_us << " us, mean " << latency.mean_us
+        << " us, max " << latency.max_us << " us\n"
+        << "throughput: " << latency.tx_per_s << " tx/s, "
+        << latency.changes_per_s << " changes/s, "
+        << latency.activations_per_s << " activations/s over "
+        << std::setprecision(2) << latency.wall_s << " s\n"
+        << std::defaultfloat;
+    if (rss_mb >= 0.0) {
+      out << "peak rss: " << std::fixed << std::setprecision(1) << rss_mb
+          << " MiB\n"
+          << std::defaultfloat;
+    }
+  } else {
+    JsonWriter w(out);
+    w.begin_object();
+    w.field("schema_version", kSchemaVersion);
+    w.field("command", "serve");
+    w.field("program", path);
+    w.key("serve");
+    w.begin_object();
+    w.field("sessions", static_cast<std::uint64_t>(stats.sessions_opened));
+    w.field("match_threads", static_cast<std::uint64_t>(engine.threads()));
+    w.field("transactions", stats.transactions);
+    w.field("rejected", stats.rejected);
+    w.field("changes", stats.changes);
+    w.field("batches", stats.batches);
+    w.field("max_fused", stats.max_fused);
+    w.field("max_queue_depth", stats.max_queue_depth);
+    w.field("activations", stats.activations);
+    w.field("retractions", stats.retractions);
+    w.field("cross_session_deltas", stats.cross_session_deltas);
+    if (rss_mb >= 0.0) w.field("peak_rss_mb", rss_mb);
+    w.end_object();
+    w.key("latency");
+    w.begin_object();
+    w.field("wall_s", latency.wall_s);
+    w.field("p50_us", latency.p50_us);
+    w.field("p95_us", latency.p95_us);
+    w.field("p99_us", latency.p99_us);
+    w.field("mean_us", latency.mean_us);
+    w.field("max_us", latency.max_us);
+    w.field("tx_per_s", latency.tx_per_s);
+    w.field("changes_per_s", latency.changes_per_s);
+    w.field("activations_per_s", latency.activations_per_s);
+    w.end_object();
+    w.end_object();
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream file(metrics_path);
+    if (!file) throw RuntimeError("cannot write '" + metrics_path + "'");
+    registry.write_csv(file);
+    (json ? err : out) << "wrote metrics to " << metrics_path << "\n";
+  }
+  if (rss_ceiling > 0 && rss_mb > static_cast<double>(rss_ceiling)) {
+    err << "serve: peak rss " << rss_mb << " MiB exceeds --rss-ceiling-mb "
+        << rss_ceiling << "\n";
+    return 1;
   }
   return 0;
 }
@@ -991,7 +1233,7 @@ int cmd_stats(const Args& args, std::ostream& out, std::ostream& err) {
   if (json) {
     JsonWriter w(out);
     w.begin_object();
-    w.field("schema_version", 1);
+    w.field("schema_version", kSchemaVersion);
     w.field("command", "stats");
     w.field("trace", t.name);
     w.field("cycles", static_cast<std::uint64_t>(t.cycles.size()));
@@ -1120,7 +1362,7 @@ int cmd_simulate(const Args& args, std::ostream& out, std::ostream& err) {
                               const std::vector<double>& speedups) {
     JsonWriter w(out);
     w.begin_object();
-    w.field("schema_version", 1);
+    w.field("schema_version", kSchemaVersion);
     w.field("command", "simulate");
     w.field("trace", t.name);
     w.field("mapping", mapping == "pairs" ? "pairs" : "merged");
@@ -1305,7 +1547,7 @@ int cmd_sweep(const Args& args, std::ostream& out, std::ostream& err) {
   if (json) {
     JsonWriter w(out);
     w.begin_object();
-    w.field("schema_version", 1);
+    w.field("schema_version", kSchemaVersion);
     w.field("command", "sweep");
     w.field("trace", t.name);
     w.field("mapping", pairs ? "pairs" : "merged");
@@ -1561,6 +1803,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     const std::vector<std::string> tail(args.begin() + 1, args.end());
     const Args cursor(tail, *spec);
     if (command == "run") return cmd_run(cursor, out, err);
+    if (command == "serve") return cmd_serve(cursor, out, err);
     if (command == "trace") return cmd_trace(cursor, out, err);
     if (command == "stats") return cmd_stats(cursor, out, err);
     if (command == "simulate") return cmd_simulate(cursor, out, err);

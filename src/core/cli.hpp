@@ -12,7 +12,7 @@
 //   --jobs N           worker threads for fan-out (0/absent = auto)
 //   --trace-out FILE   Chrome trace_event timeline of the simulated run(s)
 //   --metrics-out FILE metrics-registry CSV of the run(s)
-//   --json             versioned machine-readable output (schema_version 1)
+//   --json             versioned machine-readable output (schema_version 2)
 #pragma once
 
 #include <iosfwd>

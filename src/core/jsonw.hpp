@@ -6,7 +6,7 @@
 // Usage:
 //   JsonWriter w(out);
 //   w.begin_object();
-//   w.field("schema_version", 1);
+//   w.field("schema_version", 2);
 //   w.key("results"); w.begin_array();
 //   ... w.end_array();
 //   w.end_object();  // writes the final newline

@@ -11,12 +11,25 @@
 //   Network net = Network::compile(program);          // → Rete network
 //   Interpreter interp(program, ...);                 // match-resolve-act
 //   ParallelEngine / parallel_engine_factory(...)     // threaded matcher
+//   ServeEngine serve(program, opts);                 // multi-tenant server
+//   Session s = serve.open_session();                 //   one WM partition
+//   TxResult r = s.transact(tx);                      //   docs/SERVING.md
 //   Collector                                         // records a Trace
 //   SimResult r = simulate(trace, config, assign);    // simulated MPC
 //   SweepRunner(opts).run(scenarios)                  // parallel sweeps
 //   check_corpus(builtin_corpus(), CheckOptions{})    // model checker
 //
-// Builders (each `build()` returns the plain options struct):
+// Mutating working memory: the Session/Transaction surface is THE way to
+// stream WM changes into a live engine — batch replay is a single session
+// replaying a recorded stream (`Session::transact(changes)`), and the
+// interpreter's act phases ride the same `begin_batch`/`flush`
+// transaction path underneath.  `ParallelEngine::process_changes` remains
+// as a thin shim over that path for existing callers.
+//
+// Builders (each `build()` returns the plain options struct).  Shared
+// error contract: every setter validates its argument immediately and
+// throws mpps::UsageError naming the field — never a silent coercion at
+// build() or later:
 //
 //   SimConfig config = SimConfigBuilder()
 //       .match_processors(16).run(2).pairs_mapping()
@@ -25,6 +38,8 @@
 //       .num_buckets(128).metrics(&registry).build();
 //   ParallelOptions popts = ParallelOptionsBuilder()
 //       .threads(4).random_partition(7).build();
+//   ServeOptions sopts = ServeOptionsBuilder()
+//       .threads(4).admission_batch(16).queue_capacity(256).build();
 #pragma once
 
 #include "src/common/error.hpp"
@@ -44,6 +59,7 @@
 #include "src/rete/engine.hpp"
 #include "src/rete/interp.hpp"
 #include "src/rete/network.hpp"
+#include "src/serve/serve.hpp"
 #include "src/sim/assignment.hpp"
 #include "src/sim/costs.hpp"
 #include "src/sim/simulator.hpp"
@@ -76,6 +92,16 @@ using pmatch::parallel_engine_factory;
 using pmatch::ParallelEngine;
 using pmatch::ParallelOptions;
 using pmatch::WorkerStats;
+
+// --- Serving ---------------------------------------------------------------
+using serve::LatencyReport;
+using serve::ServeEngine;
+using serve::ServeOptions;
+using serve::ServeStats;
+using serve::Session;
+using serve::SessionOptions;
+using serve::Transaction;
+using serve::TxResult;
 
 // --- Traces ----------------------------------------------------------------
 using trace::Collector;
@@ -127,11 +153,18 @@ using obs::Tracer;
 class SimConfigBuilder {
  public:
   SimConfigBuilder& match_processors(std::uint32_t n) {
+    if (n == 0) {
+      throw UsageError(
+          "SimConfigBuilder: match_processors must be positive");
+    }
     config_.match_processors = n;
     return *this;
   }
   /// Overhead cost model: 0 = zero-overhead, 1..4 = the paper's runs.
   SimConfigBuilder& run(int paper_run) {
+    if (paper_run < 0 || paper_run > 4) {
+      throw UsageError("SimConfigBuilder: run must be in 0..4");
+    }
     config_.costs = paper_run == 0 ? CostModel::zero_overhead()
                                    : CostModel::paper_run(paper_run);
     return *this;
@@ -176,6 +209,9 @@ class SimConfigBuilder {
 class EngineOptionsBuilder {
  public:
   EngineOptionsBuilder& num_buckets(std::uint32_t n) {
+    if (n == 0) {
+      throw UsageError("EngineOptionsBuilder: num_buckets must be positive");
+    }
     options_.num_buckets = n;
     return *this;
   }
@@ -193,10 +229,17 @@ class EngineOptionsBuilder {
 class ParallelOptionsBuilder {
  public:
   ParallelOptionsBuilder& threads(std::uint32_t n) {
+    if (n == 0) {
+      throw UsageError("ParallelOptionsBuilder: threads must be positive");
+    }
     options_.threads = n;
     return *this;
   }
   ParallelOptionsBuilder& num_buckets(std::uint32_t n) {
+    if (n == 0) {
+      throw UsageError(
+          "ParallelOptionsBuilder: num_buckets must be positive");
+    }
     options_.num_buckets = n;
     return *this;
   }
@@ -218,7 +261,7 @@ class ParallelOptionsBuilder {
   /// builder layer, rather than silently coerced downstream.
   ParallelOptionsBuilder& mailbox_capacity(std::size_t n) {
     if (n == 0) {
-      throw RuntimeError(
+      throw UsageError(
           "ParallelOptionsBuilder: mailbox_capacity must be positive");
     }
     options_.mailbox_capacity = n;
@@ -246,6 +289,87 @@ class ParallelOptionsBuilder {
 
  private:
   ParallelOptions options_;
+};
+
+/// Fluent builder for `ServeOptions` (the multi-tenant serving engine's
+/// knobs).  The match-side setters mirror `ParallelOptionsBuilder`;
+/// `max_batch`/`schedule` are deliberately absent — the admission batcher
+/// owns phase boundaries (docs/SERVING.md, "Admission batching").
+class ServeOptionsBuilder {
+ public:
+  /// Worker threads in the underlying `ParallelEngine`.
+  ServeOptionsBuilder& threads(std::uint32_t n) {
+    if (n == 0) {
+      throw UsageError("ServeOptionsBuilder: threads must be positive");
+    }
+    options_.match.threads = n;
+    return *this;
+  }
+  ServeOptionsBuilder& num_buckets(std::uint32_t n) {
+    if (n == 0) {
+      throw UsageError("ServeOptionsBuilder: num_buckets must be positive");
+    }
+    options_.match.num_buckets = n;
+    return *this;
+  }
+  ServeOptionsBuilder& mailbox_capacity(std::size_t n) {
+    if (n == 0) {
+      throw UsageError(
+          "ServeOptionsBuilder: mailbox_capacity must be positive");
+    }
+    options_.match.mailbox_capacity = n;
+    return *this;
+  }
+  /// Most transactions (one per session) fused into a single BSP phase.
+  ServeOptionsBuilder& admission_batch(std::uint32_t n) {
+    if (n == 0) {
+      throw UsageError(
+          "ServeOptionsBuilder: admission_batch must be positive");
+    }
+    options_.admission_batch = n;
+    return *this;
+  }
+  /// Bound on queued transactions before `submit` blocks (backpressure).
+  ServeOptionsBuilder& queue_capacity(std::size_t n) {
+    if (n == 0) {
+      throw UsageError(
+          "ServeOptionsBuilder: queue_capacity must be positive");
+    }
+    options_.queue_capacity = n;
+    return *this;
+  }
+  ServeOptionsBuilder& max_sessions(std::uint32_t n) {
+    if (n == 0) {
+      throw UsageError("ServeOptionsBuilder: max_sessions must be positive");
+    }
+    options_.max_sessions = n;
+    return *this;
+  }
+  ServeOptionsBuilder& metrics(Registry* registry) {
+    options_.metrics = registry;
+    return *this;
+  }
+  /// Explicit latency histogram bucket bounds, in microseconds, strictly
+  /// increasing.  Default: exponential 1us..~33.5s.
+  ServeOptionsBuilder& latency_bounds_us(std::vector<std::int64_t> bounds) {
+    if (bounds.empty()) {
+      throw UsageError(
+          "ServeOptionsBuilder: latency_bounds_us must be non-empty");
+    }
+    for (std::size_t i = 1; i < bounds.size(); ++i) {
+      if (bounds[i] <= bounds[i - 1]) {
+        throw UsageError(
+            "ServeOptionsBuilder: latency_bounds_us must be strictly "
+            "increasing");
+      }
+    }
+    options_.latency_bounds_us = std::move(bounds);
+    return *this;
+  }
+  [[nodiscard]] ServeOptions build() const { return options_; }
+
+ private:
+  ServeOptions options_;
 };
 
 }  // namespace mpps

@@ -41,6 +41,12 @@ class Wme {
   /// tests and by the naive matcher).
   [[nodiscard]] bool same_content(const Wme& o) const;
 
+  /// Overwrites the timetag.  For engine-level drivers that manage their
+  /// own id space instead of going through `WorkingMemory::add` — the
+  /// serving layer namespaces ids per session this way (docs/SERVING.md).
+  /// A wme already inside a match engine must never be re-tagged.
+  void rebind_id(WmeId id) { id_ = id; }
+
  private:
   friend class WorkingMemory;
   Symbol class_;

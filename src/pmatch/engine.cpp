@@ -687,10 +687,17 @@ void ParallelEngine::process_changes(std::span<const ops5::WmeChange> changes) {
     return;
   }
   if (changes.empty()) return;
+  // Compatibility shim: since the serving PR, begin_batch()/flush() is the
+  // one way phases run — this routes each max_batch-sized chunk through an
+  // implicit transaction (one fused phase per chunk, exactly the chunking
+  // this function did directly before).
   const std::size_t chunk =
       options_.max_batch == 0 ? changes.size() : options_.max_batch;
   for (std::size_t i = 0; i < changes.size(); i += chunk) {
-    run_phase(changes.data() + i, std::min(chunk, changes.size() - i));
+    const std::size_t n = std::min(chunk, changes.size() - i);
+    begin_batch();
+    for (std::size_t j = 0; j < n; ++j) process_change(changes[i + j]);
+    flush();
   }
 }
 

@@ -145,7 +145,12 @@ class ParallelEngine final : public rete::MatchEngine {
 
   /// Runs the changes in chunks of `ParallelOptions::max_batch` fused
   /// phases (see the header comment).  The interpreter hands each act
-  /// phase's WM deltas here in one call.
+  /// phase's WM deltas here in one call.  Deprecated as a direct entry
+  /// point: it is now a thin shim that opens a `begin_batch()`/`flush()`
+  /// transaction per chunk, so the transaction surface (and the
+  /// serve-layer Session API built on it, docs/SERVING.md) is the single
+  /// path that runs phases.  Behaviour is identical; the facade test
+  /// suite pins conflict-set equality between the two spellings.
   void process_changes(std::span<const ops5::WmeChange> changes) override;
 
   /// Explicit transaction API: between `begin_batch()` and `flush()`,

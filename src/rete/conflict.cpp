@@ -14,12 +14,14 @@ void ConflictSet::add(Instantiation inst) {
   e.specificity = specificity_of_(inst.production);
   e.inst = std::move(inst);
   entries_.push_back(std::move(e));
+  if (delta_hook_) delta_hook_(entries_.back().inst, true);
 }
 
 bool ConflictSet::remove(const Instantiation& inst) {
   for (std::size_t i = 0; i < entries_.size(); ++i) {
     if (entries_[i].inst == inst) {
       entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+      if (delta_hook_) delta_hook_(inst, false);
       return true;
     }
   }

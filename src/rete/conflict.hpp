@@ -37,6 +37,14 @@ class ConflictSet {
   /// Returns true if it was present.
   bool remove(const Instantiation& inst);
 
+  /// Observer of conflict-set mutations: called once per successful add
+  /// (`added == true`) and once per successful remove (`added == false`),
+  /// from the thread doing the mutation (both engines mutate the conflict
+  /// set only from their control thread).  The serving layer uses it to
+  /// attribute each delta to the client transaction that caused it.
+  using DeltaHook = std::function<void(const Instantiation&, bool added)>;
+  void set_delta_hook(DeltaHook hook) { delta_hook_ = std::move(hook); }
+
   /// Picks the dominant unfired instantiation per `strategy`, or nullopt if
   /// every instantiation has already fired (or the set is empty).
   [[nodiscard]] std::optional<Instantiation> select(Strategy strategy) const;
@@ -60,6 +68,7 @@ class ConflictSet {
   static bool dominates(const Entry& a, const Entry& b, Strategy strategy);
 
   std::function<std::size_t(ProductionId)> specificity_of_;
+  DeltaHook delta_hook_;
   std::vector<Entry> entries_;
 };
 

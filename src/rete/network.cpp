@@ -148,6 +148,14 @@ class NetworkBuilder {
   NodeId intern_beta(BetaNode::Kind kind, NodeId left_source, NodeId left_alpha,
                      NodeId right_alpha, std::vector<JoinTest> tests,
                      std::uint32_t left_arity) {
+    if (!options_.partition_attr.empty()) {
+      // Multi-tenant isolation (CompileOptions::partition_attr): prepend
+      // the implicit partition equality so it leads the hash key.  Done
+      // before the sharing lookup so shared and private nodes agree.
+      tests.insert(tests.begin(),
+                   JoinTest{Predicate::Eq, 0, options_.partition_attr,
+                            options_.partition_attr});
+    }
     if (options_.share_beta_nodes) {
       for (const auto& b : net_.betas_) {
         if (b.kind == kind && b.left_source == left_source &&

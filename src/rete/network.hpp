@@ -111,6 +111,16 @@ struct CompileOptions {
   bool share_beta_nodes = true;
   /// Share alpha nodes with identical patterns.
   bool share_alpha_nodes = true;
+  /// Multi-tenant partition attribute (docs/SERVING.md).  When non-empty,
+  /// every two-input node gets an implicit leading equality JoinTest on
+  /// this attribute (left token position 0 vs. the right wme), so tokens
+  /// only ever join wmes carrying the same partition value.  Because the
+  /// test is an equality, the value becomes part of every node's hash key
+  /// — partitions shard across the bucket space like the paper's DHT
+  /// mapping, and `HashedMemory::find`'s exact key comparison keeps them
+  /// disjoint even when bucket indices collide.  The attribute is
+  /// reserved: the serving layer stamps it on every wme it admits.
+  Symbol partition_attr;
 };
 
 /// The compiled network.  Immutable after `compile`.

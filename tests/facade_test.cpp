@@ -7,7 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <functional>
 #include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 namespace {
 
@@ -118,7 +124,61 @@ TEST(Facade, BuilderRejectsZeroMailboxCapacity) {
   // The Mailbox(0) silent-coercion bug is now a loud configuration error
   // at every layer, starting with the public builder.
   EXPECT_THROW(mpps::ParallelOptionsBuilder().mailbox_capacity(0),
-               mpps::RuntimeError);
+               mpps::UsageError);
+}
+
+TEST(Facade, EveryBuilderSetterRejectsInvalidInputNamingTheField) {
+  // The unified builder error contract: every setter validates in the
+  // setter itself, throws mpps::UsageError, and the message names the
+  // offending field — no builder defers validation to build() or coerces
+  // silently.  One table row per reject path.
+  struct RejectCase {
+    const char* field;                 // must appear in the message
+    std::function<void()> poke;       // invokes the setter with bad input
+  };
+  const std::vector<RejectCase> cases = {
+      {"match_processors",
+       [] { mpps::SimConfigBuilder().match_processors(0); }},
+      {"run", [] { mpps::SimConfigBuilder().run(-1); }},
+      {"run", [] { mpps::SimConfigBuilder().run(5); }},
+      {"num_buckets", [] { mpps::EngineOptionsBuilder().num_buckets(0); }},
+      {"threads", [] { mpps::ParallelOptionsBuilder().threads(0); }},
+      {"num_buckets",
+       [] { mpps::ParallelOptionsBuilder().num_buckets(0); }},
+      {"mailbox_capacity",
+       [] { mpps::ParallelOptionsBuilder().mailbox_capacity(0); }},
+      {"threads", [] { mpps::ServeOptionsBuilder().threads(0); }},
+      {"num_buckets", [] { mpps::ServeOptionsBuilder().num_buckets(0); }},
+      {"mailbox_capacity",
+       [] { mpps::ServeOptionsBuilder().mailbox_capacity(0); }},
+      {"admission_batch",
+       [] { mpps::ServeOptionsBuilder().admission_batch(0); }},
+      {"queue_capacity",
+       [] { mpps::ServeOptionsBuilder().queue_capacity(0); }},
+      {"max_sessions",
+       [] { mpps::ServeOptionsBuilder().max_sessions(0); }},
+      {"latency_bounds_us",
+       [] { mpps::ServeOptionsBuilder().latency_bounds_us({}); }},
+      {"latency_bounds_us",
+       [] { mpps::ServeOptionsBuilder().latency_bounds_us({4, 2, 8}); }},
+  };
+  for (const RejectCase& c : cases) {
+    try {
+      c.poke();
+      ADD_FAILURE() << c.field << ": invalid input was accepted";
+    } catch (const mpps::UsageError& e) {
+      EXPECT_NE(std::string(e.what()).find(c.field), std::string::npos)
+          << "message does not name the field: " << e.what();
+    }
+  }
+  // The happy paths still configure what they say.
+  EXPECT_EQ(mpps::ParallelOptionsBuilder().threads(3).build().threads, 3u);
+  EXPECT_EQ(
+      mpps::ServeOptionsBuilder().admission_batch(9).build().admission_batch,
+      9u);
+  EXPECT_EQ(mpps::SimConfigBuilder().match_processors(5).build()
+                .match_processors,
+            5u);
 }
 
 TEST(Facade, CollectTraceSimulateAndSweep) {
@@ -217,6 +277,86 @@ TEST(Facade, ProfilerThroughBuilder) {
   std::ostringstream trace_json;
   tracer.write_chrome_json(trace_json);
   EXPECT_NE(trace_json.str().find("measured worker 0"), std::string::npos);
+}
+
+TEST(Facade, ServeSessionTransactionSurface) {
+  // The serving surface through facade names only: ServeOptionsBuilder,
+  // ServeEngine, Session/Transaction, TxResult, stats and the latency
+  // report.
+  const mpps::ServeOptions sopts =
+      mpps::ServeOptionsBuilder().threads(2).admission_batch(4).build();
+  mpps::ServeEngine engine(
+      mpps::parse_program("(p assign (job ^id <i>) (worker ^id <i>) "
+                          "--> (remove 1))"),
+      sopts);
+  mpps::Session session = engine.open_session();
+  mpps::Transaction tx;
+  tx.add(mpps::ops5::parse_wme("(job ^id 1)"))
+      .add(mpps::ops5::parse_wme("(worker ^id 1)"));
+  const mpps::TxResult result = session.transact(std::move(tx));
+  EXPECT_EQ(result.added.size(), 2u);
+  EXPECT_EQ(result.fired.size(), 1u);
+  const mpps::ServeStats stats = engine.stats();
+  EXPECT_EQ(stats.transactions, 1u);
+  EXPECT_EQ(stats.cross_session_deltas, 0u);
+  const mpps::LatencyReport report = engine.latency_report();
+  EXPECT_EQ(report.transactions, 1u);
+  EXPECT_LE(report.p50_us, report.p99_us);
+  session.close();
+}
+
+TEST(Facade, ProcessChangesShimMatchesTransactionPath) {
+  // `ParallelEngine::process_changes` is deprecated as a direct entry
+  // point and now rides the begin_batch()/flush() transaction path as a
+  // thin shim.  Differential proof at the facade layer: the same change
+  // stream through the shim and through explicit transactions lands the
+  // identical conflict set, for batch sizes that chunk evenly and not.
+  const mpps::Program program = mpps::parse_program(kProgram);
+  const mpps::Network net = mpps::Network::compile(program);
+
+  std::vector<mpps::WmeChange> changes;
+  std::uint64_t next_id = 1;
+  for (const char* text :
+       {"(job ^id 1)", "(job ^id 2)", "(job ^id 3)", "(worker ^id 1)",
+        "(worker ^id 2)", "(worker ^id 4)", "(job ^id 4)"}) {
+    mpps::Wme w = mpps::ops5::parse_wme(text);
+    w.rebind_id(mpps::WmeId{next_id++});
+    changes.push_back({mpps::WmeChange::Kind::Add, w});
+  }
+  changes.push_back({mpps::WmeChange::Kind::Delete, changes[0].wme});
+
+  auto flatten = [](mpps::ParallelEngine& engine) {
+    std::vector<std::pair<std::uint32_t, std::vector<std::uint64_t>>> out;
+    for (const auto& inst : engine.conflict_set().all()) {
+      std::vector<std::uint64_t> wmes;
+      for (mpps::WmeId w : inst.token.wmes) wmes.push_back(w.value());
+      out.emplace_back(inst.production.value(), std::move(wmes));
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+
+  for (const std::uint32_t batch : {1u, 3u, 0u}) {
+    const mpps::ParallelOptions popts = mpps::ParallelOptionsBuilder()
+                                            .threads(2)
+                                            .max_batch(batch)
+                                            .build();
+    mpps::ParallelEngine shim(net, popts);
+    shim.process_changes(changes);
+
+    mpps::ParallelEngine transacted(net, popts);
+    const std::size_t chunk = batch == 0 ? changes.size() : batch;
+    for (std::size_t i = 0; i < changes.size(); i += chunk) {
+      transacted.begin_batch();
+      for (std::size_t j = i; j < std::min(i + chunk, changes.size()); ++j) {
+        transacted.process_change(changes[j]);
+      }
+      transacted.flush();
+    }
+
+    EXPECT_EQ(flatten(shim), flatten(transacted)) << "batch " << batch;
+    EXPECT_EQ(shim.phases(), transacted.phases()) << "batch " << batch;
+  }
 }
 
 }  // namespace

@@ -1,5 +1,5 @@
 // Golden-file tests pinning the CLI's `--json` schema
-// ("schema_version": 1): the stats/simulate/sweep JSON for the synthetic
+// ("schema_version": 2): the stats/simulate/sweep JSON for the synthetic
 // weaver section must match tests/golden/*.json byte for byte.  The
 // section generator and the simulator are deterministic, so any diff
 // here is a real schema or semantics change — regenerate with
@@ -103,9 +103,38 @@ TEST_F(GoldenJson, SchemaVersionIsDeclared) {
       args.insert(args.end(), {"--runs", "1"});
     }
     ASSERT_EQ(run_cli(args, out, err), 0) << err.str();
-    EXPECT_NE(out.str().find("\"schema_version\": 1"), std::string::npos)
+    EXPECT_NE(out.str().find("\"schema_version\": 2"), std::string::npos)
         << cmd << ":\n" << out.str();
     EXPECT_EQ(out.str().front(), '{') << cmd;
+  }
+}
+
+TEST_F(GoldenJson, ServeSchemaVersionAndObjects) {
+  // `serve` timings are wall-clock so there is no byte-golden file; pin
+  // the v2 markers instead: the version stamp and the two objects the
+  // version bump added ("serve" counters, "latency" percentiles).
+  const std::string program = *dir_ + "/serve_golden.ops";
+  {
+    std::ofstream ops(program);
+    ops << "(make job ^id 1)\n"
+           "(p assign (job ^id <i>) (worker ^id <i>) --> (halt))\n";
+  }
+  std::ostringstream out;
+  std::ostringstream err;
+  ASSERT_EQ(run_cli({"serve", program, "--json", "--sessions", "2",
+                     "--transactions", "4"},
+                    out, err),
+            0)
+      << err.str();
+  EXPECT_NE(out.str().find("\"schema_version\": 2"), std::string::npos)
+      << out.str();
+  for (const char* key :
+       {"\"serve\": {", "\"latency\": {", "\"p50_us\":", "\"p95_us\":",
+        "\"p99_us\":", "\"activations_per_s\":",
+        "\"cross_session_deltas\":"}) {
+    EXPECT_NE(out.str().find(key), std::string::npos)
+        << key << " missing:\n"
+        << out.str();
   }
 }
 

@@ -160,7 +160,7 @@ TEST(ProfileCli, RunProfileJsonMeetsAcceptanceOnBenchWorkloads) {
                       out, err);
     ASSERT_EQ(code, 0) << err.str();
     const std::string json = out.str();
-    EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
     EXPECT_NE(json.find("\"profile\""), std::string::npos);
     EXPECT_NE(json.find("\"category_totals_ns\""), std::string::npos);
     EXPECT_GE(json_number_field(json, "min_attributed_pct"), 95.0)

@@ -1,0 +1,173 @@
+// Adversarial session-isolation suite: sessions insert wmes that WOULD
+// cross-match if the partition ever leaked — identical classes, identical
+// symbols, identical join-key values, forced into the SAME hash bucket
+// (num_buckets = 1) so only exact key equality separates them.  The
+// oracle is a per-session serial rete::Engine fed only that session's
+// changes with no partition machinery at all: the serving engine's
+// conflict set must equal the union of the oracles (with wme ids mapped
+// into each session's namespace), its per-transaction `fired` results
+// must attribute every instantiation to the causing session, and
+// `cross_session_deltas` must be 0 — at 1, 2, 4 and 8 match threads,
+// and under TSan (scripts/ci.sh runs this binary in the TSan build).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/ops5/parser.hpp"
+#include "src/ops5/wme.hpp"
+#include "src/rete/engine.hpp"
+#include "src/rete/network.hpp"
+#include "src/serve/serve.hpp"
+
+namespace mpps::serve {
+namespace {
+
+// Positive join + negative CE over the same shared symbols: a leak either
+// manufactures `pair` instantiations across sessions or suppresses
+// `lonely` ones (the probe-only session's probes would find the other
+// session's items).
+constexpr const char* kAdversarialProgram =
+    "(p pair (item ^key <k>) (probe ^key <k>) --> (halt))\n"
+    "(p lonely (probe ^key <k>) - (item ^key <k>) --> (halt))\n";
+
+using FlatSet = std::vector<std::pair<std::uint32_t, std::vector<std::uint64_t>>>;
+
+FlatSet flat(const std::vector<rete::Instantiation>& insts) {
+  FlatSet out;
+  for (const rete::Instantiation& inst : insts) {
+    std::vector<std::uint64_t> wmes;
+    for (WmeId w : inst.token.wmes) wmes.push_back(w.value());
+    out.emplace_back(inst.production.value(), std::move(wmes));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// One session's script: the wme texts it adds, in order.  Session-local
+/// ids are assigned 1..n in that order on both sides of the differential.
+struct Script {
+  std::vector<std::string> adds;
+};
+
+/// The shared-symbol clash: session 0 holds items AND probes (pairs, no
+/// lonelies), session 1 holds probes only (no pairs, all lonely), and
+/// sessions 2+ repeat the pattern over the SAME keys.
+std::vector<Script> adversarial_scripts(std::uint32_t sessions) {
+  std::vector<Script> scripts(sessions);
+  for (std::uint32_t s = 0; s < sessions; ++s) {
+    for (int k = 0; k < 4; ++k) {
+      const std::string key = "k" + std::to_string(k);
+      if (s % 2 == 0) {
+        scripts[s].adds.push_back("(item ^key " + key + ")");
+      }
+      scripts[s].adds.push_back("(probe ^key " + key + ")");
+    }
+  }
+  return scripts;
+}
+
+/// What the session SHOULD see: a serial engine with no partitioning,
+/// fed only this session's wmes, ids namespaced afterwards.
+FlatSet oracle(const ops5::Program& program, const Script& script,
+               std::uint32_t ordinal) {
+  const rete::Network net = rete::Network::compile(program);
+  rete::EngineOptions eopts;
+  eopts.num_buckets = 1;
+  rete::Engine engine(net, eopts);
+  std::uint64_t next_id = 1;
+  for (const std::string& text : script.adds) {
+    ops5::Wme w = ops5::parse_wme(text);
+    w.rebind_id(WmeId{next_id++});
+    engine.process_change(
+        ops5::WmeChange{ops5::WmeChange::Kind::Add, w});
+  }
+  FlatSet out = flat(engine.conflict_set().all());
+  const std::uint64_t base = static_cast<std::uint64_t>(ordinal) << 40;
+  for (auto& [production, wmes] : out) {
+    for (std::uint64_t& id : wmes) id |= base;
+  }
+  return out;
+}
+
+class ServeIsolation : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ServeIsolation, NoCrossSessionMatchesUnderBucketCollisions) {
+  const std::uint32_t threads = GetParam();
+  const ops5::Program program = ops5::parse_program(kAdversarialProgram);
+  constexpr std::uint32_t kSessions = 4;
+
+  ServeOptions options;
+  options.match.threads = threads;
+  options.match.num_buckets = 1;  // every hash key shares one bucket
+  ServeEngine engine(program, options);
+
+  const std::vector<Script> scripts = adversarial_scripts(kSessions);
+  std::vector<FlatSet> fired_by_session(kSessions);
+  {
+    // Concurrent clients, one wme per transaction: maximal interleaving
+    // through the admission queue and maximal fused-phase mixing.
+    std::vector<std::thread> clients;
+    for (std::uint32_t c = 0; c < kSessions; ++c) {
+      clients.emplace_back([&, c] {
+        Session session = engine.open_session(
+            {.label = "s" + std::to_string(c), .max_live_wmes = 0});
+        std::vector<rete::Instantiation> fired;
+        for (const std::string& text : scripts[c].adds) {
+          Transaction tx;
+          tx.add(ops5::parse_wme(text));
+          TxResult r = session.transact(std::move(tx));
+          fired.insert(fired.end(), r.fired.begin(), r.fired.end());
+        }
+        fired_by_session[c] = flat(fired);
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  }
+
+  // Sessions raced for ordinals; recover each session's ordinal from the
+  // ids its own fired tokens carry (labels pin the mapping in stats()).
+  const ServeStats stats = engine.stats();
+  ASSERT_EQ(stats.sessions.size(), kSessions);
+  EXPECT_EQ(stats.cross_session_deltas, 0u) << threads << " threads";
+
+  // The engine's final conflict set is exactly the union of the
+  // per-session oracles — nothing manufactured, nothing suppressed.
+  FlatSet expected;
+  for (const ServeStats::SessionInfo& info : stats.sessions) {
+    const std::uint32_t client =
+        static_cast<std::uint32_t>(std::stoul(info.label.substr(1)));
+    const FlatSet per = oracle(program, scripts[client], info.id);
+    expected.insert(expected.end(), per.begin(), per.end());
+  }
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(flat(engine.conflict_snapshot()), expected)
+      << threads << " threads";
+
+  // Every fired instantiation a client observed belongs to its own
+  // partition (subset check: per-transaction attribution can lag pure
+  // conflict-set membership for lonely -> pair flips, but may never
+  // cross sessions).
+  for (const ServeStats::SessionInfo& info : stats.sessions) {
+    const std::uint32_t client =
+        static_cast<std::uint32_t>(std::stoul(info.label.substr(1)));
+    for (const auto& [production, wmes] : fired_by_session[client]) {
+      for (const std::uint64_t id : wmes) {
+        EXPECT_EQ(id >> 40, info.id)
+            << "instantiation of production " << production
+            << " observed by client " << client
+            << " holds a wme from session " << (id >> 40);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ServeIsolation,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+}  // namespace
+}  // namespace mpps::serve
